@@ -1,0 +1,127 @@
+//! Fig 6: centroid hierarchical clustering of services and the
+//! Silhouette profile (§4.3 step iii).
+
+use crate::similarity::SimilarityAnalysis;
+use mtd_math::cluster::{centroid_cluster, silhouette_profile, Dendrogram};
+use mtd_math::Result;
+
+/// Clustering outcome over the similarity analysis.
+#[derive(Debug, Clone)]
+pub struct ClusteringAnalysis {
+    /// The merge tree.
+    pub dendrogram: Dendrogram,
+    /// Labels at the paper's chosen level (3 clusters).
+    pub labels3: Vec<usize>,
+    /// `(k, silhouette)` for k = 2.. — the Fig 6b series.
+    pub silhouette: Vec<(usize, f64)>,
+}
+
+/// Runs the §4.3 clustering on a similarity analysis.
+pub fn cluster_services(sim: &SimilarityAnalysis) -> Result<ClusteringAnalysis> {
+    let items: Vec<(f64, mtd_math::histogram::BinnedPdf)> = sim
+        .weights
+        .iter()
+        .zip(&sim.pdfs)
+        .map(|(w, p)| (*w, p.clone()))
+        .collect();
+    let dendrogram = centroid_cluster(&items)?;
+    let labels3 = dendrogram.cut(3.min(sim.names.len()))?;
+    let silhouette =
+        silhouette_profile(&dendrogram, &sim.matrix, sim.names.len().saturating_sub(1))?;
+    Ok(ClusteringAnalysis {
+        dendrogram,
+        labels3,
+        silhouette,
+    })
+}
+
+impl ClusteringAnalysis {
+    /// Members of each cluster at the 3-cluster level, as index lists.
+    #[must_use]
+    pub fn cluster_members(&self) -> Vec<Vec<usize>> {
+        let k = self.labels3.iter().max().map_or(0, |m| m + 1);
+        let mut out = vec![Vec::new(); k];
+        for (i, l) in self.labels3.iter().enumerate() {
+            out[*l].push(i);
+        }
+        out
+    }
+
+    /// Silhouette at a given k, if computed.
+    #[must_use]
+    pub fn silhouette_at(&self, k: usize) -> Option<f64> {
+        self.silhouette
+            .iter()
+            .find(|(kk, _)| *kk == k)
+            .map(|(_, s)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::service_similarity;
+    use mtd_dataset::Dataset;
+    use mtd_netsim::geo::Topology;
+    use mtd_netsim::services::{ServiceCatalog, ServiceClass};
+    use mtd_netsim::ScenarioConfig;
+
+    fn run() -> (SimilarityAnalysis, ClusteringAnalysis, ServiceCatalog) {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+        let sim = service_similarity(&dataset).unwrap();
+        let clu = cluster_services(&sim).unwrap();
+        (sim, clu, catalog)
+    }
+
+    #[test]
+    fn produces_three_clusters() {
+        let (sim, clu, _) = run();
+        let members = clu.cluster_members();
+        assert!(members.len() <= 3);
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, sim.names.len());
+    }
+
+    #[test]
+    fn silhouette_profile_present() {
+        let (_, clu, _) = run();
+        assert!(clu.silhouette.len() > 5);
+        assert!(clu.silhouette_at(3).is_some());
+        assert!(clu.silhouette_at(9999).is_none());
+    }
+
+    #[test]
+    fn streaming_messaging_dichotomy_recovered() {
+        // §4.3: the macroscopic split separates streaming from messaging.
+        // Check that the dominant cluster of streaming services differs
+        // from the dominant cluster of messaging services.
+        let (sim, clu, catalog) = run();
+        let label_of = |name: &str| clu.labels3[sim.index_of(name).unwrap()];
+        let mut stream_votes = std::collections::HashMap::new();
+        let mut msg_votes = std::collections::HashMap::new();
+        for s in catalog.services() {
+            let Some(idx) = sim.index_of(&s.name) else {
+                continue;
+            };
+            let l = clu.labels3[idx];
+            match s.class {
+                ServiceClass::Streaming => *stream_votes.entry(l).or_insert(0) += 1,
+                ServiceClass::Messaging => *msg_votes.entry(l).or_insert(0) += 1,
+                ServiceClass::Outlier => {}
+            }
+        }
+        let top = |m: &std::collections::HashMap<usize, i32>| {
+            m.iter().max_by_key(|(_, c)| **c).map(|(l, _)| *l).unwrap()
+        };
+        assert_ne!(
+            top(&stream_votes),
+            top(&msg_votes),
+            "streaming and messaging majority clusters coincide: fb={} nf={}",
+            label_of("Facebook"),
+            label_of("Netflix")
+        );
+    }
+}

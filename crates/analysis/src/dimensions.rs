@@ -1,0 +1,268 @@
+//! Fig 8: invariance of session-level statistics across time, space and
+//! technology (§4.4).
+//!
+//! For every service, compares its volume PDF (via EMD) and its
+//! duration–volume pairs (via SED) across: workday/weekend, the three
+//! urbanization regions, the five cities, and the two RATs — against the
+//! inter-service ("Apps") baseline. The paper's conclusion: intra-service
+//! differences along every dimension are negligible next to the Apps
+//! baseline.
+
+use mtd_dataset::{Dataset, PairPoint, SliceFilter};
+use mtd_math::emd::emd_centered;
+use mtd_math::stats::BoxStats;
+use mtd_math::Result;
+use mtd_netsim::geo::Region;
+use mtd_netsim::ids::Rat;
+use mtd_netsim::time::DayType;
+
+/// One Fig 8 box: the distribution of distances under one comparison tag.
+#[derive(Debug, Clone)]
+pub struct DimensionBox {
+    pub tag: &'static str,
+    /// EMD distances between volume PDFs.
+    pub traffic: BoxStats,
+    /// SED distances between duration–volume pair vectors.
+    pub duration: BoxStats,
+    pub n_samples: usize,
+}
+
+/// Full Fig 8 content.
+#[derive(Debug, Clone)]
+pub struct DimensionsAnalysis {
+    pub boxes: Vec<DimensionBox>,
+}
+
+/// SED between two pair sets on the shared duration grid, computed over
+/// `log₁₀` mean volumes of bins populated in both (≥ 2 required).
+fn sed_pairs(a: &[PairPoint], b: &[PairPoint]) -> Option<f64> {
+    let mut common = Vec::new();
+    for pa in a {
+        if let Some(pb) = b
+            .iter()
+            .find(|p| (p.duration_s - pa.duration_s).abs() < 1e-9)
+        {
+            common.push((pa.mean_volume_mb.log10(), pb.mean_volume_mb.log10()));
+        }
+    }
+    if common.len() < 2 {
+        return None;
+    }
+    // Mean squared difference, so vectors of different support sizes are
+    // comparable.
+    Some(common.iter().map(|(x, y)| (x - y).powi(2)).sum::<f64>() / common.len() as f64)
+}
+
+/// Distance between one service's statistics under two slices; `None`
+/// when either slice is empty.
+fn slice_distance(
+    dataset: &Dataset,
+    service: u16,
+    a: &SliceFilter,
+    b: &SliceFilter,
+) -> Option<(f64, f64)> {
+    let pa = dataset.volume_pdf(service, a).ok()?;
+    let pb = dataset.volume_pdf(service, b).ok()?;
+    let emd = emd_centered(&pa, &pb).ok()?;
+    let sed = sed_pairs(
+        &dataset.duration_pairs(service, a),
+        &dataset.duration_pairs(service, b),
+    )?;
+    Some((emd, sed))
+}
+
+/// Collects distances for all services across a list of slice pairs.
+fn collect(
+    dataset: &Dataset,
+    services: &[u16],
+    pairs: &[(SliceFilter, SliceFilter)],
+) -> (Vec<f64>, Vec<f64>) {
+    let mut emds = Vec::new();
+    let mut seds = Vec::new();
+    for s in services {
+        for (a, b) in pairs {
+            if let Some((e, d)) = slice_distance(dataset, *s, a, b) {
+                emds.push(e);
+                seds.push(d);
+            }
+        }
+    }
+    (emds, seds)
+}
+
+/// The inter-service baseline: distances between *different* services on
+/// the full dataset (optionally restricted to one RAT for the Fig 8b
+/// "Apps (4G)" / "Apps (5G)" tags).
+fn apps_baseline(dataset: &Dataset, services: &[u16], rat: Option<Rat>) -> (Vec<f64>, Vec<f64>) {
+    let filter = match rat {
+        Some(r) => SliceFilter::rat(r),
+        None => SliceFilter::all(),
+    };
+    let mut emds = Vec::new();
+    let mut seds = Vec::new();
+    for (i, a) in services.iter().enumerate() {
+        for b in services.iter().skip(i + 1) {
+            let (Ok(pa), Ok(pb)) = (
+                dataset.volume_pdf(*a, &filter),
+                dataset.volume_pdf(*b, &filter),
+            ) else {
+                continue;
+            };
+            if let Ok(e) = emd_centered(&pa, &pb) {
+                if let Some(d) = sed_pairs(
+                    &dataset.duration_pairs(*a, &filter),
+                    &dataset.duration_pairs(*b, &filter),
+                ) {
+                    emds.push(e);
+                    seds.push(d);
+                }
+            }
+        }
+    }
+    (emds, seds)
+}
+
+fn boxed(tag: &'static str, emds: Vec<f64>, seds: Vec<f64>) -> Result<DimensionBox> {
+    Ok(DimensionBox {
+        tag,
+        n_samples: emds.len(),
+        traffic: BoxStats::from_samples(&emds)?,
+        duration: BoxStats::from_samples(&seds)?,
+    })
+}
+
+/// Runs the full Fig 8 analysis. `services` restricts the comparison to a
+/// subset (use the high-volume ones; rare services lack per-slice data).
+pub fn dimensions_analysis(dataset: &Dataset, services: &[u16]) -> Result<DimensionsAnalysis> {
+    let mut boxes = Vec::new();
+
+    // Apps baseline (all RATs, then per RAT).
+    let (e, s) = apps_baseline(dataset, services, None);
+    boxes.push(boxed("Apps", e, s)?);
+
+    // Days: workday vs weekend.
+    let day_pairs = vec![(
+        SliceFilter::day(DayType::Workday),
+        SliceFilter::day(DayType::Weekend),
+    )];
+    let (e, s) = collect(dataset, services, &day_pairs);
+    boxes.push(boxed("Days", e, s)?);
+
+    // Regions: all pairs of urbanization levels.
+    let regions = [Region::DenseUrban, Region::SemiUrban, Region::Rural];
+    let mut region_pairs = Vec::new();
+    for i in 0..regions.len() {
+        for j in (i + 1)..regions.len() {
+            region_pairs.push((
+                SliceFilter::region(regions[i]),
+                SliceFilter::region(regions[j]),
+            ));
+        }
+    }
+    let (e, s) = collect(dataset, services, &region_pairs);
+    boxes.push(boxed("Regions", e, s)?);
+
+    // Cities: all pairs of the five metropolitan areas.
+    let mut city_pairs = Vec::new();
+    for i in 0..5u8 {
+        for j in (i + 1)..5 {
+            city_pairs.push((SliceFilter::city(i), SliceFilter::city(j)));
+        }
+    }
+    let (e, s) = collect(dataset, services, &city_pairs);
+    boxes.push(boxed("Cities", e, s)?);
+
+    // RATs: 4G vs 5G per service.
+    let rat_pairs = vec![(SliceFilter::rat(Rat::Lte), SliceFilter::rat(Rat::Nr))];
+    let (e, s) = collect(dataset, services, &rat_pairs);
+    boxes.push(boxed("RATs", e, s)?);
+
+    // Apps baselines per RAT (Fig 8b/d).
+    let (e, s) = apps_baseline(dataset, services, Some(Rat::Lte));
+    boxes.push(boxed("Apps (4G)", e, s)?);
+    let (e, s) = apps_baseline(dataset, services, Some(Rat::Nr));
+    boxes.push(boxed("Apps (5G)", e, s)?);
+
+    Ok(DimensionsAnalysis { boxes })
+}
+
+impl DimensionsAnalysis {
+    /// Box for a tag.
+    #[must_use]
+    pub fn by_tag(&self, tag: &str) -> Option<&DimensionBox> {
+        self.boxes.iter().find(|b| b.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtd_netsim::geo::Topology;
+    use mtd_netsim::services::ServiceCatalog;
+    use mtd_netsim::ScenarioConfig;
+
+    fn run() -> DimensionsAnalysis {
+        // Somewhat larger than small_test so every slice is populated.
+        let config = ScenarioConfig {
+            n_bs: 40,
+            days: 7,
+            arrival_scale: 0.08,
+            ..ScenarioConfig::small_test()
+        };
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+        // Top services by id (Facebook .. Netflix etc.).
+        let services: Vec<u16> = (0..8).collect();
+        dimensions_analysis(&dataset, &services).unwrap()
+    }
+
+    #[test]
+    fn all_tags_present() {
+        let a = run();
+        for tag in [
+            "Apps",
+            "Days",
+            "Regions",
+            "Cities",
+            "RATs",
+            "Apps (4G)",
+            "Apps (5G)",
+        ] {
+            assert!(a.by_tag(tag).is_some(), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn intra_service_distances_negligible_vs_apps() {
+        // The paper's §4.4 conclusion, on both metrics.
+        let a = run();
+        let apps = a.by_tag("Apps").unwrap();
+        for tag in ["Days", "Regions", "Cities", "RATs"] {
+            let b = a.by_tag(tag).unwrap();
+            assert!(
+                b.traffic.median < apps.traffic.median / 2.0,
+                "{tag} traffic median {} vs apps {}",
+                b.traffic.median,
+                apps.traffic.median
+            );
+            assert!(
+                b.duration.median < apps.duration.median / 2.0,
+                "{tag} duration median {} vs apps {}",
+                b.duration.median,
+                apps.duration.median
+            );
+        }
+    }
+
+    #[test]
+    fn apps_distances_stable_across_rats() {
+        // Fig 8b: inter-app heterogeneity looks the same on 4G and 5G.
+        let a = run();
+        let g4 = a.by_tag("Apps (4G)").unwrap().traffic.median;
+        let g5 = a.by_tag("Apps (5G)").unwrap().traffic.median;
+        let all = a.by_tag("Apps").unwrap().traffic.median;
+        assert!((g4 - all).abs() / all < 0.5, "4G {g4} vs all {all}");
+        assert!((g5 - all).abs() / all < 0.5, "5G {g5} vs all {all}");
+    }
+}

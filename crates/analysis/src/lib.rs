@@ -1,0 +1,27 @@
+//! # mtd-analysis — the §4 characterization pipeline
+//!
+//! Turns a measurement [`mtd_dataset::Dataset`] into every quantitative
+//! result of the paper's characterization section:
+//!
+//! - [`ranking`] — Fig 4: service ranking by session share, the negative
+//!   exponential law (R² ≈ 0.97 in the paper), top-20 concentration, and
+//!   the decoupling between session and traffic shares.
+//! - [`arrivals`] — Fig 3: per-decile arrival-count PDFs with their §5.1
+//!   bimodal fits.
+//! - [`similarity`] — Fig 6a: pairwise EMD matrix of zero-mean-normalized
+//!   per-service volume PDFs.
+//! - [`clustering`] — Fig 6: centroid hierarchical clustering and the
+//!   silhouette profile that stops being informative past 3 clusters.
+//! - [`dimensions`] — Fig 8: distribution of EMD/SED distances across
+//!   day types, regions, cities and RATs, against the inter-service
+//!   baseline.
+//! - [`report`] — plain-text tables and CSV output shared by the
+//!   experiment binaries.
+
+pub mod arrivals;
+pub mod bslevel;
+pub mod clustering;
+pub mod dimensions;
+pub mod ranking;
+pub mod report;
+pub mod similarity;

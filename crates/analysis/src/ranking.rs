@@ -1,0 +1,129 @@
+//! Fig 4: service ranking and the negative exponential share law.
+
+use mtd_dataset::Dataset;
+use mtd_math::fit::{fit_exponential_law, ExponentialLawFit};
+use mtd_math::Result;
+
+/// One ranked service row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedService {
+    pub rank: usize,
+    pub name: String,
+    pub session_share: f64,
+    pub traffic_share: f64,
+}
+
+/// The Fig 4 analysis output.
+#[derive(Debug, Clone)]
+pub struct RankingAnalysis {
+    /// Services sorted by descending session share.
+    pub rows: Vec<RankedService>,
+    /// Exponential-law fit over the ranked session shares.
+    pub exponential_fit: ExponentialLawFit,
+    /// Cumulative session share of the top 20 services (paper: > 78%).
+    pub top20_share: f64,
+}
+
+/// Runs the ranking analysis on a dataset.
+pub fn rank_services(dataset: &Dataset) -> Result<RankingAnalysis> {
+    let shares = dataset.shares();
+    let rows: Vec<RankedService> = shares
+        .iter()
+        .enumerate()
+        .map(|(i, (name, s, t))| RankedService {
+            rank: i + 1,
+            name: name.clone(),
+            session_share: *s,
+            traffic_share: *t,
+        })
+        .collect();
+    let positive: Vec<f64> = rows
+        .iter()
+        .map(|r| r.session_share)
+        .filter(|s| *s > 0.0)
+        .collect();
+    let exponential_fit = fit_exponential_law(&positive)?;
+    let top20_share = rows.iter().take(20).map(|r| r.session_share).sum();
+    Ok(RankingAnalysis {
+        rows,
+        exponential_fit,
+        top20_share,
+    })
+}
+
+/// Spread (max/min ratio) of traffic shares among services whose session
+/// shares are within a factor `band` of each other — quantifies the §4.2
+/// observation that similarly-ranked services carry very different loads.
+#[must_use]
+pub fn traffic_scatter_within_rank_band(analysis: &RankingAnalysis, band: f64) -> f64 {
+    let mut worst: f64 = 1.0;
+    for (i, a) in analysis.rows.iter().enumerate() {
+        if a.session_share <= 0.0 || a.traffic_share <= 0.0 {
+            continue;
+        }
+        for b in analysis.rows.iter().skip(i + 1) {
+            if b.session_share <= 0.0 || b.traffic_share <= 0.0 {
+                continue;
+            }
+            let rank_ratio = a.session_share / b.session_share;
+            if rank_ratio <= band {
+                let t = (a.traffic_share / b.traffic_share).max(b.traffic_share / a.traffic_share);
+                worst = worst.max(t);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtd_netsim::geo::Topology;
+    use mtd_netsim::services::ServiceCatalog;
+    use mtd_netsim::ScenarioConfig;
+
+    fn analysis() -> RankingAnalysis {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+        rank_services(&dataset).unwrap()
+    }
+
+    #[test]
+    fn ranking_is_descending_and_facebook_leads() {
+        let a = analysis();
+        assert_eq!(a.rows[0].name, "Facebook");
+        for w in a.rows.windows(2) {
+            assert!(w[0].session_share >= w[1].session_share);
+        }
+    }
+
+    #[test]
+    fn exponential_law_fits_well() {
+        // Paper: R² = 0.97 for the exponential ranking law.
+        let a = analysis();
+        assert!(
+            a.exponential_fit.r2_log > 0.85,
+            "exponential law R² (log) = {}",
+            a.exponential_fit.r2_log
+        );
+        assert!(a.exponential_fit.rate > 0.0);
+    }
+
+    #[test]
+    fn top20_concentration_matches_paper() {
+        // Paper: top 20 services carry over 78% of sessions.
+        let a = analysis();
+        assert!(a.top20_share > 0.78, "top-20 share {}", a.top20_share);
+    }
+
+    #[test]
+    fn traffic_share_scatters_at_similar_rank() {
+        // §4.2: traffic per session varies wildly among similarly-ranked
+        // services (e.g. YouTube vs Netflix neighbors in rank).
+        let a = analysis();
+        let scatter = traffic_scatter_within_rank_band(&a, 2.0);
+        assert!(scatter > 5.0, "traffic scatter {scatter}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-text tables and CSV output used by the experiment binaries.
+//!
+//! Every experiment prints the paper's rows/series through these helpers
+//! and mirrors them to `results/*.csv` for downstream plotting.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Renders an aligned text table.
+#[must_use]
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows as CSV (simple quoting: fields containing commas or quotes
+/// are double-quoted).
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    let quote = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    writeln!(
+        f,
+        "{}",
+        headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
+    for row in rows {
+        writeln!(
+            f,
+            "{}",
+            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    Ok(())
+}
+
+/// Formats a float with a sensible number of significant digits for
+/// tables.
+#[must_use]
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = text_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let dir = std::env::temp_dir().join("mtd_report_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[
+                vec!["x,y".into(), "plain".into()],
+                vec!["q\"q".into(), "2".into()],
+            ],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(content.contains("\"x,y\""));
+        assert!(content.contains("\"q\"\"q\""));
+        assert!(content.lines().count() == 3);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(123.456), "123.5");
+        assert_eq!(fmt(0.5), "0.500");
+        assert_eq!(fmt(0.0001), "1.00e-4");
+    }
+}

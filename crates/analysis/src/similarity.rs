@@ -1,0 +1,121 @@
+//! Fig 6a: the inter-service similarity matrix.
+//!
+//! Pairwise EMD between zero-mean-normalized per-service volume PDFs
+//! (§4.3 steps i–ii).
+
+use mtd_dataset::{Dataset, SliceFilter};
+use mtd_math::cluster::emd_distance_matrix;
+use mtd_math::histogram::BinnedPdf;
+use mtd_math::Result;
+
+/// Per-service PDFs plus their pairwise distance matrix.
+#[derive(Debug, Clone)]
+pub struct SimilarityAnalysis {
+    /// Service names, in matrix order.
+    pub names: Vec<String>,
+    /// Session weights (for downstream Eq. 2 centroids).
+    pub weights: Vec<f64>,
+    /// All-BS/all-day volume PDFs, in matrix order.
+    pub pdfs: Vec<BinnedPdf>,
+    /// Pairwise mean-centered EMD matrix (symmetric, zero diagonal).
+    pub matrix: Vec<Vec<f64>>,
+}
+
+/// Builds the similarity analysis over every service with data.
+pub fn service_similarity(dataset: &Dataset) -> Result<SimilarityAnalysis> {
+    let all = SliceFilter::all();
+    let mut names = Vec::new();
+    let mut weights = Vec::new();
+    let mut pdfs = Vec::new();
+    for s in 0..dataset.n_services() as u16 {
+        let sessions = dataset.sessions(s, &all);
+        if sessions <= 0.0 {
+            continue;
+        }
+        names.push(dataset.service_name(s).to_string());
+        weights.push(sessions);
+        pdfs.push(dataset.volume_pdf(s, &all)?);
+    }
+    let refs: Vec<&BinnedPdf> = pdfs.iter().collect();
+    let matrix = emd_distance_matrix(&refs)?;
+    Ok(SimilarityAnalysis {
+        names,
+        weights,
+        pdfs,
+        matrix,
+    })
+}
+
+impl SimilarityAnalysis {
+    /// All off-diagonal distances (the Fig 8 "Apps" baseline sample).
+    #[must_use]
+    pub fn offdiagonal_distances(&self) -> Vec<f64> {
+        let n = self.matrix.len();
+        let mut out = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out.push(self.matrix[i][j]);
+            }
+        }
+        out
+    }
+
+    /// Index of a service by name.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtd_netsim::geo::Topology;
+    use mtd_netsim::services::ServiceCatalog;
+    use mtd_netsim::ScenarioConfig;
+
+    fn analysis() -> SimilarityAnalysis {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+        service_similarity(&dataset).unwrap()
+    }
+
+    #[test]
+    fn matrix_is_metric_like() {
+        let a = analysis();
+        let n = a.matrix.len();
+        assert_eq!(n, a.names.len());
+        for i in 0..n {
+            assert_eq!(a.matrix[i][i], 0.0);
+            for j in 0..n {
+                assert!((a.matrix[i][j] - a.matrix[j][i]).abs() < 1e-12);
+                assert!(a.matrix[i][j] >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn same_class_services_are_closer() {
+        // Shape distance: Deezer↔Spotify (both audio streaming with twin
+        // song modes) must be closer than Deezer↔Facebook.
+        let a = analysis();
+        let dz = a.index_of("Deezer").unwrap();
+        let sp = a.index_of("Spotify").unwrap();
+        let fb = a.index_of("Facebook").unwrap();
+        assert!(
+            a.matrix[dz][sp] < a.matrix[dz][fb],
+            "deezer-spotify {} vs deezer-facebook {}",
+            a.matrix[dz][sp],
+            a.matrix[dz][fb]
+        );
+    }
+
+    #[test]
+    fn offdiagonal_count() {
+        let a = analysis();
+        let n = a.names.len();
+        assert_eq!(a.offdiagonal_distances().len(), n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the numerical core: the operations every figure
+//! regeneration is built from.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtd_math::distributions::{Distribution1D, LogNormal10};
+use mtd_math::emd::{emd_centered, emd_same_grid};
+use mtd_math::fit::{fit_lognormal10_from_pdf, fit_power_law};
+use mtd_math::histogram::{BinnedPdf, LogGrid, LogHistogram};
+use mtd_math::savgol::SavitzkyGolay;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn pdf(mu: f64, sigma: f64) -> BinnedPdf {
+    let grid = LogGrid::new(-3.0, 4.0, 210).unwrap();
+    let ln = LogNormal10::new(mu, sigma).unwrap();
+    BinnedPdf::from_fn(grid, |u| ln.pdf_log10(u)).unwrap()
+}
+
+fn bench_emd(c: &mut Criterion) {
+    let a = pdf(0.5, 0.6);
+    let b = pdf(1.2, 0.9);
+    c.bench_function("emd/same_grid_210bins", |bencher| {
+        bencher.iter(|| emd_same_grid(black_box(&a), black_box(&b)).unwrap())
+    });
+    c.bench_function("emd/centered_210bins", |bencher| {
+        bencher.iter(|| emd_centered(black_box(&a), black_box(&b)).unwrap())
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let grid = LogGrid::new(-3.0, 4.0, 210).unwrap();
+    let ln = LogNormal10::new(0.8, 0.7).unwrap();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let samples: Vec<f64> = (0..100_000).map(|_| ln.sample(&mut rng)).collect();
+    c.bench_function("histogram/add_100k", |bencher| {
+        bencher.iter(|| {
+            let mut h = LogHistogram::new(grid);
+            for x in &samples {
+                h.add(*x);
+            }
+            black_box(h.total())
+        })
+    });
+    let mut h = LogHistogram::new(grid);
+    for x in &samples {
+        h.add(*x);
+    }
+    let p = h.to_pdf().unwrap();
+    c.bench_function("histogram/quantile", |bencher| {
+        bencher.iter(|| black_box(p.quantile_log10(black_box(0.95))))
+    });
+    c.bench_function("histogram/sample", |bencher| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        bencher.iter(|| black_box(p.sample(&mut rng)))
+    });
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let p = pdf(0.8, 0.7);
+    c.bench_function("fit/lognormal_from_pdf", |bencher| {
+        bencher.iter(|| fit_lognormal10_from_pdf(black_box(&p)).unwrap())
+    });
+
+    let ds: Vec<f64> = (1..60).map(f64::from).collect();
+    let vs: Vec<f64> = ds.iter().map(|d| 0.1 * d.powf(1.3) * 1.01).collect();
+    c.bench_function("fit/power_law_lm_59pts", |bencher| {
+        bencher.iter(|| fit_power_law(black_box(&ds), black_box(&vs), None).unwrap())
+    });
+}
+
+fn bench_savgol(c: &mut Criterion) {
+    let sg = SavitzkyGolay::new(3, 1).unwrap();
+    let signal: Vec<f64> = (0..210).map(|i| (f64::from(i) * 0.1).sin().abs()).collect();
+    c.bench_function("savgol/derivative_210", |bencher| {
+        bencher.iter(|| sg.first_derivative(black_box(&signal), 0.0333).unwrap())
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let ln = LogNormal10::new(1.0, 0.5).unwrap();
+    let mut rng = SmallRng::seed_from_u64(3);
+    c.bench_function("distributions/lognormal_sample", |bencher| {
+        bencher.iter(|| black_box(ln.sample(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_emd,
+    bench_histogram,
+    bench_fits,
+    bench_savgol,
+    bench_sampling
+);
+criterion_main!(benches);

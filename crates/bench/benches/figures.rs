@@ -1,0 +1,109 @@
+//! Per-figure regeneration benchmarks: the cost of each analysis /
+//! modeling step that backs a table or figure of the paper, measured on
+//! a shared small dataset.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtd_analysis::arrivals::decile_arrivals;
+use mtd_analysis::clustering::cluster_services;
+use mtd_analysis::dimensions::dimensions_analysis;
+use mtd_analysis::ranking::rank_services;
+use mtd_analysis::similarity::service_similarity;
+use mtd_bench::fixture;
+use mtd_core::duration::fit_duration_power_law;
+use mtd_core::volume::{fit_volume_mixture, VolumeFitConfig};
+use mtd_dataset::SliceFilter;
+
+fn bench_fig3(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig3/decile_arrival_fit", |b| {
+        b.iter(|| decile_arrivals(black_box(&f.dataset), black_box(6)).unwrap())
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig4/service_ranking", |b| {
+        b.iter(|| rank_services(black_box(&f.dataset)).unwrap())
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let f = fixture();
+    let netflix = f.dataset.service_by_name("Netflix").unwrap();
+    c.bench_function("fig5/volume_pdf_aggregation", |b| {
+        b.iter(|| {
+            f.dataset
+                .volume_pdf(black_box(netflix), &SliceFilter::all())
+                .unwrap()
+        })
+    });
+    c.bench_function("fig5/duration_pairs_aggregation", |b| {
+        b.iter(|| {
+            f.dataset
+                .duration_pairs(black_box(netflix), &SliceFilter::all())
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let f = fixture();
+    let sim = service_similarity(&f.dataset).unwrap();
+    c.bench_function("fig6/similarity_matrix_31x31", |b| {
+        b.iter(|| service_similarity(black_box(&f.dataset)).unwrap())
+    });
+    c.bench_function("fig6/centroid_clustering", |b| {
+        b.iter(|| cluster_services(black_box(&sim)).unwrap())
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let f = fixture();
+    let services: Vec<u16> = (0..6).collect();
+    c.bench_function("fig8/dimensions_6services", |b| {
+        b.iter(|| dimensions_analysis(black_box(&f.dataset), black_box(&services)).unwrap())
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let f = fixture();
+    let netflix = f.dataset.service_by_name("Netflix").unwrap();
+    let pdf = f.dataset.volume_pdf(netflix, &SliceFilter::all()).unwrap();
+    c.bench_function("fig9/lognormal_mixture_fit", |b| {
+        b.iter(|| fit_volume_mixture(black_box(&pdf), &VolumeFitConfig::default()).unwrap())
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let f = fixture();
+    let netflix = f.dataset.service_by_name("Netflix").unwrap();
+    let pairs = f.dataset.duration_pairs(netflix, &SliceFilter::all());
+    c.bench_function("fig10/power_law_fit", |b| {
+        b.iter(|| fit_duration_power_law(black_box(&pairs)).unwrap())
+    });
+}
+
+fn bench_fig11_table1(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig11/full_registry_fit", |b| {
+        b.iter(|| mtd_core::pipeline::fit_registry(black_box(&f.dataset)).unwrap())
+    });
+    c.bench_function("table1/shares_query", |b| {
+        b.iter(|| black_box(&f.dataset).shares())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Each iteration of the heavy fits runs a full analysis pass; ten
+    // samples keep the suite's wall time sane without losing signal.
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3,
+        bench_fig4,
+        bench_fig5,
+        bench_fig6,
+        bench_fig8,
+        bench_fig9,
+        bench_fig10,
+        bench_fig11_table1
+}
+criterion_main!(benches);

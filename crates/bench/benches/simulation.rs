@@ -1,0 +1,100 @@
+//! Simulation and use-case benchmarks: engine throughput, model-driven
+//! generation, and the §6 machinery (Table 2 allocation, Fig 13
+//! bin-packing orchestration).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtd_bench::fixture;
+use mtd_core::SessionGenerator;
+use mtd_netsim::engine::{Engine, EngineSink};
+use mtd_netsim::geo::Topology;
+use mtd_netsim::session::SessionObservation;
+use mtd_netsim::ScenarioConfig;
+use mtd_usecases::slicing::{allocate_model, SlicingConfig};
+use mtd_usecases::traffic::{throughput_series, ArrivalSkeleton, MeasurementSource, SessionSource};
+use mtd_usecases::vran::first_fit_decreasing;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Counts observations without storing them (pure engine throughput).
+#[derive(Default)]
+struct CountSink {
+    observations: u64,
+}
+impl EngineSink for CountSink {
+    fn on_observation(&mut self, _obs: &SessionObservation) {
+        self.observations += 1;
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let config = ScenarioConfig {
+        n_bs: 4,
+        days: 1,
+        arrival_scale: 0.1,
+        ..ScenarioConfig::default()
+    };
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let catalog = mtd_netsim::services::ServiceCatalog::paper();
+    c.bench_function("engine/4bs_1day_campaign", |b| {
+        b.iter(|| {
+            let engine = Engine::new(&config, &topology, &catalog);
+            let mut sink = CountSink::default();
+            let stats = engine.run(&mut sink);
+            black_box(stats.sessions)
+        })
+    });
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let f = fixture();
+    let generator = SessionGenerator::new(&f.registry).unwrap();
+    let mut rng = SmallRng::seed_from_u64(5);
+    c.bench_function("generator/model_day_decile9", |b| {
+        b.iter(|| black_box(generator.generate_day(9, &mut rng).len()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let f = fixture();
+    let config = SlicingConfig {
+        antenna_deciles: vec![5],
+        days: 1,
+        calibration_days: 1,
+        arrival_scale: 0.1,
+        ..SlicingConfig::default()
+    };
+    c.bench_function("table2/model_allocation_1antenna", |b| {
+        b.iter(|| black_box(allocate_model(&config, &f.registry, &f.catalog)))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let f = fixture();
+    // Bin-packing across a realistic DU-load spectrum.
+    let loads: Vec<f64> = (0..20).map(|i| 5.0 + f64::from(i) * 7.3).collect();
+    c.bench_function("fig13/ffd_20dus", |b| {
+        b.iter(|| black_box(first_fit_decreasing(black_box(&loads), 100.0).len()))
+    });
+
+    // Throughput-series accumulation for one ES-day.
+    let skeleton = ArrivalSkeleton::generate(&[6], 1, 0.1, &f.catalog, 3);
+    let source = MeasurementSource {
+        catalog: &f.catalog,
+    };
+    let mut rng = SmallRng::seed_from_u64(7);
+    let sessions: Vec<_> = skeleton.units[0]
+        .arrivals
+        .iter()
+        .map(|a| source.draw(a, &mut rng))
+        .collect();
+    c.bench_function("fig13/throughput_series_1day", |b| {
+        b.iter(|| black_box(throughput_series(black_box(&sessions), 86_400).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine, bench_generator, bench_table2, bench_fig13
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Shared fixtures for the benchmark suite: a small but fully-populated
+//! measurement dataset and its fitted registry, built once per process.
+
+use mtd_core::pipeline::fit_registry;
+use mtd_core::registry::ModelRegistry;
+use mtd_dataset::Dataset;
+use mtd_netsim::geo::Topology;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::ScenarioConfig;
+use std::sync::OnceLock;
+
+/// The benchmark scenario: small enough to build in about a second,
+/// large enough that per-figure benchmarks measure real work.
+#[must_use]
+pub fn bench_config() -> ScenarioConfig {
+    ScenarioConfig {
+        n_bs: 12,
+        days: 7,
+        arrival_scale: 0.06,
+        seed: 99,
+        ..ScenarioConfig::default()
+    }
+}
+
+/// Shared fixture bundle.
+pub struct Fixture {
+    pub config: ScenarioConfig,
+    pub topology: Topology,
+    pub catalog: ServiceCatalog,
+    pub dataset: Dataset,
+    pub registry: ModelRegistry,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+/// Lazily builds and caches the fixture for all benches in a process.
+#[must_use]
+pub fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let config = bench_config();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+        let registry = fit_registry(&dataset).expect("bench dataset fits");
+        Fixture {
+            config,
+            topology,
+            catalog,
+            dataset,
+            registry,
+        }
+    })
+}

@@ -1,0 +1,90 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed flags of a subcommand.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs; rejects unknown or valueless flags.
+    pub fn parse(argv: &[String], allowed: &[&str]) -> Result<Flags, String> {
+        let mut values = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument: {arg}"));
+            };
+            if !allowed.contains(&key) {
+                return Err(format!(
+                    "unknown flag --{key} (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{key} needs a value"));
+            };
+            if values.insert(key.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(Flags { values })
+    }
+
+    /// Optional string flag.
+    #[must_use]
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let f = Flags::parse(
+            &argv(&["--decile", "9", "--days", "2"]),
+            &["decile", "days"],
+        )
+        .unwrap();
+        assert_eq!(f.num_or("decile", 0u8).unwrap(), 9);
+        assert_eq!(f.num_or("days", 1u32).unwrap(), 2);
+        assert_eq!(f.num_or("seed", 5u64).unwrap(), 5); // default
+    }
+
+    #[test]
+    fn rejects_unknown_missing_and_duplicate() {
+        assert!(Flags::parse(&argv(&["--nope", "1"]), &["decile"]).is_err());
+        assert!(Flags::parse(&argv(&["--decile"]), &["decile"]).is_err());
+        assert!(Flags::parse(&argv(&["decile", "1"]), &["decile"]).is_err());
+        assert!(Flags::parse(&argv(&["--decile", "1", "--decile", "2"]), &["decile"]).is_err());
+    }
+
+    #[test]
+    fn invalid_number_reported() {
+        let f = Flags::parse(&argv(&["--days", "xyz"]), &["days"]).unwrap();
+        assert!(f.num_or("days", 1u32).is_err());
+    }
+}

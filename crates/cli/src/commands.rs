@@ -1,0 +1,296 @@
+//! Subcommand implementations.
+
+use crate::args::Flags;
+use mtd_core::pipeline::fit_registry;
+use mtd_core::registry::ModelRegistry;
+use mtd_core::SessionGenerator;
+use mtd_dataset::Dataset;
+use mtd_netsim::geo::Topology;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::ScenarioConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::path::Path;
+
+const USAGE: &str = "\
+mtd-traffic — session-level mobile traffic generator
+(models from \"Characterizing and Modeling Session-Level Mobile Traffic
+Demands from Large-Scale Measurements\", ACM IMC 2023)
+
+USAGE:
+  mtd-traffic generate [--registry FILE] [--decile 0..9] [--days N]
+                       [--seed N] [--out FILE]
+      Generate a session-level trace as CSV
+      (columns: day,start_s,service,volume_mb,duration_s,throughput_mbps).
+      Defaults: embedded released models, decile 9, 1 day, seed 42, stdout.
+
+  mtd-traffic models   [--registry FILE]
+      Print the model parameter tuples [mu, sigma, {k,mu,sigma}, alpha, beta].
+
+  mtd-traffic fit      [--n-bs N] [--days N] [--seed N] [--scale X]
+                       [--out FILE]
+      Simulate a measurement campaign, fit a fresh registry, save as JSON.
+      Defaults: 30 BSs, 7 days, seed 51966, scale 0.1, stdout.
+
+  mtd-traffic validate [--registry FILE] [--n-bs N] [--days N] [--seed N]
+                       [--scale X]
+      Validate a registry against a freshly simulated campaign
+      (EMD / KS / mean-ratio / share drift per service).
+
+  mtd-traffic help
+      Show this text.";
+
+/// Dispatches a full command line (without the program name).
+pub fn run(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("generate") => generate(&argv[1..]),
+        Some("models") => models(&argv[1..]),
+        Some("fit") => fit(&argv[1..]),
+        Some("validate") => validate_cmd(&argv[1..]),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command: {other}")),
+    }
+}
+
+fn load_registry(flags: &Flags) -> Result<ModelRegistry, String> {
+    match flags.opt("registry") {
+        None => Ok(ModelRegistry::released()),
+        Some(path) => ModelRegistry::load(Path::new(path))
+            .map_err(|e| format!("cannot load registry {path}: {e}")),
+    }
+}
+
+/// Writes to a file or stdout.
+fn sink(path: Option<&str>) -> Result<Box<dyn Write>, String> {
+    match path {
+        None => Ok(Box::new(std::io::stdout().lock())),
+        Some(p) => Ok(Box::new(std::io::BufWriter::new(
+            std::fs::File::create(p).map_err(|e| format!("cannot create {p}: {e}"))?,
+        ))),
+    }
+}
+
+fn generate(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["registry", "decile", "days", "seed", "out"])?;
+    let registry = load_registry(&flags)?;
+    let decile: u8 = flags.num_or("decile", 9)?;
+    if decile > 9 {
+        return Err("decile must be 0..9".into());
+    }
+    let days: u32 = flags.num_or("days", 1)?;
+    let seed: u64 = flags.num_or("seed", 42)?;
+
+    let generator = SessionGenerator::new(&registry).map_err(|e| e.to_string())?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = sink(flags.opt("out"))?;
+    writeln!(
+        out,
+        "day,start_s,service,volume_mb,duration_s,throughput_mbps"
+    )
+    .map_err(|e| e.to_string())?;
+    let mut count: u64 = 0;
+    for day in 0..days {
+        for s in generator.generate_day(decile, &mut rng) {
+            writeln!(
+                out,
+                "{day},{:.2},{},{:.6},{:.2},{:.6}",
+                s.start_s,
+                registry.services[s.service as usize].name,
+                s.volume_mb,
+                s.duration_s,
+                s.throughput_mbps
+            )
+            .map_err(|e| e.to_string())?;
+            count += 1;
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!("generated {count} sessions over {days} day(s) at decile {decile}");
+    Ok(())
+}
+
+fn models(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["registry"])?;
+    let registry = load_registry(&flags)?;
+    println!(
+        "{:16} {:>7} {:>6} {:>6} {:>9} {:>5} {:>9} {:>6}",
+        "service", "share%", "mu", "sigma", "alpha", "beta", "EMD", "R2"
+    );
+    for m in &registry.services {
+        println!(
+            "{:16} {:>7.3} {:>6.2} {:>6.2} {:>9.5} {:>5.2} {:>9.2e} {:>6.2}",
+            m.name,
+            m.session_share * 100.0,
+            m.mu,
+            m.sigma,
+            m.alpha,
+            m.beta,
+            m.quality.volume_emd,
+            m.quality.pair_r2
+        );
+        for p in &m.peaks {
+            println!(
+                "{:16} peak: k={:.4} at {:.1} MB (sigma {:.2})",
+                "",
+                p.k,
+                10f64.powf(p.mu),
+                p.sigma
+            );
+        }
+    }
+    println!("\narrival models (peak Gaussian + off-peak Pareto b=1.765):");
+    for (d, a) in registry.arrivals.per_decile.iter().enumerate() {
+        println!(
+            "  decile {d}: mu {:>7.2}/min  sigma {:>6.2}  pareto scale {:>6.3}",
+            a.peak_mu, a.peak_sigma, a.pareto_scale
+        );
+    }
+    Ok(())
+}
+
+fn fit(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["n-bs", "days", "seed", "scale", "out"])?;
+    let config = ScenarioConfig {
+        n_bs: flags.num_or("n-bs", 30usize)?,
+        days: flags.num_or("days", 7u32)?,
+        seed: flags.num_or("seed", 0xCAFEu64)?,
+        arrival_scale: flags.num_or("scale", 0.1f64)?,
+        ..ScenarioConfig::default()
+    };
+    config.validate()?;
+    eprintln!(
+        "simulating {} BSs x {} days (seed {}, scale {}) ...",
+        config.n_bs, config.days, config.seed, config.arrival_scale
+    );
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let catalog = ServiceCatalog::paper();
+    let dataset = Dataset::build(&config, &topology, &catalog);
+    eprintln!("fitting models ...");
+    let registry = fit_registry(&dataset).map_err(|e| e.to_string())?;
+    let json = registry.to_json().map_err(|e| e.to_string())?;
+    let mut out = sink(flags.opt("out"))?;
+    writeln!(out, "{json}").map_err(|e| e.to_string())?;
+    eprintln!(
+        "fitted {} services + {} arrival deciles",
+        registry.len(),
+        registry.arrivals.len()
+    );
+    Ok(())
+}
+
+fn validate_cmd(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["registry", "n-bs", "days", "seed", "scale"])?;
+    let registry = load_registry(&flags)?;
+    let config = ScenarioConfig {
+        n_bs: flags.num_or("n-bs", 12usize)?,
+        days: flags.num_or("days", 7u32)?,
+        seed: flags.num_or("seed", 7u64)?,
+        arrival_scale: flags.num_or("scale", 0.06f64)?,
+        ..ScenarioConfig::default()
+    };
+    config.validate()?;
+    eprintln!(
+        "simulating a fresh {}-BS x {}-day campaign for validation ...",
+        config.n_bs, config.days
+    );
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let catalog = ServiceCatalog::paper();
+    let dataset = Dataset::build(&config, &topology, &catalog);
+    let report = mtd_core::validation::validate(&registry, &dataset).map_err(|e| e.to_string())?;
+    println!(
+        "{:16} {:>8} {:>8} {:>10} {:>8} {:>11}",
+        "service", "EMD", "KS", "mean ratio", "R2", "share drift"
+    );
+    for s in &report.services {
+        println!(
+            "{:16} {:>8.3} {:>8.3} {:>10.3} {:>8.2} {:>11.4}",
+            s.name, s.volume_emd, s.volume_ks, s.mean_ratio, s.pair_r2, s.share_drift
+        );
+    }
+    println!(
+        "
+median EMD {:.3}, median KS {:.3}, worst mean ratio {:.2}",
+        report.median_emd(),
+        report.median_ks(),
+        report.worst_mean_ratio()
+    );
+    // Thresholds sized for small validation campaigns, whose rare-service
+    // PDFs are noisy; a mismatched registry exceeds them by multiples.
+    if report.passes(0.45, 0.8) {
+        println!("PASS: registry describes this campaign (EMD <= 0.45, mean bias <= 80%)");
+        Ok(())
+    } else {
+        Err("registry fails validation thresholds".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&argv(&["help"])).is_ok());
+        assert!(run(&argv(&[])).is_ok());
+        assert!(run(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn generate_writes_csv() {
+        let dir = std::env::temp_dir().join("mtd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&argv(&[
+            "generate", "--decile", "3", "--days", "1", "--seed", "5", "--out", &path_s,
+        ]))
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut lines = content.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "day,start_s,service,volume_mb,duration_s,throughput_mbps"
+        );
+        let first = lines.next().expect("at least one session");
+        assert_eq!(first.split(',').count(), 6);
+        assert!(content.lines().count() > 100);
+    }
+
+    #[test]
+    fn generate_rejects_bad_decile() {
+        assert!(run(&argv(&["generate", "--decile", "12"])).is_err());
+    }
+
+    #[test]
+    fn models_prints_released() {
+        assert!(run(&argv(&["models"])).is_ok());
+    }
+
+    #[test]
+    fn validate_released_on_fresh_campaign() {
+        assert!(run(&argv(&[
+            "validate", "--n-bs", "8", "--days", "3", "--scale", "0.05", "--seed", "99"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn registry_file_roundtrip_through_cli() {
+        let dir = std::env::temp_dir().join("mtd_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.json");
+        let path_s = path.to_str().unwrap().to_string();
+        ModelRegistry::released().save(&path).unwrap();
+        assert!(run(&argv(&["models", "--registry", &path_s])).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,29 @@
+//! `mtd-traffic` — command-line session-level mobile traffic generator.
+//!
+//! The tool a downstream user actually runs: generate realistic
+//! session-level traces (CSV) from the released models, inspect model
+//! parameters, or fit a fresh registry from a synthetic campaign.
+//!
+//! ```text
+//! mtd-traffic generate --decile 9 --days 1 --seed 7 --out trace.csv
+//! mtd-traffic models [--registry models.json]
+//! mtd-traffic fit --n-bs 30 --days 7 --out models.json
+//! mtd-traffic help
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `mtd-traffic help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Synthetic session-level traffic generation from the fitted models.
+//!
+//! This is the capability the paper releases the models *for* (§5.4): a
+//! consumer picks a BS load decile, and the generator emits per-minute
+//! session arrivals (bimodal §5.1 model), assigns each to a service
+//! (Table 1 breakdown), and draws its volume from the Eq. (5) mixture,
+//! its duration via the inverse power law `v⁻¹`, and its throughput as
+//! the ratio. Both §6 use cases consume this stream.
+
+use crate::arrival::ServiceBreakdown;
+use crate::registry::ModelRegistry;
+use mtd_math::Result;
+use rand::Rng;
+
+/// One generated session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratedSession {
+    /// Start second within the day (0 .. 86400).
+    pub start_s: f64,
+    /// Service index into the registry.
+    pub service: u16,
+    /// Total session volume, MB.
+    pub volume_mb: f64,
+    /// Session duration, seconds.
+    pub duration_s: f64,
+    /// Mean throughput, Mbit/s.
+    pub throughput_mbps: f64,
+}
+
+/// Generates model-driven session traffic for one BS.
+pub struct SessionGenerator<'a> {
+    registry: &'a ModelRegistry,
+    breakdown: ServiceBreakdown,
+}
+
+impl<'a> SessionGenerator<'a> {
+    /// Creates a generator over a fitted registry.
+    pub fn new(registry: &'a ModelRegistry) -> Result<SessionGenerator<'a>> {
+        Ok(SessionGenerator {
+            registry,
+            breakdown: registry.breakdown()?,
+        })
+    }
+
+    /// The registry backing this generator.
+    #[must_use]
+    pub fn registry(&self) -> &ModelRegistry {
+        self.registry
+    }
+
+    /// Generates the sessions arriving in one minute at a BS of the given
+    /// load decile. `minute_of_day` selects the §5.1 regime (peak vs
+    /// off-peak).
+    pub fn generate_minute<R: Rng + ?Sized>(
+        &self,
+        decile: u8,
+        minute_of_day: u32,
+        rng: &mut R,
+    ) -> Vec<GeneratedSession> {
+        let peak = mtd_netsim::time::is_peak_minute(minute_of_day);
+        let n = self
+            .registry
+            .arrivals
+            .decile(decile)
+            .sample_count(peak, rng);
+        let base_s = f64::from(minute_of_day) * 60.0;
+        (0..n)
+            .map(|_| {
+                let service = self.breakdown.sample(rng);
+                let model = &self.registry.services[service as usize];
+                let (volume_mb, duration_s, throughput_mbps) = model.sample_session(rng);
+                GeneratedSession {
+                    start_s: base_s + rng.gen::<f64>() * 60.0,
+                    service,
+                    volume_mb,
+                    duration_s,
+                    throughput_mbps,
+                }
+            })
+            .collect()
+    }
+
+    /// Generates one full day of sessions at a BS of the given decile,
+    /// ordered by start time.
+    pub fn generate_day<R: Rng + ?Sized>(&self, decile: u8, rng: &mut R) -> Vec<GeneratedSession> {
+        let mut out = Vec::new();
+        for minute in 0..mtd_netsim::time::MINUTES_PER_DAY {
+            out.extend(self.generate_minute(decile, minute, rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{ArrivalModel, ArrivalModelSet, PARETO_SHAPE};
+    use crate::model::{ModelQuality, PeakComponent, ServiceModel};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn registry() -> ModelRegistry {
+        ModelRegistry {
+            services: vec![
+                ServiceModel {
+                    name: "Messaging".into(),
+                    mu: -0.2,
+                    sigma: 0.6,
+                    peaks: vec![],
+                    alpha: 0.1,
+                    beta: 0.6,
+                    session_share: 0.8,
+                    duration_sigma: 0.0,
+                    support_log10: (-3.0, 4.0),
+                    quality: ModelQuality::default(),
+                },
+                ServiceModel {
+                    name: "Streaming".into(),
+                    mu: 1.5,
+                    sigma: 0.5,
+                    peaks: vec![PeakComponent {
+                        k: 0.15,
+                        mu: 2.2,
+                        sigma: 0.08,
+                    }],
+                    alpha: 0.003,
+                    beta: 1.5,
+                    session_share: 0.2,
+                    duration_sigma: 0.0,
+                    support_log10: (-3.0, 4.0),
+                    quality: ModelQuality::default(),
+                },
+            ],
+            arrivals: ArrivalModelSet {
+                per_decile: (0..10)
+                    .map(|d| {
+                        let mu = 2.0 + f64::from(d) * 3.0;
+                        ArrivalModel {
+                            peak_mu: mu,
+                            peak_sigma: mu / 10.0,
+                            pareto_shape: PARETO_SHAPE,
+                            pareto_scale: mu / 20.0,
+                        }
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn generates_bimodal_day() {
+        let r = registry();
+        let g = SessionGenerator::new(&r).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let day = g.generate_day(5, &mut rng);
+        assert!(day.len() > 5_000, "day sessions {}", day.len());
+        let peak = day
+            .iter()
+            .filter(|s| mtd_netsim::time::is_peak_minute((s.start_s / 60.0) as u32))
+            .count();
+        let off = day.len() - peak;
+        // 14 h of ~17/min vs 10 h of ~2/min.
+        assert!(peak > 4 * off, "peak {peak} off {off}");
+    }
+
+    #[test]
+    fn service_mix_follows_breakdown() {
+        let r = registry();
+        let g = SessionGenerator::new(&r).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let day = g.generate_day(9, &mut rng);
+        let streaming = day.iter().filter(|s| s.service == 1).count() as f64 / day.len() as f64;
+        assert!(
+            (streaming - 0.2).abs() < 0.02,
+            "streaming share {streaming}"
+        );
+    }
+
+    #[test]
+    fn generated_sessions_are_consistent() {
+        let r = registry();
+        let g = SessionGenerator::new(&r).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for s in g.generate_minute(3, 12 * 60, &mut rng) {
+            assert!(s.volume_mb > 0.0);
+            assert!(s.duration_s >= 1.0);
+            assert!((s.throughput_mbps - s.volume_mb * 8.0 / s.duration_s).abs() < 1e-9);
+            assert!(s.start_s >= 12.0 * 3600.0 && s.start_s < 12.0 * 3600.0 + 60.0);
+        }
+    }
+
+    #[test]
+    fn higher_deciles_generate_more_sessions() {
+        let r = registry();
+        let g = SessionGenerator::new(&r).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let lo = g.generate_day(0, &mut rng).len();
+        let hi = g.generate_day(9, &mut rng).len();
+        assert!(hi > 3 * lo, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn streaming_sessions_carry_more_volume() {
+        let r = registry();
+        let g = SessionGenerator::new(&r).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let day = g.generate_day(9, &mut rng);
+        let mean = |svc: u16| {
+            let v: Vec<f64> = day
+                .iter()
+                .filter(|s| s.service == svc)
+                .map(|s| s.volume_mb)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(1) > 10.0 * mean(0));
+    }
+}

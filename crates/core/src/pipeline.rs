@@ -1,0 +1,187 @@
+//! The end-to-end fitting pipeline: measurement dataset → model registry.
+//!
+//! For every service: fit the §5.2 log-normal mixture to its Eq. (2)
+//! all-BS/all-day volume PDF, and the §5.3 power law to its Eq. (1)
+//! duration–volume pairs. For every BS-load decile: fit the §5.1 bimodal
+//! arrival model. The result is the released [`ModelRegistry`].
+
+use crate::arrival::{ArrivalModel, ArrivalModelSet};
+use crate::duration::fit_duration_power_law;
+use crate::model::{ModelQuality, ServiceModel};
+use crate::registry::ModelRegistry;
+use crate::volume::{fit_volume_mixture, VolumeFitConfig};
+use mtd_dataset::{Dataset, SliceFilter};
+use mtd_math::{MathError, Result};
+
+/// Fits the complete model registry from a measurement dataset.
+///
+/// Services with no measured sessions are skipped (they cannot be
+/// modeled); an error is returned only when *nothing* can be fitted.
+pub fn fit_registry(dataset: &Dataset) -> Result<ModelRegistry> {
+    fit_registry_with(dataset, &VolumeFitConfig::default())
+}
+
+/// [`fit_registry`] with explicit volume-fit tunables.
+pub fn fit_registry_with(
+    dataset: &Dataset,
+    volume_config: &VolumeFitConfig,
+) -> Result<ModelRegistry> {
+    let all = SliceFilter::all();
+    let total_sessions: f64 = (0..dataset.n_services())
+        .map(|s| dataset.sessions(s as u16, &all))
+        .sum();
+    if total_sessions <= 0.0 {
+        return Err(MathError::EmptyInput("fit_registry: empty dataset"));
+    }
+
+    let mut services = Vec::with_capacity(dataset.n_services());
+    for s in 0..dataset.n_services() as u16 {
+        let sessions = dataset.sessions(s, &all);
+        if sessions <= 0.0 {
+            continue;
+        }
+        let pdf = dataset.volume_pdf(s, &all)?;
+        let vfit = fit_volume_mixture(&pdf, volume_config)?;
+
+        let pairs = dataset.duration_pairs(s, &all);
+        // Rare services may populate too few duration bins for the power
+        // law; fall back to a neutral β = 1 anchored at the mean volume
+        // (flagged by r2 = 0 so consumers can tell).
+        let (alpha, beta, r2) = match fit_duration_power_law(&pairs) {
+            Ok(f) => (f.alpha, f.beta, f.r2),
+            Err(_) => (pdf.mean_linear().max(1e-6) / 60.0, 1.0, 0.0),
+        };
+
+        // Duration scatter: within-duration-bin volume dispersion maps to
+        // duration dispersion through the power law (σ_d ≈ σ_{v|d} / β).
+        let duration_sigma = if beta > 0.05 {
+            (dataset.pair_dispersion(s, &all) / beta).clamp(0.0, 0.5)
+        } else {
+            0.0
+        };
+
+        let mut model = ServiceModel {
+            name: dataset.service_name(s).to_string(),
+            mu: vfit.mu,
+            sigma: vfit.sigma,
+            peaks: vfit.peaks,
+            alpha,
+            beta,
+            session_share: sessions / total_sessions,
+            duration_sigma,
+            support_log10: (pdf.quantile_log10(0.0005), pdf.quantile_log10(0.9995)),
+            quality: ModelQuality {
+                volume_emd: vfit.emd,
+                pair_r2: r2,
+            },
+        };
+        // Anchor the model's linear mean to the measurement (see
+        // `ServiceModel::support_log10`): the log-domain EMD is blind to
+        // the upper tail, but capacity studies are not.
+        model.calibrate_support(pdf.mean_linear());
+        services.push(model);
+    }
+    if services.is_empty() {
+        return Err(MathError::EmptyInput("fit_registry: no service fitted"));
+    }
+
+    let mut per_decile = Vec::with_capacity(10);
+    for d in 0..10u8 {
+        let peak = dataset.arrival_counts_windowed(d, true);
+        let off = dataset.arrival_counts_windowed(d, false);
+        if peak.len() < 2 {
+            // Tiny scenarios may not populate every decile; reuse the
+            // previous decile's model rather than leaving a hole.
+            let prev = per_decile.last().copied().ok_or(MathError::EmptyInput(
+                "fit_registry: no arrival data in the first decile",
+            ))?;
+            per_decile.push(prev);
+            continue;
+        }
+        per_decile.push(ArrivalModel::fit(&peak, &off)?);
+    }
+
+    Ok(ModelRegistry {
+        services,
+        arrivals: ArrivalModelSet { per_decile },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtd_netsim::geo::Topology;
+    use mtd_netsim::services::ServiceCatalog;
+    use mtd_netsim::ScenarioConfig;
+
+    fn fitted() -> (ModelRegistry, ServiceCatalog, Dataset) {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+        let registry = fit_registry(&dataset).unwrap();
+        (registry, catalog, dataset)
+    }
+
+    #[test]
+    fn fits_every_service() {
+        let (registry, catalog, _) = fitted();
+        assert_eq!(registry.len(), catalog.len());
+        assert!(registry.by_name("Netflix").is_some());
+    }
+
+    #[test]
+    fn recovered_betas_track_ground_truth() {
+        let (registry, catalog, _) = fitted();
+        // Compare fitted β to ground truth for the heavyweight services
+        // (plenty of sessions → tight fits). Transient fragments blur the
+        // relation, so a generous tolerance is appropriate.
+        for name in ["Facebook", "Instagram", "SnapChat"] {
+            let truth = catalog.by_name(name).unwrap().beta;
+            let fit = registry.by_name(name).unwrap().beta;
+            assert!(
+                (fit - truth).abs() < 0.25,
+                "{name}: fitted beta {fit} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_vs_messaging_dichotomy_recovered() {
+        let (registry, _, _) = fitted();
+        let nf = registry.by_name("Netflix").unwrap().beta;
+        let fb = registry.by_name("Facebook").unwrap().beta;
+        assert!(nf > 1.0, "netflix beta {nf}");
+        assert!(fb < 1.0, "facebook beta {fb}");
+    }
+
+    #[test]
+    fn arrival_models_monotone_across_deciles() {
+        let (registry, _, _) = fitted();
+        assert_eq!(registry.arrivals.len(), 10);
+        let first = registry.arrivals.decile(0).peak_mu;
+        let last = registry.arrivals.decile(9).peak_mu;
+        assert!(last > 2.0 * first, "decile means {first} .. {last}");
+    }
+
+    #[test]
+    fn session_shares_sum_to_one() {
+        let (registry, _, _) = fitted();
+        let total: f64 = registry.services.iter().map(|s| s.session_share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_emd_is_small() {
+        // §5.4: model-vs-measurement EMD should be far below inter-service
+        // distances (which are O(0.1..1) on the log axis).
+        let (registry, _, dataset) = fitted();
+        let fb_id = dataset.service_by_name("Facebook").unwrap();
+        let measured = dataset.volume_pdf(fb_id, &SliceFilter::all()).unwrap();
+        let model = registry.by_name("Facebook").unwrap();
+        let reconstructed = model.to_binned_pdf(*measured.grid()).unwrap();
+        let emd = mtd_math::emd::emd_same_grid(&reconstructed, &measured).unwrap();
+        assert!(emd < 0.08, "facebook model emd {emd}");
+        assert!((model.quality.volume_emd - emd).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,191 @@
+//! The released model registry: every per-service tuple plus the
+//! per-decile arrival models, with JSON persistence (§5.4: "which we
+//! release publicly").
+
+use crate::arrival::{ArrivalModelSet, ServiceBreakdown};
+use crate::model::ServiceModel;
+use mtd_math::Result as MathResult;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// The full set of released session-level traffic models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelRegistry {
+    /// Per-service models, indexed by service id.
+    pub services: Vec<ServiceModel>,
+    /// Per-decile arrival models.
+    pub arrivals: ArrivalModelSet,
+}
+
+impl ModelRegistry {
+    /// The released model registry: the parameter tuples fitted on the
+    /// repository's evaluation campaign (100 BSs x 7 days), embedded at
+    /// compile time — the equivalent of the paper's public artifact.
+    /// Regenerate with `cargo run --release -p mtd-experiments --bin
+    /// fit_models` and copy `results/released_models.json` over
+    /// `crates/core/data/released_models.json`.
+    ///
+    /// # Panics
+    /// Panics if the embedded JSON is corrupt (a build-time artifact
+    /// error, not a runtime condition).
+    #[must_use]
+    pub fn released() -> ModelRegistry {
+        ModelRegistry::from_json(include_str!("../data/released_models.json"))
+            .expect("embedded released models parse")
+    }
+
+    /// Looks a model up by service name.
+    #[must_use]
+    pub fn by_name(&self, name: &str) -> Option<&ServiceModel> {
+        self.services.iter().find(|s| s.name == name)
+    }
+
+    /// Number of modeled services.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// The §5.1 per-service arrival breakdown built from the registry's
+    /// session shares.
+    pub fn breakdown(&self) -> MathResult<ServiceBreakdown> {
+        let shares: Vec<(u16, f64)> = self
+            .services
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u16, s.session_share))
+            .collect();
+        ServiceBreakdown::new(&shares)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<ModelRegistry> {
+        serde_json::from_str(json)
+    }
+
+    /// Saves to a JSON file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json().map_err(io::Error::other)?)
+    }
+
+    /// Loads from a JSON file.
+    pub fn load(path: &Path) -> io::Result<ModelRegistry> {
+        ModelRegistry::from_json(&std::fs::read_to_string(path)?).map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{ArrivalModel, PARETO_SHAPE};
+    use crate::model::{ModelQuality, PeakComponent};
+
+    fn tiny_registry() -> ModelRegistry {
+        ModelRegistry {
+            services: vec![
+                ServiceModel {
+                    name: "A".into(),
+                    mu: 0.3,
+                    sigma: 0.7,
+                    peaks: vec![PeakComponent {
+                        k: 0.1,
+                        mu: 1.0,
+                        sigma: 0.1,
+                    }],
+                    alpha: 0.1,
+                    beta: 0.6,
+                    session_share: 0.7,
+                    duration_sigma: 0.0,
+                    support_log10: (-3.0, 4.0),
+                    quality: ModelQuality {
+                        volume_emd: 1e-5,
+                        pair_r2: 0.8,
+                    },
+                },
+                ServiceModel {
+                    name: "B".into(),
+                    mu: 1.3,
+                    sigma: 0.5,
+                    peaks: vec![],
+                    alpha: 0.003,
+                    beta: 1.5,
+                    session_share: 0.3,
+                    duration_sigma: 0.0,
+                    support_log10: (-3.0, 4.0),
+                    quality: ModelQuality {
+                        volume_emd: 2e-5,
+                        pair_r2: 0.9,
+                    },
+                },
+            ],
+            arrivals: ArrivalModelSet {
+                per_decile: vec![
+                    ArrivalModel {
+                        peak_mu: 5.0,
+                        peak_sigma: 0.5,
+                        pareto_shape: PARETO_SHAPE,
+                        pareto_scale: 0.25,
+                    };
+                    10
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn released_registry_parses_and_is_complete() {
+        let r = ModelRegistry::released();
+        assert_eq!(r.len(), 31);
+        assert_eq!(r.arrivals.len(), 10);
+        let nf = r.by_name("Netflix").expect("netflix released");
+        assert!(nf.beta > 1.0);
+        let fb = r.by_name("Facebook").expect("facebook released");
+        assert!(fb.beta < 1.0);
+        // Shares sum to 1 and arrival means grow across deciles.
+        let total: f64 = r.services.iter().map(|s| s.session_share).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(r.arrivals.decile(9).peak_mu > r.arrivals.decile(0).peak_mu);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = tiny_registry();
+        let json = r.to_json().unwrap();
+        let back = ModelRegistry::from_json(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let r = tiny_registry();
+        let dir = std::env::temp_dir().join("mtd_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.json");
+        r.save(&path).unwrap();
+        let back = ModelRegistry::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn lookup_and_breakdown() {
+        let r = tiny_registry();
+        assert!(r.by_name("A").is_some());
+        assert!(r.by_name("Z").is_none());
+        let b = r.breakdown().unwrap();
+        assert!((b.share_of(0) - 0.7).abs() < 1e-12);
+        assert!((b.share_of(1) - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! Derived throughput statistics.
+//!
+//! §1 lists among the session-level targets "the distribution of average
+//! throughput that the combinations of such duration and load statistics
+//! entail", and §5.4 defines it operationally: volume from `F̂_s`,
+//! duration via `v⁻¹`, throughput as their ratio. This module derives
+//! that distribution from a [`ServiceModel`] — in closed form for the
+//! paper's deterministic inverse, by Monte Carlo when the fitted duration
+//! scatter is enabled.
+
+use crate::model::ServiceModel;
+use mtd_math::histogram::{BinnedPdf, LogGrid, LogHistogram};
+use mtd_math::{MathError, Result};
+use rand::Rng;
+
+/// Quantiles of the per-session mean throughput (Mbit/s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputQuantiles {
+    pub p10: f64,
+    pub median: f64,
+    pub p90: f64,
+    pub mean: f64,
+}
+
+/// Deterministic throughput at a given volume (the paper's §5.4 map):
+/// `θ(v) = v·8 / v⁻¹(v)`, i.e. `8·α^{1/β} · v^{(β−1)/β}` inside the
+/// clamp region — monotone increasing in `v` exactly when `β > 1`.
+#[must_use]
+pub fn throughput_at_volume(model: &ServiceModel, volume_mb: f64) -> f64 {
+    volume_mb * 8.0 / model.duration_for(volume_mb)
+}
+
+/// Monte-Carlo estimate of the throughput distribution (Mbit/s) as a
+/// binned PDF over `grid`, honoring the model's `duration_sigma`.
+pub fn throughput_pdf<R: Rng + ?Sized>(
+    model: &ServiceModel,
+    grid: LogGrid,
+    samples: usize,
+    rng: &mut R,
+) -> Result<BinnedPdf> {
+    if samples == 0 {
+        return Err(MathError::EmptyInput("throughput_pdf needs samples > 0"));
+    }
+    let mut hist = LogHistogram::new(grid);
+    for _ in 0..samples {
+        let (_, _, t) = model.sample_session(rng);
+        hist.add(t);
+    }
+    hist.to_pdf()
+}
+
+/// Monte-Carlo throughput quantiles.
+pub fn throughput_quantiles<R: Rng + ?Sized>(
+    model: &ServiceModel,
+    samples: usize,
+    rng: &mut R,
+) -> Result<ThroughputQuantiles> {
+    if samples < 10 {
+        return Err(MathError::EmptyInput(
+            "throughput_quantiles needs >= 10 samples",
+        ));
+    }
+    let mut ts: Vec<f64> = (0..samples).map(|_| model.sample_session(rng).2).collect();
+    ts.sort_by(f64::total_cmp);
+    let q = |p: f64| ts[((ts.len() - 1) as f64 * p) as usize];
+    Ok(ThroughputQuantiles {
+        p10: q(0.10),
+        median: q(0.50),
+        p90: q(0.90),
+        mean: ts.iter().sum::<f64>() / ts.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelQuality, ServiceModel};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn model(beta: f64, duration_sigma: f64) -> ServiceModel {
+        ServiceModel {
+            name: "t".into(),
+            mu: 1.0,
+            sigma: 0.5,
+            peaks: vec![],
+            alpha: 0.01,
+            beta,
+            session_share: 1.0,
+            duration_sigma,
+            support_log10: (-3.0, 4.0),
+            quality: ModelQuality::default(),
+        }
+    }
+
+    #[test]
+    fn superlinear_throughput_grows_with_volume() {
+        let m = model(1.5, 0.0);
+        let lo = throughput_at_volume(&m, 1.0);
+        let hi = throughput_at_volume(&m, 100.0);
+        assert!(hi > lo, "super-linear: {hi} vs {lo}");
+        // Sub-linear: throughput decays with volume (α chosen so the
+        // inverse stays inside the duration clamp for both volumes).
+        let mut m = model(0.5, 0.0);
+        m.alpha = 1.0;
+        assert!(throughput_at_volume(&m, 100.0) < throughput_at_volume(&m, 1.0));
+        // Linear: constant 8·α.
+        let m = model(1.0, 0.0);
+        let a = throughput_at_volume(&m, 1.0);
+        let b = throughput_at_volume(&m, 100.0);
+        assert!((a - b).abs() < 1e-9);
+        assert!((a - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_match_map() {
+        let m = model(1.3, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let q = throughput_quantiles(&m, 20_000, &mut rng).unwrap();
+        assert!(q.p10 <= q.median && q.median <= q.p90);
+        // With zero scatter, the median throughput equals the throughput
+        // at the median volume (the map is monotone for β > 1).
+        let median_volume = 10f64.powf(m.mu);
+        let expect = throughput_at_volume(&m, median_volume);
+        assert!(
+            (q.median - expect).abs() / expect < 0.05,
+            "{} vs {expect}",
+            q.median
+        );
+    }
+
+    #[test]
+    fn scatter_widens_the_distribution() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let tight = throughput_quantiles(&model(1.3, 0.0), 20_000, &mut rng).unwrap();
+        let wide = throughput_quantiles(&model(1.3, 0.3), 20_000, &mut rng).unwrap();
+        let spread = |q: &ThroughputQuantiles| q.p90 / q.p10;
+        assert!(spread(&wide) > 1.5 * spread(&tight));
+    }
+
+    #[test]
+    fn pdf_is_normalized() {
+        let m = model(0.7, 0.1);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let grid = LogGrid::new(-4.0, 3.0, 140).unwrap();
+        let pdf = throughput_pdf(&m, grid, 10_000, &mut rng).unwrap();
+        let mass: f64 = pdf.density().iter().sum::<f64>() * pdf.grid().bin_width();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn input_validation() {
+        let m = model(1.0, 0.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let grid = LogGrid::new(-4.0, 3.0, 10).unwrap();
+        assert!(throughput_pdf(&m, grid, 0, &mut rng).is_err());
+        assert!(throughput_quantiles(&m, 5, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Whole-registry validation against a measurement dataset.
+//!
+//! §5.4 assesses model accuracy "by means of standard tests" — EMD for
+//! the volume PDFs, R² for the duration–volume pairs. This module runs
+//! that assessment for every service at once, adds the complementary
+//! KS statistic and the linear-mean ratio (which log-domain metrics are
+//! blind to), and summarizes the result — the report a model consumer
+//! checks before trusting a registry on new data.
+
+use crate::registry::ModelRegistry;
+use mtd_dataset::{Dataset, SliceFilter};
+use mtd_math::emd::{emd_same_grid, ks_same_grid};
+use mtd_math::stats::median;
+use mtd_math::{MathError, Result};
+
+/// Per-service validation metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceValidation {
+    pub name: String,
+    /// EMD between modeled and measured volume PDFs (decades).
+    pub volume_emd: f64,
+    /// KS distance between the same PDFs.
+    pub volume_ks: f64,
+    /// Model linear mean over measured linear mean (1.0 = calibrated).
+    pub mean_ratio: f64,
+    /// R² of the stored power-law fit.
+    pub pair_r2: f64,
+    /// Share drift: |model share − measured share| (absolute).
+    pub share_drift: f64,
+}
+
+/// Registry-level validation report.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    pub services: Vec<ServiceValidation>,
+}
+
+impl ValidationReport {
+    /// Median EMD across services.
+    #[must_use]
+    pub fn median_emd(&self) -> f64 {
+        let v: Vec<f64> = self.services.iter().map(|s| s.volume_emd).collect();
+        median(&v).unwrap_or(f64::NAN)
+    }
+
+    /// Median KS across services.
+    #[must_use]
+    pub fn median_ks(&self) -> f64 {
+        let v: Vec<f64> = self.services.iter().map(|s| s.volume_ks).collect();
+        median(&v).unwrap_or(f64::NAN)
+    }
+
+    /// Worst (most biased) linear-mean ratio.
+    #[must_use]
+    pub fn worst_mean_ratio(&self) -> f64 {
+        self.services
+            .iter()
+            .map(|s| s.mean_ratio.max(1.0 / s.mean_ratio.max(1e-12)))
+            .fold(1.0, f64::max)
+    }
+
+    /// Whether every service passes the given thresholds.
+    #[must_use]
+    pub fn passes(&self, max_emd: f64, max_mean_bias: f64) -> bool {
+        self.services.iter().all(|s| {
+            s.volume_emd <= max_emd
+                && s.mean_ratio <= 1.0 + max_mean_bias
+                && s.mean_ratio >= 1.0 / (1.0 + max_mean_bias)
+        })
+    }
+}
+
+/// Validates a registry against a dataset (every service present in both).
+pub fn validate(registry: &ModelRegistry, dataset: &Dataset) -> Result<ValidationReport> {
+    let all = SliceFilter::all();
+    let total_sessions: f64 = (0..dataset.n_services())
+        .map(|s| dataset.sessions(s as u16, &all))
+        .sum();
+    if total_sessions <= 0.0 {
+        return Err(MathError::EmptyInput("validate: empty dataset"));
+    }
+    let mut services = Vec::new();
+    for model in &registry.services {
+        let Some(svc) = dataset.service_by_name(&model.name) else {
+            continue;
+        };
+        let Ok(measured) = dataset.volume_pdf(svc, &all) else {
+            continue;
+        };
+        let modeled = model.to_binned_pdf(*measured.grid())?;
+        let measured_share = dataset.sessions(svc, &all) / total_sessions;
+        services.push(ServiceValidation {
+            name: model.name.clone(),
+            volume_emd: emd_same_grid(&modeled, &measured)?,
+            volume_ks: ks_same_grid(&modeled, &measured)?,
+            mean_ratio: model.clamped_mean() / measured.mean_linear().max(1e-300),
+            pair_r2: model.quality.pair_r2,
+            share_drift: (model.session_share - measured_share).abs(),
+        });
+    }
+    if services.is_empty() {
+        return Err(MathError::EmptyInput("validate: no overlapping services"));
+    }
+    Ok(ValidationReport { services })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::fit_registry;
+    use mtd_netsim::geo::Topology;
+    use mtd_netsim::services::ServiceCatalog;
+    use mtd_netsim::ScenarioConfig;
+
+    fn setup() -> (ModelRegistry, Dataset) {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+        let registry = fit_registry(&dataset).unwrap();
+        (registry, dataset)
+    }
+
+    #[test]
+    fn self_validation_passes() {
+        // A registry fitted on a dataset must validate well against it.
+        let (registry, dataset) = setup();
+        let report = validate(&registry, &dataset).unwrap();
+        assert_eq!(report.services.len(), registry.len());
+        assert!(
+            report.median_emd() < 0.12,
+            "median emd {}",
+            report.median_emd()
+        );
+        assert!(report.median_ks() < 0.2, "median ks {}", report.median_ks());
+        // Mean calibration holds within 30% for every service.
+        assert!(
+            report.worst_mean_ratio() < 1.3,
+            "worst mean ratio {}",
+            report.worst_mean_ratio()
+        );
+        assert!(report.passes(0.3, 0.35));
+        // Shares drift less than 1.5 pp.
+        for s in &report.services {
+            assert!(s.share_drift < 0.015, "{}: drift {}", s.name, s.share_drift);
+        }
+    }
+
+    #[test]
+    fn cross_validation_detects_mismatch() {
+        // Validate a registry against a dataset from a *different* ground
+        // truth: a registry with deliberately corrupted volumes must fail
+        // the thresholds the honest one passes.
+        let (registry, dataset) = setup();
+        let mut corrupted = registry.clone();
+        for m in &mut corrupted.services {
+            m.mu += 1.0; // one decade heavier everywhere
+            m.support_log10.1 = 4.0;
+        }
+        let honest = validate(&registry, &dataset).unwrap();
+        let broken = validate(&corrupted, &dataset).unwrap();
+        assert!(broken.median_emd() > 5.0 * honest.median_emd());
+        assert!(!broken.passes(0.3, 0.35));
+    }
+
+    #[test]
+    fn released_registry_validates_on_fresh_data() {
+        // The embedded released models were fitted on the 100-BS
+        // evaluation campaign; they must still describe a *fresh* small
+        // campaign reasonably (same ground truth, different seed/scale).
+        let config = ScenarioConfig {
+            seed: 0xDEAD,
+            ..ScenarioConfig::small_test()
+        };
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+        let released = ModelRegistry::released();
+        let report = validate(&released, &dataset).unwrap();
+        assert!(
+            report.median_emd() < 0.2,
+            "median emd {}",
+            report.median_emd()
+        );
+    }
+}

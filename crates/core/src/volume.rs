@@ -1,0 +1,314 @@
+//! The §5.2 log-normal mixture modeling algorithm for `F_s(x)`.
+//!
+//! Three steps, exactly as Fig 9 illustrates for Netflix:
+//!
+//! 1. **Main component** — fit a single base-10 log-normal (Eq. 3) to the
+//!    measured PDF, subtract it, clip negatives: the *residual*.
+//! 2. **Residual selection** — smooth the residual's first derivative with
+//!    a first-order Savitzky–Golay filter; record every maximal interval
+//!    where the derivative stays above a threshold (default `1e-5`; the
+//!    paper reports robustness to this choice); rank intervals by their
+//!    residual probability mass.
+//! 3. **Peak modeling** — represent each retained interval as a scaled
+//!    log-normal `k·LogN(μ, σ²)` (Eq. 4) with `μ` at the interval's
+//!    maximum-residual abscissa, `σ = 0.997·ℓ/3` for interval span `ℓ`,
+//!    and `k` the interval's residual mass; keep at most 3 peaks and drop
+//!    any with `k < 10⁻⁴` (§5.2's alignment rule). Compose via Eq. (5).
+
+use crate::model::PeakComponent;
+use mtd_math::emd::emd_same_grid;
+use mtd_math::fit::fit_lognormal10_from_pdf;
+use mtd_math::histogram::BinnedPdf;
+use mtd_math::savgol::SavitzkyGolay;
+use mtd_math::Result;
+
+/// Tunables of the fitting algorithm (paper defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct VolumeFitConfig {
+    /// Derivative threshold for interval detection (§5.2 footnote: 1e-5).
+    pub derivative_threshold: f64,
+    /// Maximum number of retained peaks (§5.2: 3).
+    pub max_peaks: usize,
+    /// Minimum peak mass; lighter peaks are "irrelevant components".
+    pub min_peak_mass: f64,
+    /// Savitzky–Golay half-window (bins).
+    pub savgol_half_window: usize,
+}
+
+impl Default for VolumeFitConfig {
+    fn default() -> Self {
+        VolumeFitConfig {
+            derivative_threshold: 1e-5,
+            max_peaks: 3,
+            min_peak_mass: 1e-4,
+            savgol_half_window: 3,
+        }
+    }
+}
+
+/// Outcome of the §5.2 fit.
+#[derive(Debug, Clone)]
+pub struct VolumeMixtureFit {
+    /// Main log-normal location (log₁₀ MB).
+    pub mu: f64,
+    /// Main log-normal spread (decades).
+    pub sigma: f64,
+    /// Retained residual peaks, ranked by mass.
+    pub peaks: Vec<PeakComponent>,
+    /// EMD between the reconstructed Eq. (5) model and the measurement.
+    pub emd: f64,
+}
+
+/// Intermediate diagnostics exposed for the Fig 9 step-by-step experiment.
+#[derive(Debug, Clone)]
+pub struct FitDiagnostics {
+    /// Main-component density over the grid (step 1).
+    pub main_density: Vec<f64>,
+    /// Positive residual over the grid (step 1).
+    pub residual: Vec<f64>,
+    /// Smoothed residual first derivative (step 2).
+    pub derivative: Vec<f64>,
+    /// Detected intervals as (start_bin, end_bin, mass), ranked (step 2).
+    pub intervals: Vec<(usize, usize, f64)>,
+}
+
+/// Fits the log-normal mixture to a measured volume PDF.
+pub fn fit_volume_mixture(pdf: &BinnedPdf, config: &VolumeFitConfig) -> Result<VolumeMixtureFit> {
+    let (fit, _) = fit_volume_mixture_diagnostic(pdf, config)?;
+    Ok(fit)
+}
+
+/// Fitting entry point that also returns the per-step diagnostics.
+pub fn fit_volume_mixture_diagnostic(
+    pdf: &BinnedPdf,
+    config: &VolumeFitConfig,
+) -> Result<(VolumeMixtureFit, FitDiagnostics)> {
+    let grid = *pdf.grid();
+    let step = grid.bin_width();
+
+    // Step 1: main log-normal and positive residual.
+    let main = fit_lognormal10_from_pdf(pdf)?;
+    let main_density: Vec<f64> = (0..grid.bins())
+        .map(|i| main.pdf_log10(grid.center_log10(i)))
+        .collect();
+    let residual = pdf.positive_residual(&main_density)?;
+
+    // Step 2: smoothed first derivative and interval detection.
+    let sg = SavitzkyGolay::new(config.savgol_half_window, 1)?;
+    let derivative = sg.first_derivative(&residual, step)?;
+
+    let mut intervals: Vec<(usize, usize, f64)> = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, d) in derivative.iter().enumerate() {
+        if *d > config.derivative_threshold {
+            start.get_or_insert(i);
+        } else if let Some(s) = start.take() {
+            push_interval(&mut intervals, &residual, step, s, i);
+        }
+    }
+    if let Some(s) = start {
+        push_interval(&mut intervals, &residual, step, s, derivative.len());
+    }
+    // Rank by residual mass.
+    intervals.sort_by(|a, b| b.2.total_cmp(&a.2));
+
+    // Step 3: model retained peaks.
+    let mut peaks = Vec::new();
+    for (s, e, mass) in intervals.iter().take(config.max_peaks) {
+        if *mass < config.min_peak_mass {
+            continue;
+        }
+        // μ at the maximum-residual abscissa of the interval; the rising
+        // edge detected by the derivative is roughly half the peak, so the
+        // span ℓ doubles it.
+        let arg_max = (*s..*e)
+            .max_by(|a, b| residual[*a].total_cmp(&residual[*b]))
+            .unwrap_or(*s);
+        let mu = grid.center_log10(arg_max);
+        let span = ((*e - *s) as f64 * step * 2.0).max(step * 2.0);
+        let sigma = 0.997 * span / 3.0;
+        peaks.push(PeakComponent {
+            k: *mass,
+            mu,
+            sigma,
+        });
+    }
+
+    // Quality: EMD between the Eq. (5) reconstruction and the measurement.
+    let model = crate::model::ServiceModel {
+        name: String::new(),
+        mu: main.mu(),
+        sigma: main.sigma(),
+        peaks: peaks.clone(),
+        alpha: 1.0,
+        beta: 1.0,
+        session_share: 0.0,
+        duration_sigma: 0.0,
+        support_log10: (-3.0, 4.0),
+        quality: crate::model::ModelQuality::default(),
+    };
+    let reconstructed = model.to_binned_pdf(grid)?;
+    let emd = emd_same_grid(&reconstructed, pdf)?;
+
+    Ok((
+        VolumeMixtureFit {
+            mu: main.mu(),
+            sigma: main.sigma(),
+            peaks,
+            emd,
+        },
+        FitDiagnostics {
+            main_density,
+            residual,
+            derivative,
+            intervals,
+        },
+    ))
+}
+
+fn push_interval(
+    intervals: &mut Vec<(usize, usize, f64)>,
+    residual: &[f64],
+    step: f64,
+    s: usize,
+    e: usize,
+) {
+    if e <= s + 1 {
+        return; // single-bin blips are Savitzky–Golay noise
+    }
+    let mass: f64 = residual[s..e].iter().sum::<f64>() * step;
+    intervals.push((s, e, mass));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtd_math::distributions::{Distribution1D, LogNormal10};
+    use mtd_math::histogram::{LogGrid, LogHistogram};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid() -> LogGrid {
+        LogGrid::new(-3.0, 4.0, 210).unwrap()
+    }
+
+    /// A synthetic "Netflix": wide main lognormal + two narrow peaks.
+    fn synthetic_pdf(n: usize, seed: u64) -> BinnedPdf {
+        let main = LogNormal10::new(0.6, 0.8).unwrap();
+        let p1 = LogNormal10::new(1.60, 0.08).unwrap();
+        let p2 = LogNormal10::new(2.18, 0.06).unwrap();
+        let mut h = LogHistogram::new(grid());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            let x = if u < 0.70 {
+                main.sample(&mut rng)
+            } else if u < 0.90 {
+                p1.sample(&mut rng)
+            } else {
+                p2.sample(&mut rng)
+            };
+            h.add(x.clamp(1e-3, 1e4));
+        }
+        h.to_pdf().unwrap()
+    }
+
+    #[test]
+    fn recovers_main_component_of_pure_lognormal() {
+        let truth = LogNormal10::new(0.5, 0.6).unwrap();
+        let pdf = BinnedPdf::from_fn(grid(), |u| truth.pdf_log10(u)).unwrap();
+        let fit = fit_volume_mixture(&pdf, &VolumeFitConfig::default()).unwrap();
+        assert!((fit.mu - 0.5).abs() < 0.02, "mu {}", fit.mu);
+        assert!((fit.sigma - 0.6).abs() < 0.02, "sigma {}", fit.sigma);
+        // A pure log-normal leaves only numerical-noise peaks.
+        let peak_mass: f64 = fit.peaks.iter().map(|p| p.k).sum();
+        assert!(peak_mass < 0.02, "spurious peak mass {peak_mass}");
+        assert!(fit.emd < 0.01, "emd {}", fit.emd);
+    }
+
+    #[test]
+    fn detects_planted_peaks() {
+        let pdf = synthetic_pdf(400_000, 11);
+        let fit = fit_volume_mixture(&pdf, &VolumeFitConfig::default()).unwrap();
+        assert!(!fit.peaks.is_empty());
+        // The 40 MB (log10 = 1.60) peak must be found.
+        assert!(
+            fit.peaks.iter().any(|p| (p.mu - 1.60).abs() < 0.15),
+            "peaks {:?}",
+            fit.peaks
+        );
+        // The 150 MB (2.18) peak too.
+        assert!(
+            fit.peaks.iter().any(|p| (p.mu - 2.18).abs() < 0.15),
+            "peaks {:?}",
+            fit.peaks
+        );
+    }
+
+    #[test]
+    fn mixture_model_beats_single_lognormal() {
+        let pdf = synthetic_pdf(400_000, 13);
+        let fit = fit_volume_mixture(&pdf, &VolumeFitConfig::default()).unwrap();
+        // EMD of the mixture vs EMD of the bare main component.
+        let bare = crate::model::ServiceModel {
+            name: String::new(),
+            mu: fit.mu,
+            sigma: fit.sigma,
+            peaks: vec![],
+            alpha: 1.0,
+            beta: 1.0,
+            session_share: 0.0,
+            duration_sigma: 0.0,
+            support_log10: (-3.0, 4.0),
+            quality: Default::default(),
+        };
+        let bare_emd = emd_same_grid(&bare.to_binned_pdf(grid()).unwrap(), &pdf).unwrap();
+        assert!(
+            fit.emd < bare_emd,
+            "mixture emd {} not below bare {}",
+            fit.emd,
+            bare_emd
+        );
+    }
+
+    #[test]
+    fn at_most_three_peaks_retained() {
+        let pdf = synthetic_pdf(200_000, 17);
+        let fit = fit_volume_mixture(&pdf, &VolumeFitConfig::default()).unwrap();
+        assert!(fit.peaks.len() <= 3);
+        // Ranked by mass.
+        for w in fit.peaks.windows(2) {
+            assert!(w[0].k >= w[1].k);
+        }
+    }
+
+    #[test]
+    fn diagnostics_expose_all_steps() {
+        let pdf = synthetic_pdf(100_000, 19);
+        let (_, diag) = fit_volume_mixture_diagnostic(&pdf, &VolumeFitConfig::default()).unwrap();
+        assert_eq!(diag.main_density.len(), grid().bins());
+        assert_eq!(diag.residual.len(), grid().bins());
+        assert_eq!(diag.derivative.len(), grid().bins());
+        assert!(!diag.intervals.is_empty());
+        // Residual is non-negative by construction.
+        assert!(diag.residual.iter().all(|r| *r >= 0.0));
+    }
+
+    #[test]
+    fn threshold_robustness() {
+        // §5.2 footnote: results are robust to the derivative threshold.
+        let pdf = synthetic_pdf(400_000, 23);
+        let peaks_at = |thr: f64| {
+            let cfg = VolumeFitConfig {
+                derivative_threshold: thr,
+                ..Default::default()
+            };
+            fit_volume_mixture(&pdf, &cfg).unwrap().peaks
+        };
+        let a = peaks_at(1e-5);
+        let b = peaks_at(1e-3);
+        // Both find the dominant 40 MB peak.
+        assert!(a.iter().any(|p| (p.mu - 1.60).abs() < 0.15));
+        assert!(b.iter().any(|p| (p.mu - 1.60).abs() < 0.15));
+    }
+}

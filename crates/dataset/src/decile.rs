@@ -1,0 +1,71 @@
+//! BS load-decile categorization (§4.1).
+//!
+//! "We compute the distribution of total traffic served by each BS during
+//! the whole measurement time, and separate BSs based on the decile they
+//! pertain to. Thus, each set C_i includes 10% of the BSs, with growing
+//! mobile traffic demands from the first decile to the last one."
+
+/// Assigns each BS its load decile (0 = least loaded 10%, 9 = busiest)
+/// from total measured traffic volumes.
+///
+/// Ties are broken by BS index, so every decile gets `⌈n/10⌉` or `⌊n/10⌋`
+/// stations even with duplicated totals.
+#[must_use]
+pub fn assign_deciles(total_volume_per_bs: &[f64]) -> Vec<u8> {
+    let n = total_volume_per_bs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|a, b| {
+        total_volume_per_bs[*a]
+            .total_cmp(&total_volume_per_bs[*b])
+            .then(a.cmp(b))
+    });
+    let mut deciles = vec![0u8; n];
+    for (rank, bs) in order.into_iter().enumerate() {
+        deciles[bs] = ((rank * 10) / n) as u8;
+    }
+    deciles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deciles_ordered_by_volume() {
+        let volumes: Vec<f64> = (0..100).map(|i| f64::from(i) * 10.0).collect();
+        let d = assign_deciles(&volumes);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[99], 9);
+        assert_eq!(d[55], 5);
+        // Each decile holds exactly 10 BSs.
+        for dec in 0..10u8 {
+            assert_eq!(d.iter().filter(|x| **x == dec).count(), 10);
+        }
+    }
+
+    #[test]
+    fn deciles_balanced_with_ties() {
+        let volumes = vec![1.0; 30];
+        let d = assign_deciles(&volumes);
+        for dec in 0..10u8 {
+            assert_eq!(d.iter().filter(|x| **x == dec).count(), 3, "decile {dec}");
+        }
+    }
+
+    #[test]
+    fn small_populations_spread() {
+        let volumes = vec![3.0, 1.0, 2.0];
+        let d = assign_deciles(&volumes);
+        // Least loaded gets the lowest decile.
+        assert!(d[1] < d[2]);
+        assert!(d[2] < d[0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(assign_deciles(&[]).is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-cell statistics: what the operator's pipeline stores for one
+//! (service, BS-group, day) tuple.
+
+use mtd_math::histogram::{LogGrid, LogHistogram};
+use mtd_math::{MathError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Default volume grid of the dataset: 1 kB .. 10 GB in MB units at 30
+/// bins/decade — fine enough to resolve the narrowest residual peaks of
+/// §5.2 (σ ≥ 0.06 decades) while keeping cells compact.
+#[must_use]
+pub fn volume_grid() -> LogGrid {
+    LogGrid::new(-3.0, 4.0, 210).expect("valid grid")
+}
+
+/// Default duration grid: 1 s .. 24 h, log-spaced, 48 bins ("value pairs
+/// of discretized duration and traffic volume", §3.2).
+#[must_use]
+pub fn duration_grid() -> LogGrid {
+    LogGrid::new(0.0, 4.9365, 48).expect("valid grid")
+}
+
+/// One aggregated point of the duration–volume relation `v_s(d)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairPoint {
+    /// Duration bin center, seconds.
+    pub duration_s: f64,
+    /// Mean per-session volume of sessions in this duration bin, MB.
+    pub mean_volume_mb: f64,
+    /// Number of sessions backing the mean (the Eq. 1 weight).
+    pub weight: f64,
+}
+
+/// Statistics accumulated for one (service, BS-group, day) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellStats {
+    /// Session count `w_s^{c,t}` — the weight in Eq. (1)/(2).
+    pub sessions: f64,
+    /// Total traffic volume (MB) of the cell.
+    pub traffic_mb: f64,
+    /// Histogram of per-session volumes (becomes `F_s^{c,t}` on demand).
+    pub volume_hist: LogHistogram,
+    /// Sum of volumes per duration bin.
+    pub pair_sums: Vec<f64>,
+    /// Session count per duration bin.
+    pub pair_counts: Vec<f64>,
+    /// Sum of `log₁₀(volume)` per duration bin.
+    pub pair_log_sums: Vec<f64>,
+    /// Sum of `log₁₀(volume)²` per duration bin. Together with
+    /// `pair_log_sums` this yields the within-bin dispersion of the
+    /// duration–volume relation — still an aggregate (no per-session
+    /// data), and the statistic that lets model consumers reproduce the
+    /// *scatter* around `v_s(d)`, not just its mean.
+    pub pair_log_sum_sqs: Vec<f64>,
+}
+
+impl CellStats {
+    /// Creates an empty cell on the given grids.
+    #[must_use]
+    pub fn new(volume_grid: LogGrid, duration_bins: usize) -> CellStats {
+        CellStats {
+            sessions: 0.0,
+            traffic_mb: 0.0,
+            volume_hist: LogHistogram::new(volume_grid),
+            pair_sums: vec![0.0; duration_bins],
+            pair_counts: vec![0.0; duration_bins],
+            pair_log_sums: vec![0.0; duration_bins],
+            pair_log_sum_sqs: vec![0.0; duration_bins],
+        }
+    }
+
+    /// Records one session observation (volume MB, duration s).
+    pub fn record(&mut self, volume_mb: f64, duration_s: f64, dgrid: &LogGrid) {
+        self.sessions += 1.0;
+        self.traffic_mb += volume_mb;
+        self.volume_hist.add(volume_mb);
+        let bin = dgrid.bin_of(duration_s);
+        self.pair_sums[bin] += volume_mb;
+        self.pair_counts[bin] += 1.0;
+        let lv = volume_mb.max(1e-12).log10();
+        self.pair_log_sums[bin] += lv;
+        self.pair_log_sum_sqs[bin] += lv * lv;
+    }
+
+    /// Merges another cell (same grids) into this one.
+    pub fn merge(&mut self, other: &CellStats) -> Result<()> {
+        if self.pair_sums.len() != other.pair_sums.len() {
+            return Err(MathError::DimensionMismatch {
+                expected: self.pair_sums.len(),
+                got: other.pair_sums.len(),
+            });
+        }
+        self.sessions += other.sessions;
+        self.traffic_mb += other.traffic_mb;
+        self.volume_hist.merge(&other.volume_hist)?;
+        for (a, b) in self.pair_sums.iter_mut().zip(&other.pair_sums) {
+            *a += b;
+        }
+        for (a, b) in self.pair_counts.iter_mut().zip(&other.pair_counts) {
+            *a += b;
+        }
+        for (a, b) in self.pair_log_sums.iter_mut().zip(&other.pair_log_sums) {
+            *a += b;
+        }
+        for (a, b) in self
+            .pair_log_sum_sqs
+            .iter_mut()
+            .zip(&other.pair_log_sum_sqs)
+        {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Weighted mean within-bin standard deviation of `log₁₀(volume)`
+    /// across duration bins with at least `min_count` sessions — the
+    /// dispersion of the duration–volume relation around its mean curve.
+    #[must_use]
+    pub fn pair_dispersion(&self, min_count: f64) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..self.pair_counts.len() {
+            let n = self.pair_counts[i];
+            if n < min_count {
+                continue;
+            }
+            let mean = self.pair_log_sums[i] / n;
+            let var = (self.pair_log_sum_sqs[i] / n - mean * mean).max(0.0);
+            num += n * var.sqrt();
+            den += n;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
+    /// The duration–volume pairs of this cell: mean volume per non-empty
+    /// duration bin, weighted by its session count.
+    #[must_use]
+    pub fn pairs(&self, dgrid: &LogGrid) -> Vec<PairPoint> {
+        (0..self.pair_sums.len())
+            .filter(|i| self.pair_counts[*i] > 0.0)
+            .map(|i| PairPoint {
+                duration_s: dgrid.center_linear(i),
+                mean_volume_mb: self.pair_sums[i] / self.pair_counts[i],
+                weight: self.pair_counts[i],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let dg = duration_grid();
+        let mut c = CellStats::new(volume_grid(), dg.bins());
+        c.record(10.0, 60.0, &dg);
+        c.record(20.0, 61.0, &dg);
+        assert_eq!(c.sessions, 2.0);
+        assert_eq!(c.traffic_mb, 30.0);
+        let pairs = c.pairs(&dg);
+        assert_eq!(pairs.len(), 1);
+        assert!((pairs[0].mean_volume_mb - 15.0).abs() < 1e-12);
+        assert_eq!(pairs[0].weight, 2.0);
+    }
+
+    #[test]
+    fn pairs_split_by_duration_bin() {
+        let dg = duration_grid();
+        let mut c = CellStats::new(volume_grid(), dg.bins());
+        c.record(1.0, 2.0, &dg);
+        c.record(100.0, 5_000.0, &dg);
+        let pairs = c.pairs(&dg);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs[0].duration_s < pairs[1].duration_s);
+        assert!(pairs[0].mean_volume_mb < pairs[1].mean_volume_mb);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let dg = duration_grid();
+        let mut a = CellStats::new(volume_grid(), dg.bins());
+        a.record(5.0, 30.0, &dg);
+        let mut b = CellStats::new(volume_grid(), dg.bins());
+        b.record(15.0, 30.0, &dg);
+        a.merge(&b).unwrap();
+        assert_eq!(a.sessions, 2.0);
+        assert_eq!(a.traffic_mb, 20.0);
+        let pairs = a.pairs(&dg);
+        assert!((pairs[0].mean_volume_mb - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grids_have_expected_span() {
+        let vg = volume_grid();
+        assert_eq!(vg.bin_of(1e-3), 0);
+        assert_eq!(vg.bin_of(9.9e3), vg.bins() - 1);
+        let dg = duration_grid();
+        assert_eq!(dg.bin_of(1.0), 0);
+        assert_eq!(dg.bin_of(86_400.0), dg.bins() - 1);
+    }
+}

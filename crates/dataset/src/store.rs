@@ -1,0 +1,66 @@
+//! Dataset persistence.
+//!
+//! The paper's released artifact is a table of model parameters; our
+//! equivalent deliverable also includes the aggregated dataset itself so
+//! experiments need not re-simulate. JSON via serde — human-inspectable,
+//! and the only serialization dependency in the workspace.
+
+use crate::dataset::Dataset;
+use std::io;
+use std::path::Path;
+
+/// Saves a dataset as JSON.
+pub fn save_json(dataset: &Dataset, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let writer = io::BufWriter::new(file);
+    serde_json::to_writer(writer, dataset).map_err(io::Error::other)
+}
+
+/// Loads a dataset from JSON.
+pub fn load_json(path: &Path) -> io::Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    serde_json::from_reader(reader).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SliceFilter;
+    use mtd_netsim::geo::Topology;
+    use mtd_netsim::services::ServiceCatalog;
+    use mtd_netsim::ScenarioConfig;
+
+    #[test]
+    fn json_roundtrip_preserves_queries() {
+        let config = ScenarioConfig {
+            n_bs: 6,
+            days: 1,
+            arrival_scale: 0.1,
+            ..ScenarioConfig::small_test()
+        };
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let ds = Dataset::build(&config, &topology, &catalog);
+
+        let dir = std::env::temp_dir().join("mtd_dataset_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save_json(&ds, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(back.n_services(), ds.n_services());
+        assert_eq!(back.n_bs(), ds.n_bs());
+        let fb = ds.service_by_name("Facebook").unwrap();
+        assert_eq!(
+            back.sessions(fb, &SliceFilter::all()),
+            ds.sessions(fb, &SliceFilter::all())
+        );
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_json(Path::new("/nonexistent/nope.json")).is_err());
+    }
+}

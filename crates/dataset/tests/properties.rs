@@ -1,0 +1,123 @@
+//! Property-based tests for the dataset layer's aggregation invariants.
+
+use mtd_dataset::{CellStats, Dataset, SliceFilter};
+use mtd_netsim::geo::{Region, Topology};
+use mtd_netsim::ids::Rat;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::time::DayType;
+use mtd_netsim::ScenarioConfig;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared dataset for all properties (building is the expensive part).
+fn shared() -> &'static (Dataset, ServiceCatalog) {
+    static DS: OnceLock<(Dataset, ServiceCatalog)> = OnceLock::new();
+    DS.get_or_init(|| {
+        let config = ScenarioConfig {
+            n_bs: 10,
+            days: 7,
+            arrival_scale: 0.05,
+            ..ScenarioConfig::small_test()
+        };
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        (Dataset::build(&config, &topology, &catalog), catalog)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn day_type_slices_partition_everything(svc in 0u16..31) {
+        let (ds, _) = shared();
+        let all = ds.sessions(svc, &SliceFilter::all());
+        let work = ds.sessions(svc, &SliceFilter::day(DayType::Workday));
+        let wend = ds.sessions(svc, &SliceFilter::day(DayType::Weekend));
+        prop_assert!((work + wend - all).abs() < 1e-9);
+        let t_all = ds.traffic(svc, &SliceFilter::all());
+        let t_w = ds.traffic(svc, &SliceFilter::day(DayType::Workday))
+            + ds.traffic(svc, &SliceFilter::day(DayType::Weekend));
+        prop_assert!((t_all - t_w).abs() < 1e-6 * t_all.max(1.0));
+    }
+
+    #[test]
+    fn rat_slices_partition_everything(svc in 0u16..31) {
+        let (ds, _) = shared();
+        let all = ds.sessions(svc, &SliceFilter::all());
+        let split = ds.sessions(svc, &SliceFilter::rat(Rat::Lte))
+            + ds.sessions(svc, &SliceFilter::rat(Rat::Nr));
+        prop_assert!((all - split).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_slices_partition_everything(svc in 0u16..31) {
+        let (ds, _) = shared();
+        let all = ds.sessions(svc, &SliceFilter::all());
+        let split: f64 = [Region::DenseUrban, Region::SemiUrban, Region::Rural]
+            .iter()
+            .map(|r| ds.sessions(svc, &SliceFilter::region(*r)))
+            .sum();
+        prop_assert!((all - split).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decile_slices_partition_everything(svc in 0u16..31) {
+        let (ds, _) = shared();
+        let all = ds.sessions(svc, &SliceFilter::all());
+        let split: f64 =
+            (0..10u8).map(|d| ds.sessions(svc, &SliceFilter::decile(d))).sum();
+        prop_assert!((all - split).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_pdfs_are_normalized(svc in 0u16..31) {
+        let (ds, _) = shared();
+        if let Ok(pdf) = ds.volume_pdf(svc, &SliceFilter::all()) {
+            let mass: f64 =
+                pdf.density().iter().sum::<f64>() * pdf.grid().bin_width();
+            prop_assert!((mass - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pair_weights_sum_to_sessions(svc in 0u16..31) {
+        let (ds, _) = shared();
+        let pairs = ds.duration_pairs(svc, &SliceFilter::all());
+        let weight: f64 = pairs.iter().map(|p| p.weight).sum();
+        let sessions = ds.sessions(svc, &SliceFilter::all());
+        prop_assert!((weight - sessions).abs() < 1e-9,
+            "pair weight {weight} vs sessions {sessions}");
+    }
+
+    #[test]
+    fn pair_dispersion_nonnegative_and_bounded(svc in 0u16..31) {
+        let (ds, _) = shared();
+        let disp = ds.pair_dispersion(svc, &SliceFilter::all());
+        prop_assert!(disp >= 0.0);
+        prop_assert!(disp < 3.0, "absurd dispersion {disp}");
+    }
+
+    #[test]
+    fn cell_merge_is_commutative_in_totals(
+        volumes_a in proptest::collection::vec(0.01f64..100.0, 1..30),
+        volumes_b in proptest::collection::vec(0.01f64..100.0, 1..30)
+    ) {
+        let vg = mtd_dataset::record::volume_grid();
+        let dg = mtd_dataset::record::duration_grid();
+        let fill = |vols: &[f64]| {
+            let mut c = CellStats::new(vg, dg.bins());
+            for (i, v) in vols.iter().enumerate() {
+                c.record(*v, 10.0 + i as f64, &dg);
+            }
+            c
+        };
+        let mut ab = fill(&volumes_a);
+        ab.merge(&fill(&volumes_b)).unwrap();
+        let mut ba = fill(&volumes_b);
+        ba.merge(&fill(&volumes_a)).unwrap();
+        prop_assert_eq!(ab.sessions, ba.sessions);
+        prop_assert!((ab.traffic_mb - ba.traffic_mb).abs() < 1e-9);
+        prop_assert_eq!(ab.volume_hist.total(), ba.volume_hist.total());
+    }
+}

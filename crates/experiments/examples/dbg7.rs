@@ -1,0 +1,35 @@
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+fn main() {
+    let (_, _, catalog, dataset) = mtd_experiments::build_eval();
+    let registry = mtd_experiments::fit_eval_registry(&dataset);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut tot_meas = 0.0;
+    let mut tot_model = 0.0;
+    for (i, s) in catalog.services().iter().enumerate() {
+        let m = &registry.services[i];
+        let n = 20000;
+        let modl: f64 = (0..n).map(|_| m.sample_volume(&mut rng)).sum::<f64>() / n as f64;
+        let ds_mean = dataset
+            .volume_pdf(i as u16, &mtd_dataset::SliceFilter::all())
+            .unwrap()
+            .mean_linear();
+        tot_meas += ds_mean * m.session_share;
+        tot_model += modl * m.session_share;
+        let r = modl / ds_mean;
+        if !(0.8..=1.25).contains(&r) {
+            println!(
+                "{:16} dataset {:9.2} model {:9.2} ratio {:.2} support {:?}",
+                s.name, ds_mean, modl, r, m.support_log10
+            );
+        }
+    }
+    println!("aggregate ratio {:.3}", tot_model / tot_meas);
+    // also: catalog truth mean volume per session vs dataset mean (transients!)
+    let mut truth = 0.0;
+    for s in catalog.services() {
+        let mv: f64 = (0..20000).map(|_| s.sample_volume(&mut rng)).sum::<f64>() / 20000.0;
+        truth += mv * s.session_share;
+    }
+    println!("catalog-truth full-session mean {truth:.2} vs dataset obs mean {tot_meas:.2}");
+}

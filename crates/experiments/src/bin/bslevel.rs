@@ -1,0 +1,71 @@
+//! Extension — BS-level consistency: traffic generated from the fitted
+//! session-level models, aggregated per minute at a BS, must reproduce
+//! the measured BS-level signatures (circadian profile, peak-to-mean,
+//! heavy-tail index). This substantiates the paper's claim that
+//! session-level models *complement* BS-level generators.
+
+use mtd_analysis::bslevel::bs_level_comparison;
+use mtd_analysis::report::{fmt, text_table, write_csv};
+
+fn main() {
+    let (_, _, _, dataset) = mtd_experiments::build_eval();
+    let registry = mtd_experiments::fit_eval_registry(&dataset);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for decile in [2u8, 5, 9] {
+        let c = bs_level_comparison(&dataset, &registry, decile, 0xB5).expect("comparison");
+        rows.push(vec![
+            decile.to_string(),
+            fmt(c.profile_correlation),
+            fmt(c.measured.peak_to_mean),
+            fmt(c.model.peak_to_mean),
+            fmt(c.measured.tail_index),
+            fmt(c.model.tail_index),
+        ]);
+        for (m, (a, b)) in c
+            .measured
+            .daily_profile
+            .iter()
+            .zip(&c.model.daily_profile)
+            .enumerate()
+        {
+            csv.push(vec![
+                decile.to_string(),
+                m.to_string(),
+                format!("{a:.4}"),
+                format!("{b:.4}"),
+            ]);
+        }
+    }
+
+    println!("Extension — BS-level aggregates induced by session-level models\n");
+    println!(
+        "{}",
+        text_table(
+            &[
+                "decile",
+                "profile corr",
+                "peak/mean (meas)",
+                "peak/mean (model)",
+                "tail idx (meas)",
+                "tail idx (model)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nhigh profile correlation + matching burstiness/tails show the fitted\n\
+         session-level models induce realistic BS-level dynamics (Fig 1's claim\n\
+         that the three modeling levels compose)"
+    );
+
+    let path = mtd_experiments::results_dir().join("bslevel_profiles.csv");
+    write_csv(
+        &path,
+        &["decile", "minute_of_day", "measured_mb", "model_mb"],
+        &csv,
+    )
+    .expect("csv");
+    println!("series written to {}", path.display());
+}

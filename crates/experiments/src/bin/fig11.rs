@@ -1,0 +1,94 @@
+//! Fig 11 + §5.4 quality — fitted models `F̂_s(x)` and `ṽ_s(d)` overlaid
+//! on the measurement data for eight services, with the quality metrics
+//! (EMD for PDFs, R² for pairs) across all 31 services.
+
+use mtd_analysis::report::{fmt, text_table, write_csv};
+use mtd_dataset::SliceFilter;
+
+fn main() {
+    let (_, _, _, dataset) = mtd_experiments::build_eval();
+    let registry = mtd_experiments::fit_eval_registry(&dataset);
+
+    let mut rows = Vec::new();
+    let mut overlay_csv = Vec::new();
+    for name in mtd_experiments::FIG11_SERVICES {
+        let svc = dataset.service_by_name(name).expect("service");
+        let model = registry.by_name(name).expect("model");
+        let measured = dataset.volume_pdf(svc, &SliceFilter::all()).expect("pdf");
+        rows.push(vec![
+            name.to_string(),
+            fmt(model.quality.volume_emd),
+            format!("{:.2}", model.quality.pair_r2),
+            format!("{:.2}", model.beta),
+        ]);
+        let grid = *measured.grid();
+        for i in 0..grid.bins() {
+            overlay_csv.push(vec![
+                name.to_string(),
+                format!("{:.4}", grid.center_log10(i)),
+                format!("{:.6e}", measured.density()[i]),
+                format!("{:.6e}", model.pdf_log10(grid.center_log10(i))),
+            ]);
+        }
+    }
+
+    println!("Fig 11 — model vs measurement for eight services\n");
+    println!(
+        "{}",
+        text_table(&["service", "volume EMD", "pair R^2", "beta"], &rows)
+    );
+
+    // §5.4 quality across all services.
+    let emds: Vec<f64> = registry
+        .services
+        .iter()
+        .map(|m| m.quality.volume_emd)
+        .collect();
+    let r2s: Vec<f64> = registry
+        .services
+        .iter()
+        .map(|m| m.quality.pair_r2)
+        .filter(|r| *r > 0.0)
+        .collect();
+    let med = |v: &[f64]| mtd_math::stats::median(v).unwrap_or(f64::NAN);
+    println!(
+        "\nSection 5.4 quality over all {} services:",
+        registry.len()
+    );
+    println!(
+        "  volume EMD   : median {} (min {}, max {})",
+        fmt(med(&emds)),
+        fmt(emds.iter().cloned().fold(f64::INFINITY, f64::min)),
+        fmt(emds.iter().cloned().fold(f64::NEG_INFINITY, f64::max)),
+    );
+    println!(
+        "  pair R^2     : median {:.2} (paper: typically 0.7-0.9, some 0.5)",
+        med(&r2s)
+    );
+
+    let dir = mtd_experiments::results_dir();
+    write_csv(
+        &dir.join("fig11_overlays.csv"),
+        &["service", "log10_mb", "measured", "model"],
+        &overlay_csv,
+    )
+    .expect("csv");
+    let quality_csv: Vec<Vec<String>> = registry
+        .services
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                format!("{:.6e}", m.quality.volume_emd),
+                format!("{:.4}", m.quality.pair_r2),
+            ]
+        })
+        .collect();
+    write_csv(
+        &dir.join("fig11_quality.csv"),
+        &["service", "emd", "r2"],
+        &quality_csv,
+    )
+    .expect("csv");
+    println!("series written to {}", dir.display());
+}

@@ -1,0 +1,84 @@
+//! Fig 8 — boxplots of session-level differences across services, day
+//! types, regions, cities and RATs (EMD for traffic PDFs, SED for
+//! duration–volume pairs).
+
+use mtd_analysis::dimensions::dimensions_analysis;
+use mtd_analysis::report::{fmt, text_table, write_csv};
+use mtd_dataset::SliceFilter;
+
+fn main() {
+    let (_, _, _, dataset) = mtd_experiments::build_eval();
+
+    // Use the services with enough per-slice data (top 12 by sessions).
+    let mut by_sessions: Vec<(u16, f64)> = (0..dataset.n_services() as u16)
+        .map(|s| (s, dataset.sessions(s, &SliceFilter::all())))
+        .collect();
+    by_sessions.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let services: Vec<u16> = by_sessions.iter().take(12).map(|(s, _)| *s).collect();
+
+    let analysis = dimensions_analysis(&dataset, &services).expect("dimensions");
+
+    println!("Fig 8 — distances across comparison dimensions");
+    println!("(paper: every intra-service dimension is negligible vs 'Apps')\n");
+    let rows: Vec<Vec<String>> = analysis
+        .boxes
+        .iter()
+        .map(|b| {
+            vec![
+                b.tag.to_string(),
+                fmt(b.traffic.p5),
+                fmt(b.traffic.median),
+                fmt(b.traffic.p95),
+                fmt(b.duration.median),
+                b.n_samples.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["tag", "EMD p5", "EMD median", "EMD p95", "SED median", "n"],
+            &rows
+        )
+    );
+
+    let csv: Vec<Vec<String>> = analysis
+        .boxes
+        .iter()
+        .map(|b| {
+            vec![
+                b.tag.to_string(),
+                format!("{:.6}", b.traffic.p5),
+                format!("{:.6}", b.traffic.q1),
+                format!("{:.6}", b.traffic.median),
+                format!("{:.6}", b.traffic.q3),
+                format!("{:.6}", b.traffic.p95),
+                format!("{:.6}", b.duration.p5),
+                format!("{:.6}", b.duration.q1),
+                format!("{:.6}", b.duration.median),
+                format!("{:.6}", b.duration.q3),
+                format!("{:.6}", b.duration.p95),
+            ]
+        })
+        .collect();
+    let path = mtd_experiments::results_dir().join("fig8_dimensions.csv");
+    write_csv(
+        &path,
+        &[
+            "tag",
+            "emd_p5",
+            "emd_q1",
+            "emd_median",
+            "emd_q3",
+            "emd_p95",
+            "sed_p5",
+            "sed_q1",
+            "sed_median",
+            "sed_q3",
+            "sed_p95",
+        ],
+        &csv,
+    )
+    .expect("csv");
+    println!("series written to {}", path.display());
+}

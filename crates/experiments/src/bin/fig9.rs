@@ -1,0 +1,91 @@
+//! Fig 9 — the three steps of the §5.2 log-normal mixture modeling,
+//! applied to Netflix: main component + residuals, residual selection via
+//! the Savitzky–Golay derivative, and the final reconstructed model.
+
+use mtd_analysis::report::{text_table, write_csv};
+use mtd_core::volume::{fit_volume_mixture_diagnostic, VolumeFitConfig};
+use mtd_dataset::SliceFilter;
+
+fn main() {
+    let (_, _, _, dataset) = mtd_experiments::build_eval();
+
+    let netflix = dataset.service_by_name("Netflix").expect("Netflix");
+    let pdf = dataset
+        .volume_pdf(netflix, &SliceFilter::all())
+        .expect("pdf");
+    let (fit, diag) =
+        fit_volume_mixture_diagnostic(&pdf, &VolumeFitConfig::default()).expect("fit");
+
+    println!("Fig 9 — log-normal mixture modeling steps (Netflix)\n");
+    println!(
+        "step 1: main component  LogN(mu = {:.3}, sigma = {:.3})",
+        fit.mu, fit.sigma
+    );
+    println!(
+        "step 2: {} candidate residual intervals detected",
+        diag.intervals.len()
+    );
+    println!("step 3: retained peaks (k, mu, sigma):");
+    let rows: Vec<Vec<String>> = fit
+        .peaks
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.4}", p.k),
+                format!("{:.3}", p.mu),
+                format!("{:.2} MB", 10f64.powf(p.mu)),
+                format!("{:.3}", p.sigma),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(&["k", "mu (log10)", "location", "sigma"], &rows)
+    );
+    println!(
+        "model-vs-measurement EMD: {:.2e}  (paper: order 1e-5 on its scale)",
+        fit.emd
+    );
+
+    // Reconstructed model for the CSV overlay.
+    let model = mtd_core::model::ServiceModel {
+        name: "Netflix".into(),
+        mu: fit.mu,
+        sigma: fit.sigma,
+        peaks: fit.peaks.clone(),
+        alpha: 1.0,
+        beta: 1.0,
+        session_share: 0.0,
+        duration_sigma: 0.0,
+        support_log10: (-3.0, 4.0),
+        quality: Default::default(),
+    };
+    let grid = *pdf.grid();
+    let csv: Vec<Vec<String>> = (0..grid.bins())
+        .map(|i| {
+            vec![
+                format!("{:.4}", grid.center_log10(i)),
+                format!("{:.6e}", pdf.density()[i]),
+                format!("{:.6e}", diag.main_density[i]),
+                format!("{:.6e}", diag.residual[i]),
+                format!("{:.6e}", diag.derivative[i]),
+                format!("{:.6e}", model.pdf_log10(grid.center_log10(i))),
+            ]
+        })
+        .collect();
+    let path = mtd_experiments::results_dir().join("fig9_steps.csv");
+    write_csv(
+        &path,
+        &[
+            "log10_mb",
+            "measured",
+            "main_fit",
+            "residual",
+            "sg_derivative",
+            "final_model",
+        ],
+        &csv,
+    )
+    .expect("csv");
+    println!("series written to {}", path.display());
+}

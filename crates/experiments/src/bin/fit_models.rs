@@ -1,0 +1,30 @@
+//! Fits the full model registry from the evaluation dataset and writes it
+//! as JSON — the repository's equivalent of the paper's released
+//! per-service parameter tuples.
+
+fn main() {
+    let (_, _, _, dataset) = mtd_experiments::build_eval();
+    let registry = mtd_experiments::fit_eval_registry(&dataset);
+
+    let path = mtd_experiments::results_dir().join("released_models.json");
+    registry.save(&path).expect("registry written");
+    println!(
+        "released {} service models + {} arrival deciles to {}",
+        registry.len(),
+        registry.arrivals.len(),
+        path.display()
+    );
+    for m in &registry.services {
+        println!(
+            "  {:16} mu {:6.2} sigma {:5.2} peaks {} alpha {:8.4} beta {:5.2} emd {:.2e} r2 {:.2}",
+            m.name,
+            m.mu,
+            m.sigma,
+            m.peaks.len(),
+            m.alpha,
+            m.beta,
+            m.quality.volume_emd,
+            m.quality.pair_r2
+        );
+    }
+}

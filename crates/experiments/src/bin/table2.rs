@@ -1,0 +1,64 @@
+//! Table 2 + Fig 12 — capacity allocation for network slicing: fraction
+//! of peak time with no dropped traffic per strategy, and the Facebook
+//! demand-vs-capacity time series at one BS.
+
+use mtd_analysis::report::{text_table, write_csv};
+use mtd_usecases::slicing::{run_slicing, SlicingConfig};
+
+fn main() {
+    let (_, _, catalog, dataset) = mtd_experiments::build_eval();
+    let registry = mtd_experiments::fit_eval_registry(&dataset);
+
+    eprintln!("[mtd] running the slicing evaluation (10 antennas, 1 week) ...");
+    let config = SlicingConfig {
+        antenna_deciles: (0..10).collect(),
+        days: 7,
+        calibration_days: 7,
+        arrival_scale: 0.3,
+        ..SlicingConfig::default()
+    };
+    let report = run_slicing(&config, &registry, &catalog, &dataset);
+
+    println!("Table 2 — time with no dropped traffic (95% SLA, peak hours)");
+    println!("(paper: model 95.15% ± 2.1, bm a 89.8% ± 4.3, bm b 87.25% ± 4.2)\n");
+    let rows: Vec<Vec<String>> = report
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                format!("{:.2}%", r.satisfied_mean * 100.0),
+                format!("{:.2}%", r.satisfied_std * 100.0),
+                format!("{:.0} MB/min", r.total_capacity),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["strategy", "satisfied", "std dev", "total capacity"],
+            &rows
+        )
+    );
+
+    // Fig 12: Facebook at antenna 0.
+    let model = report
+        .results
+        .iter()
+        .find(|r| r.label == "model")
+        .expect("model");
+    let capacity = model.allocation[0][report.fig12_service as usize];
+    let csv: Vec<Vec<String>> = report
+        .fig12_demand
+        .iter()
+        .enumerate()
+        .map(|(m, d)| vec![m.to_string(), format!("{d:.4}"), format!("{capacity:.4}")])
+        .collect();
+    let path = mtd_experiments::results_dir().join("fig12_facebook_slice.csv");
+    write_csv(&path, &["minute", "demand_mb", "allocated_mb"], &csv).expect("csv");
+    let peak = report.fig12_demand.iter().cloned().fold(0.0f64, f64::max);
+    println!("\nFig 12 — Facebook slice at antenna 0: allocated {capacity:.1} MB/min,");
+    println!("demand peaks at {peak:.1} MB/min (allocation sits below the bursts,");
+    println!("the paper's robustness-against-outliers point)");
+    println!("series written to {}", path.display());
+}

@@ -1,0 +1,118 @@
+//! # mtd-experiments — per-figure/table reproduction binaries
+//!
+//! One binary per table and figure of the paper's evaluation. Each prints
+//! the same rows/series the paper reports and mirrors them to
+//! `results/*.csv`. All binaries share the evaluation scenario built here
+//! so their numbers are mutually consistent.
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `fig3`   | per-decile arrival PDFs + bimodal fits |
+//! | `fig4`   | service ranking, exponential law, top-20 share |
+//! | `fig5`   | per-service `F_s(x)` and `v_s(d)`, workday vs weekend |
+//! | `fig6`   | similarity matrix, clusters, silhouette profile |
+//! | `fig7`   | Facebook Live vs Facebook dichotomy |
+//! | `fig8`   | EMD/SED boxplots across days/regions/cities/RATs |
+//! | `fig9`   | §5.2 mixture-fitting steps for Netflix |
+//! | `fig10`  | power-law exponents with R² |
+//! | `fig11`  | model vs measurement overlays + §5.4 quality |
+//! | `table1` | session/traffic shares with CV |
+//! | `table2` | slicing SLA satisfaction (+ Fig 12 series) |
+//! | `fig13`  | vRAN energy APE + power-over-time sample |
+//! | `fit_models` | fits and writes the released model registry JSON |
+
+use mtd_core::pipeline::fit_registry;
+use mtd_core::registry::ModelRegistry;
+use mtd_dataset::Dataset;
+use mtd_netsim::geo::Topology;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::ScenarioConfig;
+use std::path::PathBuf;
+
+/// The shared evaluation scenario (≈ 2–3 M sessions; seconds to build in
+/// release mode). Override the scale with `MTD_FAST=1` for smoke runs.
+#[must_use]
+pub fn eval_config() -> ScenarioConfig {
+    if std::env::var("MTD_FAST").is_ok() {
+        ScenarioConfig {
+            n_bs: 30,
+            days: 7,
+            arrival_scale: 0.08,
+            ..ScenarioConfig::evaluation()
+        }
+    } else {
+        ScenarioConfig::evaluation()
+    }
+}
+
+/// Builds the evaluation dataset (topology, catalog, measurements).
+#[must_use]
+pub fn build_eval() -> (ScenarioConfig, Topology, ServiceCatalog, Dataset) {
+    let config = eval_config();
+    eprintln!(
+        "[mtd] simulating measurement campaign: {} BSs x {} days (seed {:#x}) ...",
+        config.n_bs, config.days, config.seed
+    );
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let catalog = ServiceCatalog::paper();
+    let dataset = Dataset::build(&config, &topology, &catalog);
+    eprintln!(
+        "[mtd] dataset ready: {} services, {} BSs",
+        dataset.n_services(),
+        dataset.n_bs()
+    );
+    (config, topology, catalog, dataset)
+}
+
+/// Fits the full model registry from a dataset.
+#[must_use]
+pub fn fit_eval_registry(dataset: &Dataset) -> ModelRegistry {
+    eprintln!("[mtd] fitting session-level models ...");
+    fit_registry(dataset).expect("fitting the evaluation dataset succeeds")
+}
+
+/// Directory for CSV outputs: `$MTD_RESULTS` or `./results`.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("MTD_RESULTS").map_or_else(|_| PathBuf::from("results"), PathBuf::from);
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// The six Fig 5 showcase services.
+pub const FIG5_SERVICES: [&str; 6] = [
+    "Netflix",
+    "Twitch",
+    "Deezer",
+    "Amazon",
+    "Pokemon GO",
+    "Waze",
+];
+
+/// The eight Fig 11 showcase services.
+pub const FIG11_SERVICES: [&str; 8] = [
+    "Twitch",
+    "Twitter",
+    "Google Maps",
+    "Amazon",
+    "FB Live",
+    "Facebook",
+    "SnapChat",
+    "Google Meet",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.exists());
+    }
+
+    #[test]
+    fn eval_config_valid() {
+        assert!(eval_config().validate().is_ok());
+    }
+}

@@ -1,0 +1,158 @@
+//! Linear regression and goodness-of-fit.
+//!
+//! Backs the exponential ranking law of Fig 4 (linearized on a log axis)
+//! and provides the coefficient of determination `R²` reported throughout
+//! §5 (power-law fit quality in Fig 10, ranking fit in §4.1).
+
+use crate::{MathError, Result};
+
+/// Result of an ordinary least squares line fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    pub intercept: f64,
+    pub slope: f64,
+    /// Coefficient of determination of the fit on the provided points.
+    pub r2: f64,
+}
+
+/// Ordinary least squares fit of a line; errors when fewer than two points
+/// or when all `x` are identical.
+pub fn ols_line(xs: &[f64], ys: &[f64]) -> Result<LineFit> {
+    if xs.len() != ys.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: xs.len(),
+            got: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(MathError::EmptyInput("ols_line needs at least 2 points"));
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    if sxx == 0.0 {
+        return Err(MathError::InvalidParameter("ols_line: all x identical"));
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let yhat: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+    let r2 = r_squared(ys, &yhat)?;
+    Ok(LineFit {
+        intercept,
+        slope,
+        r2,
+    })
+}
+
+/// Coefficient of determination `R² = 1 − SS_res / SS_tot`.
+///
+/// Returns 1 when the data has zero variance and the fit is exact, and can
+/// be negative for fits worse than the mean (both are standard).
+pub fn r_squared(ys: &[f64], yhat: &[f64]) -> Result<f64> {
+    if ys.len() != yhat.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: ys.len(),
+            got: yhat.len(),
+        });
+    }
+    if ys.is_empty() {
+        return Err(MathError::EmptyInput("r_squared"));
+    }
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let ss_res: f64 = ys.iter().zip(yhat).map(|(y, f)| (y - f).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Weighted R² with the same convention, weighting both sums by `ws`.
+pub fn weighted_r_squared(ys: &[f64], yhat: &[f64], ws: &[f64]) -> Result<f64> {
+    if ys.len() != yhat.len() || ys.len() != ws.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: ys.len(),
+            got: yhat.len(),
+        });
+    }
+    if ys.is_empty() {
+        return Err(MathError::EmptyInput("weighted_r_squared"));
+    }
+    let wsum: f64 = ws.iter().sum();
+    if wsum <= 0.0 {
+        return Err(MathError::InvalidParameter("weights must sum to > 0"));
+    }
+    let my = ys.iter().zip(ws).map(|(y, w)| y * w).sum::<f64>() / wsum;
+    let ss_tot: f64 = ys.iter().zip(ws).map(|(y, w)| w * (y - my).powi(2)).sum();
+    let ss_res: f64 = ys
+        .iter()
+        .zip(yhat)
+        .zip(ws)
+        .map(|((y, f), w)| w * (y - f).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_recovered() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x - 5.0).collect();
+        let f = ols_line(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept + 5.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let xs: Vec<f64> = (0..20).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let f = ols_line(&xs, &ys).unwrap();
+        assert!(f.r2 > 0.9 && f.r2 < 1.0);
+        assert!((f.slope - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(ols_line(&[1.0], &[1.0]).is_err());
+        assert!(ols_line(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(ols_line(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let ys = [1.0, 2.0, 3.0];
+        let yhat = [2.0, 2.0, 2.0];
+        assert!(r_squared(&ys, &yhat).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_can_be_negative_for_bad_fits() {
+        let ys = [1.0, 2.0, 3.0];
+        let yhat = [10.0, 10.0, 10.0];
+        assert!(r_squared(&ys, &yhat).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn weighted_r2_matches_unweighted_for_equal_weights() {
+        let ys = [1.0, 2.0, 4.0, 8.0];
+        let yhat = [1.1, 1.9, 4.2, 7.8];
+        let ws = [2.0, 2.0, 2.0, 2.0];
+        let a = r_squared(&ys, &yhat).unwrap();
+        let b = weighted_r_squared(&ys, &yhat, &ws).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+}

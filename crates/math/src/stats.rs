@@ -1,0 +1,255 @@
+//! Descriptive statistics: moments, coefficient of variation, percentiles,
+//! and their weighted counterparts.
+//!
+//! These are the estimators behind Table 1 (shares ± CV) and the §5.4
+//! quality metrics.
+
+use crate::{MathError, Result};
+
+/// Arithmetic mean. Errors on empty input.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput("mean"));
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`).
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (divides by `n - 1`); errors when `n < 2`.
+pub fn sample_variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(MathError::EmptyInput("sample_variance needs n >= 2"));
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Fisher skewness `E[(x-μ)³]/σ³`; 0 for symmetric data.
+pub fn skewness(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    let sd = std_dev(xs)?;
+    if sd == 0.0 {
+        return Ok(0.0);
+    }
+    let n = xs.len() as f64;
+    Ok(xs.iter().map(|x| ((x - m) / sd).powi(3)).sum::<f64>() / n)
+}
+
+/// Coefficient of variation `σ/μ` (the "CV" columns of Table 1).
+///
+/// Errors when the mean is zero (CV undefined).
+pub fn coefficient_of_variation(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    if m == 0.0 {
+        return Err(MathError::InvalidParameter("CV undefined for zero mean"));
+    }
+    Ok(std_dev(xs)? / m.abs())
+}
+
+/// Weighted mean `Σwᵢxᵢ / Σwᵢ`.
+pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput("weighted_mean"));
+    }
+    if xs.len() != ws.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: xs.len(),
+            got: ws.len(),
+        });
+    }
+    let wsum: f64 = ws.iter().sum();
+    if wsum <= 0.0 {
+        return Err(MathError::InvalidParameter("weights must sum to > 0"));
+    }
+    Ok(xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / wsum)
+}
+
+/// Percentile via linear interpolation on the sorted sample
+/// (the "95th percentile" allocation rule of §6.1 uses `p = 0.95`).
+///
+/// `p` is a fraction in `[0, 1]`.
+pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput("percentile"));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(MathError::InvalidParameter(
+            "percentile fraction must be in [0,1]",
+        ));
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Result<f64> {
+    percentile(xs, 0.5)
+}
+
+/// Five-number summary used by the boxplots of Fig 8 and Fig 13b:
+/// 5th percentile, first quartile, median, third quartile, 95th percentile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    pub p5: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub p95: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary from raw samples.
+    pub fn from_samples(xs: &[f64]) -> Result<Self> {
+        Ok(BoxStats {
+            p5: percentile(xs, 0.05)?,
+            q1: percentile(xs, 0.25)?,
+            median: percentile(xs, 0.5)?,
+            q3: percentile(xs, 0.75)?,
+            p95: percentile(xs, 0.95)?,
+        })
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: xs.len(),
+            got: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(MathError::EmptyInput("pearson needs >= 2 points"));
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(MathError::InvalidParameter(
+            "pearson undefined for constant series",
+        ));
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Absolute percentage error `|est - truth| / |truth| * 100` (Fig 13b metric).
+///
+/// Errors when `truth == 0`.
+pub fn absolute_percentage_error(estimate: f64, truth: f64) -> Result<f64> {
+    if truth == 0.0 {
+        return Err(MathError::InvalidParameter("APE undefined for zero truth"));
+    }
+    Ok(((estimate - truth) / truth).abs() * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs).unwrap(), 2.5);
+        assert!((variance(&xs).unwrap() - 1.25).abs() < 1e-12);
+        assert!((sample_variance(&xs).unwrap() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(mean(&[]).is_err());
+        assert!(percentile(&[], 0.5).is_err());
+        assert!(weighted_mean(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn skewness_symmetric_is_zero() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_right_tail_positive() {
+        let xs = [1.0, 1.0, 1.0, 1.0, 10.0];
+        assert!(skewness(&xs).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn cv_matches_definition() {
+        let xs = [2.0, 4.0];
+        // mean 3, pop std 1 => CV = 1/3
+        assert!((coefficient_of_variation(&xs).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_reduces_to_mean_for_equal_weights() {
+        let xs = [1.0, 2.0, 3.0];
+        let ws = [5.0, 5.0, 5.0];
+        assert!((weighted_mean(&xs, &ws).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let xs = [0.0, 10.0];
+        let ws = [1.0, 3.0];
+        assert!((weighted_mean(&xs, &ws).unwrap() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&xs, 1.0).unwrap(), 40.0);
+        assert!((percentile(&xs, 0.5).unwrap() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_fraction() {
+        assert!(percentile(&[1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn box_stats_ordered() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let b = BoxStats::from_samples(&xs).unwrap();
+        assert!(b.p5 <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.p95);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]).is_err());
+        assert!(pearson(&xs, &ys[..2]).is_err());
+    }
+
+    #[test]
+    fn ape_basic() {
+        assert!((absolute_percentage_error(110.0, 100.0).unwrap() - 10.0).abs() < 1e-12);
+        assert!(absolute_percentage_error(1.0, 0.0).is_err());
+    }
+}

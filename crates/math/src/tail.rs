@@ -1,0 +1,96 @@
+//! Heavy-tail diagnostics: the Hill estimator of the tail index.
+//!
+//! BS-level mobile traffic is known to be heavy-tailed (the α-stable
+//! modeling line of work the paper cites: [19, 23, 24]). The Hill
+//! estimator quantifies the tail exponent `α` of `P(X > x) ~ x^{-α}` from
+//! the largest `k` order statistics:
+//!
+//! ```text
+//! 1/α̂ = (1/k) Σ_{i=1..k} ln X_(i) − ln X_(k+1)
+//! ```
+//!
+//! Used by the BS-level extension analysis to verify that session-level
+//! models reproduce the aggregate heavy-tail behavior.
+
+use crate::{MathError, Result};
+
+/// Hill estimate of the tail index from the top `k` order statistics.
+///
+/// Requires `k >= 1` and at least `k + 1` positive samples.
+pub fn hill_estimator(samples: &[f64], k: usize) -> Result<f64> {
+    if k == 0 {
+        return Err(MathError::InvalidParameter(
+            "hill_estimator requires k >= 1",
+        ));
+    }
+    let mut xs: Vec<f64> = samples.iter().copied().filter(|x| *x > 0.0).collect();
+    if xs.len() < k + 1 {
+        return Err(MathError::EmptyInput(
+            "hill_estimator needs > k positive samples",
+        ));
+    }
+    xs.sort_by(|a, b| b.total_cmp(a)); // descending
+    let threshold = xs[k].ln();
+    let mean_excess: f64 = xs[..k].iter().map(|x| x.ln() - threshold).sum::<f64>() / k as f64;
+    if mean_excess <= 0.0 {
+        return Err(MathError::InvalidParameter(
+            "degenerate tail (all top samples equal)",
+        ));
+    }
+    Ok(1.0 / mean_excess)
+}
+
+/// Hill estimate with the customary `k = ⌈√n⌉` order-statistic budget.
+pub fn hill_estimator_auto(samples: &[f64]) -> Result<f64> {
+    let n = samples.iter().filter(|x| **x > 0.0).count();
+    if n < 9 {
+        return Err(MathError::EmptyInput(
+            "hill_estimator_auto needs >= 9 samples",
+        ));
+    }
+    hill_estimator(samples, (n as f64).sqrt().ceil() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{Distribution1D, Pareto};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_pareto_tail_index() {
+        let truth = Pareto::new(1.765, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..50_000).map(|_| truth.sample(&mut rng)).collect();
+        let alpha = hill_estimator(&samples, 2_000).unwrap();
+        assert!((alpha - 1.765).abs() < 0.12, "alpha {alpha}");
+    }
+
+    #[test]
+    fn light_tails_give_large_index() {
+        // Exponential tails: Hill estimate grows with the threshold.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let e = crate::distributions::Exponential::new(1.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| 1.0 + e.sample(&mut rng)).collect();
+        let alpha = hill_estimator(&samples, 200).unwrap();
+        assert!(alpha > 4.0, "alpha {alpha}");
+    }
+
+    #[test]
+    fn auto_budget_works() {
+        let truth = Pareto::new(2.5, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..40_000).map(|_| truth.sample(&mut rng)).collect();
+        let alpha = hill_estimator_auto(&samples).unwrap();
+        assert!((alpha - 2.5).abs() < 0.5, "alpha {alpha}");
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(hill_estimator(&[1.0, 2.0], 0).is_err());
+        assert!(hill_estimator(&[1.0, 2.0], 5).is_err());
+        assert!(hill_estimator(&[2.0, 2.0, 2.0, 2.0], 2).is_err()); // degenerate
+        assert!(hill_estimator_auto(&[1.0; 5]).is_err());
+    }
+}

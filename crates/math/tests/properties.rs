@@ -1,0 +1,221 @@
+//! Property-based tests for `mtd-math` invariants.
+
+use mtd_math::cluster::silhouette_score;
+use mtd_math::distributions::{Distribution1D, Exponential, Gaussian, LogNormal10, Pareto};
+use mtd_math::emd::{emd_centered, emd_same_grid, squared_euclidean};
+use mtd_math::fit::{fit_exponential_law, fit_power_law, PowerLawFit};
+use mtd_math::histogram::{BinnedPdf, LogGrid, LogHistogram};
+use mtd_math::regression::r_squared;
+use mtd_math::savgol::SavitzkyGolay;
+use mtd_math::stats;
+use proptest::prelude::*;
+
+fn grid() -> LogGrid {
+    LogGrid::new(-3.0, 4.0, 350).unwrap()
+}
+
+fn arb_lognormal() -> impl Strategy<Value = LogNormal10> {
+    (-1.0f64..2.5, 0.1f64..1.2).prop_map(|(mu, s)| LogNormal10::new(mu, s).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_pdf_always_normalized(xs in proptest::collection::vec(1e-3f64..1e4, 1..200)) {
+        let mut h = LogHistogram::new(grid());
+        for x in &xs {
+            h.add(*x);
+        }
+        let pdf = h.to_pdf().unwrap();
+        let mass: f64 = pdf.density().iter().sum::<f64>() * pdf.grid().bin_width();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_monotone(ln in arb_lognormal(), p1 in 0.01f64..0.99, p2 in 0.01f64..0.99) {
+        let pdf = BinnedPdf::from_fn(grid(), |u| ln.pdf_log10(u)).unwrap();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(pdf.quantile_log10(lo) <= pdf.quantile_log10(hi) + 1e-12);
+    }
+
+    #[test]
+    fn emd_symmetry_and_identity(a in arb_lognormal(), b in arb_lognormal()) {
+        let pa = BinnedPdf::from_fn(grid(), |u| a.pdf_log10(u)).unwrap();
+        let pb = BinnedPdf::from_fn(grid(), |u| b.pdf_log10(u)).unwrap();
+        let dab = emd_same_grid(&pa, &pb).unwrap();
+        let dba = emd_same_grid(&pb, &pa).unwrap();
+        prop_assert!((dab - dba).abs() < 1e-12);
+        prop_assert!(emd_same_grid(&pa, &pa).unwrap() < 1e-12);
+        prop_assert!(dab >= 0.0);
+    }
+
+    #[test]
+    fn emd_triangle_inequality(
+        a in arb_lognormal(), b in arb_lognormal(), c in arb_lognormal()
+    ) {
+        let pa = BinnedPdf::from_fn(grid(), |u| a.pdf_log10(u)).unwrap();
+        let pb = BinnedPdf::from_fn(grid(), |u| b.pdf_log10(u)).unwrap();
+        let pc = BinnedPdf::from_fn(grid(), |u| c.pdf_log10(u)).unwrap();
+        let ab = emd_same_grid(&pa, &pb).unwrap();
+        let bc = emd_same_grid(&pb, &pc).unwrap();
+        let ac = emd_same_grid(&pa, &pc).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn centered_emd_location_invariant(ln in arb_lognormal(), shift in -1.0f64..1.0) {
+        // Same-shape PDFs at different locations are centered-EMD ~0.
+        // A wide grid avoids confounding tail truncation with shape.
+        let wide = LogGrid::new(-8.0, 9.0, 850).unwrap();
+        let shifted = LogNormal10::new(ln.mu() + shift, ln.sigma()).unwrap();
+        let pa = BinnedPdf::from_fn(wide, |u| ln.pdf_log10(u)).unwrap();
+        let pb = BinnedPdf::from_fn(wide, |u| shifted.pdf_log10(u)).unwrap();
+        prop_assert!(emd_centered(&pa, &pb).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn mixture_mass_conserved(
+        a in arb_lognormal(), b in arb_lognormal(),
+        wa in 0.1f64..100.0, wb in 0.1f64..100.0
+    ) {
+        let pa = BinnedPdf::from_fn(grid(), |u| a.pdf_log10(u)).unwrap();
+        let pb = BinnedPdf::from_fn(grid(), |u| b.pdf_log10(u)).unwrap();
+        let mix = BinnedPdf::mixture(&[(wa, &pa), (wb, &pb)]).unwrap();
+        let mass: f64 = mix.density().iter().sum::<f64>() * mix.grid().bin_width();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        // Mixture mean is the weighted mean of component means.
+        let expect = (wa * pa.mean_log10() + wb * pb.mean_log10()) / (wa + wb);
+        prop_assert!((mix.mean_log10() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_quantile_inverts_cdf(
+        mu in -5.0f64..5.0, s in 0.1f64..3.0, p in 0.02f64..0.98
+    ) {
+        let g = Gaussian::new(mu, s).unwrap();
+        prop_assert!((g.cdf(g.quantile(p)) - p).abs() < 1e-5);
+        let e = Exponential::new(s).unwrap();
+        prop_assert!((e.cdf(e.quantile(p)) - p).abs() < 1e-9);
+        let pa = Pareto::new(1.0 + s, s).unwrap();
+        prop_assert!((pa.cdf(pa.quantile(p)) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exact_data(
+        alpha in 0.01f64..50.0, beta in 0.1f64..1.9
+    ) {
+        let ds: Vec<f64> = (1..60).map(f64::from).collect();
+        let vs: Vec<f64> = ds.iter().map(|d| alpha * d.powf(beta)).collect();
+        let fit = fit_power_law(&ds, &vs, None).unwrap();
+        prop_assert!((fit.alpha - alpha).abs() / alpha < 1e-3,
+            "alpha {} vs {}", fit.alpha, alpha);
+        prop_assert!((fit.beta - beta).abs() < 1e-3);
+        prop_assert!(fit.r2 > 0.999);
+    }
+
+    #[test]
+    fn power_law_inverse_roundtrip(
+        alpha in 0.01f64..50.0, beta in 0.1f64..1.9, d in 0.5f64..5000.0
+    ) {
+        let f = PowerLawFit { alpha, beta, r2: 1.0 };
+        prop_assert!((f.invert(f.predict(d)) - d).abs() / d < 1e-9);
+    }
+
+    #[test]
+    fn exponential_law_fit_recovers(amp in 0.05f64..1.0, rate in 0.01f64..0.5) {
+        let shares: Vec<f64> = (0..50).map(|r| amp * (-rate * r as f64).exp()).collect();
+        let fit = fit_exponential_law(&shares).unwrap();
+        prop_assert!((fit.amplitude - amp).abs() / amp < 1e-6);
+        prop_assert!((fit.rate - rate).abs() < 1e-6);
+        prop_assert!(fit.r2_log > 0.999);
+    }
+
+    #[test]
+    fn savgol_smoothing_mass_reasonable(
+        ys in proptest::collection::vec(0.0f64..10.0, 20..100)
+    ) {
+        let sg = SavitzkyGolay::new(3, 2).unwrap();
+        let sm = sg.smooth(&ys).unwrap();
+        prop_assert_eq!(sm.len(), ys.len());
+        // Least-squares smoothing cannot escape the data's range by much.
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in &sm {
+            prop_assert!(*v >= lo - (hi - lo) - 1e-9 && *v <= hi + (hi - lo) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn r_squared_at_most_one(
+        ys in proptest::collection::vec(-100.0f64..100.0, 2..50),
+        noise in proptest::collection::vec(-1.0f64..1.0, 50)
+    ) {
+        let yhat: Vec<f64> =
+            ys.iter().zip(&noise).map(|(y, n)| y + n).collect();
+        let r2 = r_squared(&ys, &yhat[..ys.len()]).unwrap();
+        prop_assert!(r2 <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn percentile_within_range(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..100), p in 0.0f64..1.0
+    ) {
+        let v = stats::percentile(&xs, p).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn sed_nonnegative_and_zero_iff_equal(
+        a in proptest::collection::vec(-10.0f64..10.0, 1..20)
+    ) {
+        prop_assert_eq!(squared_euclidean(&a, &a).unwrap(), 0.0);
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        prop_assert!(squared_euclidean(&a, &b).unwrap() > 0.0);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn silhouette_in_unit_interval(n_per in 2usize..6, sep in 1.0f64..50.0) {
+        // Two planted clusters at distance `sep`, intra-distance ~0.1.
+        let n = 2 * n_per;
+        let mut dist = vec![vec![0.0; n]; n];
+        let mut labels = vec![0usize; n];
+        for i in 0..n {
+            labels[i] = usize::from(i >= n_per);
+            for j in 0..n {
+                if i != j {
+                    dist[i][j] = if labels.get(j).is_some() && (i >= n_per) == (j >= n_per) {
+                        0.1
+                    } else {
+                        sep
+                    };
+                }
+            }
+        }
+        let labels: Vec<usize> = (0..n).map(|i| usize::from(i >= n_per)).collect();
+        let s = silhouette_score(&dist, &labels).unwrap();
+        prop_assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn centered_pdf_has_zero_mean(ln in arb_lognormal()) {
+        let pdf = BinnedPdf::from_fn(grid(), |u| ln.pdf_log10(u)).unwrap();
+        let c = pdf.centered().unwrap();
+        prop_assert!(c.mean_log10().abs() < 0.02, "mean {}", c.mean_log10());
+    }
+
+    #[test]
+    fn sampling_stays_in_support(ln in arb_lognormal(), seed in 0u64..1000) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let pdf = BinnedPdf::from_fn(grid(), |u| ln.pdf_log10(u)).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = pdf.sample(&mut rng);
+            prop_assert!(x >= 10f64.powf(-3.0) * 0.999 && x <= 10f64.powf(4.0) * 1.001);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Ground-truth session arrival process at a base station.
+//!
+//! §4.1 observes that per-minute session arrival counts at every BS follow
+//! a *bi-modal* distribution produced by the circadian rhythm: a Gaussian
+//! mode during daylight hours and a heavy-tailed Pareto mode overnight,
+//! with rapid transitions. §5.1 quantifies the released model: the peak
+//! mean `μ` ranges from 1.21 sessions/min (first load decile) to 71
+//! (last), `σ = μ/10`, and the off-peak Pareto has fixed shape `b = 1.765`
+//! with a scale growing across deciles at the same exponential rate as `μ`.
+//!
+//! This module *generates* traffic from exactly that law (it is the ground
+//! truth the fitted models of `mtd-core` must recover).
+
+use crate::time::is_peak_minute;
+use mtd_math::distributions::{Distribution1D, Gaussian, Pareto};
+use rand::Rng;
+
+/// Peak-hour mean arrivals/minute at the least loaded decile (§5.1).
+pub const PEAK_MEAN_FIRST_DECILE: f64 = 1.21;
+/// Peak-hour mean arrivals/minute at the busiest decile (§5.1).
+pub const PEAK_MEAN_LAST_DECILE: f64 = 71.0;
+/// Off-peak Pareto shape, fixed across all BSs (§5.1).
+pub const OFFPEAK_SHAPE: f64 = 1.765;
+/// Ratio `μ / pareto-scale`; makes night means roughly one order of
+/// magnitude below day means, as in Fig 3.
+const SCALE_DIVISOR: f64 = 20.0;
+
+/// The bimodal arrival process of one BS.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    peak: Gaussian,
+    offpeak: Pareto,
+}
+
+impl ArrivalProcess {
+    /// Builds the process for a BS at load quantile `q ∈ (0,1)`, with a
+    /// global `scale` multiplier (used to shrink scenarios).
+    ///
+    /// The peak mean interpolates exponentially between the paper's first
+    /// and last decile values, matching §5.1's observation that `μ` and
+    /// the Pareto scale grow exponentially at a similar rate across decile
+    /// classes.
+    #[must_use]
+    pub fn for_load_quantile(q: f64, scale: f64) -> ArrivalProcess {
+        let q = q.clamp(1e-6, 1.0 - 1e-6);
+        let mu = PEAK_MEAN_FIRST_DECILE
+            * (PEAK_MEAN_LAST_DECILE / PEAK_MEAN_FIRST_DECILE).powf(q)
+            * scale.max(1e-6);
+        let sigma = mu / 10.0;
+        let pareto_scale = (mu / SCALE_DIVISOR).max(1e-3);
+        ArrivalProcess {
+            peak: Gaussian::new(mu, sigma).expect("valid peak params"),
+            offpeak: Pareto::new(OFFPEAK_SHAPE, pareto_scale).expect("valid offpeak params"),
+        }
+    }
+
+    /// Peak-hour mean arrivals per minute.
+    #[must_use]
+    pub fn peak_mean(&self) -> f64 {
+        self.peak.mean()
+    }
+
+    /// Off-peak Pareto scale parameter.
+    #[must_use]
+    pub fn offpeak_scale(&self) -> f64 {
+        self.offpeak.scale()
+    }
+
+    /// Expected number of arrivals in one minute at `minute_of_day`.
+    #[must_use]
+    pub fn mean_at(&self, minute_of_day: u32) -> f64 {
+        if is_peak_minute(minute_of_day) {
+            self.peak.mean()
+        } else {
+            self.offpeak.mean()
+        }
+    }
+
+    /// Draws the number of new sessions in the given minute.
+    ///
+    /// Continuous draws are converted to counts by probabilistic rounding,
+    /// which preserves the mean exactly (plain truncation would bias the
+    /// recovered `μ` downward at low-load BSs).
+    pub fn sample_count<R: Rng + ?Sized>(&self, minute_of_day: u32, rng: &mut R) -> u32 {
+        let x = if is_peak_minute(minute_of_day) {
+            self.peak.sample(rng).max(0.0)
+        } else {
+            // Cap the heavy tail at a generous multiple of the day mean so
+            // a single pathological draw cannot dominate a whole scenario.
+            self.offpeak.sample(rng).min(self.peak.mean() * 3.0)
+        };
+        let base = x.floor();
+        let frac = x - base;
+        base as u32 + u32::from(rng.gen::<f64>() < frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decile_endpoints_match_paper() {
+        let lo = ArrivalProcess::for_load_quantile(0.0, 1.0);
+        let hi = ArrivalProcess::for_load_quantile(1.0, 1.0);
+        assert!((lo.peak_mean() - PEAK_MEAN_FIRST_DECILE).abs() < 0.01);
+        assert!((hi.peak_mean() - PEAK_MEAN_LAST_DECILE).abs() < 0.5);
+    }
+
+    #[test]
+    fn peak_mean_monotone_in_quantile() {
+        let mut prev = 0.0;
+        for i in 1..10 {
+            let p = ArrivalProcess::for_load_quantile(i as f64 / 10.0, 1.0);
+            assert!(p.peak_mean() > prev);
+            prev = p.peak_mean();
+        }
+    }
+
+    #[test]
+    fn scale_shrinks_process() {
+        let full = ArrivalProcess::for_load_quantile(0.5, 1.0);
+        let half = ArrivalProcess::for_load_quantile(0.5, 0.5);
+        assert!((half.peak_mean() - full.peak_mean() / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_peak_counts_match_mean() {
+        let p = ArrivalProcess::for_load_quantile(0.7, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let total: u64 = (0..n)
+            .map(|_| u64::from(p.sample_count(12 * 60, &mut rng)))
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - p.peak_mean()).abs() / p.peak_mean() < 0.02,
+            "sampled {mean} vs {}",
+            p.peak_mean()
+        );
+    }
+
+    #[test]
+    fn night_counts_much_lower_than_day() {
+        let p = ArrivalProcess::for_load_quantile(0.8, 1.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 20_000;
+        let day: u64 = (0..n)
+            .map(|_| u64::from(p.sample_count(12 * 60, &mut rng)))
+            .sum();
+        let night: u64 = (0..n)
+            .map(|_| u64::from(p.sample_count(3 * 60, &mut rng)))
+            .sum();
+        assert!(
+            (night as f64) < day as f64 / 4.0,
+            "night {night} not well below day {day}"
+        );
+    }
+
+    #[test]
+    fn bimodality_visible_in_count_distribution() {
+        // The PDF over a full day must show two separated modes: night
+        // counts concentrated near the Pareto scale, day counts near μ.
+        let p = ArrivalProcess::for_load_quantile(0.9, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut day_hist = [0u32; 200];
+        let mut night_hist = [0u32; 200];
+        for _ in 0..5_000 {
+            let d = p.sample_count(12 * 60, &mut rng) as usize;
+            let n = p.sample_count(2 * 60, &mut rng) as usize;
+            day_hist[d.min(199)] += 1;
+            night_hist[n.min(199)] += 1;
+        }
+        let day_mode = day_hist
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .unwrap()
+            .0;
+        let night_mode = night_hist
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .unwrap()
+            .0;
+        assert!(
+            day_mode as f64 > 4.0 * night_mode.max(1) as f64,
+            "day mode {day_mode}, night mode {night_mode}"
+        );
+    }
+
+    #[test]
+    fn quantile_clamped_to_open_interval() {
+        // Extreme quantiles must not produce NaN/inf parameters.
+        let p0 = ArrivalProcess::for_load_quantile(-1.0, 1.0);
+        let p1 = ArrivalProcess::for_load_quantile(2.0, 1.0);
+        assert!(p0.peak_mean().is_finite());
+        assert!(p1.peak_mean().is_finite());
+        assert!(p0.peak_mean() < p1.peak_mean());
+    }
+}

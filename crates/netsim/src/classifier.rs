@@ -1,0 +1,136 @@
+//! DPI traffic classifier stand-in.
+//!
+//! The operator's gateway probes "run proprietary traffic classifiers …
+//! based on Deep Packet Inspection" with high (but not perfect) accuracy
+//! (§3.1). We emulate the observable behavior: flows are classified from
+//! their server fingerprint (destination /24 + port), and a configurable
+//! error rate mislabels flows uniformly across other services — which
+//! propagates into the aggregated statistics exactly like real DPI noise.
+
+use crate::ids::ServiceId;
+use crate::services::ServiceCatalog;
+use crate::session::FiveTuple;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The flow classifier used by the gateway probe.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    port_map: HashMap<u16, ServiceId>,
+    n_services: u16,
+    error_rate: f64,
+}
+
+impl Classifier {
+    /// Builds the classifier's fingerprint table from a catalog.
+    #[must_use]
+    pub fn new(catalog: &ServiceCatalog, error_rate: f64) -> Classifier {
+        let port_map = catalog
+            .services()
+            .iter()
+            .map(|s| (s.server_port, s.id))
+            .collect();
+        Classifier {
+            port_map,
+            n_services: catalog.len() as u16,
+            error_rate: error_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Classifies a flow from its 5-tuple.
+    ///
+    /// Returns the fingerprinted service, or — with the configured error
+    /// probability — a uniformly random *other* service. Unknown ports
+    /// (possible only with foreign 5-tuples) fall back to service 0,
+    /// mirroring DPI classifiers' catch-all buckets.
+    pub fn classify<R: Rng + ?Sized>(&self, tuple: &FiveTuple, rng: &mut R) -> ServiceId {
+        let truth = self
+            .port_map
+            .get(&tuple.dst_port)
+            .copied()
+            .unwrap_or(ServiceId(0));
+        if self.n_services > 1 && rng.gen::<f64>() < self.error_rate {
+            // Uniform over the other services.
+            let mut pick = rng.gen_range(0..self.n_services - 1);
+            if pick >= truth.0 {
+                pick += 1;
+            }
+            ServiceId(pick)
+        } else {
+            truth
+        }
+    }
+
+    /// Configured error rate.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Proto, UeId};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tuple_for(catalog: &ServiceCatalog, name: &str, rng: &mut SmallRng) -> FiveTuple {
+        let s = catalog.by_name(name).unwrap();
+        FiveTuple::generate(UeId(1), s.server_port, s.id.0, Proto::Tcp, rng)
+    }
+
+    #[test]
+    fn perfect_classifier_is_exact() {
+        let catalog = ServiceCatalog::paper();
+        let clf = Classifier::new(&catalog, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for s in catalog.services() {
+            let t = FiveTuple::generate(UeId(2), s.server_port, s.id.0, Proto::Udp, &mut rng);
+            assert_eq!(clf.classify(&t, &mut rng), s.id);
+        }
+    }
+
+    #[test]
+    fn error_rate_respected() {
+        let catalog = ServiceCatalog::paper();
+        let clf = Classifier::new(&catalog, 0.1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t = tuple_for(&catalog, "Netflix", &mut rng);
+        let truth = catalog.by_name("Netflix").unwrap().id;
+        let n = 20_000;
+        let wrong = (0..n)
+            .filter(|_| clf.classify(&t, &mut rng) != truth)
+            .count();
+        let rate = wrong as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "error rate {rate}");
+    }
+
+    #[test]
+    fn errors_never_return_truth() {
+        // With error_rate 1.0 the classifier must always mislabel.
+        let catalog = ServiceCatalog::paper();
+        let clf = Classifier::new(&catalog, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = tuple_for(&catalog, "Facebook", &mut rng);
+        let truth = catalog.by_name("Facebook").unwrap().id;
+        for _ in 0..500 {
+            assert_ne!(clf.classify(&t, &mut rng), truth);
+        }
+    }
+
+    #[test]
+    fn unknown_port_falls_back() {
+        let catalog = ServiceCatalog::paper();
+        let clf = Classifier::new(&catalog, 0.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let t = FiveTuple {
+            proto: Proto::Tcp,
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 40_000,
+            dst_port: 9,
+        };
+        assert_eq!(clf.classify(&t, &mut rng), ServiceId(0));
+    }
+}

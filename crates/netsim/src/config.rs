@@ -1,0 +1,163 @@
+//! Scenario configuration.
+//!
+//! The real campaign covered 282,000 BSs for 45 days — far beyond what a
+//! reproduction needs or a laptop fits. A [`ScenarioConfig`] scales the
+//! synthetic campaign down while preserving every statistical mechanism;
+//! the presets document the scales used by tests and by the experiment
+//! binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Full description of a synthetic measurement campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of base stations in the RAN.
+    pub n_bs: usize,
+    /// Number of simulated days (day 0 is a Monday).
+    pub days: u32,
+    /// Master seed; every stream in the simulation derives from it.
+    pub seed: u64,
+    /// Global multiplier on arrival rates (1.0 = the paper's §5.1 values).
+    pub arrival_scale: f64,
+    /// Probability that a session's UE is moving (drives §4.2 transients).
+    pub p_mobile: f64,
+    /// Mean dwell time under one BS for moving UEs, seconds.
+    pub mean_dwell_s: f64,
+    /// Mean remaining trip length of a moving UE at session start,
+    /// seconds; bounds how many handovers one session can suffer.
+    pub mean_trip_s: f64,
+    /// DPI classifier error rate (mislabeled flows).
+    pub classifier_error_rate: f64,
+    /// Probability that the gateway probe splits a flow due to an
+    /// "unorthodox termination" / idle-timeout artifact (§3.2).
+    pub timeout_split_prob: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            n_bs: 60,
+            days: 7,
+            seed: 0xC0FFEE,
+            arrival_scale: 1.0,
+            p_mobile: 0.15,
+            mean_dwell_s: 55.0,
+            mean_trip_s: 110.0,
+            classifier_error_rate: 0.01,
+            timeout_split_prob: 0.01,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A small scenario for unit/integration tests: fast, yet covering a
+    /// full week (so weekend slices exist) and tens of thousands of
+    /// sessions.
+    #[must_use]
+    pub fn small_test() -> ScenarioConfig {
+        ScenarioConfig {
+            n_bs: 12,
+            days: 7,
+            seed: 7,
+            arrival_scale: 0.06,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// The evaluation scenario used by the experiment binaries: large
+    /// enough for smooth per-service PDFs across all 31 services.
+    #[must_use]
+    pub fn evaluation() -> ScenarioConfig {
+        ScenarioConfig {
+            n_bs: 100,
+            days: 7,
+            seed: 0xC0FFEE,
+            arrival_scale: 0.35,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_bs == 0 {
+            return Err("n_bs must be > 0".into());
+        }
+        if self.days == 0 {
+            return Err("days must be > 0".into());
+        }
+        if !(self.arrival_scale > 0.0) {
+            return Err("arrival_scale must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.p_mobile) {
+            return Err("p_mobile must be in [0, 1]".into());
+        }
+        if !(self.mean_dwell_s > 0.0) {
+            return Err("mean_dwell_s must be > 0".into());
+        }
+        if !(self.mean_trip_s > 0.0) {
+            return Err("mean_trip_s must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.classifier_error_rate) {
+            return Err("classifier_error_rate must be in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.timeout_split_prob) {
+            return Err("timeout_split_prob must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(ScenarioConfig::default().validate().is_ok());
+        assert!(ScenarioConfig::small_test().validate().is_ok());
+        assert!(ScenarioConfig::evaluation().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let bad = [
+            ScenarioConfig {
+                n_bs: 0,
+                ..ScenarioConfig::default()
+            },
+            ScenarioConfig {
+                p_mobile: 1.5,
+                ..ScenarioConfig::default()
+            },
+            ScenarioConfig {
+                arrival_scale: 0.0,
+                ..ScenarioConfig::default()
+            },
+            ScenarioConfig {
+                days: 0,
+                ..ScenarioConfig::default()
+            },
+            ScenarioConfig {
+                mean_trip_s: -1.0,
+                ..ScenarioConfig::default()
+            },
+            ScenarioConfig {
+                classifier_error_rate: 2.0,
+                ..ScenarioConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = ScenarioConfig::evaluation();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_bs, c.n_bs);
+        assert_eq!(back.seed, c.seed);
+    }
+}

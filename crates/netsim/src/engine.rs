@@ -1,0 +1,572 @@
+//! The discrete-event simulation engine.
+//!
+//! Drives the whole synthetic measurement campaign: for every BS and every
+//! minute of every day, draws session arrivals from the ground-truth
+//! bimodal process, assigns each session a service (Table 1 shares), a
+//! complete volume/duration (service profile), and an attachment plan
+//! (mobility); fragments the session across the BSs it traverses; and
+//! feeds each [`EngineSink`] callback.
+//!
+//! Determinism: each `(BS, day)` pair gets its own derived RNG stream, so
+//! results are independent of iteration order and fully reproducible from
+//! the scenario seed.
+
+use crate::arrivals::ArrivalProcess;
+use crate::classifier::Classifier;
+use crate::config::ScenarioConfig;
+use crate::geo::Topology;
+use crate::ids::{BsId, SessionId, UeId};
+use crate::mobility::MobilityModel;
+use crate::probes::{GatewayProbe, RanProbe, SignalingEvent, SignalingKind};
+use crate::services::ServiceCatalog;
+use crate::session::{fragment_session, FiveTuple, SessionObservation, SessionSpec};
+use crate::time::{SimTime, MINUTES_PER_DAY};
+use mtd_math::rng::{stream_id, stream_rng};
+use rand::Rng;
+
+/// Receiver of simulation output. All methods have no-op defaults so a
+/// sink implements only what it needs.
+pub trait EngineSink {
+    /// A complete session was generated, together with its attachment plan.
+    fn on_session(&mut self, _spec: &SessionSpec, _plan: &[(BsId, f64)]) {}
+    /// One per-BS fragment of a session (the dataset's unit of record).
+    fn on_observation(&mut self, _obs: &SessionObservation) {}
+    /// One S1-MME signaling event (for the RAN probe).
+    fn on_signaling(&mut self, _ev: &SignalingEvent) {}
+}
+
+/// Aggregate counters returned by a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Complete sessions generated.
+    pub sessions: u64,
+    /// Per-BS observations emitted (≥ sessions; handovers multiply them).
+    pub observations: u64,
+    /// Observations flagged transient (handover-split fragments).
+    pub transient_observations: u64,
+    /// Total traffic volume across all observations, MB.
+    pub total_volume_mb: f64,
+}
+
+impl RunStats {
+    /// Accumulates another stats block (used by both runners so float
+    /// summation order is identical).
+    fn merge(&mut self, other: &RunStats) {
+        self.sessions += other.sessions;
+        self.observations += other.observations;
+        self.transient_observations += other.transient_observations;
+        self.total_volume_mb += other.total_volume_mb;
+    }
+}
+
+/// The simulation engine.
+///
+/// # Examples
+/// ```
+/// use mtd_netsim::engine::{CollectSink, Engine};
+/// use mtd_netsim::geo::Topology;
+/// use mtd_netsim::services::ServiceCatalog;
+/// use mtd_netsim::ScenarioConfig;
+/// let config = ScenarioConfig { n_bs: 3, days: 1, arrival_scale: 0.03,
+///     ..ScenarioConfig::small_test() };
+/// let topology = Topology::generate(config.n_bs, config.seed);
+/// let catalog = ServiceCatalog::paper();
+/// let engine = Engine::new(&config, &topology, &catalog);
+/// let mut sink = CollectSink::default();
+/// let stats = engine.run(&mut sink);
+/// assert!(stats.sessions > 0);
+/// assert_eq!(sink.observations.len() as u64, stats.observations);
+/// ```
+pub struct Engine<'a> {
+    config: &'a ScenarioConfig,
+    topology: &'a Topology,
+    catalog: &'a ServiceCatalog,
+    mobility: MobilityModel,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine over a validated configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid or the topology size does
+    /// not match `config.n_bs` (construct the topology with
+    /// [`Topology::generate`]`(config.n_bs, config.seed)`).
+    #[must_use]
+    pub fn new(
+        config: &'a ScenarioConfig,
+        topology: &'a Topology,
+        catalog: &'a ServiceCatalog,
+    ) -> Engine<'a> {
+        config.validate().expect("valid scenario config");
+        assert_eq!(topology.len(), config.n_bs, "topology size mismatch");
+        assert!(!catalog.is_empty(), "catalog must not be empty");
+        Engine {
+            config,
+            topology,
+            catalog,
+            mobility: MobilityModel::with_trip(
+                config.p_mobile,
+                config.mean_dwell_s,
+                config.mean_trip_s,
+            ),
+        }
+    }
+
+    /// Runs the full campaign, feeding `sink`.
+    pub fn run<S: EngineSink>(&self, sink: &mut S) -> RunStats {
+        let mut stats = RunStats::default();
+        for station in self.topology.stations() {
+            // Per-station accumulation merged in station order keeps the
+            // float totals bit-identical with [`Engine::run_parallel`].
+            let mut st = RunStats::default();
+            self.run_station(station, sink, &mut st);
+            stats.merge(&st);
+        }
+        stats
+    }
+
+    /// Runs the campaign across `threads` worker threads.
+    ///
+    /// Produces output **identical** to [`Engine::run`]: every station has
+    /// its own derived RNG streams and deterministic session ids, workers
+    /// buffer each station's events, and the coordinator replays buffers
+    /// to `sink` in station order. Peak memory is bounded by the few
+    /// out-of-order station buffers in flight.
+    pub fn run_parallel<S: EngineSink>(&self, sink: &mut S, threads: usize) -> RunStats {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let threads = threads.max(1).min(self.topology.len().max(1));
+        if threads == 1 {
+            return self.run(sink);
+        }
+        let stations = self.topology.stations();
+        let n = stations.len();
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, BufferSink, RunStats)>();
+
+        let mut stats = RunStats::default();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut buffer = BufferSink::default();
+                    let mut st = RunStats::default();
+                    self.run_station(&stations[i], &mut buffer, &mut st);
+                    // A dropped receiver just ends the run early.
+                    if tx.send((i, buffer, st)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            // Replay station buffers in order as they complete.
+            let mut pending: std::collections::BTreeMap<usize, (BufferSink, RunStats)> =
+                std::collections::BTreeMap::new();
+            let mut next_replay = 0usize;
+            for (i, buffer, st) in rx {
+                pending.insert(i, (buffer, st));
+                while let Some((buffer, st)) = pending.remove(&next_replay) {
+                    buffer.replay(sink);
+                    stats.merge(&st);
+                    next_replay += 1;
+                }
+            }
+        })
+        .expect("engine worker panicked");
+        stats
+    }
+
+    /// Simulates one station's whole campaign into `sink`.
+    ///
+    /// Session ids are derived from `(station, day, index)` so that the
+    /// sequential and parallel runners emit identical streams.
+    fn run_station<S: EngineSink>(
+        &self,
+        station: &crate::geo::BaseStation,
+        sink: &mut S,
+        stats: &mut RunStats,
+    ) {
+        let arrivals =
+            ArrivalProcess::for_load_quantile(station.load_quantile, self.config.arrival_scale);
+        for day in 0..self.config.days {
+            let stream = u64::from(station.id.0) * 1_000_003 + u64::from(day);
+            let mut rng = stream_rng(self.config.seed ^ stream_id("engine"), stream);
+            let mut counter: u64 = 0;
+            let base = (u64::from(station.id.0) << 42) | (u64::from(day) << 32);
+            for minute in 0..MINUTES_PER_DAY {
+                let n = arrivals.sample_count(minute, &mut rng);
+                for _ in 0..n {
+                    counter += 1;
+                    self.spawn_session(
+                        SessionId(base | counter),
+                        station.id,
+                        day,
+                        minute,
+                        &mut rng,
+                        sink,
+                        stats,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Generates one complete session starting at `(bs, day, minute)` and
+    /// emits its fragments and signaling.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_session<S: EngineSink, R: Rng>(
+        &self,
+        id: SessionId,
+        bs: BsId,
+        day: u32,
+        minute: u32,
+        rng: &mut R,
+        sink: &mut S,
+        stats: &mut RunStats,
+    ) {
+        let service = self.catalog.sample_service(rng);
+        let profile = self.catalog.service(service);
+        let volume_mb = profile.sample_volume(rng);
+        let duration_s = profile.duration_for_volume(volume_mb, rng);
+        let start = SimTime::new(day, f64::from(minute) * 60.0 + rng.gen::<f64>() * 60.0);
+        let ue = UeId(id.0);
+        let five_tuple = FiveTuple::generate(
+            ue,
+            profile.server_port,
+            service.0,
+            profile.sample_proto(rng),
+            rng,
+        );
+        let plan = self
+            .mobility
+            .attachment_plan(self.topology, bs, duration_s, rng);
+        let spec = SessionSpec {
+            id,
+            ue,
+            service,
+            start,
+            duration_s,
+            volume_mb,
+            five_tuple,
+        };
+
+        sink.on_session(&spec, &plan);
+
+        // Signaling: one attach per visited BS, one final detach.
+        let mut t = start;
+        for (seg_bs, dwell) in &plan {
+            sink.on_signaling(&SignalingEvent {
+                ue,
+                time: t,
+                kind: SignalingKind::Attach(*seg_bs),
+            });
+            t = t.plus_seconds(*dwell);
+        }
+        sink.on_signaling(&SignalingEvent {
+            ue,
+            time: t,
+            kind: SignalingKind::Detach,
+        });
+
+        stats.sessions += 1;
+        for obs in fragment_session(&spec, &plan, |b| self.topology.station(b).rat) {
+            stats.observations += 1;
+            stats.transient_observations += u64::from(obs.transient);
+            stats.total_volume_mb += obs.volume_mb;
+            sink.on_observation(&obs);
+        }
+    }
+}
+
+/// A sink that feeds the §3.1 probe pipeline: signaling into a
+/// [`RanProbe`], completed flows into a [`GatewayProbe`]. After the run,
+/// [`crate::probes::join_observations`] reconstructs per-BS fragments from
+/// the probe data alone — the measurement path the paper describes.
+pub struct ProbeSink {
+    pub ran: RanProbe,
+    pub gateway: GatewayProbe,
+    rng: rand::rngs::SmallRng,
+}
+
+impl ProbeSink {
+    /// Creates the probe pair for a scenario.
+    #[must_use]
+    pub fn new(config: &ScenarioConfig, catalog: &ServiceCatalog) -> ProbeSink {
+        ProbeSink {
+            ran: RanProbe::new(),
+            gateway: GatewayProbe::new(
+                Classifier::new(catalog, config.classifier_error_rate),
+                config.timeout_split_prob,
+            ),
+            rng: stream_rng(config.seed, stream_id("probes")),
+        }
+    }
+}
+
+impl EngineSink for ProbeSink {
+    fn on_session(&mut self, spec: &SessionSpec, _plan: &[(BsId, f64)]) {
+        self.gateway.observe(
+            spec.id,
+            spec.ue,
+            spec.five_tuple,
+            spec.start,
+            spec.duration_s,
+            spec.volume_mb,
+            &mut self.rng,
+        );
+    }
+    fn on_signaling(&mut self, ev: &SignalingEvent) {
+        self.ran.observe(ev);
+    }
+}
+
+/// One buffered engine event (used by the parallel runner).
+enum BufferedEvent {
+    Session(SessionSpec, Vec<(BsId, f64)>),
+    Observation(SessionObservation),
+    Signaling(SignalingEvent),
+}
+
+/// Buffers a station's events for ordered replay.
+#[derive(Default)]
+struct BufferSink {
+    events: Vec<BufferedEvent>,
+}
+
+impl BufferSink {
+    fn replay<S: EngineSink>(self, sink: &mut S) {
+        for ev in self.events {
+            match ev {
+                BufferedEvent::Session(spec, plan) => sink.on_session(&spec, &plan),
+                BufferedEvent::Observation(obs) => sink.on_observation(&obs),
+                BufferedEvent::Signaling(ev) => sink.on_signaling(&ev),
+            }
+        }
+    }
+}
+
+impl EngineSink for BufferSink {
+    fn on_session(&mut self, spec: &SessionSpec, plan: &[(BsId, f64)]) {
+        self.events
+            .push(BufferedEvent::Session(spec.clone(), plan.to_vec()));
+    }
+    fn on_observation(&mut self, obs: &SessionObservation) {
+        self.events.push(BufferedEvent::Observation(obs.clone()));
+    }
+    fn on_signaling(&mut self, ev: &SignalingEvent) {
+        self.events.push(BufferedEvent::Signaling(*ev));
+    }
+}
+
+/// A sink that simply collects observations in memory (tests, small runs).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    pub observations: Vec<SessionObservation>,
+    pub sessions: Vec<SessionSpec>,
+}
+
+impl EngineSink for CollectSink {
+    fn on_session(&mut self, spec: &SessionSpec, _plan: &[(BsId, f64)]) {
+        self.sessions.push(spec.clone());
+    }
+    fn on_observation(&mut self, obs: &SessionObservation) {
+        self.observations.push(obs.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probes::join_observations;
+
+    fn run_small() -> (
+        ScenarioConfig,
+        Topology,
+        ServiceCatalog,
+        CollectSink,
+        RunStats,
+    ) {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let engine = Engine::new(&config, &topology, &catalog);
+        let mut sink = CollectSink::default();
+        let stats = engine.run(&mut sink);
+        (config, topology, catalog, sink, stats)
+    }
+
+    #[test]
+    fn run_produces_sessions_and_observations() {
+        let (_, _, _, sink, stats) = run_small();
+        assert!(stats.sessions > 1_000, "sessions {}", stats.sessions);
+        assert!(stats.observations >= stats.sessions);
+        assert_eq!(sink.observations.len() as u64, stats.observations);
+        assert_eq!(sink.sessions.len() as u64, stats.sessions);
+        assert!(stats.transient_observations > 0);
+        assert!(stats.total_volume_mb > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (_, _, _, a, sa) = run_small();
+        let (_, _, _, b, sb) = run_small();
+        assert_eq!(sa, sb);
+        assert_eq!(a.observations.len(), b.observations.len());
+        for (x, y) in a.observations.iter().take(100).zip(&b.observations) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn observation_volume_equals_session_volume() {
+        let (_, _, _, sink, stats) = run_small();
+        let session_total: f64 = sink.sessions.iter().map(|s| s.volume_mb).sum();
+        assert!(
+            (session_total - stats.total_volume_mb).abs() / session_total < 1e-9,
+            "session {session_total} vs observation {}",
+            stats.total_volume_mb
+        );
+    }
+
+    #[test]
+    fn day_arrivals_dominate_night() {
+        let (_, _, _, sink, _) = run_small();
+        let day = sink
+            .sessions
+            .iter()
+            .filter(|s| crate::time::is_peak_minute(s.start.minute_of_day()))
+            .count();
+        let night = sink.sessions.len() - day;
+        // Peak window is 14 h vs 10 h off-peak, and rates are ~10x higher.
+        assert!(day > 4 * night, "day {day} night {night}");
+    }
+
+    #[test]
+    fn all_services_appear_at_scale() {
+        let (_, _, catalog, sink, _) = run_small();
+        let mut seen = vec![false; catalog.len()];
+        for s in &sink.sessions {
+            seen[s.service.0 as usize] = true;
+        }
+        let count = seen.iter().filter(|s| **s).count();
+        assert!(count >= catalog.len() - 2, "only {count} services seen");
+    }
+
+    #[test]
+    fn probe_pipeline_reconstructs_engine_output() {
+        let config = ScenarioConfig {
+            classifier_error_rate: 0.0,
+            timeout_split_prob: 0.0,
+            ..ScenarioConfig::small_test()
+        };
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let engine = Engine::new(&config, &topology, &catalog);
+
+        struct Both {
+            collect: CollectSink,
+            probes: ProbeSink,
+        }
+        impl EngineSink for Both {
+            fn on_session(&mut self, spec: &SessionSpec, plan: &[(BsId, f64)]) {
+                self.collect.on_session(spec, plan);
+                self.probes.on_session(spec, plan);
+            }
+            fn on_observation(&mut self, obs: &SessionObservation) {
+                self.collect.on_observation(obs);
+            }
+            fn on_signaling(&mut self, ev: &SignalingEvent) {
+                self.probes.on_signaling(ev);
+            }
+        }
+        let mut sink = Both {
+            collect: CollectSink::default(),
+            probes: ProbeSink::new(&config, &catalog),
+        };
+        engine.run(&mut sink);
+
+        let (joined, dropped) = join_observations(&sink.probes.ran, &sink.probes.gateway, |b| {
+            topology.station(b).rat
+        });
+        assert_eq!(dropped, 0);
+        // The probe join must reproduce the engine's ground truth:
+        // same observation count and total volume.
+        assert_eq!(joined.len(), sink.collect.observations.len());
+        let truth_v: f64 = sink.collect.observations.iter().map(|o| o.volume_mb).sum();
+        let join_v: f64 = joined.iter().map(|o| o.volume_mb).sum();
+        assert!((truth_v - join_v).abs() / truth_v < 1e-9);
+        // Per-BS volume totals match too.
+        let mut tv = std::collections::HashMap::new();
+        for o in &sink.collect.observations {
+            *tv.entry(o.bs).or_insert(0.0) += o.volume_mb;
+        }
+        for o in &joined {
+            *tv.entry(o.bs).or_insert(0.0) -= o.volume_mb;
+        }
+        for (bs, v) in tv {
+            assert!(v.abs() < 1e-6, "BS {bs:?} imbalance {v}");
+        }
+    }
+
+    #[test]
+    fn transient_fraction_tracks_p_mobile() {
+        let (config, _, _, sink, _) = run_small();
+        let transient_sessions = sink
+            .observations
+            .iter()
+            .filter(|o| o.transient && o.segment_index == 0)
+            .count();
+        let frac = transient_sessions as f64 / sink.sessions.len() as f64;
+        // Mobile sessions split only when duration exceeds dwell, so the
+        // transient fraction is below p_mobile but well above zero.
+        assert!(
+            frac > 0.05 && frac < config.p_mobile + 0.02,
+            "transient frac {frac}"
+        );
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_exactly() {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let engine = Engine::new(&config, &topology, &catalog);
+        let mut seq = CollectSink::default();
+        let seq_stats = engine.run(&mut seq);
+        let mut par = CollectSink::default();
+        let par_stats = engine.run_parallel(&mut par, 4);
+        assert_eq!(seq_stats, par_stats);
+        assert_eq!(seq.sessions.len(), par.sessions.len());
+        assert_eq!(seq.observations.len(), par.observations.len());
+        for (a, b) in seq.observations.iter().zip(&par.observations) {
+            assert_eq!(a, b);
+        }
+        for (a, b) in seq.sessions.iter().zip(&par.sessions) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn session_ids_are_unique() {
+        let (_, _, _, sink, _) = run_small();
+        let mut ids: Vec<u64> = sink.sessions.iter().map(|s| s.id.0).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology size mismatch")]
+    fn mismatched_topology_panics() {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs + 1, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let _ = Engine::new(&config, &topology, &catalog);
+    }
+}

@@ -1,0 +1,247 @@
+//! Transport-session delimitation — the §3.2 flow-assembly rules.
+//!
+//! The gateway probes turn raw packet streams into session records: "a
+//! TCP session is typically initiated by the three-way handshake and
+//! considered to be terminated shortly after a packet with the FIN or
+//! RST bits set is observed. Expiration timeouts that are
+//! service-specific are also employed … In case \[of\] UDP sessions, they
+//! start when a new 5-tuple is recorded, and \[are\] ended once a timeout
+//! period without any transmitted packets elapses."
+//!
+//! This module implements that state machine over a packet stream. The
+//! engine's fast path does not route every session through per-packet
+//! assembly (the aggregate statistics are identical by construction);
+//! the assembler exists to validate the §3.2 semantics, to power
+//! packet-level studies, and to characterize how timeout choices split
+//! sessions — the "unorthodox termination" artifact the gateway probe
+//! emulates probabilistically.
+
+use crate::ids::Proto;
+use crate::packets::Packet;
+
+/// TCP control flags relevant to session delimitation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpSignal {
+    /// Ordinary data segment.
+    Data,
+    /// Connection teardown (FIN or RST observed).
+    Teardown,
+}
+
+/// One packet with transport-level delimitation context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowPacket {
+    pub packet: Packet,
+    /// TCP teardown marker; ignored for UDP.
+    pub signal: TcpSignal,
+}
+
+/// One assembled flow: a maximal packet run the probe reports as a
+/// single transport session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssembledFlow {
+    /// Start offset, seconds.
+    pub start_s: f64,
+    /// End offset, seconds (last packet; UDP timeouts do not extend it).
+    pub end_s: f64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Packets in the flow.
+    pub packets: usize,
+    /// True when the flow ended on an idle timeout rather than teardown.
+    pub timed_out: bool,
+}
+
+impl AssembledFlow {
+    /// Flow duration, seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Assembles flows from a time-ordered packet sequence of one 5-tuple.
+///
+/// - **TCP**: a flow ends at a [`TcpSignal::Teardown`] packet, or after
+///   `idle_timeout_s` without traffic (the service-specific expiration
+///   that "mitigates unorthodox terminations").
+/// - **UDP**: teardown signals are ignored; only the idle timeout ends a
+///   flow.
+///
+/// Out-of-order inputs are rejected (`None`) rather than silently
+/// reordered — the probe sees packets in capture order.
+#[must_use]
+pub fn assemble_flows(
+    proto: Proto,
+    packets: &[FlowPacket],
+    idle_timeout_s: f64,
+) -> Option<Vec<AssembledFlow>> {
+    if idle_timeout_s <= 0.0 {
+        return None;
+    }
+    for w in packets.windows(2) {
+        if w[1].packet.time_s < w[0].packet.time_s {
+            return None;
+        }
+    }
+    let mut flows = Vec::new();
+    let mut current: Option<AssembledFlow> = None;
+    for fp in packets {
+        let t = fp.packet.time_s;
+        // Idle-timeout check against the open flow.
+        if let Some(flow) = &mut current {
+            if t - flow.end_s > idle_timeout_s {
+                flow.timed_out = true;
+                flows.push(current.take().expect("flow present"));
+            }
+        }
+        let flow = current.get_or_insert(AssembledFlow {
+            start_s: t,
+            end_s: t,
+            bytes: 0,
+            packets: 0,
+            timed_out: false,
+        });
+        flow.end_s = t;
+        flow.bytes += u64::from(fp.packet.size_bytes);
+        flow.packets += 1;
+        // TCP teardown closes immediately.
+        if proto == Proto::Tcp && fp.signal == TcpSignal::Teardown {
+            flows.push(current.take().expect("flow present"));
+        }
+    }
+    if let Some(flow) = current {
+        flows.push(flow);
+    }
+    Some(flows)
+}
+
+/// Fraction of a session population that an idle timeout would split into
+/// two or more flows, estimated over sampled packet traces. Quantifies
+/// the §3.2 timeout-splitting artifact as a function of the timeout.
+pub fn timeout_split_fraction<R: rand::Rng + ?Sized>(
+    profile: crate::packets::RateProfile,
+    volume_mb: f64,
+    duration_s: f64,
+    idle_timeout_s: f64,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut split = 0;
+    for _ in 0..trials {
+        let packets =
+            crate::packets::sample_packets(volume_mb, duration_s, profile, Proto::Udp, rng);
+        let fps: Vec<FlowPacket> = packets
+            .into_iter()
+            .map(|packet| FlowPacket {
+                packet,
+                signal: TcpSignal::Data,
+            })
+            .collect();
+        if let Some(flows) = assemble_flows(Proto::Udp, &fps, idle_timeout_s) {
+            if flows.len() > 1 {
+                split += 1;
+            }
+        }
+    }
+    split as f64 / trials.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(t: f64, size: u32, signal: TcpSignal) -> FlowPacket {
+        FlowPacket {
+            packet: Packet {
+                time_s: t,
+                size_bytes: size,
+            },
+            signal,
+        }
+    }
+
+    #[test]
+    fn tcp_flow_ends_at_fin() {
+        let packets = vec![
+            pkt(0.0, 100, TcpSignal::Data),
+            pkt(1.0, 200, TcpSignal::Data),
+            pkt(2.0, 50, TcpSignal::Teardown),
+            pkt(10.0, 300, TcpSignal::Data), // a new connection reusing the tuple
+        ];
+        let flows = assemble_flows(Proto::Tcp, &packets, 30.0).unwrap();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].packets, 3);
+        assert_eq!(flows[0].bytes, 350);
+        assert!(!flows[0].timed_out);
+        assert_eq!(flows[1].packets, 1);
+    }
+
+    #[test]
+    fn udp_ignores_teardown_and_times_out() {
+        let packets = vec![
+            pkt(0.0, 100, TcpSignal::Teardown), // meaningless for UDP
+            pkt(1.0, 100, TcpSignal::Data),
+            pkt(100.0, 100, TcpSignal::Data), // > 30 s gap → new flow
+        ];
+        let flows = assemble_flows(Proto::Udp, &packets, 30.0).unwrap();
+        assert_eq!(flows.len(), 2);
+        assert!(flows[0].timed_out);
+        assert_eq!(flows[0].packets, 2);
+        assert!((flows[0].duration_s() - 1.0).abs() < 1e-12);
+        assert!(!flows[1].timed_out);
+    }
+
+    #[test]
+    fn tcp_idle_timeout_mitigates_unorthodox_termination() {
+        // No FIN ever observed: the service-specific timeout still closes
+        // the session (§3.2).
+        let packets = vec![
+            pkt(0.0, 100, TcpSignal::Data),
+            pkt(5.0, 100, TcpSignal::Data),
+            pkt(200.0, 100, TcpSignal::Data),
+        ];
+        let flows = assemble_flows(Proto::Tcp, &packets, 60.0).unwrap();
+        assert_eq!(flows.len(), 2);
+        assert!(flows[0].timed_out);
+    }
+
+    #[test]
+    fn bytes_and_durations_conserved() {
+        let packets: Vec<FlowPacket> = (0..50)
+            .map(|i| pkt(f64::from(i) * 0.5, 120, TcpSignal::Data))
+            .collect();
+        let flows = assemble_flows(Proto::Udp, &packets, 10.0).unwrap();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].bytes, 50 * 120);
+        assert!((flows[0].duration_s() - 24.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_disorder_and_bad_timeout() {
+        let packets = vec![pkt(2.0, 10, TcpSignal::Data), pkt(1.0, 10, TcpSignal::Data)];
+        assert!(assemble_flows(Proto::Udp, &packets, 30.0).is_none());
+        assert!(assemble_flows(Proto::Udp, &[], 0.0).is_none());
+    }
+
+    #[test]
+    fn empty_input_gives_no_flows() {
+        assert_eq!(assemble_flows(Proto::Tcp, &[], 30.0), Some(vec![]));
+    }
+
+    #[test]
+    fn split_fraction_monotone_in_timeout() {
+        use crate::packets::RateProfile;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        // Messaging-like on/off traffic over 10 minutes.
+        let profile = RateProfile::OnOff { duty_cycle: 0.3 };
+        let strict = timeout_split_fraction(profile, 0.05, 600.0, 2.0, 60, &mut rng);
+        let lax = timeout_split_fraction(profile, 0.05, 600.0, 120.0, 60, &mut rng);
+        assert!(strict >= lax, "strict {strict} vs lax {lax}");
+        assert!(
+            strict > 0.3,
+            "a 2 s timeout should split sparse traffic: {strict}"
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! Spatial layout: BS positions, urbanization regions, cities, topology.
+//!
+//! §4.4 breaks statistics down by (i) dense urban / semi-urban / rural
+//! regions and (ii) the five largest metropolitan areas. We lay BSs out on
+//! a unit square with five city centers; urbanization follows distance to
+//! the nearest city. Neighbor relations (for handovers) use plain nearest
+//! neighbors in the plane.
+
+use crate::ids::{BsId, Rat};
+use mtd_math::rng::stream_rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Position on the unit square.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Position {
+    /// Euclidean distance.
+    #[must_use]
+    pub fn distance(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Urbanization level of a region (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    DenseUrban,
+    SemiUrban,
+    Rural,
+}
+
+impl Region {
+    /// Label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::DenseUrban => "urban",
+            Region::SemiUrban => "semi-urban",
+            Region::Rural => "rural",
+        }
+    }
+}
+
+/// One base station of the simulated RAN.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaseStation {
+    pub id: BsId,
+    pub position: Position,
+    pub region: Region,
+    /// Metropolitan area index (0..5) when inside a city's radius.
+    pub city: Option<u8>,
+    pub rat: Rat,
+    /// Load quantile in (0, 1): drives the arrival-rate heterogeneity that
+    /// produces the decile classes of Fig 3.
+    pub load_quantile: f64,
+    /// Ordered nearest-neighbor BSs, used as handover targets.
+    pub neighbors: Vec<BsId>,
+}
+
+/// The whole RAN layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    stations: Vec<BaseStation>,
+    city_centers: Vec<Position>,
+}
+
+/// Radius around a city center considered dense urban.
+const CITY_RADIUS: f64 = 0.08;
+/// Radius considered semi-urban.
+const SUBURB_RADIUS: f64 = 0.18;
+/// Number of metropolitan areas (§4.4 uses the 5 largest).
+pub const N_CITIES: usize = 5;
+/// Fraction of BSs that are 5G NSA gNodeBs.
+const NR_FRACTION: f64 = 0.2;
+/// Number of handover neighbors kept per BS.
+const N_NEIGHBORS: usize = 4;
+
+impl Topology {
+    /// Generates a topology of `n_bs` base stations, deterministically
+    /// from `seed`.
+    ///
+    /// City centers are fixed, well-separated points; BS positions mix a
+    /// uniform background with clusters around cities (real RANs densify
+    /// near population). Load quantiles are skewed upward in urban areas
+    /// and downward in rural ones, so the top traffic deciles concentrate
+    /// in cities as they do in a real deployment.
+    #[must_use]
+    pub fn generate(n_bs: usize, seed: u64) -> Topology {
+        let mut rng = stream_rng(seed, mtd_math::rng::stream_id("topology"));
+        let city_centers = vec![
+            Position { x: 0.20, y: 0.25 },
+            Position { x: 0.75, y: 0.20 },
+            Position { x: 0.50, y: 0.55 },
+            Position { x: 0.20, y: 0.80 },
+            Position { x: 0.80, y: 0.80 },
+        ];
+
+        let mut stations = Vec::with_capacity(n_bs);
+        for i in 0..n_bs {
+            // 55% of BSs cluster near a city, the rest are background.
+            let position = if rng.gen::<f64>() < 0.55 {
+                let c = &city_centers[rng.gen_range(0..N_CITIES)];
+                // Gaussian-ish scatter around the center via sum of uniforms.
+                let dx = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * 0.12;
+                let dy = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * 0.12;
+                Position {
+                    x: (c.x + dx).clamp(0.0, 1.0),
+                    y: (c.y + dy).clamp(0.0, 1.0),
+                }
+            } else {
+                Position {
+                    x: rng.gen(),
+                    y: rng.gen(),
+                }
+            };
+
+            let (region, city) = classify(&position, &city_centers);
+            // Urban BSs skew toward high load quantiles, rural toward low.
+            let u: f64 = rng.gen_range(1e-4..1.0 - 1e-4);
+            let load_quantile = match region {
+                Region::DenseUrban => u.powf(0.45),
+                Region::SemiUrban => u,
+                Region::Rural => u.powf(2.2),
+            };
+            let rat = if rng.gen::<f64>() < NR_FRACTION {
+                Rat::Nr
+            } else {
+                Rat::Lte
+            };
+
+            stations.push(BaseStation {
+                id: BsId(i as u32),
+                position,
+                region,
+                city,
+                rat,
+                load_quantile,
+                neighbors: Vec::new(),
+            });
+        }
+
+        // Nearest-neighbor handover graph.
+        let positions: Vec<Position> = stations.iter().map(|s| s.position).collect();
+        for i in 0..n_bs {
+            let mut order: Vec<usize> = (0..n_bs).filter(|j| *j != i).collect();
+            order.sort_by(|a, b| {
+                positions[i]
+                    .distance(&positions[*a])
+                    .total_cmp(&positions[i].distance(&positions[*b]))
+            });
+            stations[i].neighbors = order
+                .into_iter()
+                .take(N_NEIGHBORS)
+                .map(|j| BsId(j as u32))
+                .collect();
+        }
+
+        Topology {
+            stations,
+            city_centers,
+        }
+    }
+
+    /// All base stations, ordered by id.
+    #[must_use]
+    pub fn stations(&self) -> &[BaseStation] {
+        &self.stations
+    }
+
+    /// Looks up a station by id.
+    #[must_use]
+    pub fn station(&self, id: BsId) -> &BaseStation {
+        &self.stations[id.0 as usize]
+    }
+
+    /// Number of base stations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Whether the topology is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stations.is_empty()
+    }
+
+    /// City center positions.
+    #[must_use]
+    pub fn city_centers(&self) -> &[Position] {
+        &self.city_centers
+    }
+}
+
+/// Region/city classification of a position relative to city centers.
+fn classify(pos: &Position, centers: &[Position]) -> (Region, Option<u8>) {
+    let (best_city, best_dist) = centers
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, pos.distance(c)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("city centers non-empty");
+    if best_dist <= CITY_RADIUS {
+        (Region::DenseUrban, Some(best_city as u8))
+    } else if best_dist <= SUBURB_RADIUS {
+        (Region::SemiUrban, None)
+    } else {
+        (Region::Rural, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Topology::generate(50, 42);
+        let b = Topology::generate(50, 42);
+        for (x, y) in a.stations().iter().zip(b.stations()) {
+            assert_eq!(x.position, y.position);
+            assert_eq!(x.load_quantile, y.load_quantile);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Topology::generate(50, 1);
+        let b = Topology::generate(50, 2);
+        let same = a
+            .stations()
+            .iter()
+            .zip(b.stations())
+            .filter(|(x, y)| x.position == y.position)
+            .count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn all_regions_present_at_scale() {
+        let t = Topology::generate(500, 7);
+        let mut urban = 0;
+        let mut semi = 0;
+        let mut rural = 0;
+        for s in t.stations() {
+            match s.region {
+                Region::DenseUrban => urban += 1,
+                Region::SemiUrban => semi += 1,
+                Region::Rural => rural += 1,
+            }
+        }
+        assert!(urban > 20, "urban {urban}");
+        assert!(semi > 20, "semi {semi}");
+        assert!(rural > 20, "rural {rural}");
+    }
+
+    #[test]
+    fn cities_assigned_only_in_urban_radius() {
+        let t = Topology::generate(300, 9);
+        for s in t.stations() {
+            match s.region {
+                Region::DenseUrban => assert!(s.city.is_some()),
+                _ => assert!(s.city.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_exclude_self_and_are_near() {
+        let t = Topology::generate(100, 11);
+        for s in t.stations() {
+            assert_eq!(s.neighbors.len(), N_NEIGHBORS);
+            assert!(!s.neighbors.contains(&s.id));
+            // Neighbors are closer than the topology median distance.
+            for n in &s.neighbors {
+                let d = s.position.distance(&t.station(*n).position);
+                assert!(d < 0.6, "neighbor too far: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn urban_load_quantiles_skew_high() {
+        let t = Topology::generate(2000, 13);
+        let mean = |r: Region| {
+            let v: Vec<f64> = t
+                .stations()
+                .iter()
+                .filter(|s| s.region == r)
+                .map(|s| s.load_quantile)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(Region::DenseUrban) > mean(Region::SemiUrban));
+        assert!(mean(Region::SemiUrban) > mean(Region::Rural));
+    }
+
+    #[test]
+    fn both_rats_present() {
+        let t = Topology::generate(400, 17);
+        let nr = t.stations().iter().filter(|s| s.rat == Rat::Nr).count();
+        assert!(nr > 40 && nr < 200, "nr count {nr}");
+    }
+
+    #[test]
+    fn load_quantiles_in_unit_interval() {
+        let t = Topology::generate(300, 19);
+        for s in t.stations() {
+            assert!(s.load_quantile > 0.0 && s.load_quantile < 1.0);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Identifier newtypes for network entities.
+//!
+//! Strong types prevent the classic index-mixup bugs in simulation code
+//! (a BS index used as a service index compiles but corrupts results).
+
+use serde::{Deserialize, Serialize};
+
+/// Base station (eNodeB/gNodeB) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BsId(pub u32);
+
+/// User equipment identifier (stands in for the IMSI the real probes see).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UeId(pub u64);
+
+/// Mobile service (application) identifier — index into the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServiceId(pub u16);
+
+/// Transport-layer session identifier (unique per full session; fragments
+/// produced by handovers share it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SessionId(pub u64);
+
+/// Radio access technology of a BS (§3: 4G eNodeB or 5G NSA gNodeB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rat {
+    /// 4G eNodeB.
+    Lte,
+    /// 5G NSA gNodeB.
+    Nr,
+}
+
+impl Rat {
+    /// Human-readable short label ("4G" / "5G").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Rat::Lte => "4G",
+            Rat::Nr => "5G",
+        }
+    }
+}
+
+/// Transport protocol of a session's 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Proto {
+    Tcp,
+    Udp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(BsId(1));
+        set.insert(BsId(2));
+        set.insert(BsId(1));
+        assert_eq!(set.len(), 2);
+        assert!(BsId(1) < BsId(2));
+    }
+
+    #[test]
+    fn rat_labels() {
+        assert_eq!(Rat::Lte.label(), "4G");
+        assert_eq!(Rat::Nr.label(), "5G");
+    }
+}

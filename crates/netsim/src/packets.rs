@@ -1,0 +1,316 @@
+//! Intra-session traffic structure — the packet-level extension.
+//!
+//! The paper's Fig 1 taxonomy places session-level models *between*
+//! packet-level and BS-level ones, and its conclusions name intra-session
+//! dynamics as future work. This module provides that lower level for the
+//! simulator: per-class **rate profiles** describing how a session's
+//! volume is spread over its lifetime, and a packet/burst sampler that
+//! realizes them. The default fragmentation keeps the paper-consistent
+//! stationary-rate assumption; profile-aware apportioning is available
+//! as [`volume_fraction_in`] for studies that need it.
+
+use crate::ids::Proto;
+use crate::services::ServiceClass;
+use mtd_math::distributions::{Distribution1D, Exponential, LogNormal10};
+use rand::Rng;
+
+/// How a session's volume is distributed over its duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateProfile {
+    /// Stationary mean rate (the §3.2-consistent default).
+    Constant,
+    /// A startup burst (buffer fill) carrying `burst_volume_fraction` of
+    /// the volume within the first `burst_time_fraction` of the duration;
+    /// the remainder streams steadily. Typical of video players.
+    FrontLoaded {
+        burst_volume_fraction: f64,
+        burst_time_fraction: f64,
+    },
+    /// Alternating activity: bursts of mean length `on_fraction` of a
+    /// period, silence otherwise — the low-duty-cycle exchange pattern of
+    /// messaging apps. Volume is uniform *within* the on-periods.
+    OnOff {
+        /// Fraction of time spent transmitting.
+        duty_cycle: f64,
+    },
+}
+
+impl RateProfile {
+    /// The natural profile of a service class.
+    #[must_use]
+    pub fn for_class(class: ServiceClass) -> RateProfile {
+        match class {
+            ServiceClass::Streaming => RateProfile::FrontLoaded {
+                burst_volume_fraction: 0.25,
+                burst_time_fraction: 0.08,
+            },
+            ServiceClass::Messaging => RateProfile::OnOff { duty_cycle: 0.35 },
+            ServiceClass::Outlier => RateProfile::Constant,
+        }
+    }
+}
+
+/// Fraction of a session's volume delivered within the normalized time
+/// window `[t0, t1] ⊆ [0, 1]`.
+///
+/// `Constant` and `OnOff` (whose on-periods are uniform at session scale)
+/// are linear; `FrontLoaded` concentrates mass at the start.
+#[must_use]
+pub fn volume_fraction_in(profile: RateProfile, t0: f64, t1: f64) -> f64 {
+    let (t0, t1) = (t0.clamp(0.0, 1.0), t1.clamp(0.0, 1.0));
+    if t1 <= t0 {
+        return 0.0;
+    }
+    match profile {
+        RateProfile::Constant | RateProfile::OnOff { .. } => t1 - t0,
+        RateProfile::FrontLoaded {
+            burst_volume_fraction,
+            burst_time_fraction,
+        } => {
+            let cdf = |t: f64| -> f64 {
+                if t <= burst_time_fraction {
+                    burst_volume_fraction * t / burst_time_fraction
+                } else {
+                    burst_volume_fraction
+                        + (1.0 - burst_volume_fraction) * (t - burst_time_fraction)
+                            / (1.0 - burst_time_fraction)
+                }
+            };
+            cdf(t1) - cdf(t0)
+        }
+    }
+}
+
+/// One sampled packet of a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Arrival offset from session start, seconds.
+    pub time_s: f64,
+    /// Payload size, bytes.
+    pub size_bytes: u32,
+}
+
+/// Packet-level statistics of a sampled session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketStats {
+    pub packets: usize,
+    pub mean_size_bytes: f64,
+    pub mean_interarrival_s: f64,
+    /// Number of activity bursts (maximal runs with gaps < 100 ms).
+    pub bursts: usize,
+}
+
+/// Maximum packets sampled per session (statistics stay exact for the
+/// sampled prefix; sessions carrying more are truncated for memory).
+const MAX_PACKETS: usize = 100_000;
+/// MTU-bounded payload.
+const MAX_PAYLOAD: f64 = 1_448.0;
+
+/// Samples the packet arrival process of a session: packet sizes are
+/// log-normal (truncated at the MTU payload), arrivals follow the rate
+/// profile with exponential within-burst gaps.
+pub fn sample_packets<R: Rng + ?Sized>(
+    volume_mb: f64,
+    duration_s: f64,
+    profile: RateProfile,
+    _proto: Proto,
+    rng: &mut R,
+) -> Vec<Packet> {
+    let total_bytes = volume_mb * 1e6;
+    let size_dist = LogNormal10::new(2.9, 0.35).expect("valid size model"); // median ~800 B
+    let mut packets = Vec::new();
+    let mut sent = 0.0;
+    // Mean packet size ~900 B → expected count; cap for memory.
+    let expected = (total_bytes / 900.0).ceil() as usize;
+    let count = expected.clamp(1, MAX_PACKETS);
+
+    for i in 0..count {
+        // Nominal normalized position of this packet's share of volume.
+        let q = (i as f64 + 0.5) / count as f64;
+        // Invert the volume CDF of the profile to a time position.
+        let t_norm = match profile {
+            RateProfile::Constant => q,
+            RateProfile::OnOff { duty_cycle } => {
+                // Uniform at session scale; within-burst jitter below.
+                let _ = duty_cycle;
+                q
+            }
+            RateProfile::FrontLoaded {
+                burst_volume_fraction,
+                burst_time_fraction,
+            } => {
+                if q <= burst_volume_fraction {
+                    q / burst_volume_fraction * burst_time_fraction
+                } else {
+                    burst_time_fraction
+                        + (q - burst_volume_fraction) / (1.0 - burst_volume_fraction)
+                            * (1.0 - burst_time_fraction)
+                }
+            }
+        };
+        // Exponential micro-jitter keeps interarrivals non-degenerate.
+        let jitter = Exponential::new(count as f64 / duration_s.max(1e-6))
+            .expect("valid rate")
+            .sample(rng);
+        let time_s = (t_norm * duration_s + jitter).min(duration_s);
+        let size = size_dist.sample(rng).clamp(40.0, MAX_PAYLOAD);
+        sent += size;
+        packets.push(Packet {
+            time_s,
+            size_bytes: size as u32,
+        });
+        if sent >= total_bytes {
+            break;
+        }
+    }
+    packets.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+    packets
+}
+
+/// Summarizes a packet sequence.
+#[must_use]
+pub fn packet_stats(packets: &[Packet]) -> Option<PacketStats> {
+    if packets.is_empty() {
+        return None;
+    }
+    let mean_size =
+        packets.iter().map(|p| f64::from(p.size_bytes)).sum::<f64>() / packets.len() as f64;
+    let mut gaps = Vec::with_capacity(packets.len().saturating_sub(1));
+    let mut bursts = 1;
+    for w in packets.windows(2) {
+        let gap = w[1].time_s - w[0].time_s;
+        gaps.push(gap);
+        if gap > 0.1 {
+            bursts += 1;
+        }
+    }
+    let mean_gap = if gaps.is_empty() {
+        0.0
+    } else {
+        gaps.iter().sum::<f64>() / gaps.len() as f64
+    };
+    Some(PacketStats {
+        packets: packets.len(),
+        mean_size_bytes: mean_size,
+        mean_interarrival_s: mean_gap,
+        bursts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn volume_fractions_integrate_to_one() {
+        for profile in [
+            RateProfile::Constant,
+            RateProfile::OnOff { duty_cycle: 0.3 },
+            RateProfile::FrontLoaded {
+                burst_volume_fraction: 0.25,
+                burst_time_fraction: 0.08,
+            },
+        ] {
+            let total = volume_fraction_in(profile, 0.0, 1.0);
+            assert!((total - 1.0).abs() < 1e-12, "{profile:?}");
+            // Additivity over a partition.
+            let parts: f64 = (0..10)
+                .map(|i| volume_fraction_in(profile, f64::from(i) / 10.0, f64::from(i + 1) / 10.0))
+                .sum();
+            assert!((parts - 1.0).abs() < 1e-9, "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn frontloaded_concentrates_at_start() {
+        let p = RateProfile::FrontLoaded {
+            burst_volume_fraction: 0.25,
+            burst_time_fraction: 0.08,
+        };
+        let first = volume_fraction_in(p, 0.0, 0.08);
+        assert!((first - 0.25).abs() < 1e-12);
+        // First 8% of the time carries far more than a constant rate.
+        assert!(first > 3.0 * volume_fraction_in(RateProfile::Constant, 0.0, 0.08));
+    }
+
+    #[test]
+    fn degenerate_windows_are_zero() {
+        assert_eq!(volume_fraction_in(RateProfile::Constant, 0.7, 0.7), 0.0);
+        assert_eq!(volume_fraction_in(RateProfile::Constant, 0.9, 0.2), 0.0);
+    }
+
+    #[test]
+    fn class_profile_mapping() {
+        assert!(matches!(
+            RateProfile::for_class(ServiceClass::Streaming),
+            RateProfile::FrontLoaded { .. }
+        ));
+        assert!(matches!(
+            RateProfile::for_class(ServiceClass::Messaging),
+            RateProfile::OnOff { .. }
+        ));
+        assert_eq!(
+            RateProfile::for_class(ServiceClass::Outlier),
+            RateProfile::Constant
+        );
+    }
+
+    #[test]
+    fn packet_sampling_respects_volume_and_time() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let packets = sample_packets(2.0, 60.0, RateProfile::Constant, Proto::Tcp, &mut rng);
+        assert!(!packets.is_empty());
+        let bytes: f64 = packets.iter().map(|p| f64::from(p.size_bytes)).sum();
+        // Within 20% of the nominal volume (size draws are stochastic).
+        assert!((bytes / 2e6 - 1.0).abs() < 0.2, "bytes {bytes}");
+        for p in &packets {
+            assert!(p.time_s >= 0.0 && p.time_s <= 60.0);
+            assert!(p.size_bytes >= 40 && p.size_bytes <= 1_448);
+        }
+        // Sorted by time.
+        for w in packets.windows(2) {
+            assert!(w[0].time_s <= w[1].time_s);
+        }
+    }
+
+    #[test]
+    fn frontloaded_packets_arrive_early() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let profile = RateProfile::for_class(ServiceClass::Streaming);
+        let packets = sample_packets(5.0, 100.0, profile, Proto::Tcp, &mut rng);
+        let early = packets.iter().filter(|p| p.time_s < 10.0).count();
+        // ≥ ~25% of packets in the first 10% of the session.
+        assert!(
+            early as f64 / packets.len() as f64 > 0.2,
+            "early fraction {}",
+            early as f64 / packets.len() as f64
+        );
+    }
+
+    #[test]
+    fn stats_summarize() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let packets = sample_packets(1.0, 30.0, RateProfile::Constant, Proto::Udp, &mut rng);
+        let stats = packet_stats(&packets).unwrap();
+        assert_eq!(stats.packets, packets.len());
+        assert!(stats.mean_size_bytes > 100.0);
+        assert!(stats.mean_interarrival_s > 0.0);
+        assert!(stats.bursts >= 1);
+        assert!(packet_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn huge_sessions_truncate_safely() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let packets = sample_packets(
+            10_000.0,
+            3_600.0,
+            RateProfile::Constant,
+            Proto::Tcp,
+            &mut rng,
+        );
+        assert!(packets.len() <= MAX_PACKETS);
+    }
+}

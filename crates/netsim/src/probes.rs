@@ -1,0 +1,393 @@
+//! The two passive measurement systems of §3.1 and their join.
+//!
+//! - **RAN probes** at the S1-MME interfaces observe per-UE signaling
+//!   (attach / handover events) and therefore know which BS serves each UE
+//!   at all times.
+//! - **Gateway probes** at the SGi interface observe whole IP flows
+//!   (5-tuple, byte counts, start/end times) and classify them with DPI —
+//!   but their location information is stale by kilometers (§3.1), so
+//!   flows cannot be geo-referenced from the gateway alone.
+//!
+//! [`join_observations`] reproduces the paper's solution: cross the
+//! gateway flows with the RAN attachment timelines to assign the correct
+//! *fraction* of each session to each BS it traversed.
+
+use crate::classifier::Classifier;
+use crate::ids::{BsId, Rat, ServiceId, SessionId, UeId};
+use crate::session::{FiveTuple, SessionObservation};
+use crate::time::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One signaling event on the S1-MME interface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalingEvent {
+    pub ue: UeId,
+    pub time: SimTime,
+    pub kind: SignalingKind,
+}
+
+/// Kind of signaling event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SignalingKind {
+    /// UE attached to (or handed over into) a BS.
+    Attach(BsId),
+    /// UE released its radio context.
+    Detach,
+}
+
+/// One flow record produced by the gateway probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    pub session: SessionId,
+    pub ue: UeId,
+    pub five_tuple: FiveTuple,
+    pub start: SimTime,
+    pub duration_s: f64,
+    pub volume_mb: f64,
+    /// DPI-classified service (may be wrong at the classifier error rate).
+    pub classified: ServiceId,
+}
+
+/// RAN probe: accumulates signaling and reconstructs attachment timelines.
+#[derive(Debug, Default)]
+pub struct RanProbe {
+    /// Per-UE attachment intervals: (BS, start-abs-s, end-abs-s).
+    timelines: HashMap<UeId, Vec<(BsId, f64, f64)>>,
+    /// Currently open attachment per UE: (BS, start-abs-s).
+    open: HashMap<UeId, (BsId, f64)>,
+    events_seen: u64,
+}
+
+impl RanProbe {
+    /// Creates an empty probe.
+    #[must_use]
+    pub fn new() -> RanProbe {
+        RanProbe::default()
+    }
+
+    /// Ingests one signaling event. Events must arrive in per-UE time
+    /// order (they do: the engine emits them as they happen).
+    pub fn observe(&mut self, ev: &SignalingEvent) {
+        self.events_seen += 1;
+        let t = ev.time.absolute_seconds();
+        match ev.kind {
+            SignalingKind::Attach(bs) => {
+                if let Some((prev_bs, start)) = self.open.insert(ev.ue, (bs, t)) {
+                    self.timelines
+                        .entry(ev.ue)
+                        .or_default()
+                        .push((prev_bs, start, t));
+                }
+            }
+            SignalingKind::Detach => {
+                if let Some((bs, start)) = self.open.remove(&ev.ue) {
+                    self.timelines
+                        .entry(ev.ue)
+                        .or_default()
+                        .push((bs, start, t));
+                }
+            }
+        }
+    }
+
+    /// Total events ingested.
+    #[must_use]
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Attachment intervals of a UE (closed intervals only).
+    #[must_use]
+    pub fn timeline(&self, ue: UeId) -> Option<&[(BsId, f64, f64)]> {
+        self.timelines.get(&ue).map(Vec::as_slice)
+    }
+}
+
+/// Gateway probe: records flows, classifying them with the DPI stand-in
+/// and occasionally splitting flows on idle-timeout artifacts (§3.2's
+/// "unorthodox TCP session terminations").
+#[derive(Debug)]
+pub struct GatewayProbe {
+    classifier: Classifier,
+    timeout_split_prob: f64,
+    flows: Vec<FlowRecord>,
+}
+
+impl GatewayProbe {
+    /// Creates a probe with the given classifier and split probability.
+    #[must_use]
+    pub fn new(classifier: Classifier, timeout_split_prob: f64) -> GatewayProbe {
+        GatewayProbe {
+            classifier,
+            timeout_split_prob: timeout_split_prob.clamp(0.0, 1.0),
+            flows: Vec::new(),
+        }
+    }
+
+    /// Ingests one completed flow.
+    #[allow(clippy::too_many_arguments)] // mirrors the probe record fields
+    pub fn observe<R: Rng + ?Sized>(
+        &mut self,
+        session: SessionId,
+        ue: UeId,
+        five_tuple: FiveTuple,
+        start: SimTime,
+        duration_s: f64,
+        volume_mb: f64,
+        rng: &mut R,
+    ) {
+        let classified = self.classifier.classify(&five_tuple, rng);
+        // Idle-timeout artifact: the probe may see one transport session
+        // as two flow records split at a random cut point.
+        if duration_s > 10.0 && rng.gen::<f64>() < self.timeout_split_prob {
+            let cut = rng.gen_range(0.2..0.8);
+            self.flows.push(FlowRecord {
+                session,
+                ue,
+                five_tuple,
+                start,
+                duration_s: duration_s * cut,
+                volume_mb: volume_mb * cut,
+                classified,
+            });
+            self.flows.push(FlowRecord {
+                session,
+                ue,
+                five_tuple,
+                start: start.plus_seconds(duration_s * cut),
+                duration_s: duration_s * (1.0 - cut),
+                volume_mb: volume_mb * (1.0 - cut),
+                classified,
+            });
+        } else {
+            self.flows.push(FlowRecord {
+                session,
+                ue,
+                five_tuple,
+                start,
+                duration_s,
+                volume_mb,
+                classified,
+            });
+        }
+    }
+
+    /// All recorded flows.
+    #[must_use]
+    pub fn flows(&self) -> &[FlowRecord] {
+        &self.flows
+    }
+}
+
+/// The §3.1 cross-referencing join: assigns each gateway flow to the BSs
+/// the RAN probe saw its UE attached to, apportioning volume by overlap
+/// time. Flows whose UE has no overlapping attachment are dropped (and
+/// counted), mirroring the real pipeline's unlocalizable residue.
+pub fn join_observations(
+    ran: &RanProbe,
+    gateway: &GatewayProbe,
+    rat_of: impl Fn(BsId) -> Rat,
+) -> (Vec<SessionObservation>, u64) {
+    let mut out = Vec::new();
+    let mut dropped = 0u64;
+    for flow in gateway.flows() {
+        let Some(timeline) = ran.timeline(flow.ue) else {
+            dropped += 1;
+            continue;
+        };
+        let fs = flow.start.absolute_seconds();
+        let fe = fs + flow.duration_s;
+        let mut pieces: Vec<(BsId, f64, f64)> = Vec::new(); // (bs, start, overlap)
+        for (bs, s, e) in timeline {
+            let lo = fs.max(*s);
+            let hi = fe.min(*e);
+            if hi > lo {
+                pieces.push((*bs, lo, hi - lo));
+            }
+        }
+        if pieces.is_empty() {
+            dropped += 1;
+            continue;
+        }
+        let covered: f64 = pieces.iter().map(|(_, _, d)| d).sum();
+        let transient = pieces.len() > 1;
+        for (idx, (bs, start_abs, overlap)) in pieces.iter().enumerate() {
+            out.push(SessionObservation {
+                session: flow.session,
+                bs: *bs,
+                rat: rat_of(*bs),
+                service: flow.classified,
+                start: SimTime::new(0, *start_abs),
+                duration_s: *overlap,
+                volume_mb: flow.volume_mb * overlap / covered,
+                transient,
+                segment_index: idx as u16,
+            });
+        }
+    }
+    (out, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Proto;
+    use crate::services::ServiceCatalog;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple {
+            proto: Proto::Tcp,
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 446,
+        }
+    }
+
+    #[test]
+    fn ran_probe_builds_timeline() {
+        let mut ran = RanProbe::new();
+        let ue = UeId(5);
+        ran.observe(&SignalingEvent {
+            ue,
+            time: SimTime::new(0, 100.0),
+            kind: SignalingKind::Attach(BsId(1)),
+        });
+        ran.observe(&SignalingEvent {
+            ue,
+            time: SimTime::new(0, 160.0),
+            kind: SignalingKind::Attach(BsId(2)),
+        });
+        ran.observe(&SignalingEvent {
+            ue,
+            time: SimTime::new(0, 220.0),
+            kind: SignalingKind::Detach,
+        });
+        let tl = ran.timeline(ue).unwrap();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0], (BsId(1), 100.0, 160.0));
+        assert_eq!(tl[1], (BsId(2), 160.0, 220.0));
+        assert_eq!(ran.events_seen(), 3);
+    }
+
+    #[test]
+    fn join_splits_flow_across_handover() {
+        let mut ran = RanProbe::new();
+        let ue = UeId(9);
+        for (t, k) in [
+            (0.0, SignalingKind::Attach(BsId(0))),
+            (50.0, SignalingKind::Attach(BsId(1))),
+            (200.0, SignalingKind::Detach),
+        ] {
+            ran.observe(&SignalingEvent {
+                ue,
+                time: SimTime::new(0, t),
+                kind: k,
+            });
+        }
+        let catalog = ServiceCatalog::paper();
+        let mut gw = GatewayProbe::new(Classifier::new(&catalog, 0.0), 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Flow 0..100 s, 10 MB: 50 s at BS0, 50 s at BS1.
+        gw.observe(
+            SessionId(1),
+            ue,
+            tuple(),
+            SimTime::new(0, 0.0),
+            100.0,
+            10.0,
+            &mut rng,
+        );
+
+        let (obs, dropped) = join_observations(&ran, &gw, |_| Rat::Lte);
+        assert_eq!(dropped, 0);
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].bs, BsId(0));
+        assert_eq!(obs[1].bs, BsId(1));
+        assert!((obs[0].volume_mb - 5.0).abs() < 1e-9);
+        assert!((obs[1].volume_mb - 5.0).abs() < 1e-9);
+        assert!(obs.iter().all(|o| o.transient));
+        // Classified as Netflix (port 446).
+        let netflix = catalog.by_name("Netflix").unwrap().id;
+        assert!(obs.iter().all(|o| o.service == netflix));
+    }
+
+    #[test]
+    fn join_drops_unlocalizable_flows() {
+        let ran = RanProbe::new();
+        let catalog = ServiceCatalog::paper();
+        let mut gw = GatewayProbe::new(Classifier::new(&catalog, 0.0), 0.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        gw.observe(
+            SessionId(1),
+            UeId(1),
+            tuple(),
+            SimTime::new(0, 0.0),
+            10.0,
+            1.0,
+            &mut rng,
+        );
+        let (obs, dropped) = join_observations(&ran, &gw, |_| Rat::Lte);
+        assert!(obs.is_empty());
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn timeout_split_preserves_totals() {
+        let catalog = ServiceCatalog::paper();
+        let mut gw = GatewayProbe::new(Classifier::new(&catalog, 0.0), 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        gw.observe(
+            SessionId(4),
+            UeId(2),
+            tuple(),
+            SimTime::new(0, 0.0),
+            100.0,
+            20.0,
+            &mut rng,
+        );
+        assert_eq!(gw.flows().len(), 2);
+        let v: f64 = gw.flows().iter().map(|f| f.volume_mb).sum();
+        let d: f64 = gw.flows().iter().map(|f| f.duration_s).sum();
+        assert!((v - 20.0).abs() < 1e-9);
+        assert!((d - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_volume_conserved_when_fully_covered() {
+        let mut ran = RanProbe::new();
+        let ue = UeId(3);
+        ran.observe(&SignalingEvent {
+            ue,
+            time: SimTime::new(0, 0.0),
+            kind: SignalingKind::Attach(BsId(7)),
+        });
+        ran.observe(&SignalingEvent {
+            ue,
+            time: SimTime::new(0, 1_000.0),
+            kind: SignalingKind::Detach,
+        });
+        let catalog = ServiceCatalog::paper();
+        let mut gw = GatewayProbe::new(Classifier::new(&catalog, 0.0), 0.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        gw.observe(
+            SessionId(9),
+            ue,
+            tuple(),
+            SimTime::new(0, 100.0),
+            300.0,
+            33.0,
+            &mut rng,
+        );
+        let (obs, dropped) = join_observations(&ran, &gw, |_| Rat::Nr);
+        assert_eq!(dropped, 0);
+        let v: f64 = obs.iter().map(|o| o.volume_mb).sum();
+        assert!((v - 33.0).abs() < 1e-9);
+        assert!(!obs[0].transient);
+        assert_eq!(obs[0].rat, Rat::Nr);
+    }
+}

@@ -1,0 +1,244 @@
+//! Transport-layer sessions: 5-tuples, complete sessions, and the per-BS
+//! fragments that handovers produce.
+//!
+//! §1 and §3.2: a session is a 5-tuple-identified packet sequence between
+//! a UE and a server; "since our study is concerned with sessions served
+//! by a single BS, handovers from and to other BSs are recorded in the
+//! measurement dataset as newly established or concluded transport-layer
+//! sessions". [`fragment_session`] implements exactly that bookkeeping:
+//! a complete session plus an attachment plan yields one observation per
+//! visited BS, with the traffic volume apportioned by time (the simulator
+//! models the intra-session rate as stationary at session timescales, so
+//! the apportioning is proportional — the fragments this produces form
+//! the transient left mass the paper describes in §4.2).
+
+use crate::ids::{BsId, Proto, Rat, ServiceId, SessionId, UeId};
+use crate::time::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The transport 5-tuple identifying a session (§1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FiveTuple {
+    pub proto: Proto,
+    pub src_ip: u32,
+    pub dst_ip: u32,
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// Builds a plausible 5-tuple for a UE talking to a service.
+    ///
+    /// The UE gets a 10.0.0.0/8-style address derived from its id; the
+    /// service is reached at one of its servers (a /24 behind a
+    /// service-specific base address) on its characteristic port — the
+    /// fingerprint the DPI classifier keys on.
+    pub fn generate<R: Rng + ?Sized>(
+        ue: UeId,
+        service_port: u16,
+        service_index: u16,
+        proto: Proto,
+        rng: &mut R,
+    ) -> FiveTuple {
+        let src_ip = 0x0A00_0000 | ((ue.0 as u32) & 0x00FF_FFFF);
+        // One /24 per service, distinct bases.
+        let dst_ip = 0xC000_0000 | (u32::from(service_index) << 8) | rng.gen_range(1..255);
+        FiveTuple {
+            proto,
+            src_ip,
+            dst_ip,
+            src_port: rng.gen_range(32_768..61_000),
+            dst_port: service_port,
+        }
+    }
+}
+
+/// A complete transport-layer session as the UE/server pair sees it,
+/// before any per-BS fragmentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    pub id: SessionId,
+    pub ue: UeId,
+    pub service: ServiceId,
+    pub start: SimTime,
+    pub duration_s: f64,
+    pub volume_mb: f64,
+    pub five_tuple: FiveTuple,
+}
+
+impl SessionSpec {
+    /// Mean throughput over the whole session, Mbit/s
+    /// (`volume·8 / duration`).
+    #[must_use]
+    pub fn mean_throughput_mbps(&self) -> f64 {
+        self.volume_mb * 8.0 / self.duration_s.max(1e-9)
+    }
+}
+
+/// What one BS observes of a session: the fragment served while the UE was
+/// attached to it. This is the unit the paper's dataset aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionObservation {
+    pub session: SessionId,
+    pub bs: BsId,
+    pub rat: Rat,
+    pub service: ServiceId,
+    pub start: SimTime,
+    pub duration_s: f64,
+    pub volume_mb: f64,
+    /// True when this fragment is part of a handover-split session —
+    /// a "transient, partial session" in the paper's §4.5 insight (e).
+    pub transient: bool,
+    /// Position of this fragment within its session's attachment plan.
+    pub segment_index: u16,
+}
+
+impl SessionObservation {
+    /// Mean throughput of the fragment, Mbit/s.
+    #[must_use]
+    pub fn mean_throughput_mbps(&self) -> f64 {
+        self.volume_mb * 8.0 / self.duration_s.max(1e-9)
+    }
+}
+
+/// Splits a complete session across its attachment plan.
+///
+/// Each `(BS, dwell)` segment becomes one [`SessionObservation`] whose
+/// volume is the session volume scaled by the segment's share of the
+/// total duration. Returns an empty vector for a degenerate empty plan.
+pub fn fragment_session(
+    spec: &SessionSpec,
+    plan: &[(BsId, f64)],
+    rat_of: impl Fn(BsId) -> Rat,
+) -> Vec<SessionObservation> {
+    let total: f64 = plan.iter().map(|(_, d)| d).sum();
+    if total <= 0.0 || plan.is_empty() {
+        return Vec::new();
+    }
+    let transient = plan.len() > 1;
+    let mut out = Vec::with_capacity(plan.len());
+    let mut elapsed = 0.0;
+    for (i, (bs, dwell)) in plan.iter().enumerate() {
+        let share = dwell / total;
+        out.push(SessionObservation {
+            session: spec.id,
+            bs: *bs,
+            rat: rat_of(*bs),
+            service: spec.service,
+            start: spec.start.plus_seconds(elapsed),
+            duration_s: *dwell,
+            volume_mb: spec.volume_mb * share,
+            transient,
+            segment_index: i as u16,
+        });
+        elapsed += dwell;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn spec(duration: f64, volume: f64) -> SessionSpec {
+        SessionSpec {
+            id: SessionId(7),
+            ue: UeId(99),
+            service: ServiceId(3),
+            start: SimTime::new(1, 3600.0),
+            duration_s: duration,
+            volume_mb: volume,
+            five_tuple: FiveTuple {
+                proto: Proto::Tcp,
+                src_ip: 1,
+                dst_ip: 2,
+                src_port: 3,
+                dst_port: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn single_segment_preserves_everything() {
+        let s = spec(120.0, 10.0);
+        let frags = fragment_session(&s, &[(BsId(4), 120.0)], |_| Rat::Lte);
+        assert_eq!(frags.len(), 1);
+        let f = &frags[0];
+        assert_eq!(f.bs, BsId(4));
+        assert!(!f.transient);
+        assert!((f.volume_mb - 10.0).abs() < 1e-12);
+        assert!((f.duration_s - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_apportioned_by_time() {
+        let s = spec(100.0, 50.0);
+        let plan = [(BsId(0), 25.0), (BsId(1), 75.0)];
+        let frags = fragment_session(&s, &plan, |_| Rat::Lte);
+        assert_eq!(frags.len(), 2);
+        assert!((frags[0].volume_mb - 12.5).abs() < 1e-12);
+        assert!((frags[1].volume_mb - 37.5).abs() < 1e-12);
+        assert!(frags.iter().all(|f| f.transient));
+    }
+
+    #[test]
+    fn fragment_volume_and_duration_conserved() {
+        let s = spec(333.0, 77.0);
+        let plan = [(BsId(0), 111.0), (BsId(1), 111.0), (BsId(2), 111.0)];
+        let frags = fragment_session(&s, &plan, |_| Rat::Nr);
+        let v: f64 = frags.iter().map(|f| f.volume_mb).sum();
+        let d: f64 = frags.iter().map(|f| f.duration_s).sum();
+        assert!((v - 77.0).abs() < 1e-9);
+        assert!((d - 333.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fragment_starts_are_sequential() {
+        let s = spec(90.0, 9.0);
+        let plan = [(BsId(0), 30.0), (BsId(1), 60.0)];
+        let frags = fragment_session(&s, &plan, |_| Rat::Lte);
+        assert!((frags[0].start.second - 3600.0).abs() < 1e-9);
+        assert!((frags[1].start.second - 3630.0).abs() < 1e-9);
+        assert_eq!(frags[0].segment_index, 0);
+        assert_eq!(frags[1].segment_index, 1);
+    }
+
+    #[test]
+    fn throughput_invariant_under_fragmentation() {
+        // Proportional apportioning keeps the fragment throughput equal to
+        // the session throughput.
+        let s = spec(200.0, 100.0);
+        let plan = [(BsId(0), 80.0), (BsId(1), 120.0)];
+        let frags = fragment_session(&s, &plan, |_| Rat::Lte);
+        for f in &frags {
+            assert!((f.mean_throughput_mbps() - s.mean_throughput_mbps()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_plan_yields_nothing() {
+        let s = spec(10.0, 1.0);
+        assert!(fragment_session(&s, &[], |_| Rat::Lte).is_empty());
+    }
+
+    #[test]
+    fn five_tuple_encodes_service_fingerprint() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let t = FiveTuple::generate(UeId(12), 446, 5, Proto::Tcp, &mut rng);
+        assert_eq!(t.dst_port, 446);
+        assert_eq!(t.dst_ip >> 8 & 0xFFFF, 5);
+        assert_eq!(t.src_ip >> 24, 0x0A);
+        assert!(t.src_port >= 32_768);
+    }
+
+    #[test]
+    fn five_tuples_are_distinct_across_sessions() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let a = FiveTuple::generate(UeId(1), 443, 0, Proto::Udp, &mut rng);
+        let b = FiveTuple::generate(UeId(2), 443, 0, Proto::Udp, &mut rng);
+        assert_ne!(a, b);
+    }
+}

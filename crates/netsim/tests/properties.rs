@@ -1,0 +1,147 @@
+//! Property-based tests for the network simulator's invariants.
+
+use mtd_netsim::geo::Topology;
+use mtd_netsim::ids::{BsId, Proto, Rat, ServiceId, SessionId, UeId};
+use mtd_netsim::mobility::MobilityModel;
+use mtd_netsim::packets::{volume_fraction_in, RateProfile};
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::session::{fragment_session, FiveTuple, SessionSpec};
+use mtd_netsim::time::SimTime;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn spec(duration: f64, volume: f64) -> SessionSpec {
+    SessionSpec {
+        id: SessionId(1),
+        ue: UeId(1),
+        service: ServiceId(0),
+        start: SimTime::new(0, 1000.0),
+        duration_s: duration,
+        volume_mb: volume,
+        five_tuple: FiveTuple {
+            proto: Proto::Tcp,
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn attachment_plans_conserve_duration(
+        seed in 0u64..500,
+        duration in 1.0f64..10_000.0,
+        p_mobile in 0.0f64..1.0,
+        dwell in 5.0f64..300.0,
+        trip in 10.0f64..600.0
+    ) {
+        let topo = Topology::generate(15, 3);
+        let m = MobilityModel::with_trip(p_mobile, dwell, trip);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let plan = m.attachment_plan(&topo, BsId(2), duration, &mut rng);
+        prop_assert!(!plan.is_empty());
+        let total: f64 = plan.iter().map(|(_, d)| d).sum();
+        prop_assert!((total - duration).abs() < 1e-6);
+        // Every segment positive and every BS valid.
+        for (bs, d) in &plan {
+            prop_assert!(*d > 0.0);
+            prop_assert!((bs.0 as usize) < topo.len());
+        }
+    }
+
+    #[test]
+    fn fragmentation_conserves_volume_and_time(
+        duration in 1.0f64..5_000.0,
+        volume in 0.001f64..1_000.0,
+        cuts in proptest::collection::vec(0.05f64..1.0, 1..8)
+    ) {
+        // Build a plan with arbitrary positive segment lengths.
+        let total: f64 = cuts.iter().sum();
+        let plan: Vec<(BsId, f64)> = cuts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (BsId(i as u32), c / total * duration))
+            .collect();
+        let s = spec(duration, volume);
+        let frags = fragment_session(&s, &plan, |_| Rat::Lte);
+        prop_assert_eq!(frags.len(), plan.len());
+        let v: f64 = frags.iter().map(|f| f.volume_mb).sum();
+        let d: f64 = frags.iter().map(|f| f.duration_s).sum();
+        prop_assert!((v - volume).abs() / volume < 1e-9);
+        prop_assert!((d - duration).abs() / duration < 1e-9);
+        // Transient flag consistent with plan size.
+        prop_assert_eq!(frags[0].transient, plan.len() > 1);
+        // Starts are nondecreasing.
+        for w in frags.windows(2) {
+            prop_assert!(
+                w[1].start.absolute_seconds() >= w[0].start.absolute_seconds() - 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_sessions_are_valid(seed in 0u64..300, svc in 0u16..31) {
+        let catalog = ServiceCatalog::paper();
+        let profile = catalog.service(ServiceId(svc));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let v = profile.sample_volume(&mut rng);
+            let d = profile.duration_for_volume(v, &mut rng);
+            prop_assert!((1e-3..=1e4).contains(&v));
+            prop_assert!((1.0..=14_400.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn profile_volume_fractions_are_a_measure(
+        a in 0.0f64..1.0, b in 0.0f64..1.0, c in 0.0f64..1.0
+    ) {
+        let mut ts = [a, b, c];
+        ts.sort_by(f64::total_cmp);
+        let [t0, t1, t2] = ts;
+        for profile in [
+            RateProfile::Constant,
+            RateProfile::OnOff { duty_cycle: 0.4 },
+            RateProfile::FrontLoaded { burst_volume_fraction: 0.3, burst_time_fraction: 0.1 },
+        ] {
+            let whole = volume_fraction_in(profile, t0, t2);
+            let parts =
+                volume_fraction_in(profile, t0, t1) + volume_fraction_in(profile, t1, t2);
+            prop_assert!((whole - parts).abs() < 1e-9, "{profile:?}");
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&whole));
+        }
+    }
+
+    #[test]
+    fn time_arithmetic_is_consistent(
+        day in 0u32..100, second in 0.0f64..86_400.0, delta in 0.0f64..200_000.0
+    ) {
+        let t = SimTime::new(day, second);
+        let u = t.plus_seconds(delta);
+        prop_assert!(
+            (u.absolute_seconds() - t.absolute_seconds() - delta).abs() < 1e-6
+        );
+        prop_assert!(u.second >= 0.0 && u.second < 86_400.0 + 1e-9);
+        prop_assert!(u.minute_of_day() < 1440);
+    }
+
+    #[test]
+    fn topology_generation_total(seed in 0u64..50, n in 1usize..60) {
+        let t = Topology::generate(n, seed);
+        prop_assert_eq!(t.len(), n);
+        for s in t.stations() {
+            prop_assert!(s.load_quantile > 0.0 && s.load_quantile < 1.0);
+            prop_assert!(s.position.x >= 0.0 && s.position.x <= 1.0);
+            prop_assert!(s.position.y >= 0.0 && s.position.y <= 1.0);
+            if n > 1 {
+                prop_assert!(!s.neighbors.is_empty());
+                prop_assert!(!s.neighbors.contains(&s.id));
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # mtd-usecases — the §6 application use cases
+//!
+//! Two network-management scenarios demonstrating what session-level,
+//! per-service models buy over the category-level traffic models available
+//! in the literature:
+//!
+//! - [`slicing`] — §6.1: capacity allocation for network slicing under a
+//!   95% SLA (Table 2, Fig 12). Allocating each Service Provider's slice
+//!   at the 95th percentile of its *modeled* per-minute traffic meets the
+//!   SLA; category-granular baselines (bm a / bm b) under-provision some
+//!   services and waste capacity on others.
+//! - [`vran`] — §6.2: energy-aware CU–DU orchestration in a vRAN (Fig 13).
+//!   A per-second bin-packing of DU load onto physical servers is driven
+//!   by traffic from (i) the measurement ground truth, (ii) our fitted
+//!   models, (iii) literature baselines; the absolute percentage error of
+//!   active-server counts and power draw quantifies model fidelity.
+//!
+//! Shared machinery lives in [`traffic`] (arrival skeletons reused across
+//! strategies, per-strategy session attribute sources) and
+//! [`litmodels`] (the IW/CS/MS category models of \[42\]/\[31\]).
+
+pub mod litmodels;
+pub mod slicing;
+pub mod traffic;
+pub mod vran;

@@ -1,0 +1,433 @@
+//! §6.1 — capacity allocation for network slicing (Table 2, Fig 12).
+//!
+//! Each of the catalog's Service Providers buys a slice that must carry
+//! its traffic during peak hours (08:00–22:00) at least 95% of the time.
+//! The operator allocates, per antenna and slice, a fixed capacity
+//! (MB/minute):
+//!
+//! - **model** — the proposed approach: Monte-Carlo the fitted
+//!   session-level models at the antenna's load decile, take the 95th
+//!   percentile of each service's per-minute traffic.
+//! - **bm a** — literature category models (IW/CS/MS) with category
+//!   shares aggregated from Table 1; capacity within a category is split
+//!   uniformly across its services.
+//! - **bm b** — same, with the literature's own category shares
+//!   (IW 50%, CS 42.11%, MS 7.89%).
+//!
+//! Evaluation replays a *ground-truth* demand week (the measurement
+//! source on a frozen arrival skeleton) and reports the fraction of peak
+//! minutes with no dropped traffic, averaged over antennas and services
+//! (Table 2), plus the Fig 12 demand-vs-capacity time series.
+
+use crate::litmodels::{catalog_category_shares, LiteratureModel};
+use crate::traffic::{
+    per_minute_service_volume, ArrivalSkeleton, EmpiricalSource, ModelSource, SessionSource,
+};
+use mtd_core::registry::ModelRegistry;
+use mtd_math::rng::{stream_id, stream_rng};
+use mtd_math::stats;
+use mtd_netsim::services::{LitCategory, ServiceCatalog};
+use mtd_netsim::time::{is_peak_minute, MINUTES_PER_DAY};
+use rand::Rng;
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct SlicingConfig {
+    /// Load decile of each antenna.
+    pub antenna_deciles: Vec<u8>,
+    /// Evaluation horizon in days.
+    pub days: u32,
+    /// Days of Monte-Carlo used by each strategy to estimate its CDFs.
+    pub calibration_days: u32,
+    /// Global arrival-rate scale.
+    pub arrival_scale: f64,
+    /// SLA percentile (0.95 in the paper).
+    pub sla_percentile: f64,
+    pub seed: u64,
+}
+
+impl Default for SlicingConfig {
+    fn default() -> Self {
+        SlicingConfig {
+            antenna_deciles: (0..10).collect(),
+            days: 7,
+            calibration_days: 5,
+            arrival_scale: 0.3,
+            sla_percentile: 0.95,
+            seed: 0x51C6,
+        }
+    }
+}
+
+/// Allocation: per-antenna, per-service capacity in MB/minute.
+pub type Allocation = Vec<Vec<f64>>;
+
+/// Result of evaluating one strategy.
+#[derive(Debug, Clone)]
+pub struct StrategyResult {
+    pub label: &'static str,
+    /// Mean fraction of peak minutes with no dropped traffic (Table 2).
+    pub satisfied_mean: f64,
+    /// Standard deviation across (antenna, service).
+    pub satisfied_std: f64,
+    /// Total allocated capacity (MB/min summed over slices/antennas).
+    pub total_capacity: f64,
+    /// The allocation itself (for Fig 12).
+    pub allocation: Allocation,
+}
+
+/// Full §6.1 report.
+#[derive(Debug, Clone)]
+pub struct SlicingReport {
+    pub results: Vec<StrategyResult>,
+    /// Per-minute Facebook demand at antenna 0 (Fig 12 series), MB/min.
+    pub fig12_demand: Vec<f64>,
+    /// Facebook service index.
+    pub fig12_service: u16,
+}
+
+/// Estimates per-service peak-minute traffic percentiles by Monte-Carlo
+/// over `days` days of the given source at one antenna decile.
+fn percentile_capacity(
+    source: &dyn SessionSource,
+    catalog: &ServiceCatalog,
+    decile: u8,
+    days: u32,
+    arrival_scale: f64,
+    percentile: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let skeleton = ArrivalSkeleton::generate(&[decile], days, arrival_scale, catalog, seed);
+    let mut rng = stream_rng(seed, stream_id("capacity-mc"));
+    let sessions: Vec<_> = skeleton.units[0]
+        .arrivals
+        .iter()
+        .map(|a| source.draw(a, &mut rng))
+        .collect();
+    let horizon = (days * MINUTES_PER_DAY) as usize;
+    let volumes = per_minute_service_volume(&sessions, catalog.len(), horizon);
+    let peak_minutes: Vec<usize> = (0..horizon)
+        .filter(|m| is_peak_minute((*m as u32) % MINUTES_PER_DAY))
+        .collect();
+    volumes
+        .iter()
+        .map(|per_min| {
+            let samples: Vec<f64> = peak_minutes.iter().map(|m| per_min[*m]).collect();
+            stats::percentile(&samples, percentile).unwrap_or(0.0)
+        })
+        .collect()
+}
+
+/// The proposed allocation: per-service 95th percentile from the fitted
+/// models.
+pub fn allocate_model(
+    config: &SlicingConfig,
+    registry: &ModelRegistry,
+    catalog: &ServiceCatalog,
+) -> Allocation {
+    let source = ModelSource { registry };
+    config
+        .antenna_deciles
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            percentile_capacity(
+                &source,
+                catalog,
+                *d,
+                config.calibration_days,
+                config.arrival_scale,
+                config.sla_percentile,
+                config.seed.wrapping_add(1000 + i as u64),
+            )
+        })
+        .collect()
+}
+
+/// Category-level baseline allocation (bm a / bm b).
+///
+/// The operator always knows each antenna's *aggregate* load (BS-level
+/// monitoring is standard and needs no session-level measurements); what
+/// the benchmarks lack is the per-service breakdown. Each antenna's
+/// capacity budget is therefore the 95th percentile of its aggregate
+/// peak-minute volume, split across categories in proportion to the
+/// literature model's expected traffic (category share × mean session
+/// volume) and uniformly among the services of each category — "since no
+/// information w.r.t. the intra-category session shares is available".
+pub fn allocate_category(
+    config: &SlicingConfig,
+    catalog: &ServiceCatalog,
+    empirical: &EmpiricalSource,
+    shares: (f64, f64, f64),
+    label_seed: u64,
+) -> Allocation {
+    let lit = LiteratureModel::standard().with_shares(shares);
+    // Expected traffic fraction per category under the bm's model.
+    let expected_volume = |c: LitCategory| -> f64 {
+        let m = lit.category(c);
+        let mean_d = mtd_math::distributions::LogNormal10::new(
+            m.duration_median_s.log10(),
+            m.duration_sigma,
+        )
+        .map(|d| mtd_math::distributions::Distribution1D::mean(&d))
+        .unwrap_or(m.duration_median_s);
+        m.throughput_mbps * mean_d / 8.0
+    };
+    let weights = [
+        lit.shares.0 * expected_volume(LitCategory::InteractiveWeb),
+        lit.shares.1 * expected_volume(LitCategory::CasualStreaming),
+        lit.shares.2 * expected_volume(LitCategory::MovieStreaming),
+    ];
+    let wsum: f64 = weights.iter().sum();
+    let mut members = [0usize; 3];
+    for s in catalog.services() {
+        members[cat_index(s.lit_category())] += 1;
+    }
+
+    config
+        .antenna_deciles
+        .iter()
+        .enumerate()
+        .map(|(i, decile)| {
+            // Aggregate budget: 95th percentile of total peak-minute
+            // volume, measured from the antenna's load.
+            let skeleton = ArrivalSkeleton::generate(
+                &[*decile],
+                config.calibration_days,
+                config.arrival_scale,
+                catalog,
+                config.seed.wrapping_add(label_seed * 7 + i as u64),
+            );
+            let mut rng = stream_rng(
+                config.seed.wrapping_add(label_seed + i as u64),
+                stream_id("bm-budget"),
+            );
+            let sessions: Vec<_> = skeleton.units[0]
+                .arrivals
+                .iter()
+                .map(|a| empirical.draw(a, &mut rng))
+                .collect();
+            let horizon = (config.calibration_days * MINUTES_PER_DAY) as usize;
+            let volumes = per_minute_service_volume(&sessions, catalog.len(), horizon);
+            let peak: Vec<usize> = (0..horizon)
+                .filter(|m| is_peak_minute((*m as u32) % MINUTES_PER_DAY))
+                .collect();
+            let totals: Vec<f64> = peak
+                .iter()
+                .map(|m| volumes.iter().map(|v| v[*m]).sum())
+                .collect();
+            let budget = stats::percentile(&totals, config.sla_percentile).unwrap_or(0.0);
+
+            catalog
+                .services()
+                .iter()
+                .map(|s| {
+                    let c = cat_index(s.lit_category());
+                    budget * weights[c] / wsum / members[c].max(1) as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn cat_index(c: LitCategory) -> usize {
+    match c {
+        LitCategory::InteractiveWeb => 0,
+        LitCategory::CasualStreaming => 1,
+        LitCategory::MovieStreaming => 2,
+    }
+}
+
+/// Runs the full §6.1 evaluation.
+pub fn run_slicing(
+    config: &SlicingConfig,
+    registry: &ModelRegistry,
+    catalog: &ServiceCatalog,
+    dataset: &mtd_dataset::Dataset,
+) -> SlicingReport {
+    // Ground-truth demand week (frozen across strategies).
+    let skeleton = ArrivalSkeleton::generate(
+        &config.antenna_deciles,
+        config.days,
+        config.arrival_scale,
+        catalog,
+        config.seed,
+    );
+    let horizon = (config.days * MINUTES_PER_DAY) as usize;
+    // The real demand is sampled from the measured distributions, as the
+    // paper does ("the incoming sessions are sampled from the real data
+    // distribution").
+    let empirical = EmpiricalSource::new(dataset);
+    let mut rng = stream_rng(config.seed, stream_id("slicing-demand"));
+    let demand: Vec<Vec<Vec<f64>>> = skeleton
+        .units
+        .iter()
+        .map(|u| {
+            let sessions: Vec<_> = u
+                .arrivals
+                .iter()
+                .map(|a| empirical.draw(a, &mut rng))
+                .collect();
+            per_minute_service_volume(&sessions, catalog.len(), horizon)
+        })
+        .collect();
+
+    let strategies: Vec<(&'static str, Allocation)> = vec![
+        ("model", allocate_model(config, registry, catalog)),
+        (
+            "bm a",
+            allocate_category(
+                config,
+                catalog,
+                &empirical,
+                catalog_category_shares(catalog),
+                31,
+            ),
+        ),
+        (
+            "bm b",
+            allocate_category(
+                config,
+                catalog,
+                &empirical,
+                crate::litmodels::LIT_SHARES,
+                77,
+            ),
+        ),
+    ];
+
+    let peak: Vec<usize> = (0..horizon)
+        .filter(|m| is_peak_minute((*m as u32) % MINUTES_PER_DAY))
+        .collect();
+
+    let results = strategies
+        .into_iter()
+        .map(|(label, allocation)| {
+            let mut fractions = Vec::new();
+            let mut total_capacity = 0.0;
+            for (ant, per_service) in demand.iter().enumerate() {
+                for (svc, series) in per_service.iter().enumerate() {
+                    let cap = allocation[ant][svc];
+                    total_capacity += cap;
+                    // Services with no demand at this antenna are skipped
+                    // (no SLA to evaluate).
+                    let active: Vec<&usize> = peak.iter().filter(|m| series[**m] > 0.0).collect();
+                    if active.len() < 10 {
+                        continue;
+                    }
+                    let ok = peak.iter().filter(|m| series[**m] <= cap).count();
+                    fractions.push(ok as f64 / peak.len() as f64);
+                }
+            }
+            let mean = stats::mean(&fractions).unwrap_or(0.0);
+            let std = stats::std_dev(&fractions).unwrap_or(0.0);
+            StrategyResult {
+                label,
+                satisfied_mean: mean,
+                satisfied_std: std,
+                total_capacity,
+                allocation,
+            }
+        })
+        .collect();
+
+    let fb = catalog.by_name("Facebook").map_or(0, |s| s.id.0);
+    let fig12_demand = demand[0][fb as usize].clone();
+
+    // Keep rng alive for future extensions (e.g. jittered re-runs).
+    let _ = rng.gen::<u64>();
+
+    SlicingReport {
+        results,
+        fig12_demand,
+        fig12_service: fb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtd_core::pipeline::fit_registry;
+    use mtd_dataset::Dataset;
+    use mtd_netsim::geo::Topology;
+    use mtd_netsim::ScenarioConfig;
+
+    fn small_report() -> SlicingReport {
+        let sim_config = ScenarioConfig::small_test();
+        let topology = Topology::generate(sim_config.n_bs, sim_config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&sim_config, &topology, &catalog);
+        let registry = fit_registry(&dataset).unwrap();
+        let config = SlicingConfig {
+            antenna_deciles: vec![3, 6, 9],
+            days: 3,
+            calibration_days: 6,
+            arrival_scale: 0.2,
+            ..SlicingConfig::default()
+        };
+        run_slicing(&config, &registry, &catalog, &dataset)
+    }
+
+    #[test]
+    fn model_meets_sla_and_beats_benchmarks() {
+        let report = small_report();
+        let get = |l: &str| report.results.iter().find(|r| r.label == l).unwrap();
+        let model = get("model");
+        let bma = get("bm a");
+        let bmb = get("bm b");
+        // Table 2 shape: model close to the SLA and above both
+        // benchmarks; bm a above bm b; benchmark variability across
+        // services far larger than the model's.
+        assert!(
+            model.satisfied_mean > 0.88,
+            "model {}",
+            model.satisfied_mean
+        );
+        assert!(
+            model.satisfied_mean > bma.satisfied_mean + 0.02,
+            "model {} vs bm a {}",
+            model.satisfied_mean,
+            bma.satisfied_mean
+        );
+        assert!(
+            bma.satisfied_mean > bmb.satisfied_mean,
+            "bm a {} vs bm b {}",
+            bma.satisfied_mean,
+            bmb.satisfied_mean
+        );
+        assert!(
+            bma.satisfied_std > 2.0 * model.satisfied_std,
+            "std: model {} bm a {}",
+            model.satisfied_std,
+            bma.satisfied_std
+        );
+    }
+
+    #[test]
+    fn fig12_series_is_nontrivial() {
+        let report = small_report();
+        assert!(report.fig12_demand.iter().any(|v| *v > 0.0));
+        // The model's Facebook capacity at antenna 0 sits well below the
+        // demand peaks (the paper's robustness-against-outliers point).
+        let model = report.results.iter().find(|r| r.label == "model").unwrap();
+        let cap = model.allocation[0][report.fig12_service as usize];
+        let peak = report.fig12_demand.iter().cloned().fold(0.0f64, f64::max);
+        assert!(cap > 0.0);
+        assert!(
+            cap < peak,
+            "capacity {cap} should sit below peak demand {peak}"
+        );
+    }
+
+    #[test]
+    fn allocations_have_catalog_shape() {
+        let report = small_report();
+        for r in &report.results {
+            assert_eq!(r.allocation.len(), 3); // antennas
+            for per_service in &r.allocation {
+                assert_eq!(per_service.len(), ServiceCatalog::paper().len());
+            }
+            assert!(r.total_capacity > 0.0);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Network-slicing capacity allocation (the paper's §6.1 use case) on a
+//! small scenario: fit models, allocate slice capacities at the 95th
+//! percentile, and compare against category-level baselines.
+//!
+//! ```sh
+//! cargo run --release --example slicing_demo
+//! ```
+
+use mobile_traffic_dists::prelude::*;
+use mobile_traffic_dists::usecases::slicing::{run_slicing, SlicingConfig};
+
+fn main() {
+    let sim_config = ScenarioConfig::small_test();
+    println!("fitting models from a {}-BS campaign ...", sim_config.n_bs);
+    let topology = Topology::generate(sim_config.n_bs, sim_config.seed);
+    let catalog = ServiceCatalog::paper();
+    let dataset = Dataset::build(&sim_config, &topology, &catalog);
+    let registry = fit_registry(&dataset).expect("fit");
+
+    let config = SlicingConfig {
+        antenna_deciles: vec![2, 5, 8],
+        days: 3,
+        calibration_days: 5,
+        arrival_scale: 0.2,
+        ..SlicingConfig::default()
+    };
+    println!(
+        "allocating slices for {} SPs at {} antennas (95% SLA) ...\n",
+        catalog.len(),
+        config.antenna_deciles.len()
+    );
+    let report = run_slicing(&config, &registry, &catalog, &dataset);
+
+    println!(
+        "{:8}  {:>10}  {:>8}  {:>14}",
+        "strategy", "satisfied", "std", "total capacity"
+    );
+    for r in &report.results {
+        println!(
+            "{:8}  {:>9.2}%  {:>7.2}%  {:>11.0} MB/min",
+            r.label,
+            r.satisfied_mean * 100.0,
+            r.satisfied_std * 100.0,
+            r.total_capacity
+        );
+    }
+    println!(
+        "\nthe session-level models meet the SLA with the least variability;\n\
+         category-granular baselines starve heavy services (Table 2 of the paper)"
+    );
+}

@@ -1,0 +1,54 @@
+//! vRAN CU–DU energy orchestration (the paper's §6.2 use case): per-second
+//! bin-packing of DU loads onto physical servers, driven by different
+//! traffic models, scored by APE against the measurement-driven run.
+//!
+//! ```sh
+//! cargo run --release --example vran_energy
+//! ```
+
+use mobile_traffic_dists::prelude::*;
+use mobile_traffic_dists::usecases::vran::{run_vran, VranConfig};
+
+fn main() {
+    let sim_config = ScenarioConfig::small_test();
+    println!("fitting models from a {}-BS campaign ...", sim_config.n_bs);
+    let topology = Topology::generate(sim_config.n_bs, sim_config.seed);
+    let catalog = ServiceCatalog::paper();
+    let dataset = Dataset::build(&sim_config, &topology, &catalog);
+    let registry = fit_registry(&dataset).expect("fit");
+
+    let config = VranConfig {
+        n_es: 6,
+        rus_per_es: 6,
+        hours: 6,
+        arrival_scale: 0.12,
+        ..VranConfig::default()
+    };
+    println!(
+        "orchestrating {} ES x {} RU for {} h (1-second time slots) ...\n",
+        config.n_es, config.rus_per_es, config.hours
+    );
+    let report = run_vran(&config, &registry, &catalog, &dataset);
+
+    println!(
+        "measurement-driven run: mean power {:.0} W",
+        report.measurement.mean_power()
+    );
+    println!(
+        "\n{:8}  {:>12}  {:>14}  {:>10}",
+        "strategy", "PS APE med", "power APE med", "mean power"
+    );
+    for (outcome, ape) in report.strategies.iter().zip(&report.ape) {
+        println!(
+            "{:8}  {:>11.1}%  {:>13.1}%  {:>8.0} W",
+            outcome.label,
+            ape.active_ps_ape.median,
+            ape.power_ape.median,
+            outcome.mean_power()
+        );
+    }
+    println!(
+        "\nthe fitted models track the real orchestration closely; the published\n\
+         literature baseline (bm a) is off by hundreds of percent (Fig 13)"
+    );
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper at full evaluation scale.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+for b in fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 table1 table2 fig13 bslevel ablations fit_models; do
+  echo "=== $b ==="
+  ./target/release/$b 2>&1 | tee results/${b}.txt
+  echo
+done
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,134 @@
+//! End-to-end integration: simulate → aggregate → fit → validate that the
+//! fitted models recover the ground truth that generated the data.
+
+use mobile_traffic_dists::math::emd::emd_same_grid;
+use mobile_traffic_dists::models::generator::SessionGenerator;
+use mobile_traffic_dists::netsim::services::ServiceClass;
+use mobile_traffic_dists::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn pipeline() -> (ServiceCatalog, Dataset, ModelRegistry) {
+    let config = ScenarioConfig::small_test();
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let catalog = ServiceCatalog::paper();
+    let dataset = Dataset::build(&config, &topology, &catalog);
+    let registry = fit_registry(&dataset).expect("fitting succeeds");
+    (catalog, dataset, registry)
+}
+
+#[test]
+fn full_pipeline_recovers_service_structure() {
+    let (catalog, _, registry) = pipeline();
+    assert_eq!(registry.len(), catalog.len());
+
+    // β dichotomy: every ground-truth streaming service fits super-linear,
+    // heavyweight messaging fits sub-linear.
+    for s in catalog.services() {
+        let m = registry.by_name(&s.name).expect("modeled");
+        match s.class {
+            ServiceClass::Streaming => {
+                assert!(
+                    m.beta > 0.95,
+                    "{}: beta {} not streaming-like",
+                    s.name,
+                    m.beta
+                );
+            }
+            ServiceClass::Messaging if s.session_share > 0.005 => {
+                assert!(
+                    m.beta < 1.0,
+                    "{}: beta {} not messaging-like",
+                    s.name,
+                    m.beta
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn fitted_share_breakdown_matches_table1() {
+    let (catalog, _, registry) = pipeline();
+    for s in catalog.services() {
+        let m = registry.by_name(&s.name).expect("modeled");
+        // Handover-created sessions shift shares slightly; 1.5 pp bound.
+        assert!(
+            (m.session_share - s.session_share).abs() < 0.015,
+            "{}: fitted share {} vs truth {}",
+            s.name,
+            m.session_share,
+            s.session_share
+        );
+    }
+}
+
+#[test]
+fn model_pdfs_stay_close_to_measurement() {
+    let (_, dataset, registry) = pipeline();
+    for (i, m) in registry.services.iter().enumerate() {
+        let measured = match dataset.volume_pdf(i as u16, &SliceFilter::all()) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let modeled = m.to_binned_pdf(*measured.grid()).expect("binned");
+        let emd = emd_same_grid(&modeled, &measured).expect("emd");
+        // Inter-service distances are O(0.1–1); model error must sit well
+        // below (the §5.4 criterion, scaled to our units).
+        assert!(emd < 0.25, "{}: model EMD {}", m.name, emd);
+        assert!((emd - m.quality.volume_emd).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn generated_traffic_reproduces_measured_volume_distribution() {
+    // Sample sessions from the fitted Netflix model and compare their
+    // volume distribution to the measured PDF.
+    let (_, dataset, registry) = pipeline();
+    let svc = dataset.service_by_name("Netflix").expect("netflix");
+    let measured = dataset.volume_pdf(svc, &SliceFilter::all()).expect("pdf");
+    let model = registry.by_name("Netflix").expect("model");
+
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut hist = mobile_traffic_dists::math::histogram::LogHistogram::new(*measured.grid());
+    for _ in 0..60_000 {
+        hist.add(model.sample_volume(&mut rng));
+    }
+    let sampled = hist.to_pdf().expect("pdf");
+    let emd = emd_same_grid(&sampled, &measured).expect("emd");
+    assert!(emd < 0.25, "sampled-vs-measured EMD {emd}");
+    // And the linear mean is calibrated (support truncation).
+    let ratio = sampled.mean_linear() / measured.mean_linear();
+    assert!((0.75..1.35).contains(&ratio), "mean ratio {ratio}");
+}
+
+#[test]
+fn generator_produces_decile_scaled_bimodal_traffic() {
+    let (_, _, registry) = pipeline();
+    let generator = SessionGenerator::new(&registry).expect("generator");
+    let mut rng = SmallRng::seed_from_u64(3);
+    let quiet = generator.generate_day(0, &mut rng);
+    let busy = generator.generate_day(9, &mut rng);
+    assert!(
+        busy.len() > 2 * quiet.len(),
+        "quiet {} busy {}",
+        quiet.len(),
+        busy.len()
+    );
+
+    // Bimodal day/night split.
+    let peak = busy
+        .iter()
+        .filter(|s| (8.0 * 3600.0..22.0 * 3600.0).contains(&s.start_s))
+        .count();
+    assert!(peak as f64 / busy.len() as f64 > 0.75);
+}
+
+#[test]
+fn registry_roundtrips_through_json() {
+    let (_, _, registry) = pipeline();
+    let json = registry.to_json().expect("serialize");
+    let back = ModelRegistry::from_json(&json).expect("parse");
+    assert_eq!(back, registry);
+}

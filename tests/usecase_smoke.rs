@@ -1,0 +1,74 @@
+//! Integration smoke tests for the §6 use cases through the public
+//! umbrella API.
+
+use mobile_traffic_dists::prelude::*;
+use mobile_traffic_dists::usecases::slicing::{run_slicing, SlicingConfig};
+use mobile_traffic_dists::usecases::vran::{run_vran, VranConfig};
+
+fn registry_and_catalog() -> (ModelRegistry, ServiceCatalog, Dataset) {
+    let config = ScenarioConfig::small_test();
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let catalog = ServiceCatalog::paper();
+    let dataset = Dataset::build(&config, &topology, &catalog);
+    (fit_registry(&dataset).expect("fit"), catalog, dataset)
+}
+
+#[test]
+fn slicing_report_is_complete_and_ordered() {
+    let (registry, catalog, dataset) = registry_and_catalog();
+    let config = SlicingConfig {
+        antenna_deciles: vec![4, 8],
+        days: 2,
+        calibration_days: 3,
+        arrival_scale: 0.15,
+        ..SlicingConfig::default()
+    };
+    let report = run_slicing(&config, &registry, &catalog, &dataset);
+    assert_eq!(report.results.len(), 3);
+    let labels: Vec<&str> = report.results.iter().map(|r| r.label).collect();
+    assert_eq!(labels, vec!["model", "bm a", "bm b"]);
+    for r in &report.results {
+        assert!(
+            r.satisfied_mean > 0.3 && r.satisfied_mean <= 1.0,
+            "{}",
+            r.label
+        );
+        assert!(r.total_capacity.is_finite() && r.total_capacity > 0.0);
+    }
+    assert!(!report.fig12_demand.is_empty());
+}
+
+#[test]
+fn vran_report_is_complete() {
+    let (registry, catalog, dataset) = registry_and_catalog();
+    let config = VranConfig {
+        n_es: 3,
+        rus_per_es: 3,
+        hours: 2,
+        arrival_scale: 0.1,
+        ..VranConfig::default()
+    };
+    let report = run_vran(&config, &registry, &catalog, &dataset);
+    assert_eq!(report.strategies.len(), 4);
+    assert_eq!(report.ape.len(), 4);
+    let horizon = 2 * 3600;
+    assert_eq!(report.measurement.power_w.len(), horizon);
+    for ape in &report.ape {
+        assert!(ape.power_ape.median.is_finite());
+        assert!(ape.power_ape.median >= 0.0);
+    }
+    // The unnormalized literature baseline must be far off the
+    // measurement (the paper's core negative result).
+    let bma = report.ape.iter().find(|a| a.label == "bm a").expect("bm a");
+    let model = report
+        .ape
+        .iter()
+        .find(|a| a.label == "model")
+        .expect("model");
+    assert!(
+        bma.power_ape.median > 3.0 * model.power_ape.median,
+        "bm a {} vs model {}",
+        bma.power_ape.median,
+        model.power_ape.median
+    );
+}
