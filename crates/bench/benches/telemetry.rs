@@ -1,0 +1,113 @@
+//! Telemetry overhead benchmarks.
+//!
+//! The contract is that *disabled* telemetry is free enough to leave the
+//! instrumentation compiled into the hot paths: compare
+//! `sim/base_station_day` (telemetry off, the uninstrumented-equivalent
+//! baseline) against `sim/base_station_day_enabled`, and the
+//! microbenchmark pairs below. Disabled entry points cost one relaxed
+//! atomic load, which should be <2% of any workload that does real work
+//! per event.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtd_netsim::engine::{CollectSink, Engine};
+use mtd_netsim::geo::Topology;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::ScenarioConfig;
+
+fn small_scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        n_bs: 2,
+        days: 1,
+        arrival_scale: 0.05,
+        ..ScenarioConfig::small_test()
+    }
+}
+
+/// The real pipeline workload, telemetry disabled (the shipped default).
+fn bench_simulation_disabled(c: &mut Criterion) {
+    mtd_telemetry::set_enabled(false);
+    let config = small_scenario();
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let catalog = ServiceCatalog::paper();
+    c.bench_function("sim/base_station_day", |b| {
+        b.iter(|| {
+            let engine = Engine::new(&config, &topology, &catalog);
+            let mut sink = CollectSink::default();
+            black_box(engine.run(&mut sink))
+        })
+    });
+}
+
+/// The same workload with collection on: the upper bound a `--telemetry`
+/// run pays.
+fn bench_simulation_enabled(c: &mut Criterion) {
+    mtd_telemetry::set_enabled(true);
+    mtd_telemetry::reset();
+    let config = small_scenario();
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let catalog = ServiceCatalog::paper();
+    c.bench_function("sim/base_station_day_enabled", |b| {
+        b.iter(|| {
+            let engine = Engine::new(&config, &topology, &catalog);
+            let mut sink = CollectSink::default();
+            black_box(engine.run(&mut sink))
+        })
+    });
+    mtd_telemetry::set_enabled(false);
+    mtd_telemetry::reset();
+}
+
+/// Isolated entry-point cost: counter increments and span guards, both
+/// with collection off (the fast path) and on.
+fn bench_entry_points(c: &mut Criterion) {
+    mtd_telemetry::set_enabled(false);
+    c.bench_function("telemetry/count_disabled_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                mtd_telemetry::count(black_box("bench.counter"), black_box(i & 1));
+            }
+        })
+    });
+    c.bench_function("telemetry/span_disabled_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _g = mtd_telemetry::span!("bench.span");
+                black_box(&_g);
+            }
+        })
+    });
+
+    mtd_telemetry::set_enabled(true);
+    mtd_telemetry::reset();
+    c.bench_function("telemetry/count_enabled_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                mtd_telemetry::count(black_box("bench.counter"), black_box(i & 1));
+            }
+        })
+    });
+    c.bench_function("telemetry/observe_enabled_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000 {
+                mtd_telemetry::observe(black_box("bench.hist"), f64::from(i) * 0.37);
+            }
+        })
+    });
+    c.bench_function("telemetry/span_enabled_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _g = mtd_telemetry::span!("bench.span");
+                black_box(&_g);
+            }
+        })
+    });
+    mtd_telemetry::set_enabled(false);
+    mtd_telemetry::reset();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulation_disabled, bench_simulation_enabled, bench_entry_points
+);
+criterion_main!(benches);

@@ -1,30 +1,42 @@
-//! Minimal `--flag value` argument parsing (no external dependencies).
+//! Minimal `--flag value` / `--switch` argument parsing (no external
+//! dependencies).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Parsed flags of a subcommand.
 #[derive(Debug, Default)]
 pub struct Flags {
     values: HashMap<String, String>,
+    switches: HashSet<String>,
 }
 
 impl Flags {
-    /// Parses `--key value` pairs; rejects unknown or valueless flags.
-    pub fn parse(argv: &[String], allowed: &[&str]) -> Result<Flags, String> {
+    /// Parses `--key value` pairs (keys in `valued`) and valueless
+    /// `--switch` flags (keys in `boolean`); rejects unknown flags,
+    /// missing values and duplicates.
+    pub fn parse(argv: &[String], valued: &[&str], boolean: &[&str]) -> Result<Flags, String> {
         let mut values = HashMap::new();
+        let mut switches = HashSet::new();
         let mut it = argv.iter();
         while let Some(arg) = it.next() {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected argument: {arg}"));
             };
-            if !allowed.contains(&key) {
+            if boolean.contains(&key) {
+                if !switches.insert(key.to_string()) {
+                    return Err(format!("flag --{key} given twice"));
+                }
+                continue;
+            }
+            if !valued.contains(&key) {
+                let expected: Vec<String> = valued
+                    .iter()
+                    .chain(boolean)
+                    .map(|a| format!("--{a}"))
+                    .collect();
                 return Err(format!(
                     "unknown flag --{key} (expected one of: {})",
-                    allowed
-                        .iter()
-                        .map(|a| format!("--{a}"))
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    expected.join(", ")
                 ));
             }
             let Some(value) = it.next() else {
@@ -34,13 +46,19 @@ impl Flags {
                 return Err(format!("flag --{key} given twice"));
             }
         }
-        Ok(Flags { values })
+        Ok(Flags { values, switches })
     }
 
     /// Optional string flag.
     #[must_use]
     pub fn opt(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean `--switch` flag was given.
+    #[must_use]
+    pub fn is_set(&self, key: &str) -> bool {
+        self.switches.contains(key)
     }
 
     /// Parsed numeric flag with a default.
@@ -67,6 +85,7 @@ mod tests {
         let f = Flags::parse(
             &argv(&["--decile", "9", "--days", "2"]),
             &["decile", "days"],
+            &[],
         )
         .unwrap();
         assert_eq!(f.num_or("decile", 0u8).unwrap(), 9);
@@ -75,16 +94,49 @@ mod tests {
     }
 
     #[test]
+    fn parses_boolean_switches_mixed_with_pairs() {
+        let f = Flags::parse(
+            &argv(&["--quiet", "--days", "2", "--telemetry-stderr"]),
+            &["days"],
+            &["quiet", "telemetry-stderr"],
+        )
+        .unwrap();
+        assert!(f.is_set("quiet"));
+        assert!(f.is_set("telemetry-stderr"));
+        assert!(!f.is_set("verbose"));
+        assert_eq!(f.num_or("days", 1u32).unwrap(), 2);
+    }
+
+    #[test]
+    fn boolean_flags_consume_no_value() {
+        // The token after a switch is parsed as the next flag, not as the
+        // switch's value.
+        let f = Flags::parse(&argv(&["--quiet", "--days", "3"]), &["days"], &["quiet"]).unwrap();
+        assert!(f.is_set("quiet"));
+        assert_eq!(f.num_or("days", 1u32).unwrap(), 3);
+        assert_eq!(f.opt("quiet"), None);
+    }
+
+    #[test]
     fn rejects_unknown_missing_and_duplicate() {
-        assert!(Flags::parse(&argv(&["--nope", "1"]), &["decile"]).is_err());
-        assert!(Flags::parse(&argv(&["--decile"]), &["decile"]).is_err());
-        assert!(Flags::parse(&argv(&["decile", "1"]), &["decile"]).is_err());
-        assert!(Flags::parse(&argv(&["--decile", "1", "--decile", "2"]), &["decile"]).is_err());
+        assert!(Flags::parse(&argv(&["--nope", "1"]), &["decile"], &[]).is_err());
+        assert!(Flags::parse(&argv(&["--decile"]), &["decile"], &[]).is_err());
+        assert!(Flags::parse(&argv(&["decile", "1"]), &["decile"], &[]).is_err());
+        assert!(
+            Flags::parse(&argv(&["--decile", "1", "--decile", "2"]), &["decile"], &[]).is_err()
+        );
+        assert!(Flags::parse(&argv(&["--quiet", "--quiet"]), &[], &["quiet"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_error_lists_switches_too() {
+        let err = Flags::parse(&argv(&["--nope", "1"]), &["days"], &["quiet"]).unwrap_err();
+        assert!(err.contains("--days") && err.contains("--quiet"), "{err}");
     }
 
     #[test]
     fn invalid_number_reported() {
-        let f = Flags::parse(&argv(&["--days", "xyz"]), &["days"]).unwrap();
+        let f = Flags::parse(&argv(&["--days", "xyz"]), &["days"], &[]).unwrap();
         assert!(f.num_or("days", 1u32).is_err());
     }
 }

@@ -5,9 +5,12 @@ use mtd_core::pipeline::fit_registry;
 use mtd_core::registry::ModelRegistry;
 use mtd_core::SessionGenerator;
 use mtd_dataset::Dataset;
+use mtd_netsim::engine::{Engine, EngineSink};
 use mtd_netsim::geo::Topology;
 use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::session::SessionObservation;
 use mtd_netsim::ScenarioConfig;
+use mtd_telemetry::progress;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::io::Write;
@@ -28,6 +31,12 @@ USAGE:
   mtd-traffic models   [--registry FILE]
       Print the model parameter tuples [mu, sigma, {k,mu,sigma}, alpha, beta].
 
+  mtd-traffic simulate [--n-bs N] [--days N] [--seed N] [--scale X]
+                       [--threads N] [--out FILE]
+      Run the measurement-campaign simulator and print aggregate run
+      statistics; --out streams every per-BS observation as CSV.
+      Defaults: 30 BSs, 3 days, seed 51966, scale 0.1, all cores.
+
   mtd-traffic fit      [--n-bs N] [--days N] [--seed N] [--scale X]
                        [--out FILE]
       Simulate a measurement campaign, fit a fresh registry, save as JSON.
@@ -39,13 +48,20 @@ USAGE:
       (EMD / KS / mean-ratio / share drift per service).
 
   mtd-traffic help
-      Show this text.";
+      Show this text.
+
+COMMON FLAGS (every subcommand):
+  --telemetry FILE    collect spans/counters/histograms, dump NDJSON to FILE
+  --telemetry-stderr  collect telemetry, print a summary table to stderr
+  --quiet             suppress progress messages on stderr
+  (MTD_TELEMETRY=FILE|stderr in the environment works like the flags)";
 
 /// Dispatches a full command line (without the program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
     match argv.first().map(String::as_str) {
         Some("generate") => generate(&argv[1..]),
         Some("models") => models(&argv[1..]),
+        Some("simulate") => simulate(&argv[1..]),
         Some("fit") => fit(&argv[1..]),
         Some("validate") => validate_cmd(&argv[1..]),
         Some("help") | None => {
@@ -54,6 +70,73 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         }
         Some(other) => Err(format!("unknown command: {other}")),
     }
+}
+
+/// Parses a subcommand's own flags plus the common telemetry flags.
+fn parse_flags(argv: &[String], valued: &[&str]) -> Result<Flags, String> {
+    let mut all = valued.to_vec();
+    all.push("telemetry");
+    Flags::parse(argv, &all, &["telemetry-stderr", "quiet"])
+}
+
+/// Where the run's telemetry goes, decided once per command.
+enum TelemetryDest {
+    Off,
+    File(String),
+    Stderr,
+}
+
+/// Applies `--quiet` and the telemetry flags (or `MTD_TELEMETRY`), and
+/// clears any previously recorded data so the dump covers this run only.
+fn telemetry_init(flags: &Flags) -> TelemetryDest {
+    mtd_telemetry::set_quiet(flags.is_set("quiet"));
+    let dest = if let Some(path) = flags.opt("telemetry") {
+        mtd_telemetry::set_enabled(true);
+        TelemetryDest::File(path.to_string())
+    } else if flags.is_set("telemetry-stderr") {
+        mtd_telemetry::set_enabled(true);
+        TelemetryDest::Stderr
+    } else {
+        match mtd_telemetry::enable_from_env() {
+            Some(v) if v == "stderr" || v == "1" => TelemetryDest::Stderr,
+            Some(path) => TelemetryDest::File(path),
+            None => TelemetryDest::Off,
+        }
+    };
+    if !matches!(dest, TelemetryDest::Off) {
+        mtd_telemetry::reset();
+    }
+    dest
+}
+
+/// Exports collected telemetry to its destination and disables collection.
+fn telemetry_finish(dest: &TelemetryDest) -> Result<(), String> {
+    match dest {
+        TelemetryDest::Off => Ok(()),
+        TelemetryDest::File(path) => {
+            let snap = mtd_telemetry::snapshot();
+            mtd_telemetry::set_enabled(false);
+            mtd_telemetry::export::dump_to_path(&snap, path)
+                .map_err(|e| format!("cannot write telemetry to {path}: {e}"))?;
+            progress!("telemetry", "wrote {} to {path}", describe_snapshot(&snap));
+            Ok(())
+        }
+        TelemetryDest::Stderr => {
+            let snap = mtd_telemetry::snapshot();
+            mtd_telemetry::set_enabled(false);
+            eprint!("{}", mtd_telemetry::export::summary(&snap));
+            Ok(())
+        }
+    }
+}
+
+fn describe_snapshot(snap: &mtd_telemetry::Snapshot) -> String {
+    format!(
+        "{} spans, {} counters, {} histograms",
+        snap.spans.len(),
+        snap.counters.len(),
+        snap.histograms.len()
+    )
 }
 
 fn load_registry(flags: &Flags) -> Result<ModelRegistry, String> {
@@ -75,7 +158,8 @@ fn sink(path: Option<&str>) -> Result<Box<dyn Write>, String> {
 }
 
 fn generate(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["registry", "decile", "days", "seed", "out"])?;
+    let flags = parse_flags(argv, &["registry", "decile", "days", "seed", "out"])?;
+    let tdest = telemetry_init(&flags);
     let registry = load_registry(&flags)?;
     let decile: u8 = flags.num_or("decile", 9)?;
     if decile > 9 {
@@ -93,28 +177,36 @@ fn generate(argv: &[String]) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     let mut count: u64 = 0;
-    for day in 0..days {
-        for s in generator.generate_day(decile, &mut rng) {
-            writeln!(
-                out,
-                "{day},{:.2},{},{:.6},{:.2},{:.6}",
-                s.start_s,
-                registry.services[s.service as usize].name,
-                s.volume_mb,
-                s.duration_s,
-                s.throughput_mbps
-            )
-            .map_err(|e| e.to_string())?;
-            count += 1;
+    {
+        let _span = mtd_telemetry::span!("cli.generate");
+        for day in 0..days {
+            for s in generator.generate_day(decile, &mut rng) {
+                writeln!(
+                    out,
+                    "{day},{:.2},{},{:.6},{:.2},{:.6}",
+                    s.start_s,
+                    registry.services[s.service as usize].name,
+                    s.volume_mb,
+                    s.duration_s,
+                    s.throughput_mbps
+                )
+                .map_err(|e| e.to_string())?;
+                count += 1;
+            }
         }
     }
     out.flush().map_err(|e| e.to_string())?;
-    eprintln!("generated {count} sessions over {days} day(s) at decile {decile}");
-    Ok(())
+    mtd_telemetry::count("cli.generate.sessions", count);
+    progress!(
+        "cli",
+        "generated {count} sessions over {days} day(s) at decile {decile}"
+    );
+    telemetry_finish(&tdest)
 }
 
 fn models(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["registry"])?;
+    let flags = parse_flags(argv, &["registry"])?;
+    let tdest = telemetry_init(&flags);
     let registry = load_registry(&flags)?;
     println!(
         "{:16} {:>7} {:>6} {:>6} {:>9} {:>5} {:>9} {:>6}",
@@ -149,11 +241,100 @@ fn models(argv: &[String]) -> Result<(), String> {
             a.peak_mu, a.peak_sigma, a.pareto_scale
         );
     }
-    Ok(())
+    telemetry_finish(&tdest)
+}
+
+/// Sink that discards events (simulate without `--out`: stats only).
+struct NullSink;
+
+impl EngineSink for NullSink {}
+
+/// Sink that streams observations as CSV while the engine runs.
+struct CsvObservationSink<W: Write> {
+    out: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> EngineSink for CsvObservationSink<W> {
+    fn on_observation(&mut self, obs: &SessionObservation) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(
+            self.out,
+            "{},{},{:.2},{:.2},{:.6},{},{}",
+            obs.bs.0,
+            obs.service.0,
+            obs.start.absolute_seconds(),
+            obs.duration_s,
+            obs.volume_mb,
+            u8::from(obs.transient),
+            obs.segment_index
+        ) {
+            self.error = Some(e);
+        }
+    }
+}
+
+fn simulate(argv: &[String]) -> Result<(), String> {
+    let flags = parse_flags(argv, &["n-bs", "days", "seed", "scale", "threads", "out"])?;
+    let tdest = telemetry_init(&flags);
+    let config = ScenarioConfig {
+        n_bs: flags.num_or("n-bs", 30usize)?,
+        days: flags.num_or("days", 3u32)?,
+        seed: flags.num_or("seed", 0xCAFEu64)?,
+        arrival_scale: flags.num_or("scale", 0.1f64)?,
+        ..ScenarioConfig::default()
+    };
+    config.validate()?;
+    let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize = flags.num_or("threads", default_threads)?;
+
+    progress!(
+        "cli",
+        "simulating {} BSs x {} days (seed {}, scale {}) on {} thread(s) ...",
+        config.n_bs,
+        config.days,
+        config.seed,
+        config.arrival_scale,
+        threads.max(1)
+    );
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let catalog = ServiceCatalog::paper();
+    let engine = Engine::new(&config, &topology, &catalog);
+
+    let stats = match flags.opt("out") {
+        None => engine.run_parallel(&mut NullSink, threads),
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut csv = CsvObservationSink {
+                out: std::io::BufWriter::new(file),
+                error: None,
+            };
+            writeln!(
+                csv.out,
+                "bs,service,start_s,duration_s,volume_mb,transient,segment"
+            )
+            .map_err(|e| e.to_string())?;
+            let stats = engine.run_parallel(&mut csv, threads);
+            if let Some(e) = csv.error {
+                return Err(format!("cannot write {path}: {e}"));
+            }
+            csv.out.flush().map_err(|e| e.to_string())?;
+            stats
+        }
+    };
+    println!(
+        "sessions {}  observations {}  transient {}  volume {:.1} MB",
+        stats.sessions, stats.observations, stats.transient_observations, stats.total_volume_mb
+    );
+    telemetry_finish(&tdest)
 }
 
 fn fit(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["n-bs", "days", "seed", "scale", "out"])?;
+    let flags = parse_flags(argv, &["n-bs", "days", "seed", "scale", "out"])?;
+    let tdest = telemetry_init(&flags);
     let config = ScenarioConfig {
         n_bs: flags.num_or("n-bs", 30usize)?,
         days: flags.num_or("days", 7u32)?,
@@ -162,28 +343,34 @@ fn fit(argv: &[String]) -> Result<(), String> {
         ..ScenarioConfig::default()
     };
     config.validate()?;
-    eprintln!(
+    progress!(
+        "cli",
         "simulating {} BSs x {} days (seed {}, scale {}) ...",
-        config.n_bs, config.days, config.seed, config.arrival_scale
+        config.n_bs,
+        config.days,
+        config.seed,
+        config.arrival_scale
     );
     let topology = Topology::generate(config.n_bs, config.seed);
     let catalog = ServiceCatalog::paper();
     let dataset = Dataset::build(&config, &topology, &catalog);
-    eprintln!("fitting models ...");
+    progress!("cli", "fitting models ...");
     let registry = fit_registry(&dataset).map_err(|e| e.to_string())?;
     let json = registry.to_json().map_err(|e| e.to_string())?;
     let mut out = sink(flags.opt("out"))?;
     writeln!(out, "{json}").map_err(|e| e.to_string())?;
-    eprintln!(
+    progress!(
+        "cli",
         "fitted {} services + {} arrival deciles",
         registry.len(),
         registry.arrivals.len()
     );
-    Ok(())
+    telemetry_finish(&tdest)
 }
 
 fn validate_cmd(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["registry", "n-bs", "days", "seed", "scale"])?;
+    let flags = parse_flags(argv, &["registry", "n-bs", "days", "seed", "scale"])?;
+    let tdest = telemetry_init(&flags);
     let registry = load_registry(&flags)?;
     let config = ScenarioConfig {
         n_bs: flags.num_or("n-bs", 12usize)?,
@@ -193,9 +380,11 @@ fn validate_cmd(argv: &[String]) -> Result<(), String> {
         ..ScenarioConfig::default()
     };
     config.validate()?;
-    eprintln!(
+    progress!(
+        "cli",
         "simulating a fresh {}-BS x {}-day campaign for validation ...",
-        config.n_bs, config.days
+        config.n_bs,
+        config.days
     );
     let topology = Topology::generate(config.n_bs, config.seed);
     let catalog = ServiceCatalog::paper();
@@ -218,6 +407,7 @@ median EMD {:.3}, median KS {:.3}, worst mean ratio {:.2}",
         report.median_ks(),
         report.worst_mean_ratio()
     );
+    telemetry_finish(&tdest)?;
     // Thresholds sized for small validation campaigns, whose rare-service
     // PDFs are noisy; a mismatched registry exceeds them by multiples.
     if report.passes(0.45, 0.8) {
@@ -250,7 +440,7 @@ mod tests {
         let path = dir.join("trace.csv");
         let path_s = path.to_str().unwrap().to_string();
         run(&argv(&[
-            "generate", "--decile", "3", "--days", "1", "--seed", "5", "--out", &path_s,
+            "generate", "--decile", "3", "--days", "1", "--seed", "5", "--out", &path_s, "--quiet",
         ]))
         .unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
@@ -273,6 +463,74 @@ mod tests {
     #[test]
     fn models_prints_released() {
         assert!(run(&argv(&["models"])).is_ok());
+    }
+
+    #[test]
+    fn simulate_prints_stats_and_writes_observations() {
+        let dir = std::env::temp_dir().join("mtd_cli_test_sim");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("obs.csv");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&argv(&[
+            "simulate",
+            "--n-bs",
+            "4",
+            "--days",
+            "1",
+            "--scale",
+            "0.02",
+            "--threads",
+            "2",
+            "--out",
+            &path_s,
+            "--quiet",
+        ]))
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut lines = content.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "bs,service,start_s,duration_s,volume_mb,transient,segment"
+        );
+        let first = lines.next().expect("at least one observation");
+        assert_eq!(first.split(',').count(), 7);
+    }
+
+    #[test]
+    fn simulate_dumps_telemetry_ndjson() {
+        let dir = std::env::temp_dir().join("mtd_cli_test_tel");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.ndjson");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&argv(&[
+            "simulate",
+            "--n-bs",
+            "4",
+            "--days",
+            "1",
+            "--scale",
+            "0.02",
+            "--threads",
+            "2",
+            "--telemetry",
+            &path_s,
+            "--quiet",
+        ]))
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(content.lines().count() >= 4);
+        for line in content.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(content.contains("\"type\":\"meta\""));
+        // Span timings from the engine and per-worker session counters
+        // from run_parallel must be present.
+        assert!(content.contains("\"path\":\"sim.run_parallel\""));
+        assert!(content.contains("\"name\":\"sim.worker.sessions\""));
+        assert!(content.contains("\"label\":\"w0\""));
+        assert!(content.contains("\"name\":\"sim.sessions\""));
     }
 
     #[test]

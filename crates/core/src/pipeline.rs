@@ -26,6 +26,7 @@ pub fn fit_registry_with(
     dataset: &Dataset,
     volume_config: &VolumeFitConfig,
 ) -> Result<ModelRegistry> {
+    let _span = mtd_telemetry::span!("fit.registry");
     let all = SliceFilter::all();
     let total_sessions: f64 = (0..dataset.n_services())
         .map(|s| dataset.sessions(s as u16, &all))
@@ -38,19 +39,30 @@ pub fn fit_registry_with(
     for s in 0..dataset.n_services() as u16 {
         let sessions = dataset.sessions(s, &all);
         if sessions <= 0.0 {
+            mtd_telemetry::count("fit.service.skipped_empty", 1);
             continue;
         }
+        let _span = mtd_telemetry::span!("service");
         let pdf = dataset.volume_pdf(s, &all)?;
-        let vfit = fit_volume_mixture(&pdf, volume_config)?;
+        let vfit = {
+            let _span = mtd_telemetry::span!("volume_mixture");
+            fit_volume_mixture(&pdf, volume_config)?
+        };
+        mtd_telemetry::observe_labeled("fit.volume.emd", dataset.service_name(s), vfit.emd);
 
         let pairs = dataset.duration_pairs(s, &all);
         // Rare services may populate too few duration bins for the power
         // law; fall back to a neutral β = 1 anchored at the mean volume
         // (flagged by r2 = 0 so consumers can tell).
+        let _pl_span = mtd_telemetry::span!("power_law");
         let (alpha, beta, r2) = match fit_duration_power_law(&pairs) {
             Ok(f) => (f.alpha, f.beta, f.r2),
-            Err(_) => (pdf.mean_linear().max(1e-6) / 60.0, 1.0, 0.0),
+            Err(_) => {
+                mtd_telemetry::count("fit.powerlaw.fallback", 1);
+                (pdf.mean_linear().max(1e-6) / 60.0, 1.0, 0.0)
+            }
         };
+        drop(_pl_span);
 
         // Duration scatter: within-duration-bin volume dispersion maps to
         // duration dispersion through the power law (σ_d ≈ σ_{v|d} / β).
@@ -85,6 +97,7 @@ pub fn fit_registry_with(
         return Err(MathError::EmptyInput("fit_registry: no service fitted"));
     }
 
+    let _arrivals_span = mtd_telemetry::span!("arrivals");
     let mut per_decile = Vec::with_capacity(10);
     for d in 0..10u8 {
         let peak = dataset.arrival_counts_windowed(d, true);
@@ -92,6 +105,7 @@ pub fn fit_registry_with(
         if peak.len() < 2 {
             // Tiny scenarios may not populate every decile; reuse the
             // previous decile's model rather than leaving a hole.
+            mtd_telemetry::count("fit.arrival.decile_reused", 1);
             let prev = per_decile.last().copied().ok_or(MathError::EmptyInput(
                 "fit_registry: no arrival data in the first decile",
             ))?;
@@ -100,6 +114,7 @@ pub fn fit_registry_with(
         }
         per_decile.push(ArrivalModel::fit(&peak, &off)?);
     }
+    drop(_arrivals_span);
 
     Ok(ModelRegistry {
         services,

@@ -114,10 +114,18 @@ pub fn fit_volume_mixture_diagnostic(
 
     // Step 3: model retained peaks.
     let mut peaks = Vec::new();
+    if intervals.len() > config.max_peaks {
+        mtd_telemetry::count(
+            "fit.volume.peaks_discarded",
+            (intervals.len() - config.max_peaks) as u64,
+        );
+    }
     for (s, e, mass) in intervals.iter().take(config.max_peaks) {
         if *mass < config.min_peak_mass {
+            mtd_telemetry::count("fit.volume.peaks_discarded", 1);
             continue;
         }
+        mtd_telemetry::count("fit.volume.peaks_retained", 1);
         // μ at the maximum-residual abscissa of the interval; the rising
         // edge detected by the derivative is roughly half the peak, so the
         // span ℓ doubles it.

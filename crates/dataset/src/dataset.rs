@@ -182,6 +182,7 @@ impl Dataset {
         topology: &Topology,
         catalog: &ServiceCatalog,
     ) -> Dataset {
+        let _span = mtd_telemetry::span!("dataset.build");
         let engine = Engine::new(config, topology, catalog);
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -190,7 +191,10 @@ impl Dataset {
         let mut pass1 = VolumeTotalsSink {
             totals: vec![0.0; topology.len()],
         };
-        engine.run_parallel(&mut pass1, threads);
+        {
+            let _span = mtd_telemetry::span!("pass1_totals");
+            engine.run_parallel(&mut pass1, threads);
+        }
         let decile_of_bs = assign_deciles(&pass1.totals);
 
         // Group table.
@@ -235,7 +239,11 @@ impl Dataset {
         let mut pass2 = CellFillSink {
             dataset: &mut dataset,
         };
-        engine.run_parallel(&mut pass2, threads);
+        {
+            let _span = mtd_telemetry::span!("pass2_fill");
+            engine.run_parallel(&mut pass2, threads);
+        }
+        mtd_telemetry::gauge_set("dataset.cells", dataset.cells.len() as f64);
         dataset
     }
 
@@ -246,6 +254,7 @@ impl Dataset {
         let day = obs.start.day;
         if day >= self.n_days {
             // Sessions spilling past the campaign end are not measured.
+            mtd_telemetry::count("dataset.observations.spilled", 1);
             return;
         }
         let minute = (day * MINUTES_PER_DAY + obs.start.minute_of_day()) as usize;

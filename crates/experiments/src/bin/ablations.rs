@@ -17,6 +17,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, _, dataset) = mtd_experiments::build_eval();
     let services: Vec<u16> = (0..dataset.n_services() as u16).collect();
     let dir = mtd_experiments::results_dir();

@@ -8,6 +8,7 @@ use mtd_analysis::bslevel::bs_level_comparison;
 use mtd_analysis::report::{fmt, text_table, write_csv};
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, _, dataset) = mtd_experiments::build_eval();
     let registry = mtd_experiments::fit_eval_registry(&dataset);
 

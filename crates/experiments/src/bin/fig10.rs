@@ -5,6 +5,7 @@ use mtd_analysis::report::{text_table, write_csv};
 use mtd_netsim::services::ServiceCatalog;
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, _catalog, dataset) = mtd_experiments::build_eval();
     let registry = mtd_experiments::fit_eval_registry(&dataset);
 

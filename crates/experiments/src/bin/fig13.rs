@@ -6,10 +6,14 @@ use mtd_analysis::report::{text_table, write_csv};
 use mtd_usecases::vran::{run_vran, VranConfig};
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, catalog, dataset) = mtd_experiments::build_eval();
     let registry = mtd_experiments::fit_eval_registry(&dataset);
 
-    eprintln!("[mtd] running the vRAN orchestration (20 ES x 20 RU, 24 h) ...");
+    mtd_telemetry::progress!(
+        "mtd",
+        "running the vRAN orchestration (20 ES x 20 RU, 24 h) ..."
+    );
     let config = VranConfig::default();
     let report = run_vran(&config, &registry, &catalog, &dataset);
 

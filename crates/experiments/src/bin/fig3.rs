@@ -6,6 +6,7 @@ use mtd_analysis::arrivals::{decile_arrivals, measured_sigma_over_mu};
 use mtd_analysis::report::{fmt, text_table, write_csv};
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, _, dataset) = mtd_experiments::build_eval();
 
     let mut rows = Vec::new();

@@ -10,12 +10,13 @@ use mtd_netsim::geo::Topology;
 use mtd_netsim::services::ServiceCatalog;
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     // Fig 4 ranks the top 100 services; extend the catalog with its
     // synthetic exponential tail.
     let config = mtd_experiments::eval_config();
     let topology = Topology::generate(config.n_bs, config.seed);
     let catalog = ServiceCatalog::with_long_tail(100, config.seed);
-    eprintln!("[mtd] simulating with 100-service catalog ...");
+    mtd_telemetry::progress!("mtd", "simulating with 100-service catalog ...");
     let dataset = Dataset::build(&config, &topology, &catalog);
 
     let analysis = rank_services(&dataset).expect("ranking");

@@ -7,6 +7,7 @@ use mtd_math::emd::emd_same_grid;
 use mtd_netsim::time::DayType;
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, _, dataset) = mtd_experiments::build_eval();
 
     let mut pdf_csv = Vec::new();

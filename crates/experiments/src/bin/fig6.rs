@@ -6,6 +6,7 @@ use mtd_analysis::report::{text_table, write_csv};
 use mtd_analysis::similarity::service_similarity;
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, catalog, dataset) = mtd_experiments::build_eval();
 
     let sim = service_similarity(&dataset).expect("similarity");

@@ -6,6 +6,7 @@ use mtd_dataset::SliceFilter;
 use mtd_math::emd::emd_centered;
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, _, dataset) = mtd_experiments::build_eval();
 
     let fb = dataset.service_by_name("Facebook").expect("Facebook");

@@ -7,6 +7,7 @@ use mtd_analysis::report::{fmt, text_table, write_csv};
 use mtd_dataset::SliceFilter;
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, _, dataset) = mtd_experiments::build_eval();
 
     // Use the services with enough per-slice data (top 12 by sessions).

@@ -7,6 +7,7 @@ use mtd_core::volume::{fit_volume_mixture_diagnostic, VolumeFitConfig};
 use mtd_dataset::SliceFilter;
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, _, dataset) = mtd_experiments::build_eval();
 
     let netflix = dataset.service_by_name("Netflix").expect("Netflix");

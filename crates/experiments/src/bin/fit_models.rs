@@ -3,6 +3,7 @@
 //! per-service parameter tuples.
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, _, dataset) = mtd_experiments::build_eval();
     let registry = mtd_experiments::fit_eval_registry(&dataset);
 

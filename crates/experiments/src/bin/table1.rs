@@ -9,10 +9,11 @@ use mtd_netsim::geo::Topology;
 use mtd_netsim::services::ServiceCatalog;
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let config = mtd_experiments::eval_config();
     let topology = Topology::generate(config.n_bs, config.seed);
     let catalog = ServiceCatalog::paper();
-    eprintln!("[mtd] running campaign with the share accumulator ...");
+    mtd_telemetry::progress!("mtd", "running campaign with the share accumulator ...");
     let engine = Engine::new(&config, &topology, &catalog);
     let mut acc = SharesAccumulator::new(catalog.len());
     engine.run(&mut acc);

@@ -6,10 +6,14 @@ use mtd_analysis::report::{text_table, write_csv};
 use mtd_usecases::slicing::{run_slicing, SlicingConfig};
 
 fn main() {
+    let _telemetry = mtd_experiments::telemetry_from_env();
     let (_, _, catalog, dataset) = mtd_experiments::build_eval();
     let registry = mtd_experiments::fit_eval_registry(&dataset);
 
-    eprintln!("[mtd] running the slicing evaluation (10 antennas, 1 week) ...");
+    mtd_telemetry::progress!(
+        "mtd",
+        "running the slicing evaluation (10 antennas, 1 week) ..."
+    );
     let config = SlicingConfig {
         antenna_deciles: (0..10).collect(),
         days: 7,

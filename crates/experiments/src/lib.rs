@@ -27,7 +27,45 @@ use mtd_dataset::Dataset;
 use mtd_netsim::geo::Topology;
 use mtd_netsim::services::ServiceCatalog;
 use mtd_netsim::ScenarioConfig;
+use mtd_telemetry::progress;
 use std::path::PathBuf;
+
+/// Enables telemetry when `MTD_TELEMETRY` is set and returns a guard that
+/// dumps the collected data when it drops. Bind it first in `main`:
+///
+/// ```no_run
+/// let _telemetry = mtd_experiments::telemetry_from_env();
+/// ```
+///
+/// `MTD_TELEMETRY=stderr` (or `1`) prints a summary table to stderr;
+/// any other value is taken as an NDJSON output path.
+#[must_use]
+pub struct TelemetryGuard {
+    dest: Option<String>,
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        let Some(dest) = self.dest.take() else {
+            return;
+        };
+        let snap = mtd_telemetry::snapshot();
+        if dest == "stderr" || dest == "1" {
+            eprint!("{}", mtd_telemetry::export::summary(&snap));
+        } else if let Err(e) = mtd_telemetry::export::dump_to_path(&snap, &dest) {
+            eprintln!("[mtd] cannot write telemetry to {dest}: {e}");
+        } else {
+            progress!("mtd", "telemetry written to {dest}");
+        }
+    }
+}
+
+/// See [`TelemetryGuard`].
+pub fn telemetry_from_env() -> TelemetryGuard {
+    TelemetryGuard {
+        dest: mtd_telemetry::enable_from_env(),
+    }
+}
 
 /// The shared evaluation scenario (≈ 2–3 M sessions; seconds to build in
 /// release mode). Override the scale with `MTD_FAST=1` for smoke runs.
@@ -49,15 +87,19 @@ pub fn eval_config() -> ScenarioConfig {
 #[must_use]
 pub fn build_eval() -> (ScenarioConfig, Topology, ServiceCatalog, Dataset) {
     let config = eval_config();
-    eprintln!(
-        "[mtd] simulating measurement campaign: {} BSs x {} days (seed {:#x}) ...",
-        config.n_bs, config.days, config.seed
+    progress!(
+        "mtd",
+        "simulating measurement campaign: {} BSs x {} days (seed {:#x}) ...",
+        config.n_bs,
+        config.days,
+        config.seed
     );
     let topology = Topology::generate(config.n_bs, config.seed);
     let catalog = ServiceCatalog::paper();
     let dataset = Dataset::build(&config, &topology, &catalog);
-    eprintln!(
-        "[mtd] dataset ready: {} services, {} BSs",
+    progress!(
+        "mtd",
+        "dataset ready: {} services, {} BSs",
         dataset.n_services(),
         dataset.n_bs()
     );
@@ -67,7 +109,7 @@ pub fn build_eval() -> (ScenarioConfig, Topology, ServiceCatalog, Dataset) {
 /// Fits the full model registry from a dataset.
 #[must_use]
 pub fn fit_eval_registry(dataset: &Dataset) -> ModelRegistry {
-    eprintln!("[mtd] fitting session-level models ...");
+    progress!("mtd", "fitting session-level models ...");
     fit_registry(dataset).expect("fitting the evaluation dataset succeeds")
 }
 

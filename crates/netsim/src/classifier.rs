@@ -50,6 +50,7 @@ impl Classifier {
             .copied()
             .unwrap_or(ServiceId(0));
         if self.n_services > 1 && rng.gen::<f64>() < self.error_rate {
+            mtd_telemetry::count("sim.classifier.errors", 1);
             // Uniform over the other services.
             let mut pick = rng.gen_range(0..self.n_services - 1);
             if pick >= truth.0 {

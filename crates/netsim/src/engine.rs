@@ -59,6 +59,15 @@ impl RunStats {
     }
 }
 
+/// Feeds a completed run's aggregate counters to the telemetry registry
+/// (no-ops when telemetry is disabled).
+fn record_run_stats(stats: &RunStats) {
+    mtd_telemetry::count("sim.sessions", stats.sessions);
+    mtd_telemetry::count("sim.observations", stats.observations);
+    mtd_telemetry::count("sim.observations.transient", stats.transient_observations);
+    mtd_telemetry::observe("sim.run.volume_mb", stats.total_volume_mb);
+}
+
 /// The simulation engine.
 ///
 /// # Examples
@@ -114,6 +123,7 @@ impl<'a> Engine<'a> {
 
     /// Runs the full campaign, feeding `sink`.
     pub fn run<S: EngineSink>(&self, sink: &mut S) -> RunStats {
+        let _span = mtd_telemetry::span!("sim.run");
         let mut stats = RunStats::default();
         for station in self.topology.stations() {
             // Per-station accumulation merged in station order keeps the
@@ -122,6 +132,7 @@ impl<'a> Engine<'a> {
             self.run_station(station, sink, &mut st);
             stats.merge(&st);
         }
+        record_run_stats(&stats);
         stats
     }
 
@@ -138,6 +149,8 @@ impl<'a> Engine<'a> {
         if threads == 1 {
             return self.run(sink);
         }
+        let _span = mtd_telemetry::span!("sim.run_parallel");
+        mtd_telemetry::gauge_set("sim.threads", threads as f64);
         let stations = self.topology.stations();
         let n = stations.len();
         let next = AtomicUsize::new(0);
@@ -145,21 +158,29 @@ impl<'a> Engine<'a> {
 
         let mut stats = RunStats::default();
         crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
+            for w in 0..threads {
                 let tx = tx.clone();
                 let next = &next;
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(move |_| {
+                    let worker = format!("w{w}");
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut buffer = BufferSink::default();
+                        let mut st = RunStats::default();
+                        self.run_station(&stations[i], &mut buffer, &mut st);
+                        mtd_telemetry::count_labeled("sim.worker.stations", &worker, 1);
+                        mtd_telemetry::count_labeled("sim.worker.sessions", &worker, st.sessions);
+                        // A dropped receiver just ends the run early.
+                        if tx.send((i, buffer, st)).is_err() {
+                            break;
+                        }
                     }
-                    let mut buffer = BufferSink::default();
-                    let mut st = RunStats::default();
-                    self.run_station(&stations[i], &mut buffer, &mut st);
-                    // A dropped receiver just ends the run early.
-                    if tx.send((i, buffer, st)).is_err() {
-                        break;
-                    }
+                    // Scoped workers are joined before any snapshot, but an
+                    // explicit flush keeps the buffers' lifetime obvious.
+                    mtd_telemetry::flush_thread();
                 });
             }
             drop(tx);
@@ -178,6 +199,7 @@ impl<'a> Engine<'a> {
             }
         })
         .expect("engine worker panicked");
+        record_run_stats(&stats);
         stats
     }
 
@@ -214,6 +236,8 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        // `stats` is fresh per call, so this is the per-station throughput.
+        mtd_telemetry::observe("sim.station.sessions", stats.sessions as f64);
     }
 
     /// Generates one complete session starting at `(bs, day, minute)` and

@@ -190,6 +190,7 @@ pub fn join_observations(
     gateway: &GatewayProbe,
     rat_of: impl Fn(BsId) -> Rat,
 ) -> (Vec<SessionObservation>, u64) {
+    let _span = mtd_telemetry::span!("sim.join");
     let mut out = Vec::new();
     let mut dropped = 0u64;
     for flow in gateway.flows() {
@@ -227,6 +228,8 @@ pub fn join_observations(
             });
         }
     }
+    mtd_telemetry::count("sim.join.observations", out.len() as u64);
+    mtd_telemetry::count("sim.join.dropped", dropped);
     (out, dropped)
 }
 

@@ -1,0 +1,316 @@
+//! Streaming base-10 log-bin histograms.
+//!
+//! Values are binned by `floor(log10(v) * BINS_PER_DECADE)`, giving a
+//! relative resolution of one eighth of a decade (~33%) over the whole
+//! positive f64 range with a sparse map — small enough to keep one
+//! histogram per metric per thread, precise enough for duration and EMD
+//! distributions whose interesting structure spans orders of magnitude.
+//! Non-positive values land in a dedicated zero bucket so counts are
+//! never silently dropped.
+
+use std::collections::BTreeMap;
+
+/// Log-bins per decade; 8 keeps bin edges exactly representable in the
+/// index arithmetic while resolving distributions well enough for p50/p99.
+pub const BINS_PER_DECADE: i32 = 8;
+
+/// A sparse, mergeable log-bin histogram with exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogBinHistogram {
+    /// Bin index → count. The index is `floor(log10(v) * 8)`.
+    bins: BTreeMap<i32, u64>,
+    /// Count of non-positive observations (zero bucket).
+    zeros: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Same as [`LogBinHistogram::new`]. A derived `Default` would zero the
+/// min/max sentinels and corrupt every merge into a fresh histogram.
+impl Default for LogBinHistogram {
+    fn default() -> LogBinHistogram {
+        LogBinHistogram::new()
+    }
+}
+
+impl LogBinHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LogBinHistogram {
+        LogBinHistogram {
+            bins: BTreeMap::new(),
+            zeros: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bin index of a positive value.
+    fn index(value: f64) -> i32 {
+        let idx = (value.log10() * f64::from(BINS_PER_DECADE)).floor();
+        // f64 exponents span ±308 decades; clamp keeps the cast sound for
+        // subnormals and infinities.
+        idx.clamp(-2600.0, 2600.0) as i32
+    }
+
+    /// Lower edge of a bin.
+    #[must_use]
+    pub fn bin_lo(index: i32) -> f64 {
+        10f64.powf(f64::from(index) / f64::from(BINS_PER_DECADE))
+    }
+
+    /// Upper edge of a bin.
+    #[must_use]
+    pub fn bin_hi(index: i32) -> f64 {
+        Self::bin_lo(index + 1)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value > 0.0 {
+            *self.bins.entry(Self::index(value)).or_insert(0) += 1;
+        } else {
+            self.zeros += 1;
+        }
+    }
+
+    /// Merges another histogram into this one. Bin counts add exactly;
+    /// the float sum is subject to the usual reassociation error.
+    pub fn merge(&mut self, other: &LogBinHistogram) {
+        for (idx, n) in &other.bins {
+            *self.bins.entry(*idx).or_insert(0) += n;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (NaN when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (NaN when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of recorded values (NaN when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Count of non-positive observations.
+    #[must_use]
+    pub fn zero_count(&self) -> u64 {
+        self.zeros
+    }
+
+    /// Occupied `(bin index, count)` pairs in ascending bin order.
+    pub fn bins(&self) -> impl Iterator<Item = (i32, u64)> + '_ {
+        self.bins.iter().map(|(i, n)| (*i, *n))
+    }
+
+    /// Quantile estimate: the geometric midpoint of the bin where the
+    /// cumulative count reaches `q * count`, clamped to observed min/max
+    /// so estimates never leave the data range. NaN when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.zeros;
+        if seen >= target {
+            return self.min.min(0.0);
+        }
+        for (idx, n) in &self.bins {
+            seen += n;
+            if seen >= target {
+                let mid = (Self::bin_lo(*idx) * Self::bin_hi(*idx)).sqrt();
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_nan() {
+        let h = LogBinHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.mean().is_nan());
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.min().is_nan());
+    }
+
+    #[test]
+    fn binning_is_logarithmic() {
+        // 1.0 lands in bin 0; 10.0 in bin 8; 0.1 in bin -8.
+        let mut h = LogBinHistogram::new();
+        h.record(1.0);
+        h.record(10.0);
+        h.record(0.1);
+        let bins: Vec<(i32, u64)> = h.bins().collect();
+        assert_eq!(bins, vec![(-8, 1), (0, 1), (8, 1)]);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn bin_edges_bracket_values() {
+        for v in [1e-6, 0.02, 0.5, 1.0, 3.7, 1e4, 7.7e8] {
+            let mut h = LogBinHistogram::new();
+            h.record(v);
+            let (idx, n) = h.bins().next().unwrap();
+            assert_eq!(n, 1);
+            assert!(
+                LogBinHistogram::bin_lo(idx) <= v * (1.0 + 1e-12),
+                "lo edge of {idx} above {v}"
+            );
+            assert!(
+                LogBinHistogram::bin_hi(idx) > v * (1.0 - 1e-12),
+                "hi edge of {idx} below {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeros_and_negatives_use_zero_bucket() {
+        let mut h = LogBinHistogram::new();
+        h.record(0.0);
+        h.record(-2.0);
+        h.record(5.0);
+        assert_eq!(h.zero_count(), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bins().count(), 1);
+        assert_eq!(h.min(), -2.0);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = LogBinHistogram::new();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn stats_are_exact() {
+        let mut h = LogBinHistogram::new();
+        for v in [2.0, 4.0, 6.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 12.0).abs() < 1e-12);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(h.min(), 2.0);
+        assert_eq!(h.max(), 6.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LogBinHistogram::new();
+        let mut x = 0.37f64;
+        for _ in 0..1000 {
+            x = (x * 997.0).fract();
+            h.record(0.001 + x * 100.0);
+        }
+        let (p10, p50, p99) = (h.quantile(0.1), h.quantile(0.5), h.quantile(0.99));
+        assert!(p10 <= p50 && p50 <= p99, "{p10} {p50} {p99}");
+        assert!(p10 >= h.min() && p99 <= h.max());
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        let values: Vec<f64> = (1..200).map(|i| f64::from(i) * 0.37).collect();
+        let mut whole = LogBinHistogram::new();
+        for v in &values {
+            whole.record(*v);
+        }
+        let mut a = LogBinHistogram::new();
+        let mut b = LogBinHistogram::new();
+        for (i, v) in values.iter().enumerate() {
+            if i % 3 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(
+            a.bins().collect::<Vec<_>>(),
+            whole.bins().collect::<Vec<_>>()
+        );
+        assert!((a.sum() - whole.sum()).abs() < 1e-9 * whole.sum().abs());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn default_is_a_valid_merge_identity() {
+        // Regression: a zeroed (derive-style) default would clamp the
+        // merged minimum to 0.0.
+        let mut h = LogBinHistogram::new();
+        h.record(3.0);
+        h.record(7.0);
+        let mut d = LogBinHistogram::default();
+        d.merge(&h);
+        assert_eq!(d, h);
+        assert_eq!(d.min(), 3.0);
+        assert_eq!(d.max(), 7.0);
+    }
+
+    #[test]
+    fn extreme_values_stay_finite() {
+        let mut h = LogBinHistogram::new();
+        h.record(f64::MIN_POSITIVE);
+        h.record(f64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.5).is_finite());
+    }
+}

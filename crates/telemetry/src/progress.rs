@@ -1,0 +1,99 @@
+//! Suppressible progress reporting — the structured replacement for the
+//! ad-hoc `eprintln!` calls that used to dot the experiment binaries.
+//!
+//! [`progress_args`] (usually via the [`progress!`](crate::progress!)
+//! macro) prints `[target] message` to stderr unless the process is in
+//! quiet mode, and — when telemetry is enabled — counts each message
+//! under the `progress.messages` counter labeled by target, so dumps
+//! show what a run reported even when stderr was suppressed.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much progress chatter reaches stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verbosity {
+    /// Progress messages are printed to stderr (the default).
+    Normal,
+    /// Progress messages are suppressed; only counted when telemetry is on.
+    Quiet,
+}
+
+static QUIET: AtomicU8 = AtomicU8::new(0);
+
+/// Current process-wide verbosity.
+#[must_use]
+pub fn verbosity() -> Verbosity {
+    if QUIET.load(Ordering::Relaxed) == 0 {
+        Verbosity::Normal
+    } else {
+        Verbosity::Quiet
+    }
+}
+
+/// Suppresses (or restores) progress output process-wide; wired to the
+/// CLI `--quiet` flag.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(u8::from(quiet), Ordering::Relaxed);
+}
+
+/// Reports one progress message for `target`. Prefer the
+/// [`progress!`](crate::progress!) macro, which formats in place.
+pub fn progress_args(target: &'static str, args: fmt::Arguments<'_>) {
+    if crate::enabled() {
+        crate::registry::count_labeled("progress.messages", target, 1);
+    }
+    if verbosity() == Verbosity::Normal {
+        eprintln!("[{target}] {args}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::tests::exclusive;
+    use crate::{set_enabled, snapshot};
+
+    #[test]
+    fn progress_counts_by_target_when_enabled() {
+        let _x = exclusive();
+        set_enabled(true);
+        set_quiet(true); // keep test output clean
+        crate::progress!("prog.test", "message {}", 1);
+        crate::progress!("prog.test", "message {}", 2);
+        crate::progress!("prog.other", "hello");
+        let snap = snapshot();
+        set_enabled(false);
+        set_quiet(false);
+        assert_eq!(
+            snap.counter_labeled("progress.messages", "prog.test"),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_labeled("progress.messages", "prog.other"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn progress_is_silent_in_counters_when_disabled() {
+        let _x = exclusive();
+        set_enabled(false);
+        set_quiet(true);
+        crate::progress!("prog.disabled", "never counted");
+        set_quiet(false);
+        let snap = snapshot();
+        assert_eq!(
+            snap.counter_labeled("progress.messages", "prog.disabled"),
+            None
+        );
+    }
+
+    #[test]
+    fn quiet_toggles_verbosity() {
+        set_quiet(true);
+        assert_eq!(verbosity(), Verbosity::Quiet);
+        set_quiet(false);
+        assert_eq!(verbosity(), Verbosity::Normal);
+    }
+}

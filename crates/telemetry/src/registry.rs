@@ -1,0 +1,461 @@
+//! The global registry: thread-local buffers merged under one mutex.
+//!
+//! Every recording first lands in a per-thread [`LocalBuf`]; buffers are
+//! folded into the global state when they grow past a threshold, when the
+//! owning thread exits (TLS destructor), or when [`snapshot`] flushes the
+//! calling thread. Parallel simulation workers therefore synchronize only
+//! once per ~[`FLUSH_EVERY`] recordings instead of once per event.
+
+use crate::histogram::LogBinHistogram;
+use crate::span::SpanRecord;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// Buffered recordings per thread before a merge into the global state.
+const FLUSH_EVERY: usize = 4096;
+
+/// Metric identity: a static name from the instrumentation site plus an
+/// optional runtime label (service name, worker id, ...).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key {
+    pub name: &'static str,
+    pub label: Option<String>,
+}
+
+impl Key {
+    fn plain(name: &'static str) -> Key {
+        Key { name, label: None }
+    }
+
+    fn labeled(name: &'static str, label: &str) -> Key {
+        Key {
+            name,
+            label: Some(label.to_string()),
+        }
+    }
+
+    /// `name` or `name{label}` for display.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match &self.label {
+            None => self.name.to_string(),
+            Some(l) => format!("{}{{{l}}}", self.name),
+        }
+    }
+}
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanValue {
+    pub count: u64,
+    pub total_s: f64,
+    pub durations: LogBinHistogram,
+}
+
+/// A counter's merged value.
+pub type CounterValue = u64;
+/// A gauge's last-written value.
+pub type GaugeValue = f64;
+/// A histogram metric's merged distribution.
+pub type HistogramValue = LogBinHistogram;
+
+/// The merged global state (also the thread-local buffer layout).
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<Key, CounterValue>,
+    gauges: BTreeMap<Key, GaugeValue>,
+    histograms: BTreeMap<Key, HistogramValue>,
+    spans: BTreeMap<String, SpanValue>,
+}
+
+impl State {
+    fn merge_from(&mut self, other: &mut LocalBuf) {
+        for (k, v) in other.counters.drain() {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.gauges.drain() {
+            self.gauges.insert(k, v);
+        }
+        for (k, h) in other.histograms.drain() {
+            self.histograms.entry(k).or_default().merge(&h);
+        }
+        for (path, s) in other.spans.drain() {
+            let entry = self.spans.entry(path).or_default();
+            entry.count += s.count;
+            entry.total_s += s.total_s;
+            entry.durations.merge(&s.durations);
+        }
+        other.pending = 0;
+    }
+}
+
+/// Per-thread recording buffer; merged into [`GLOBAL`] on drop.
+#[derive(Debug, Default)]
+struct LocalBuf {
+    counters: HashMap<Key, CounterValue>,
+    gauges: HashMap<Key, GaugeValue>,
+    histograms: HashMap<Key, HistogramValue>,
+    spans: HashMap<String, SpanValue>,
+    pending: usize,
+}
+
+impl LocalBuf {
+    fn bump(&mut self) -> bool {
+        self.pending += 1;
+        self.pending >= FLUSH_EVERY
+    }
+
+    fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+        self.spans.clear();
+        self.pending = 0;
+    }
+}
+
+/// Flushing from the buffer's own destructor (rather than a sibling guard)
+/// makes thread exit reliable: TLS destructor order between two keys is
+/// unspecified, but this key's own value is always intact when it runs.
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        if !self.is_empty() {
+            merge_into_global(self);
+        }
+    }
+}
+
+static GLOBAL: Mutex<Option<State>> = Mutex::new(None);
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::default());
+}
+
+fn merge_into_global(buf: &mut LocalBuf) {
+    let mut guard = GLOBAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    guard.get_or_insert_with(State::default).merge_from(buf);
+}
+
+/// Runs `f` on the thread buffer and flushes it when large enough.
+fn with_local(f: impl FnOnce(&mut LocalBuf)) {
+    LOCAL.with(|local| {
+        let mut buf = local.borrow_mut();
+        f(&mut buf);
+        if buf.bump() {
+            merge_into_global(&mut buf);
+        }
+    });
+}
+
+/// Increments counter `name` by `delta`.
+#[inline]
+pub fn count(name: &'static str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_local(|buf| *buf.counters.entry(Key::plain(name)).or_insert(0) += delta);
+}
+
+/// Increments the `label` stream of counter `name` by `delta`.
+#[inline]
+pub fn count_labeled(name: &'static str, label: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_local(|buf| {
+        *buf.counters.entry(Key::labeled(name, label)).or_insert(0) += delta;
+    });
+}
+
+/// Sets gauge `name` to `value` (last write wins).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_local(|buf| {
+        buf.gauges.insert(Key::plain(name), value);
+    });
+}
+
+/// Streams `value` into histogram `name`.
+#[inline]
+pub fn observe(name: &'static str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_local(|buf| {
+        buf.histograms
+            .entry(Key::plain(name))
+            .or_default()
+            .record(value);
+    });
+}
+
+/// Streams `value` into the `label` stream of histogram `name`.
+#[inline]
+pub fn observe_labeled(name: &'static str, label: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_local(|buf| {
+        buf.histograms
+            .entry(Key::labeled(name, label))
+            .or_default()
+            .record(value);
+    });
+}
+
+/// Records a completed span (called by the guard in `span.rs`).
+pub(crate) fn record_span(record: SpanRecord) {
+    with_local(|buf| {
+        let entry = buf.spans.entry(record.path).or_default();
+        entry.count += 1;
+        entry.total_s += record.seconds;
+        entry.durations.record(record.seconds);
+    });
+}
+
+/// Merges the calling thread's buffer into the global state immediately.
+/// Worker threads that outlive a measurement (thread pools) should call
+/// this at the end of a work item; threads that exit flush automatically.
+pub fn flush_thread() {
+    let _ = LOCAL.try_with(|local| {
+        if let Ok(mut buf) = local.try_borrow_mut() {
+            if buf.pending > 0 {
+                merge_into_global(&mut buf);
+            }
+        }
+    });
+}
+
+/// An immutable merged view of everything recorded so far.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<Key, CounterValue>,
+    pub gauges: BTreeMap<Key, GaugeValue>,
+    pub histograms: BTreeMap<Key, HistogramValue>,
+    pub spans: BTreeMap<String, SpanValue>,
+}
+
+impl Snapshot {
+    /// Counter value of the unlabeled stream of `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k.name == name && k.label.is_none())
+            .map(|(_, v)| *v)
+    }
+
+    /// Counter value of one labeled stream of `name`.
+    #[must_use]
+    pub fn counter_labeled(&self, name: &str, label: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k.name == name && k.label.as_deref() == Some(label))
+            .map(|(_, v)| *v)
+    }
+
+    /// Sum of a counter over all labels (including the plain stream).
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Gauge value by plain name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k.name == name && k.label.is_none())
+            .map(|(_, v)| *v)
+    }
+
+    /// Histogram by plain name (unlabeled stream).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&LogBinHistogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k.name == name && k.label.is_none())
+            .map(|(_, v)| v)
+    }
+
+    /// Histogram of one labeled stream of `name`.
+    #[must_use]
+    pub fn histogram_labeled(&self, name: &str, label: &str) -> Option<&LogBinHistogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k.name == name && k.label.as_deref() == Some(label))
+            .map(|(_, v)| v)
+    }
+
+    /// Span statistics by exact path.
+    #[must_use]
+    pub fn span(&self, path: &str) -> Option<&SpanValue> {
+        self.spans.get(path)
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+}
+
+/// Flushes the calling thread and returns a merged snapshot.
+///
+/// Buffers of other *live* threads that have not flushed yet are not
+/// included; the simulation engine's scoped workers are joined (and thus
+/// flushed) before any snapshot is taken.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    flush_thread();
+    let guard = GLOBAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match guard.as_ref() {
+        None => Snapshot::default(),
+        Some(state) => Snapshot {
+            counters: state.counters.clone(),
+            gauges: state.gauges.clone(),
+            histograms: state.histograms.clone(),
+            spans: state.spans.clone(),
+        },
+    }
+}
+
+/// Clears all recorded data (the enabled flag is left untouched). The
+/// calling thread's buffer is cleared too; other threads' unflushed
+/// buffers survive a reset, so reset before starting workers, not midway.
+pub fn reset() {
+    let _ = LOCAL.try_with(|local| {
+        if let Ok(mut buf) = local.try_borrow_mut() {
+            buf.clear();
+        }
+    });
+    let mut guard = GLOBAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *guard = Some(State::default());
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Serializes tests that toggle the global enabled flag.
+    pub(crate) fn exclusive() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge_labels_separately() {
+        let _x = exclusive();
+        crate::set_enabled(true);
+        count("reg.test.counter", 2);
+        count("reg.test.counter", 3);
+        count_labeled("reg.test.counter", "a", 7);
+        let snap = snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.counter("reg.test.counter"), Some(5));
+        assert_eq!(snap.counter_total("reg.test.counter"), 12);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let _x = exclusive();
+        crate::set_enabled(true);
+        gauge_set("reg.test.gauge", 1.0);
+        gauge_set("reg.test.gauge", 4.5);
+        let snap = snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.gauge("reg.test.gauge"), Some(4.5));
+    }
+
+    #[test]
+    fn observations_reach_histograms() {
+        let _x = exclusive();
+        crate::set_enabled(true);
+        for i in 1..=10 {
+            observe("reg.test.hist", f64::from(i));
+        }
+        observe_labeled("reg.test.hist", "svc", 3.0);
+        let snap = snapshot();
+        crate::set_enabled(false);
+        let h = snap.histogram("reg.test.hist").unwrap();
+        assert_eq!(h.count(), 10);
+        assert!((h.sum() - 55.0).abs() < 1e-12);
+        let labeled = snap.histogram_labeled("reg.test.hist", "svc").unwrap();
+        assert_eq!(labeled.count(), 1);
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let _x = exclusive();
+        crate::set_enabled(true);
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        count("reg.test.worker", 1);
+                    }
+                    count_labeled("reg.test.worker.by", &format!("w{w}"), 100);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.counter("reg.test.worker"), Some(400));
+        assert_eq!(snap.counter_total("reg.test.worker.by"), 400);
+        // Each worker stream is reported separately.
+        let labels: Vec<_> = snap
+            .counters
+            .keys()
+            .filter(|k| k.name == "reg.test.worker.by")
+            .filter_map(|k| k.label.clone())
+            .collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn reset_clears_previous_data() {
+        let _x = exclusive();
+        crate::set_enabled(true);
+        count("reg.test.reset", 1);
+        flush_thread();
+        reset();
+        let snap = snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.counter("reg.test.reset"), None);
+    }
+
+    #[test]
+    fn key_renders_with_and_without_label() {
+        assert_eq!(Key::plain("a.b").render(), "a.b");
+        assert_eq!(Key::labeled("a.b", "w0").render(), "a.b{w0}");
+    }
+}

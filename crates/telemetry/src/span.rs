@@ -1,0 +1,143 @@
+//! Hierarchical span timers backed by monotonic clocks.
+//!
+//! A [`SpanGuard`] measures wall time between construction and drop with
+//! [`std::time::Instant`]. A thread-local stack of open span names turns
+//! nested guards into slash-joined paths (`fit/volume_mixture`), so the
+//! exported timings reflect the call hierarchy without any allocation on
+//! the fast (disabled) path.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A completed span handed to the registry.
+pub(crate) struct SpanRecord {
+    pub path: String,
+    pub seconds: f64,
+}
+
+/// Guard recording the wall time of one span; see [`span`].
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled at entry: drop is then a no-op.
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name`. While the returned guard lives, spans opened
+/// on the same thread nest under it; when it drops, the elapsed wall time
+/// is recorded under the full path (e.g. `fit/service/volume_mixture`):
+/// once in the span's duration histogram and once in its running total.
+///
+/// When telemetry is disabled this costs one atomic load and returns an
+/// inert guard.
+#[must_use = "a span measures the lifetime of this guard; bind it with `let _span = ...`"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None };
+    }
+    STACK.with(|stack| stack.borrow_mut().push(name));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let seconds = start.elapsed().as_secs_f64();
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        crate::registry::record_span(SpanRecord { path, seconds });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::tests::exclusive;
+    use crate::{set_enabled, snapshot, span};
+
+    #[test]
+    fn span_records_duration_under_its_name() {
+        let _x = exclusive();
+        set_enabled(true);
+        {
+            let _g = span("span.test.outer_only");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        let s = snap.span("span.test.outer_only").unwrap();
+        assert_eq!(s.count, 1);
+        assert!(s.total_s >= 0.002, "total {}", s.total_s);
+        assert_eq!(s.durations.count(), 1);
+    }
+
+    #[test]
+    fn nested_spans_form_hierarchical_paths() {
+        let _x = exclusive();
+        set_enabled(true);
+        {
+            let _outer = span("span.test.root");
+            for _ in 0..3 {
+                let _inner = span("child");
+                let _ = std::hint::black_box(1 + 1);
+            }
+            {
+                let _inner = span("child");
+                let _leaf = span("leaf");
+            }
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.span("span.test.root").unwrap().count, 1);
+        assert_eq!(snap.span("span.test.root/child").unwrap().count, 4);
+        assert_eq!(snap.span("span.test.root/child/leaf").unwrap().count, 1);
+        // The bare child path must not exist: nesting was in effect.
+        assert!(snap.span("child").is_none());
+    }
+
+    #[test]
+    fn sibling_spans_after_drop_do_not_nest() {
+        let _x = exclusive();
+        set_enabled(true);
+        {
+            let _a = span("span.test.first");
+        }
+        {
+            let _b = span("span.test.second");
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        assert!(snap.span("span.test.first").is_some());
+        assert!(snap.span("span.test.second").is_some());
+        assert!(snap.span("span.test.first/span.test.second").is_none());
+    }
+
+    #[test]
+    fn disabled_spans_leave_no_stack_residue() {
+        let _x = exclusive();
+        set_enabled(false);
+        {
+            let _g = span("span.test.disabled");
+        }
+        set_enabled(true);
+        {
+            let _g = span("span.test.after_disabled");
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        // The disabled span neither recorded nor polluted the path of the
+        // following enabled span.
+        assert!(snap.span("span.test.disabled").is_none());
+        assert!(snap.span("span.test.after_disabled").is_some());
+    }
+}

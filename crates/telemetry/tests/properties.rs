@@ -1,0 +1,149 @@
+//! Property-based tests for the telemetry merge semantics: splitting a
+//! recording stream across thread-local buffers and merging must agree
+//! with single-threaded accumulation, for any partition and interleaving.
+
+use mtd_telemetry::LogBinHistogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-"thread" histograms equals one histogram fed the whole
+    /// stream, for any values and any assignment of values to threads.
+    #[test]
+    fn merged_shards_equal_single_threaded_accumulation(
+        entries in vec((1e-9f64..1e9, 0usize..8), 0..400)
+    ) {
+        let mut whole = LogBinHistogram::new();
+        let mut shards: Vec<LogBinHistogram> =
+            (0..8).map(|_| LogBinHistogram::new()).collect();
+        for (value, shard) in &entries {
+            whole.record(*value);
+            shards[*shard].record(*value);
+        }
+        let mut merged = LogBinHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.zero_count(), whole.zero_count());
+        prop_assert_eq!(
+            merged.bins().collect::<Vec<_>>(),
+            whole.bins().collect::<Vec<_>>()
+        );
+        if whole.count() > 0 {
+            prop_assert_eq!(merged.min(), whole.min());
+            prop_assert_eq!(merged.max(), whole.max());
+            let tol = 1e-9 * whole.sum().abs().max(1.0);
+            prop_assert!((merged.sum() - whole.sum()).abs() < tol);
+        }
+    }
+
+    /// Merge order does not matter for the binned shape (bin counts and
+    /// extrema are exact; only the float sum may reassociate).
+    #[test]
+    fn merge_is_order_independent(
+        left in vec(1e-6f64..1e6, 0..120),
+        right in vec(1e-6f64..1e6, 0..120)
+    ) {
+        let mut a = LogBinHistogram::new();
+        for v in &left {
+            a.record(*v);
+        }
+        let mut b = LogBinHistogram::new();
+        for v in &right {
+            b.record(*v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(
+            ab.bins().collect::<Vec<_>>(),
+            ba.bins().collect::<Vec<_>>()
+        );
+        if ab.count() > 0 {
+            prop_assert_eq!(ab.min(), ba.min());
+            prop_assert_eq!(ab.max(), ba.max());
+        }
+    }
+
+    /// Quantiles of a merged histogram stay within the observed range and
+    /// are monotone in `q` — regardless of how the stream was sharded.
+    #[test]
+    fn merged_quantiles_are_monotone_and_bounded(
+        entries in vec((1e-6f64..1e6, 0usize..4), 1..200)
+    ) {
+        let mut shards: Vec<LogBinHistogram> =
+            (0..4).map(|_| LogBinHistogram::new()).collect();
+        for (value, shard) in &entries {
+            shards[*shard].record(*value);
+        }
+        let mut merged = LogBinHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        let mut prev = merged.quantile(0.0);
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let cur = merged.quantile(q);
+            prop_assert!(cur >= prev, "quantile({q}) = {cur} < {prev}");
+            prev = cur;
+        }
+        prop_assert!(merged.quantile(0.0) >= merged.min());
+        prop_assert!(merged.quantile(1.0) <= merged.max());
+    }
+}
+
+/// Real-thread version of the merge property: values recorded through the
+/// registry from concurrently running threads add up exactly as if they
+/// were recorded sequentially.
+#[test]
+fn registry_merge_across_real_threads_matches_sequential() {
+    use std::sync::{Arc, Barrier};
+
+    let values: Vec<f64> = (1..=257).map(|i| f64::from(i) * 0.173).collect();
+    let mut expected = LogBinHistogram::new();
+    for v in &values {
+        expected.record(*v);
+    }
+
+    mtd_telemetry::set_enabled(true);
+    mtd_telemetry::reset();
+    let n_threads = 4;
+    let barrier = Arc::new(Barrier::new(n_threads));
+    let handles: Vec<_> = (0..n_threads)
+        .map(|w| {
+            let barrier = Arc::clone(&barrier);
+            let values = values.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for (i, v) in values.iter().enumerate() {
+                    if i % n_threads == w {
+                        mtd_telemetry::observe("prop.registry.hist", *v);
+                        mtd_telemetry::count("prop.registry.count", 1);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = mtd_telemetry::snapshot();
+    mtd_telemetry::set_enabled(false);
+
+    assert_eq!(
+        snap.counter("prop.registry.count"),
+        Some(values.len() as u64)
+    );
+    let h = snap.histogram("prop.registry.hist").unwrap();
+    assert_eq!(h.count(), expected.count());
+    assert_eq!(
+        h.bins().collect::<Vec<_>>(),
+        expected.bins().collect::<Vec<_>>()
+    );
+    assert_eq!(h.min(), expected.min());
+    assert_eq!(h.max(), expected.max());
+}
