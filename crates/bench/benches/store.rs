@@ -1,0 +1,58 @@
+//! Persistence benchmarks: the binary chunked format vs the JSON
+//! compatibility fallback, plus the parallel encode/decode scaling.
+//!
+//! `cargo bench --bench store`. For the recorded numbers behind
+//! BENCH_store.json (default scenario, file-backed load), run the
+//! `store_bench` binary instead: `cargo run --release -p mtd-bench --bin
+//! store_bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtd_dataset::store::{decode_binary, encode_binary, load_json, save_json, verify_bytes};
+use mtd_dataset::Dataset;
+use mtd_netsim::geo::Topology;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::ScenarioConfig;
+
+fn dataset() -> Dataset {
+    let config = ScenarioConfig::small_test();
+    let topology = Topology::generate(config.n_bs, config.seed);
+    Dataset::build(&config, &topology, &ServiceCatalog::paper())
+}
+
+fn bench_binary(c: &mut Criterion) {
+    let ds = dataset();
+    let bytes = encode_binary(&ds, 1);
+    c.bench_function("store/encode_binary_1thread", |b| {
+        b.iter(|| encode_binary(black_box(&ds), 1))
+    });
+    c.bench_function("store/encode_binary_4threads", |b| {
+        b.iter(|| encode_binary(black_box(&ds), 4))
+    });
+    c.bench_function("store/decode_binary_1thread", |b| {
+        b.iter(|| decode_binary(black_box(&bytes), 1).unwrap())
+    });
+    c.bench_function("store/decode_binary_4threads", |b| {
+        b.iter(|| decode_binary(black_box(&bytes), 4).unwrap())
+    });
+    c.bench_function("store/verify_bytes", |b| {
+        b.iter(|| verify_bytes(black_box(&bytes)))
+    });
+}
+
+fn bench_json(c: &mut Criterion) {
+    let ds = dataset();
+    let dir = std::env::temp_dir().join("mtd_bench_store");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.json");
+    save_json(&ds, &path).unwrap();
+    c.bench_function("store/save_json", |b| {
+        b.iter(|| save_json(black_box(&ds), &path).unwrap())
+    });
+    c.bench_function("store/load_json", |b| {
+        b.iter(|| load_json(black_box(&path)).unwrap())
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_binary, bench_json);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Records the persistence numbers behind `BENCH_store.json`: builds the
+//! default scenario dataset, saves it in both formats, and times
+//! file-backed loads (what the `fit --from` and `dataset import` paths
+//! actually pay).
+//!
+//! Usage: `cargo run --release -p mtd-bench --bin store_bench [out.json]`
+
+use mtd_dataset::store::{load_binary_with_threads, load_json, save_binary, save_json, verify};
+use mtd_dataset::Dataset;
+use mtd_netsim::geo::Topology;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::ScenarioConfig;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+const RUNS: usize = 7;
+
+/// Median wall-clock seconds over `RUNS` runs of `f`.
+fn time_median<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_store.json".to_string());
+
+    let config = ScenarioConfig::default();
+    eprintln!(
+        "building default scenario dataset ({} BS x {} days)...",
+        config.n_bs, config.days
+    );
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let ds = Dataset::build(&config, &topology, &ServiceCatalog::paper());
+
+    let dir = std::env::temp_dir().join("mtd_store_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin_path = dir.join("default.bin");
+    let json_path = dir.join("default.json");
+
+    let save_binary_s = time_median(|| save_binary(&ds, &bin_path).unwrap());
+    let save_json_s = time_median(|| save_json(&ds, &json_path).unwrap());
+    let bin_size = std::fs::metadata(&bin_path).unwrap().len();
+    let json_size = std::fs::metadata(&json_path).unwrap().len();
+
+    let load_binary_s = time_median(|| check(load_binary_with_threads(&bin_path, 1), &ds));
+    let load_binary_par_s = time_median(|| check(load_binary_with_threads(&bin_path, 4), &ds));
+    let load_json_s = time_median(|| check(load_json(&json_path), &ds));
+    let verify_s = time_median(|| assert!(verify(&bin_path).unwrap().is_clean()));
+
+    std::fs::remove_file(&bin_path).ok();
+    std::fs::remove_file(&json_path).ok();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(
+        out,
+        "  \"bench\": \"store: binary chunked format vs JSON fallback\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"scenario\": {{\"preset\": \"default\", \"n_bs\": {}, \"days\": {}}},",
+        config.n_bs, config.days
+    );
+    let _ = writeln!(out, "  \"runs_per_timing\": {RUNS},");
+    let _ = writeln!(out, "  \"statistic\": \"median wall-clock seconds\",");
+    let _ = writeln!(
+        out,
+        "  \"file_bytes\": {{\"binary\": {bin_size}, \"json\": {json_size}}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"save_seconds\": {{\"binary\": {save_binary_s:.6}, \"json\": {save_json_s:.6}}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"load_seconds\": {{\"binary\": {load_binary_s:.6}, \"binary_4_threads\": {load_binary_par_s:.6}, \"json\": {load_json_s:.6}}},"
+    );
+    let _ = writeln!(out, "  \"verify_seconds\": {verify_s:.6},");
+    let _ = writeln!(
+        out,
+        "  \"speedup_load_binary_over_json\": {:.2},",
+        load_json_s / load_binary_s
+    );
+    let _ = writeln!(
+        out,
+        "  \"speedup_load_binary_4_threads_over_json\": {:.2}",
+        load_json_s / load_binary_par_s
+    );
+    let _ = writeln!(out, "}}");
+
+    std::fs::write(Path::new(&out_path), &out).unwrap();
+    eprintln!("wrote {out_path}");
+    print!("{out}");
+}
+
+/// Every timed load is also checked against the in-memory dataset so the
+/// benchmark cannot quietly time a wrong or partial decode.
+fn check<E: std::fmt::Debug>(loaded: Result<Dataset, E>, expected: &Dataset) -> Dataset {
+    let loaded = loaded.unwrap();
+    assert!(loaded == *expected, "loaded dataset differs from original");
+    loaded
+}

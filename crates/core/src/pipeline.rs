@@ -10,8 +10,9 @@ use crate::duration::fit_duration_power_law;
 use crate::model::{ModelQuality, ServiceModel};
 use crate::registry::ModelRegistry;
 use crate::volume::{fit_volume_mixture, VolumeFitConfig};
-use mtd_dataset::{Dataset, SliceFilter};
+use mtd_dataset::{Dataset, DatasetAssembler, DatasetStream, SliceFilter, StoreError, StoreReport};
 use mtd_math::{MathError, Result};
+use std::path::Path;
 
 /// Fits the complete model registry from a measurement dataset.
 ///
@@ -122,6 +123,78 @@ pub fn fit_registry_with(
     })
 }
 
+/// Error of the streamed fit: reading the file failed, or fitting did.
+#[derive(Debug)]
+pub enum StreamFitError {
+    /// The dataset file could not be read or decoded.
+    Store(StoreError),
+    /// The fit itself failed (e.g. the recovered dataset was empty).
+    Math(MathError),
+}
+
+impl std::fmt::Display for StreamFitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamFitError::Store(e) => write!(f, "streamed fit: {e}"),
+            StreamFitError::Math(e) => write!(f, "streamed fit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamFitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamFitError::Store(e) => Some(e),
+            StreamFitError::Math(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for StreamFitError {
+    fn from(e: StoreError) -> Self {
+        StreamFitError::Store(e)
+    }
+}
+
+impl From<MathError> for StreamFitError {
+    fn from(e: MathError) -> Self {
+        StreamFitError::Math(e)
+    }
+}
+
+/// Fits the registry straight from a binary dataset file, streaming
+/// chunk-by-chunk so peak extra memory is one chunk rather than the whole
+/// file image. Produces a registry bit-identical to
+/// `fit_registry(&load_binary(path)?)` on an intact file.
+///
+/// Damaged skippable chunks are dropped (their sessions are simply absent
+/// from the fit) and tallied in the returned [`StoreReport`] — callers
+/// must check [`StoreReport::is_clean`] before trusting the models for
+/// anything load-bearing.
+pub fn fit_registry_streamed(
+    path: &Path,
+) -> std::result::Result<(ModelRegistry, StoreReport), StreamFitError> {
+    fit_registry_streamed_with(path, &VolumeFitConfig::default())
+}
+
+/// [`fit_registry_streamed`] with explicit volume-fit tunables.
+pub fn fit_registry_streamed_with(
+    path: &Path,
+    volume_config: &VolumeFitConfig,
+) -> std::result::Result<(ModelRegistry, StoreReport), StreamFitError> {
+    let _span = mtd_telemetry::span!("fit.registry_streamed");
+    let mut stream = DatasetStream::open(path)?;
+    // Tolerant assembly: the stream already skips damaged chunks, and the
+    // point of recovery is to fit whatever survived.
+    let mut assembler = DatasetAssembler::new(stream.meta().clone(), false);
+    while let Some(chunk) = stream.next_chunk() {
+        assembler.apply(chunk?)?;
+    }
+    let dataset = assembler.finish()?;
+    let registry = fit_registry_with(&dataset, volume_config)?;
+    Ok((registry, stream.report().clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +257,52 @@ mod tests {
         let (registry, _, _) = fitted();
         let total: f64 = registry.services.iter().map(|s| s.session_share).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streamed_fit_matches_in_memory_fit_exactly() {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+
+        let dir = std::env::temp_dir().join("mtd_pipeline_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.bin");
+        mtd_dataset::store::save_binary(&dataset, &path).unwrap();
+
+        let in_memory = fit_registry(&dataset).unwrap();
+        let (streamed, report) = fit_registry_streamed(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert!(report.is_clean(), "{}", report.to_json());
+        // Bit-identical: the streamed path assembles the same dataset, and
+        // the fit is deterministic.
+        assert_eq!(streamed, in_memory);
+    }
+
+    #[test]
+    fn streamed_fit_survives_damaged_chunk() {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+
+        let mut bytes = mtd_dataset::store::encode_binary(&dataset, 1);
+        // Flip one byte near the end of the file body: the last Minutes
+        // chunk's payload (well before the 21-byte footer frame).
+        let idx = bytes.len() - 60;
+        bytes[idx] ^= 0xFF;
+        let dir = std::env::temp_dir().join("mtd_pipeline_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds_damaged.bin");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (registry, report) = fit_registry_streamed(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(!report.is_clean());
+        assert_eq!(report.corrupt_chunks, 1);
+        assert!(!registry.services.is_empty());
     }
 
     #[test]

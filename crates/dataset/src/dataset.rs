@@ -105,34 +105,38 @@ impl SliceFilter {
 }
 
 /// The aggregated measurement dataset of a synthetic campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Fields are `pub(crate)` so the sibling `store` module can encode and
+/// rebuild datasets without going through serde (the binary format needs
+/// direct, bit-exact access to every component).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
-    volume_grid: LogGrid,
-    duration_grid: LogGrid,
-    service_names: Vec<String>,
-    groups: Vec<GroupKey>,
-    group_of_bs: Vec<u16>,
-    decile_of_bs: Vec<u8>,
-    bs_total_volume_mb: Vec<f64>,
+    pub(crate) volume_grid: LogGrid,
+    pub(crate) duration_grid: LogGrid,
+    pub(crate) service_names: Vec<String>,
+    pub(crate) groups: Vec<GroupKey>,
+    pub(crate) group_of_bs: Vec<u16>,
+    pub(crate) decile_of_bs: Vec<u8>,
+    pub(crate) bs_total_volume_mb: Vec<f64>,
     /// Cells keyed by (service, group index, day). Ordered so that every
     /// aggregation sums cells in a deterministic order (hash-map iteration
     /// order would perturb float sums by a ULP between runs). JSON cannot
     /// represent tuple-keyed maps, so serde goes through a keyed vector.
     #[serde(with = "cell_map_serde")]
-    cells: CellMap,
+    pub(crate) cells: CellMap,
     /// Per-BS, per-minute session counts over all services (`w^{c,m}`).
-    minute_counts: Vec<Vec<u32>>,
+    pub(crate) minute_counts: Vec<Vec<u32>>,
     /// Per-BS, per-minute traffic volume over all services (MB, attributed
     /// to the session fragment's start minute) — the BS-level aggregate of
     /// the paper's Fig 1 taxonomy, used by the extension analysis.
-    minute_volume_mb: Vec<Vec<f32>>,
-    n_days: u32,
+    pub(crate) minute_volume_mb: Vec<Vec<f32>>,
+    pub(crate) n_days: u32,
 }
 
 /// Cell key: (service, group index, day).
-type CellKey = (u16, u16, u32);
+pub(crate) type CellKey = (u16, u16, u32);
 /// The ordered cell store.
-type CellMap = std::collections::BTreeMap<CellKey, CellStats>;
+pub(crate) type CellMap = std::collections::BTreeMap<CellKey, CellStats>;
 
 /// Serializes the tuple-keyed cell map as a vector of entries.
 mod cell_map_serde {

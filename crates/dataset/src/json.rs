@@ -1,0 +1,747 @@
+//! Self-contained JSON codec for the store's compatibility fallback.
+//!
+//! Reads and writes the exact document shape `#[derive(Serialize)]` +
+//! `serde_json` produce for [`Dataset`] (objects with the struct field
+//! names, tuples as arrays, unit enum variants as strings, non-finite
+//! floats as `null`), so files written by either implementation load in
+//! the other. Keeping the codec in-crate means the JSON path carries no
+//! runtime dependency and behaves identically in every build.
+//!
+//! Floats are printed with Rust's shortest-round-trip formatter and
+//! parsed with `str::parse`, which recovers the exact bit pattern — the
+//! same guarantee the binary format gives, just ~10× slower (see
+//! `benches/store.rs`).
+
+use crate::dataset::{CellKey, CellMap, Dataset, GroupKey};
+use crate::record::CellStats;
+use mtd_math::histogram::{LogGrid, LogHistogram};
+use mtd_netsim::geo::Region;
+use mtd_netsim::ids::Rat;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest representation that round-trips to the same bits.
+        let _ = write!(out, "{v}");
+    } else {
+        // serde_json's behavior for non-finite floats.
+        out.push_str("null");
+    }
+}
+
+fn push_f32(out: &mut String, v: f32) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64_slice(out: &mut String, xs: &[f64]) {
+    out.push('[');
+    for (i, v) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, *v);
+    }
+    out.push(']');
+}
+
+fn push_grid(out: &mut String, g: &LogGrid) {
+    let _ = write!(
+        out,
+        "{{\"lo\":{},\"hi\":{},\"bins\":{}}}",
+        g.lo_log10(),
+        g.hi_log10(),
+        g.bins()
+    );
+}
+
+fn push_hist(out: &mut String, h: &LogHistogram) {
+    out.push_str("{\"grid\":");
+    push_grid(out, h.grid());
+    out.push_str(",\"counts\":");
+    push_f64_slice(out, h.counts());
+    out.push_str(",\"total\":");
+    push_f64(out, h.total());
+    out.push('}');
+}
+
+fn push_group(out: &mut String, g: &GroupKey) {
+    let region = match g.region {
+        Region::DenseUrban => "DenseUrban",
+        Region::SemiUrban => "SemiUrban",
+        Region::Rural => "Rural",
+    };
+    let rat = match g.rat {
+        Rat::Lte => "Lte",
+        Rat::Nr => "Nr",
+    };
+    let _ = write!(out, "{{\"decile\":{},\"region\":\"{region}\",", g.decile);
+    match g.city {
+        Some(c) => {
+            let _ = write!(out, "\"city\":{c},");
+        }
+        None => out.push_str("\"city\":null,"),
+    }
+    let _ = write!(out, "\"rat\":\"{rat}\"}}");
+}
+
+fn push_cell(out: &mut String, key: &CellKey, stats: &CellStats) {
+    let _ = write!(out, "[[{},{},{}],{{", key.0, key.1, key.2);
+    out.push_str("\"sessions\":");
+    push_f64(out, stats.sessions);
+    out.push_str(",\"traffic_mb\":");
+    push_f64(out, stats.traffic_mb);
+    out.push_str(",\"volume_hist\":");
+    push_hist(out, &stats.volume_hist);
+    out.push_str(",\"pair_sums\":");
+    push_f64_slice(out, &stats.pair_sums);
+    out.push_str(",\"pair_counts\":");
+    push_f64_slice(out, &stats.pair_counts);
+    out.push_str(",\"pair_log_sums\":");
+    push_f64_slice(out, &stats.pair_log_sums);
+    out.push_str(",\"pair_log_sum_sqs\":");
+    push_f64_slice(out, &stats.pair_log_sum_sqs);
+    out.push_str("}]");
+}
+
+/// Serializes a dataset to the serde-compatible JSON document.
+#[must_use]
+pub(crate) fn dataset_to_json(ds: &Dataset) -> String {
+    // Cells dominate; ~1.5 kB each is a comfortable overestimate.
+    let mut out = String::with_capacity(1024 + ds.cells.len() * 1536);
+    out.push_str("{\"volume_grid\":");
+    push_grid(&mut out, &ds.volume_grid);
+    out.push_str(",\"duration_grid\":");
+    push_grid(&mut out, &ds.duration_grid);
+    out.push_str(",\"service_names\":[");
+    for (i, name) in ds.service_names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str(&mut out, name);
+    }
+    out.push_str("],\"groups\":[");
+    for (i, g) in ds.groups.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_group(&mut out, g);
+    }
+    out.push_str("],\"group_of_bs\":[");
+    for (i, v) in ds.group_of_bs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push_str("],\"decile_of_bs\":[");
+    for (i, v) in ds.decile_of_bs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push_str("],\"bs_total_volume_mb\":");
+    push_f64_slice(&mut out, &ds.bs_total_volume_mb);
+    out.push_str(",\"cells\":[");
+    for (i, (key, stats)) in ds.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_cell(&mut out, key, stats);
+    }
+    out.push_str("],\"minute_counts\":[");
+    for (i, row) in ds.minute_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push(']');
+    }
+    out.push_str("],\"minute_volume_mb\":[");
+    for (i, row) in ds.minute_volume_mb.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_f32(&mut out, *v);
+        }
+        out.push(']');
+    }
+    let _ = write!(out, "],\"n_days\":{}}}", ds.n_days);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers stay as input slices so integers, f64 and
+/// f32 all parse from the original token without precision laundering.
+#[derive(Debug)]
+enum Val<'a> {
+    Null,
+    // The dataset schema has no boolean fields, so the payload is only
+    // inspected by tests; it is kept so the parser covers all of JSON.
+    Bool(#[allow(dead_code)] bool),
+    Num(&'a str),
+    Str(String),
+    Arr(Vec<Val<'a>>),
+    Obj(Vec<(String, Val<'a>)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, String>;
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            text,
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> PResult<()> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> PResult<Val<'a>> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Val::Str(self.parse_string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Val::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Val::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Val::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> PResult<Val<'a>> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Val::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Val::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> PResult<Val<'a>> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Val::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Val::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> PResult<String> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected '\"'"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(&self.text[start..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&self.text[start..self.pos]);
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                    return self.parse_string_rest(out);
+                }
+                Some(_) => {
+                    // Skip over the full UTF-8 char, not just one byte.
+                    let ch = self.text[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Continues a string after the first escape (the cold path).
+    fn parse_string_rest(&mut self, mut out: String) -> PResult<String> {
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                }
+                Some(_) => {
+                    let ch = self.text[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> PResult<()> {
+        let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match esc {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.parse_hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: require the low half.
+                    if !self.eat_literal("\\u") {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    let lo = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))?);
+            }
+            _ => return Err(self.err("unknown escape")),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> PResult<u32> {
+        let end = self.pos + 4;
+        let slice = self
+            .text
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(slice, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> PResult<Val<'a>> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("malformed number"));
+        }
+        Ok(Val::Num(&self.text[start..self.pos]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value → Dataset mapping
+// ---------------------------------------------------------------------------
+
+fn get<'v, 'a>(obj: &'v [(String, Val<'a>)], name: &str) -> PResult<&'v Val<'a>> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{name}`"))
+}
+
+fn as_obj<'v, 'a>(v: &'v Val<'a>, what: &str) -> PResult<&'v [(String, Val<'a>)]> {
+    match v {
+        Val::Obj(fields) => Ok(fields),
+        _ => Err(format!("{what}: expected object")),
+    }
+}
+
+fn as_arr<'v, 'a>(v: &'v Val<'a>, what: &str) -> PResult<&'v [Val<'a>]> {
+    match v {
+        Val::Arr(items) => Ok(items),
+        _ => Err(format!("{what}: expected array")),
+    }
+}
+
+fn as_f64(v: &Val<'_>, what: &str) -> PResult<f64> {
+    match v {
+        Val::Num(tok) => tok.parse().map_err(|_| format!("{what}: bad number {tok}")),
+        // serde_json writes non-finite floats as null.
+        Val::Null => Ok(f64::NAN),
+        _ => Err(format!("{what}: expected number")),
+    }
+}
+
+fn as_f32(v: &Val<'_>, what: &str) -> PResult<f32> {
+    match v {
+        Val::Num(tok) => tok.parse().map_err(|_| format!("{what}: bad number {tok}")),
+        Val::Null => Ok(f32::NAN),
+        _ => Err(format!("{what}: expected number")),
+    }
+}
+
+fn as_int<T: std::str::FromStr>(v: &Val<'_>, what: &str) -> PResult<T> {
+    match v {
+        Val::Num(tok) => tok
+            .parse()
+            .map_err(|_| format!("{what}: bad integer {tok}")),
+        _ => Err(format!("{what}: expected integer")),
+    }
+}
+
+fn as_str<'v>(v: &'v Val<'_>, what: &str) -> PResult<&'v str> {
+    match v {
+        Val::Str(s) => Ok(s),
+        _ => Err(format!("{what}: expected string")),
+    }
+}
+
+fn f64_vec(v: &Val<'_>, what: &str) -> PResult<Vec<f64>> {
+    as_arr(v, what)?.iter().map(|x| as_f64(x, what)).collect()
+}
+
+fn grid_from(v: &Val<'_>, what: &str) -> PResult<LogGrid> {
+    let obj = as_obj(v, what)?;
+    let lo = as_f64(get(obj, "lo")?, what)?;
+    let hi = as_f64(get(obj, "hi")?, what)?;
+    let bins: usize = as_int(get(obj, "bins")?, what)?;
+    LogGrid::new(lo, hi, bins).map_err(|e| format!("{what}: {e}"))
+}
+
+fn hist_from(v: &Val<'_>, what: &str) -> PResult<LogHistogram> {
+    let obj = as_obj(v, what)?;
+    let grid = grid_from(get(obj, "grid")?, what)?;
+    let counts = f64_vec(get(obj, "counts")?, what)?;
+    let total = as_f64(get(obj, "total")?, what)?;
+    LogHistogram::from_parts(grid, counts, total).map_err(|e| format!("{what}: {e}"))
+}
+
+fn group_from(v: &Val<'_>) -> PResult<GroupKey> {
+    let obj = as_obj(v, "group")?;
+    let region = match as_str(get(obj, "region")?, "group.region")? {
+        "DenseUrban" => Region::DenseUrban,
+        "SemiUrban" => Region::SemiUrban,
+        "Rural" => Region::Rural,
+        other => return Err(format!("group.region: unknown variant `{other}`")),
+    };
+    let rat = match as_str(get(obj, "rat")?, "group.rat")? {
+        "Lte" => Rat::Lte,
+        "Nr" => Rat::Nr,
+        other => return Err(format!("group.rat: unknown variant `{other}`")),
+    };
+    let city = match get(obj, "city")? {
+        Val::Null => None,
+        v => Some(as_int(v, "group.city")?),
+    };
+    Ok(GroupKey {
+        decile: as_int(get(obj, "decile")?, "group.decile")?,
+        region,
+        city,
+        rat,
+    })
+}
+
+fn cell_from(v: &Val<'_>) -> PResult<(CellKey, CellStats)> {
+    let entry = as_arr(v, "cell entry")?;
+    if entry.len() != 2 {
+        return Err("cell entry: expected [key, stats]".into());
+    }
+    let key = as_arr(&entry[0], "cell key")?;
+    if key.len() != 3 {
+        return Err("cell key: expected [service, group, day]".into());
+    }
+    let key = (
+        as_int(&key[0], "cell key.service")?,
+        as_int(&key[1], "cell key.group")?,
+        as_int(&key[2], "cell key.day")?,
+    );
+    let obj = as_obj(&entry[1], "cell stats")?;
+    let stats = CellStats {
+        sessions: as_f64(get(obj, "sessions")?, "cell.sessions")?,
+        traffic_mb: as_f64(get(obj, "traffic_mb")?, "cell.traffic_mb")?,
+        volume_hist: hist_from(get(obj, "volume_hist")?, "cell.volume_hist")?,
+        pair_sums: f64_vec(get(obj, "pair_sums")?, "cell.pair_sums")?,
+        pair_counts: f64_vec(get(obj, "pair_counts")?, "cell.pair_counts")?,
+        pair_log_sums: f64_vec(get(obj, "pair_log_sums")?, "cell.pair_log_sums")?,
+        pair_log_sum_sqs: f64_vec(get(obj, "pair_log_sum_sqs")?, "cell.pair_log_sum_sqs")?,
+    };
+    Ok((key, stats))
+}
+
+/// Parses the serde-compatible JSON document back into a dataset.
+pub(crate) fn dataset_from_json(text: &str) -> Result<Dataset, String> {
+    let mut parser = Parser::new(text);
+    let root = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing data after JSON document"));
+    }
+    let obj = as_obj(&root, "dataset")?;
+
+    let service_names = as_arr(get(obj, "service_names")?, "service_names")?
+        .iter()
+        .map(|v| as_str(v, "service_names").map(str::to_owned))
+        .collect::<PResult<Vec<_>>>()?;
+    let groups = as_arr(get(obj, "groups")?, "groups")?
+        .iter()
+        .map(group_from)
+        .collect::<PResult<Vec<_>>>()?;
+    let group_of_bs = as_arr(get(obj, "group_of_bs")?, "group_of_bs")?
+        .iter()
+        .map(|v| as_int(v, "group_of_bs"))
+        .collect::<PResult<Vec<u16>>>()?;
+    let decile_of_bs = as_arr(get(obj, "decile_of_bs")?, "decile_of_bs")?
+        .iter()
+        .map(|v| as_int(v, "decile_of_bs"))
+        .collect::<PResult<Vec<u8>>>()?;
+    let mut cells = CellMap::new();
+    for entry in as_arr(get(obj, "cells")?, "cells")? {
+        let (key, stats) = cell_from(entry)?;
+        cells.insert(key, stats);
+    }
+    let minute_counts = as_arr(get(obj, "minute_counts")?, "minute_counts")?
+        .iter()
+        .map(|row| {
+            as_arr(row, "minute_counts row")?
+                .iter()
+                .map(|v| as_int(v, "minute_counts"))
+                .collect::<PResult<Vec<u32>>>()
+        })
+        .collect::<PResult<Vec<_>>>()?;
+    let minute_volume_mb = as_arr(get(obj, "minute_volume_mb")?, "minute_volume_mb")?
+        .iter()
+        .map(|row| {
+            as_arr(row, "minute_volume_mb row")?
+                .iter()
+                .map(|v| as_f32(v, "minute_volume_mb"))
+                .collect::<PResult<Vec<f32>>>()
+        })
+        .collect::<PResult<Vec<_>>>()?;
+
+    Ok(Dataset {
+        volume_grid: grid_from(get(obj, "volume_grid")?, "volume_grid")?,
+        duration_grid: grid_from(get(obj, "duration_grid")?, "duration_grid")?,
+        service_names,
+        groups,
+        group_of_bs,
+        decile_of_bs,
+        bs_total_volume_mb: f64_vec(get(obj, "bs_total_volume_mb")?, "bs_total_volume_mb")?,
+        cells,
+        minute_counts,
+        minute_volume_mb,
+        n_days: as_int(get(obj, "n_days")?, "n_days")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_strings_numbers_and_structure() {
+        let mut p = Parser::new(r#"  {"a": [1, -2.5e3, null, true], "bé": "x\nyA"} "#);
+        let root = p.parse_value().unwrap();
+        let obj = as_obj(&root, "t").unwrap();
+        let arr = as_arr(get(obj, "a").unwrap(), "t").unwrap();
+        assert_eq!(as_f64(&arr[0], "t").unwrap(), 1.0);
+        assert_eq!(as_f64(&arr[1], "t").unwrap(), -2500.0);
+        assert!(as_f64(&arr[2], "t").unwrap().is_nan());
+        assert!(matches!(arr[3], Val::Bool(true)));
+        assert_eq!(as_str(get(obj, "bé").unwrap(), "t").unwrap(), "x\nyA");
+    }
+
+    #[test]
+    fn parser_handles_surrogate_pairs() {
+        let mut p = Parser::new(r#""😀""#);
+        assert_eq!(p.parse_string().unwrap(), "😀");
+        let mut bad = Parser::new(r#""\ud83d""#);
+        assert!(bad.parse_string().is_err());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "{\"a\":1,}",
+            "nul",
+            "\"unterminated",
+            "01x",
+        ] {
+            assert!(
+                Parser::new(text)
+                    .parse_value()
+                    .and_then(|_| {
+                        // Values followed by junk are caught by the caller;
+                        // mimic dataset_from_json's trailing-data check.
+                        let mut p = Parser::new(text);
+                        let v = p.parse_value()?;
+                        p.skip_ws();
+                        if p.pos != p.bytes.len() {
+                            return Err("trailing".into());
+                        }
+                        Ok(v)
+                    })
+                    .is_err(),
+                "accepted malformed input: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn float_text_roundtrip_is_bit_exact() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            std::f64::consts::PI,
+            1e300,
+            5e-324,
+            -123456.789012345,
+        ] {
+            let mut s = String::new();
+            push_f64(&mut s, v);
+            let mut p = Parser::new(&s);
+            let back = as_f64(&p.parse_value().unwrap(), "t").unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "via {s}");
+        }
+    }
+}

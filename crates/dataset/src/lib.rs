@@ -23,8 +23,11 @@
 //! deterministic re-run of the engine) fills the cells. Determinism of the
 //! engine makes the two passes see exactly the same traffic.
 
+pub mod chunk;
 pub mod dataset;
 pub mod decile;
+pub mod format;
+mod json;
 pub mod record;
 pub mod shares;
 pub mod store;
@@ -32,3 +35,4 @@ pub mod store;
 pub use dataset::{Dataset, SliceFilter};
 pub use record::{CellStats, PairPoint};
 pub use shares::SharesAccumulator;
+pub use store::{DatasetAssembler, DatasetStream, StoreError, StoreReport, StreamedChunk};

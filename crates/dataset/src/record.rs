@@ -32,7 +32,7 @@ pub struct PairPoint {
 }
 
 /// Statistics accumulated for one (service, BS-group, day) cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellStats {
     /// Session count `w_s^{c,t}` — the weight in Eq. (1)/(2).
     pub sessions: f64,

@@ -1,26 +1,1568 @@
-//! Dataset persistence.
+//! Dataset persistence — JSON (compatibility) and `mtd-store` v2 binary.
 //!
-//! The paper's released artifact is a table of model parameters; our
-//! equivalent deliverable also includes the aggregated dataset itself so
-//! experiments need not re-simulate. JSON via serde — human-inspectable,
-//! and the only serialization dependency in the workspace.
+//! The paper's campaign spans 282k base stations over 45 days; a dataset
+//! that size cannot live in a single monolithic `serde_json` blob. The
+//! binary format here is chunked (so readers stream), checksummed per
+//! chunk plus a whole-file CRC (so corruption is *detected*, never
+//! silently fitted — a few damaged extreme records would skew every
+//! heavy-tailed fit downstream), and written atomically via temp-file +
+//! rename (so a crashed writer never leaves a half-file behind).
+//!
+//! Layout (all little-endian; see DESIGN.md §9 for the full spec):
+//!
+//! ```text
+//! [magic "MTDSTORE"][version u32][flags u32]
+//! chunk*                      — Meta, Deciles, Cells…, Minutes…
+//! footer chunk (kind 0xFF)    — chunk count + whole-file CRC-32
+//! ```
+//!
+//! Section order is a format invariant: Meta first, Deciles second, then
+//! any number of Cells and Minutes chunks. Chunk payloads are encoded and
+//! decoded in parallel across worker threads with output bit-identical to
+//! the sequential path (same discipline as `Engine::run_parallel`).
+//!
+//! Recovery semantics: a damaged Cells/Minutes chunk is skippable — the
+//! tolerant reader drops it, bumps an `mtd-telemetry` counter and records
+//! the loss in a structured [`StoreReport`]; Meta/Deciles are required.
+//! Transient I/O errors retry with bounded backoff.
 
-use crate::dataset::Dataset;
-use std::io;
-use std::path::Path;
+use crate::chunk::{
+    footer_payload, parse_footer, write_frame, FrameError, FrameReader, SectionKind,
+};
+use crate::dataset::{CellKey, Dataset, GroupKey};
+use crate::format::{ByteReader, ByteWriter, Crc32, FormatError, FORMAT_VERSION, MAGIC};
+use crate::record::CellStats;
+use mtd_math::histogram::{LogGrid, LogHistogram};
+use mtd_netsim::geo::Region;
+use mtd_netsim::ids::Rat;
+use mtd_netsim::time::MINUTES_PER_DAY;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
-/// Saves a dataset as JSON.
-pub fn save_json(dataset: &Dataset, path: &Path) -> io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    let writer = io::BufWriter::new(file);
-    serde_json::to_writer(writer, dataset).map_err(io::Error::other)
+/// Cell records per Cells chunk (~0.3–3 MB depending on sparsity).
+const CELLS_PER_CHUNK: usize = 256;
+/// Per-BS minute rows per Minutes chunk.
+const MINUTE_ROWS_PER_CHUNK: usize = 64;
+/// Fixed file header length: 8-byte magic + version + flags.
+const HEADER_LEN: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Errors and reports
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong loading or saving a dataset.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file does not exist.
+    NotFound(PathBuf),
+    /// An I/O operation failed (after transient-error retries).
+    Io { path: PathBuf, source: io::Error },
+    /// A JSON file exists but does not parse as a dataset.
+    MalformedJson { path: PathBuf, detail: String },
+    /// The file does not start with the binary magic.
+    BadMagic,
+    /// The file's format version is newer than this reader supports.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The file ends inside a chunk.
+    Truncated { offset: u64 },
+    /// A chunk declares an implausible payload length (corrupt framing).
+    OversizedChunk { offset: u64, len: u32 },
+    /// A chunk failed its CRC or did not parse.
+    ChunkCorrupt {
+        section: String,
+        index: u32,
+        offset: u64,
+        reason: String,
+    },
+    /// A required section never appeared.
+    MissingSection(&'static str),
+    /// A single-instance section appeared twice.
+    DuplicateSection(&'static str),
+    /// The footer is missing, miscounts chunks, or the whole-file CRC
+    /// does not match.
+    FooterMismatch { detail: String },
+    /// Sections disagree with each other (e.g. BS counts differ).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound(p) => write!(f, "dataset file not found: {}", p.display()),
+            StoreError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            StoreError::MalformedJson { path, detail } => {
+                write!(f, "malformed JSON dataset {}: {detail}", path.display())
+            }
+            StoreError::BadMagic => write!(f, "not a binary dataset (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build reads <= {supported})"
+            ),
+            StoreError::Truncated { offset } => {
+                write!(f, "file truncated inside a chunk at offset {offset}")
+            }
+            StoreError::OversizedChunk { offset, len } => write!(
+                f,
+                "chunk at offset {offset} declares an implausible {len}-byte payload"
+            ),
+            StoreError::ChunkCorrupt {
+                section,
+                index,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt {section} chunk #{index} at offset {offset}: {reason}"
+            ),
+            StoreError::MissingSection(s) => write!(f, "required section missing: {s}"),
+            StoreError::DuplicateSection(s) => write!(f, "section appears twice: {s}"),
+            StoreError::FooterMismatch { detail } => write!(f, "footer mismatch: {detail}"),
+            StoreError::Inconsistent(detail) => write!(f, "inconsistent dataset: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Per-chunk entry of a [`StoreReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ChunkStatus {
+    /// Section name ("meta", "cells", …) or "unknown(N)" for bad tags.
+    pub section: String,
+    /// Chunk index as stored in the frame.
+    pub index: u32,
+    /// Byte offset of the frame header.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Whether the chunk passed CRC and decoded.
+    pub ok: bool,
+    /// Failure reason when `ok` is false.
+    pub error: Option<String>,
+}
+
+/// Structured integrity report produced by [`verify`] and by the
+/// tolerant loader. Serializable so the CLI can export it as an artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct StoreReport {
+    /// Source path, when read from a file.
+    pub path: Option<String>,
+    /// "binary-v1" or "json".
+    pub format: String,
+    /// Data chunks seen (footer excluded).
+    pub total_chunks: usize,
+    /// Chunks that failed CRC or payload decoding.
+    pub corrupt_chunks: usize,
+    /// Whether a footer was present with the correct chunk count.
+    pub footer_ok: bool,
+    /// Whether the whole-file CRC matched.
+    pub file_crc_ok: bool,
+    /// A fatal condition that stopped reading early, if any.
+    pub fatal: Option<String>,
+    /// Per-chunk detail.
+    pub chunks: Vec<ChunkStatus>,
+}
+
+impl StoreReport {
+    fn new(format: &str) -> StoreReport {
+        StoreReport {
+            path: None,
+            format: format.to_string(),
+            total_chunks: 0,
+            corrupt_chunks: 0,
+            footer_ok: false,
+            file_crc_ok: false,
+            fatal: None,
+            chunks: Vec::new(),
+        }
+    }
+
+    /// No corruption anywhere: every chunk intact, footer and CRC good.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_chunks == 0 && self.footer_ok && self.file_crc_ok && self.fatal.is_none()
+    }
+
+    /// The report as pretty JSON (for `dataset verify --report`).
+    /// Hand-rolled so report artifacts work even in minimal builds.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn opt_str(v: &Option<String>) -> String {
+            v.as_deref()
+                .map_or_else(|| "null".to_string(), |s| format!("\"{}\"", esc(s)))
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"path\": {},\n", opt_str(&self.path)));
+        out.push_str(&format!("  \"format\": \"{}\",\n", esc(&self.format)));
+        out.push_str(&format!("  \"total_chunks\": {},\n", self.total_chunks));
+        out.push_str(&format!("  \"corrupt_chunks\": {},\n", self.corrupt_chunks));
+        out.push_str(&format!("  \"footer_ok\": {},\n", self.footer_ok));
+        out.push_str(&format!("  \"file_crc_ok\": {},\n", self.file_crc_ok));
+        out.push_str(&format!("  \"fatal\": {},\n", opt_str(&self.fatal)));
+        out.push_str("  \"chunks\": [\n");
+        for (i, c) in self.chunks.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"section\": \"{}\", \"index\": {}, \"offset\": {}, \
+                 \"payload_len\": {}, \"ok\": {}, \"error\": {}}}{}\n",
+                esc(&c.section),
+                c.index,
+                c.offset,
+                c.payload_len,
+                c.ok,
+                opt_str(&c.error),
+                if i + 1 == self.chunks.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transient-I/O retry
+// ---------------------------------------------------------------------------
+
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs an I/O operation, retrying transient failures with bounded
+/// exponential backoff (1 ms, 4 ms, 16 ms — then the error surfaces).
+fn with_retry<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut delay = Duration::from_millis(1);
+    for _ in 0..3 {
+        match op() {
+            Err(e) if is_transient(&e) => {
+                mtd_telemetry::count("store.io.retry", 1);
+                std::thread::sleep(delay);
+                delay *= 4;
+            }
+            other => return other,
+        }
+    }
+    op()
+}
+
+fn io_err(path: &Path, source: io::Error) -> StoreError {
+    if source.kind() == io::ErrorKind::NotFound {
+        StoreError::NotFound(path.to_path_buf())
+    } else {
+        StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON path (compatibility fallback)
+// ---------------------------------------------------------------------------
+
+/// Saves a dataset as JSON (human-inspectable compatibility format).
+pub fn save_json(dataset: &Dataset, path: &Path) -> Result<(), StoreError> {
+    let _span = mtd_telemetry::span!("store.save_json");
+    let text = crate::json::dataset_to_json(dataset);
+    write_atomic(path, text.as_bytes())
 }
 
 /// Loads a dataset from JSON.
-pub fn load_json(path: &Path) -> io::Result<Dataset> {
-    let file = std::fs::File::open(path)?;
-    let reader = io::BufReader::new(file);
-    serde_json::from_reader(reader).map_err(io::Error::other)
+///
+/// Unlike the historical `io::Result` signature, a missing file and a
+/// present-but-malformed file are now distinct errors
+/// ([`StoreError::NotFound`] vs [`StoreError::MalformedJson`]), so
+/// callers can fall back on the former and must alert on the latter.
+pub fn load_json(path: &Path) -> Result<Dataset, StoreError> {
+    let _span = mtd_telemetry::span!("store.load_json");
+    let bytes = with_retry(|| std::fs::read(path)).map_err(|e| io_err(path, e))?;
+    let text = String::from_utf8(bytes).map_err(|_| StoreError::MalformedJson {
+        path: path.to_path_buf(),
+        detail: "not valid UTF-8".to_string(),
+    })?;
+    crate::json::dataset_from_json(&text).map_err(|detail| StoreError::MalformedJson {
+        path: path.to_path_buf(),
+        detail,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Section payload codecs
+// ---------------------------------------------------------------------------
+
+/// Decoded Meta section: everything needed to size the other sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaSection {
+    pub volume_grid: LogGrid,
+    pub duration_grid: LogGrid,
+    pub service_names: Vec<String>,
+    pub groups: Vec<GroupKey>,
+    pub group_of_bs: Vec<u16>,
+    pub n_days: u32,
+}
+
+impl MetaSection {
+    /// Number of base stations.
+    #[must_use]
+    pub fn n_bs(&self) -> usize {
+        self.group_of_bs.len()
+    }
+
+    /// Minutes per BS row (`n_days × 1440`).
+    #[must_use]
+    pub fn minutes_per_row(&self) -> usize {
+        (self.n_days * MINUTES_PER_DAY) as usize
+    }
+}
+
+/// Decoded Deciles section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecileSection {
+    pub decile_of_bs: Vec<u8>,
+    pub bs_total_volume_mb: Vec<f64>,
+}
+
+/// One decoded Minutes chunk: rows for BSs `first_bs ..`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinuteBlock {
+    pub first_bs: u32,
+    pub counts: Vec<Vec<u32>>,
+    pub volumes: Vec<Vec<f32>>,
+}
+
+fn region_tag(r: Region) -> u8 {
+    match r {
+        Region::DenseUrban => 0,
+        Region::SemiUrban => 1,
+        Region::Rural => 2,
+    }
+}
+
+fn region_from_tag(t: u8) -> Result<Region, FormatError> {
+    match t {
+        0 => Ok(Region::DenseUrban),
+        1 => Ok(Region::SemiUrban),
+        2 => Ok(Region::Rural),
+        _ => Err(FormatError("unknown region tag")),
+    }
+}
+
+fn rat_tag(r: Rat) -> u8 {
+    match r {
+        Rat::Lte => 0,
+        Rat::Nr => 1,
+    }
+}
+
+fn rat_from_tag(t: u8) -> Result<Rat, FormatError> {
+    match t {
+        0 => Ok(Rat::Lte),
+        1 => Ok(Rat::Nr),
+        _ => Err(FormatError("unknown RAT tag")),
+    }
+}
+
+fn encode_meta(ds: &Dataset) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    for grid in [&ds.volume_grid, &ds.duration_grid] {
+        w.put_f64(grid.lo_log10());
+        w.put_f64(grid.hi_log10());
+        w.put_u32(grid.bins() as u32);
+    }
+    w.put_u32(ds.n_days);
+    w.put_u32(ds.group_of_bs.len() as u32);
+    w.put_u16(ds.service_names.len() as u16);
+    for name in &ds.service_names {
+        w.put_str(name);
+    }
+    w.put_u32(ds.groups.len() as u32);
+    for g in &ds.groups {
+        w.put_u8(g.decile);
+        w.put_u8(region_tag(g.region));
+        match g.city {
+            None => {
+                w.put_u8(0);
+                w.put_u8(0);
+            }
+            Some(c) => {
+                w.put_u8(1);
+                w.put_u8(c);
+            }
+        }
+        w.put_u8(rat_tag(g.rat));
+    }
+    for idx in &ds.group_of_bs {
+        w.put_u16(*idx);
+    }
+    w.into_bytes()
+}
+
+fn decode_meta(payload: &[u8]) -> Result<MetaSection, FormatError> {
+    let mut r = ByteReader::new(payload);
+    let mut grids = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let lo = r.get_f64()?;
+        let hi = r.get_f64()?;
+        let bins = r.get_u32()? as usize;
+        grids.push(LogGrid::new(lo, hi, bins).map_err(|_| FormatError("invalid grid"))?);
+    }
+    let n_days = r.get_u32()?;
+    let n_bs = r.get_u32()? as usize;
+    // Sanity: minute rows must be addressable; also bounds allocation.
+    if n_days == 0 || n_days > 10_000 || n_bs > 10_000_000 {
+        return Err(FormatError("implausible day or BS count"));
+    }
+    let n_services = r.get_u16()? as usize;
+    let mut service_names = Vec::with_capacity(n_services);
+    for _ in 0..n_services {
+        service_names.push(r.get_str()?);
+    }
+    let n_groups = r.get_u32()? as usize;
+    if n_groups > u16::MAX as usize + 1 {
+        return Err(FormatError("too many groups"));
+    }
+    let mut groups = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        let decile = r.get_u8()?;
+        let region = region_from_tag(r.get_u8()?)?;
+        let has_city = r.get_u8()?;
+        let city_val = r.get_u8()?;
+        let city = match has_city {
+            0 => None,
+            1 => Some(city_val),
+            _ => return Err(FormatError("bad city flag")),
+        };
+        let rat = rat_from_tag(r.get_u8()?)?;
+        groups.push(GroupKey {
+            decile,
+            region,
+            city,
+            rat,
+        });
+    }
+    if n_bs.saturating_mul(2) > r.remaining() {
+        return Err(FormatError("declared count exceeds payload size"));
+    }
+    let mut group_of_bs = Vec::with_capacity(n_bs);
+    for _ in 0..n_bs {
+        let idx = r.get_u16()?;
+        if idx as usize >= n_groups {
+            return Err(FormatError("group index out of range"));
+        }
+        group_of_bs.push(idx);
+    }
+    if !r.is_exhausted() {
+        return Err(FormatError("meta has trailing bytes"));
+    }
+    Ok(MetaSection {
+        volume_grid: grids[0],
+        duration_grid: grids[1],
+        service_names,
+        groups,
+        group_of_bs,
+        n_days,
+    })
+}
+
+fn encode_deciles(ds: &Dataset) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(ds.decile_of_bs.len() as u32);
+    for d in &ds.decile_of_bs {
+        w.put_u8(*d);
+    }
+    w.put_f64_dense(&ds.bs_total_volume_mb);
+    w.into_bytes()
+}
+
+fn decode_deciles(payload: &[u8]) -> Result<DecileSection, FormatError> {
+    let mut r = ByteReader::new(payload);
+    let n = r.get_u32()? as usize;
+    if n > r.remaining() {
+        return Err(FormatError("declared count exceeds payload size"));
+    }
+    let mut decile_of_bs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let d = r.get_u8()?;
+        if d > 9 {
+            return Err(FormatError("decile out of range"));
+        }
+        decile_of_bs.push(d);
+    }
+    let bs_total_volume_mb = r.get_f64_dense()?;
+    if bs_total_volume_mb.len() != n {
+        return Err(FormatError("decile/total length mismatch"));
+    }
+    if !r.is_exhausted() {
+        return Err(FormatError("deciles has trailing bytes"));
+    }
+    Ok(DecileSection {
+        decile_of_bs,
+        bs_total_volume_mb,
+    })
+}
+
+fn encode_cells_chunk(records: &[(&CellKey, &CellStats)], vbins: usize, dbins: usize) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(records.len() as u32);
+    w.put_u32(vbins as u32);
+    w.put_u32(dbins as u32);
+    for ((service, group, day), cell) in records {
+        w.put_u16(*service);
+        w.put_u16(*group);
+        w.put_u32(*day);
+        w.put_f64(cell.sessions);
+        w.put_f64(cell.traffic_mb);
+        w.put_f64(cell.volume_hist.total());
+        w.put_f64_vec(cell.volume_hist.counts());
+        w.put_f64_vec(&cell.pair_sums);
+        w.put_f64_vec(&cell.pair_counts);
+        w.put_f64_vec(&cell.pair_log_sums);
+        w.put_f64_vec(&cell.pair_log_sum_sqs);
+    }
+    w.into_bytes()
+}
+
+fn decode_cells_chunk(
+    payload: &[u8],
+    meta: &MetaSection,
+) -> Result<Vec<(CellKey, CellStats)>, FormatError> {
+    let mut r = ByteReader::new(payload);
+    let n = r.get_u32()? as usize;
+    let vbins = r.get_u32()? as usize;
+    let dbins = r.get_u32()? as usize;
+    if vbins != meta.volume_grid.bins() || dbins != meta.duration_grid.bins() {
+        return Err(FormatError("cell grid dims disagree with meta"));
+    }
+    // Each record is at least 24 bytes of scalars + 5 vector tags.
+    if n.saturating_mul(29) > r.remaining() + 29 {
+        return Err(FormatError("declared count exceeds payload size"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let service = r.get_u16()?;
+        let group = r.get_u16()?;
+        let day = r.get_u32()?;
+        if (service as usize) >= meta.service_names.len()
+            || (group as usize) >= meta.groups.len()
+            || day >= meta.n_days
+        {
+            return Err(FormatError("cell key out of range"));
+        }
+        let sessions = r.get_f64()?;
+        let traffic_mb = r.get_f64()?;
+        let hist_total = r.get_f64()?;
+        let hist_counts = r.get_f64_vec()?;
+        if hist_counts.len() != vbins {
+            return Err(FormatError("histogram length mismatch"));
+        }
+        let volume_hist = LogHistogram::from_parts(meta.volume_grid, hist_counts, hist_total)
+            .map_err(|_| FormatError("invalid histogram contents"))?;
+        let pair_sums = r.get_f64_vec()?;
+        let pair_counts = r.get_f64_vec()?;
+        let pair_log_sums = r.get_f64_vec()?;
+        let pair_log_sum_sqs = r.get_f64_vec()?;
+        for v in [&pair_sums, &pair_counts, &pair_log_sums, &pair_log_sum_sqs] {
+            if v.len() != dbins {
+                return Err(FormatError("pair vector length mismatch"));
+            }
+        }
+        out.push((
+            (service, group, day),
+            CellStats {
+                sessions,
+                traffic_mb,
+                volume_hist,
+                pair_sums,
+                pair_counts,
+                pair_log_sums,
+                pair_log_sum_sqs,
+            },
+        ));
+    }
+    if !r.is_exhausted() {
+        return Err(FormatError("cells chunk has trailing bytes"));
+    }
+    Ok(out)
+}
+
+fn encode_minutes_chunk(ds: &Dataset, first_bs: usize, rows: usize) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let row_len = ds
+        .minute_counts
+        .first()
+        .map_or((ds.n_days * MINUTES_PER_DAY) as usize, Vec::len);
+    w.put_u32(first_bs as u32);
+    w.put_u32(rows as u32);
+    w.put_u32(row_len as u32);
+    for bs in first_bs..first_bs + rows {
+        w.put_u32_vec(&ds.minute_counts[bs]);
+        w.put_f32_vec(&ds.minute_volume_mb[bs]);
+    }
+    w.into_bytes()
+}
+
+fn decode_minutes_chunk(payload: &[u8], meta: &MetaSection) -> Result<MinuteBlock, FormatError> {
+    let mut r = ByteReader::new(payload);
+    let first_bs = r.get_u32()?;
+    let rows = r.get_u32()? as usize;
+    let row_len = r.get_u32()? as usize;
+    if row_len != meta.minutes_per_row() {
+        return Err(FormatError("minute row length disagrees with meta"));
+    }
+    if (first_bs as usize).saturating_add(rows) > meta.n_bs() {
+        return Err(FormatError("minute rows out of BS range"));
+    }
+    let mut counts = Vec::with_capacity(rows);
+    let mut volumes = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let c = r.get_u32_vec()?;
+        let v = r.get_f32_vec()?;
+        if c.len() != row_len || v.len() != row_len {
+            return Err(FormatError("minute row length mismatch"));
+        }
+        counts.push(c);
+        volumes.push(v);
+    }
+    if !r.is_exhausted() {
+        return Err(FormatError("minutes chunk has trailing bytes"));
+    }
+    Ok(MinuteBlock {
+        first_bs,
+        counts,
+        volumes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic parallel job runner
+// ---------------------------------------------------------------------------
+
+/// Runs `f(0..n)` on up to `threads` workers; the result vector is in job
+/// order regardless of scheduling, so parallel output is bit-identical to
+/// sequential (the `Engine::run_parallel` discipline).
+fn run_jobs<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F) -> Vec<T> {
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("store worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("job completed"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Binary encode
+// ---------------------------------------------------------------------------
+
+enum EncodeJob<'a> {
+    Meta,
+    Deciles,
+    Cells(Vec<(&'a CellKey, &'a CellStats)>),
+    Minutes { first_bs: usize, rows: usize },
+}
+
+/// Encodes a dataset into the complete binary file image.
+///
+/// `threads` parallelizes chunk payload encoding; the output bytes are
+/// identical for any thread count.
+#[must_use]
+pub fn encode_binary(ds: &Dataset, threads: usize) -> Vec<u8> {
+    let _span = mtd_telemetry::span!("store.encode_binary");
+    let vbins = ds.volume_grid.bins();
+    let dbins = ds.duration_grid.bins();
+
+    let mut jobs: Vec<EncodeJob> = vec![EncodeJob::Meta, EncodeJob::Deciles];
+    let cell_refs: Vec<(&CellKey, &CellStats)> = ds.cells.iter().collect();
+    for batch in cell_refs.chunks(CELLS_PER_CHUNK) {
+        jobs.push(EncodeJob::Cells(batch.to_vec()));
+    }
+    let n_bs = ds.minute_counts.len();
+    let mut first = 0;
+    while first < n_bs {
+        let rows = MINUTE_ROWS_PER_CHUNK.min(n_bs - first);
+        jobs.push(EncodeJob::Minutes {
+            first_bs: first,
+            rows,
+        });
+        first += rows;
+    }
+
+    let payloads = run_jobs(jobs.len(), threads, |i| match &jobs[i] {
+        EncodeJob::Meta => encode_meta(ds),
+        EncodeJob::Deciles => encode_deciles(ds),
+        EncodeJob::Cells(batch) => encode_cells_chunk(batch, vbins, dbins),
+        EncodeJob::Minutes { first_bs, rows } => encode_minutes_chunk(ds, *first_bs, *rows),
+    });
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // flags, reserved
+    for (i, (job, payload)) in jobs.iter().zip(&payloads).enumerate() {
+        let kind = match job {
+            EncodeJob::Meta => SectionKind::Meta,
+            EncodeJob::Deciles => SectionKind::Deciles,
+            EncodeJob::Cells(_) => SectionKind::Cells,
+            EncodeJob::Minutes { .. } => SectionKind::Minutes,
+        };
+        write_frame(&mut out, kind, i as u32, payload);
+    }
+    let file_crc = crate::format::crc32(&out);
+    write_frame(
+        &mut out,
+        SectionKind::Footer,
+        jobs.len() as u32,
+        &footer_payload(jobs.len() as u32, file_crc),
+    );
+    mtd_telemetry::gauge_set("store.encode.bytes", out.len() as f64);
+    out
+}
+
+/// Writes bytes to `path` atomically: temp file in the same directory,
+/// flush, then rename over the destination.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp-partial");
+    let result = (|| -> io::Result<()> {
+        let mut file = with_retry(|| std::fs::File::create(&tmp))?;
+        with_retry(|| file.write_all(bytes))?;
+        with_retry(|| file.sync_all())?;
+        drop(file);
+        with_retry(|| std::fs::rename(&tmp, path))
+    })();
+    if let Err(e) = result {
+        std::fs::remove_file(&tmp).ok();
+        return Err(io_err(path, e));
+    }
+    Ok(())
+}
+
+/// Saves a dataset in the binary format, using all available cores for
+/// chunk encoding. Atomic: a crash mid-write never corrupts `path`.
+pub fn save_binary(ds: &Dataset, path: &Path) -> Result<(), StoreError> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    save_binary_with_threads(ds, path, threads)
+}
+
+/// [`save_binary`] with an explicit worker count (output is identical for
+/// any count).
+pub fn save_binary_with_threads(
+    ds: &Dataset,
+    path: &Path,
+    threads: usize,
+) -> Result<(), StoreError> {
+    let _span = mtd_telemetry::span!("store.save_binary");
+    let bytes = encode_binary(ds, threads);
+    write_atomic(path, &bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Binary decode
+// ---------------------------------------------------------------------------
+
+fn frame_error(e: FrameError, path_hint: Option<&Path>) -> StoreError {
+    match e {
+        FrameError::Io(source) => StoreError::Io {
+            path: path_hint.map_or_else(|| PathBuf::from("<bytes>"), Path::to_path_buf),
+            source,
+        },
+        FrameError::Truncated { offset } => StoreError::Truncated { offset },
+        FrameError::OversizedChunk { offset, len } => StoreError::OversizedChunk { offset, len },
+    }
+}
+
+fn check_header(bytes: &[u8]) -> Result<u32, StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::BadMagic);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    Ok(version)
+}
+
+struct FrameScan {
+    meta: Option<MetaSection>,
+    deciles: Option<DecileSection>,
+    cell_payloads: Vec<(u32, u64, Vec<u8>)>,
+    minute_payloads: Vec<(u32, u64, Vec<u8>)>,
+    report: StoreReport,
+}
+
+/// Walks every frame of a binary image, decoding Meta/Deciles inline and
+/// collecting Cells/Minutes payloads for (possibly parallel) decoding.
+///
+/// In strict mode the first problem is an error; in tolerant mode
+/// skippable problems are recorded in the report and reading continues.
+fn scan_frames(bytes: &[u8], strict: bool) -> Result<FrameScan, StoreError> {
+    check_header(bytes)?;
+    let mut crc = Crc32::new();
+    crc.update(&bytes[..HEADER_LEN]);
+    let mut frames = FrameReader::new(&bytes[HEADER_LEN..], HEADER_LEN as u64, crc);
+
+    let mut scan = FrameScan {
+        meta: None,
+        deciles: None,
+        cell_payloads: Vec::new(),
+        minute_payloads: Vec::new(),
+        report: StoreReport::new(&format!("binary-v{FORMAT_VERSION}")),
+    };
+    let mut footer_seen = false;
+    let mut data_chunks = 0usize;
+
+    loop {
+        let frame = match frames.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(e) => {
+                let err = frame_error(e, None);
+                if strict {
+                    return Err(err);
+                }
+                mtd_telemetry::count("store.chunk.corrupt", 1);
+                scan.report.fatal = Some(err.to_string());
+                break;
+            }
+        };
+        if footer_seen {
+            let err = StoreError::FooterMismatch {
+                detail: "data after footer".into(),
+            };
+            if strict {
+                return Err(err);
+            }
+            scan.report.fatal = Some(err.to_string());
+            break;
+        }
+        let section_name = frame.kind().map_or_else(
+            || format!("unknown({})", frame.kind_tag),
+            |k| k.name().into(),
+        );
+        let mut status = ChunkStatus {
+            section: section_name.clone(),
+            index: frame.index,
+            offset: frame.offset,
+            payload_len: frame.payload.len() as u32,
+            ok: frame.crc_ok,
+            error: if frame.crc_ok {
+                None
+            } else {
+                Some("payload CRC mismatch".into())
+            },
+        };
+
+        let kind = frame.kind();
+        if kind == Some(SectionKind::Footer) {
+            footer_seen = true;
+            if frame.crc_ok {
+                match parse_footer(&frame.payload) {
+                    Ok((count, stored_crc)) => {
+                        // The footer's frame index duplicates the chunk
+                        // count: it is the only frame-header field not
+                        // covered by the whole-file CRC, so it must be
+                        // cross-checked or flips there go unnoticed.
+                        scan.report.footer_ok =
+                            count as usize == data_chunks && frame.index == count;
+                        scan.report.file_crc_ok = stored_crc == frame.file_crc_before;
+                        if !scan.report.footer_ok {
+                            status.ok = false;
+                            status.error = Some(format!(
+                                "footer counts {count} chunks (frame index {}), file has {data_chunks}",
+                                frame.index
+                            ));
+                        } else if !scan.report.file_crc_ok {
+                            status.ok = false;
+                            status.error = Some("whole-file CRC mismatch".into());
+                        }
+                    }
+                    Err(e) => {
+                        status.ok = false;
+                        status.error = Some(e.to_string());
+                    }
+                }
+            }
+            if !status.ok && strict {
+                return Err(StoreError::FooterMismatch {
+                    detail: status.error.unwrap_or_default(),
+                });
+            }
+            scan.report.chunks.push(status);
+            continue;
+        }
+
+        data_chunks += 1;
+        scan.report.total_chunks = data_chunks;
+
+        // Handle a chunk whose payload failed CRC or whose tag is unknown.
+        let corrupt = |status: &mut ChunkStatus, reason: &str| {
+            status.ok = false;
+            status.error = Some(reason.to_string());
+        };
+        let mut failed: Option<String> = None;
+        if !frame.crc_ok {
+            failed = Some("payload CRC mismatch".into());
+        } else {
+            match kind {
+                Some(SectionKind::Meta) => {
+                    if scan.meta.is_some() {
+                        if strict {
+                            return Err(StoreError::DuplicateSection("meta"));
+                        }
+                        failed = Some("duplicate meta section".into());
+                    } else {
+                        match decode_meta(&frame.payload) {
+                            Ok(m) => scan.meta = Some(m),
+                            Err(e) => failed = Some(e.to_string()),
+                        }
+                    }
+                }
+                Some(SectionKind::Deciles) => {
+                    if scan.deciles.is_some() {
+                        if strict {
+                            return Err(StoreError::DuplicateSection("deciles"));
+                        }
+                        failed = Some("duplicate deciles section".into());
+                    } else {
+                        match decode_deciles(&frame.payload) {
+                            Ok(d) => scan.deciles = Some(d),
+                            Err(e) => failed = Some(e.to_string()),
+                        }
+                    }
+                }
+                Some(SectionKind::Cells) => {
+                    scan.cell_payloads
+                        .push((frame.index, frame.offset, frame.payload));
+                }
+                Some(SectionKind::Minutes) => {
+                    scan.minute_payloads
+                        .push((frame.index, frame.offset, frame.payload));
+                }
+                Some(SectionKind::Footer) => unreachable!("handled above"),
+                None => failed = Some(format!("unknown section tag {}", frame.kind_tag)),
+            }
+        }
+        if let Some(reason) = failed {
+            mtd_telemetry::count("store.chunk.corrupt", 1);
+            corrupt(&mut status, &reason);
+            scan.report.corrupt_chunks += 1;
+            if strict {
+                return Err(StoreError::ChunkCorrupt {
+                    section: section_name,
+                    index: frame.index,
+                    offset: frame.offset,
+                    reason,
+                });
+            }
+            mtd_telemetry::count("store.chunk.skipped", 1);
+        }
+        scan.report.chunks.push(status);
+    }
+
+    if !footer_seen {
+        let err = StoreError::FooterMismatch {
+            detail: "footer missing".into(),
+        };
+        if strict {
+            return Err(err);
+        }
+        if scan.report.fatal.is_none() {
+            scan.report.fatal = Some(err.to_string());
+        }
+    } else if strict && !(scan.report.footer_ok && scan.report.file_crc_ok) {
+        return Err(StoreError::FooterMismatch {
+            detail: if scan.report.file_crc_ok {
+                "chunk count mismatch".into()
+            } else {
+                "whole-file CRC mismatch".into()
+            },
+        });
+    }
+    Ok(scan)
+}
+
+/// Decodes a complete binary image strictly: any corruption is an error.
+pub fn decode_binary(bytes: &[u8], threads: usize) -> Result<Dataset, StoreError> {
+    let (ds, _report) = decode_inner(bytes, true, threads)?;
+    Ok(ds)
+}
+
+/// Decodes tolerantly: damaged Cells/Minutes chunks are skipped (their
+/// data is simply absent from the result) and tallied in the report;
+/// damaged Meta/Deciles are unrecoverable and error out.
+pub fn decode_binary_tolerant(bytes: &[u8]) -> Result<(Dataset, StoreReport), StoreError> {
+    decode_inner(bytes, false, 1)
+}
+
+fn decode_inner(
+    bytes: &[u8],
+    strict: bool,
+    threads: usize,
+) -> Result<(Dataset, StoreReport), StoreError> {
+    let _span = mtd_telemetry::span!("store.decode_binary");
+    let mut scan = scan_frames(bytes, strict)?;
+    let meta = scan.meta.take().ok_or(StoreError::MissingSection("meta"))?;
+    let deciles = scan
+        .deciles
+        .take()
+        .ok_or(StoreError::MissingSection("deciles"))?;
+
+    // Decode the fat sections in parallel; each job is independent.
+    let cell_results = run_jobs(scan.cell_payloads.len(), threads, |i| {
+        decode_cells_chunk(&scan.cell_payloads[i].2, &meta)
+    });
+    let minute_results = run_jobs(scan.minute_payloads.len(), threads, |i| {
+        decode_minutes_chunk(&scan.minute_payloads[i].2, &meta)
+    });
+
+    let mut asm = DatasetAssembler::new(meta, strict);
+    asm.set_deciles(deciles).map_err(StoreError::Inconsistent)?;
+
+    // Fold decoded batches in; in strict mode any decode or assembly
+    // failure is fatal with full chunk context, in tolerant mode the
+    // chunk is dropped and tallied.
+    let fold = |result: Result<Result<(), String>, FormatError>,
+                section: &str,
+                index: u32,
+                offset: u64,
+                report: &mut StoreReport|
+     -> Result<(), StoreError> {
+        let reason = match result {
+            Ok(Ok(())) => return Ok(()),
+            Ok(Err(reason)) => reason,
+            Err(e) => e.to_string(),
+        };
+        mtd_telemetry::count("store.chunk.corrupt", 1);
+        if strict {
+            return Err(StoreError::ChunkCorrupt {
+                section: section.into(),
+                index,
+                offset,
+                reason,
+            });
+        }
+        mtd_telemetry::count("store.chunk.skipped", 1);
+        report.corrupt_chunks += 1;
+        mark_chunk_bad(report, offset, &reason);
+        Ok(())
+    };
+
+    for (result, (index, offset, _)) in cell_results.into_iter().zip(&scan.cell_payloads) {
+        let applied = result.map(|batch| asm.add_cells(batch));
+        fold(applied, "cells", *index, *offset, &mut scan.report)?;
+    }
+    for (result, (index, offset, _)) in minute_results.into_iter().zip(&scan.minute_payloads) {
+        let applied = result.map(|block| asm.add_minutes(block));
+        fold(applied, "minutes", *index, *offset, &mut scan.report)?;
+    }
+
+    Ok((asm.finish()?, scan.report))
+}
+
+/// Flips a previously-ok chunk status to failed (payload decode errors
+/// are discovered after the scan pass recorded the CRC result).
+fn mark_chunk_bad(report: &mut StoreReport, offset: u64, reason: &str) {
+    if let Some(status) = report.chunks.iter_mut().find(|c| c.offset == offset) {
+        status.ok = false;
+        status.error = Some(reason.to_string());
+    }
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
+    with_retry(|| std::fs::read(path)).map_err(|e| io_err(path, e))
+}
+
+/// Loads a binary dataset strictly, decoding chunks on all cores.
+pub fn load_binary(path: &Path) -> Result<Dataset, StoreError> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    load_binary_with_threads(path, threads)
+}
+
+/// [`load_binary`] with an explicit worker count.
+pub fn load_binary_with_threads(path: &Path, threads: usize) -> Result<Dataset, StoreError> {
+    let _span = mtd_telemetry::span!("store.load_binary");
+    decode_binary(&read_file(path)?, threads)
+}
+
+/// Loads a binary dataset, skipping damaged skippable chunks. Returns the
+/// dataset plus a report of everything that was wrong with the file.
+pub fn load_binary_tolerant(path: &Path) -> Result<(Dataset, StoreReport), StoreError> {
+    let _span = mtd_telemetry::span!("store.load_binary_tolerant");
+    let bytes = read_file(path)?;
+    let (ds, mut report) = decode_binary_tolerant(&bytes)?;
+    report.path = Some(path.display().to_string());
+    Ok((ds, report))
+}
+
+// ---------------------------------------------------------------------------
+// Format detection, verification
+// ---------------------------------------------------------------------------
+
+/// On-disk dataset encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// serde_json blob (compatibility).
+    Json,
+    /// Chunked, checksummed binary (`mtd-store` v2).
+    Binary,
+}
+
+impl Format {
+    /// Parses a `--format` CLI value.
+    pub fn parse(s: &str) -> Result<Format, String> {
+        match s {
+            "json" => Ok(Format::Json),
+            "binary" | "bin" => Ok(Format::Binary),
+            other => Err(format!("unknown format {other:?} (expected json|binary)")),
+        }
+    }
+}
+
+/// Sniffs a file's format from its first bytes.
+pub fn detect_format(path: &Path) -> Result<Format, StoreError> {
+    let mut head = [0u8; 8];
+    let mut file = with_retry(|| std::fs::File::open(path)).map_err(|e| io_err(path, e))?;
+    let n = file.read(&mut head).map_err(|e| io_err(path, e))?;
+    if n >= MAGIC.len() && head == MAGIC {
+        Ok(Format::Binary)
+    } else {
+        Ok(Format::Json)
+    }
+}
+
+/// Loads a dataset in either format, sniffing by magic.
+pub fn load_auto(path: &Path) -> Result<Dataset, StoreError> {
+    match detect_format(path)? {
+        Format::Binary => load_binary(path),
+        Format::Json => load_json(path),
+    }
+}
+
+/// Verifies a dataset file's integrity without materializing the dataset.
+///
+/// Binary: walks every chunk, checks each CRC, the footer chunk count and
+/// the whole-file CRC. JSON: checks the file parses. Returns a structured
+/// report; hard failures that prevent even walking the file are reported
+/// in `fatal` rather than as an `Err` (so the caller always gets a
+/// report for a readable file).
+pub fn verify(path: &Path) -> Result<StoreReport, StoreError> {
+    let _span = mtd_telemetry::span!("store.verify");
+    let format = detect_format(path)?;
+    let mut report = match format {
+        Format::Json => {
+            let mut report = StoreReport::new("json");
+            report.footer_ok = true; // not applicable
+            match load_json(path) {
+                Ok(_) => report.file_crc_ok = true,
+                Err(e) => report.fatal = Some(e.to_string()),
+            }
+            report
+        }
+        Format::Binary => verify_bytes(&read_file(path)?),
+    };
+    report.path = Some(path.display().to_string());
+    mtd_telemetry::count("store.verify.corrupt_chunks", report.corrupt_chunks as u64);
+    Ok(report)
+}
+
+/// [`verify`] for an in-memory binary image — the workhorse behind it,
+/// exposed so integrity batteries can sweep thousands of corrupted images
+/// without touching the filesystem.
+#[must_use]
+pub fn verify_bytes(bytes: &[u8]) -> StoreReport {
+    match scan_frames(bytes, false) {
+        Ok(mut scan) => {
+            // Payload CRCs passed; also check the payloads decode.
+            if let Some(meta) = scan.meta.as_ref() {
+                for (_, offset, payload) in &scan.cell_payloads {
+                    if let Err(e) = decode_cells_chunk(payload, meta) {
+                        scan.report.corrupt_chunks += 1;
+                        mark_chunk_bad(&mut scan.report, *offset, &e.to_string());
+                    }
+                }
+                for (_, offset, payload) in &scan.minute_payloads {
+                    if let Err(e) = decode_minutes_chunk(payload, meta) {
+                        scan.report.corrupt_chunks += 1;
+                        mark_chunk_bad(&mut scan.report, *offset, &e.to_string());
+                    }
+                }
+            } else if scan.report.fatal.is_none() {
+                scan.report.fatal = Some("required section missing: meta".into());
+            }
+            if scan.deciles.is_none() && scan.report.fatal.is_none() {
+                scan.report.fatal = Some("required section missing: deciles".into());
+            }
+            scan.report
+        }
+        Err(e) => {
+            // Header-level failure (bad magic / version).
+            let mut report = StoreReport::new("binary");
+            report.fatal = Some(e.to_string());
+            report
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reader
+// ---------------------------------------------------------------------------
+
+/// One decoded chunk yielded by [`DatasetStream`].
+#[derive(Debug)]
+pub enum StreamedChunk {
+    /// Per-BS deciles and campaign totals.
+    Deciles(DecileSection),
+    /// A batch of cells: `(service, group, day)` keys with their stats.
+    Cells(Vec<((u16, u16, u32), CellStats)>),
+    /// A batch of per-BS minute rows.
+    Minutes(MinuteBlock),
+}
+
+/// Streams a binary dataset file chunk by chunk without materializing the
+/// whole dataset — the reader consumers like `mtd-core`'s streamed fit
+/// use to keep memory bounded on campaign-scale files.
+///
+/// Damaged skippable chunks are skipped (telemetry-counted, recorded in
+/// the running report); damaged required sections are fatal.
+pub struct DatasetStream<R: Read> {
+    frames: FrameReader<R>,
+    meta: MetaSection,
+    report: StoreReport,
+    data_chunks: usize,
+    done: bool,
+}
+
+impl DatasetStream<io::BufReader<std::fs::File>> {
+    /// Opens a binary dataset file and decodes its Meta section (which is
+    /// always the first chunk).
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let file = with_retry(|| std::fs::File::open(path)).map_err(|e| io_err(path, e))?;
+        let mut reader = io::BufReader::new(file);
+        let mut header = [0u8; HEADER_LEN];
+        reader.read_exact(&mut header).map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => StoreError::BadMagic,
+            _ => io_err(path, e),
+        })?;
+        check_header(&header)?;
+        let mut crc = Crc32::new();
+        crc.update(&header);
+        let mut frames = FrameReader::new(reader, HEADER_LEN as u64, crc);
+
+        let first = frames
+            .next_frame()
+            .map_err(|e| frame_error(e, Some(path)))?
+            .ok_or(StoreError::MissingSection("meta"))?;
+        if first.kind() != Some(SectionKind::Meta) {
+            return Err(StoreError::MissingSection("meta (must be the first chunk)"));
+        }
+        if !first.crc_ok {
+            return Err(StoreError::ChunkCorrupt {
+                section: "meta".into(),
+                index: first.index,
+                offset: first.offset,
+                reason: "payload CRC mismatch".into(),
+            });
+        }
+        let meta = decode_meta(&first.payload).map_err(|e| StoreError::ChunkCorrupt {
+            section: "meta".into(),
+            index: first.index,
+            offset: first.offset,
+            reason: e.to_string(),
+        })?;
+        let mut report = StoreReport::new(&format!("binary-v{FORMAT_VERSION}"));
+        report.path = Some(path.display().to_string());
+        report.total_chunks = 1;
+        report.chunks.push(ChunkStatus {
+            section: "meta".into(),
+            index: first.index,
+            offset: first.offset,
+            payload_len: first.payload.len() as u32,
+            ok: true,
+            error: None,
+        });
+        Ok(DatasetStream {
+            frames,
+            meta,
+            report,
+            data_chunks: 1,
+            done: false,
+        })
+    }
+}
+
+impl<R: Read> DatasetStream<R> {
+    /// The file's Meta section (grids, names, groups, sizes).
+    #[must_use]
+    pub fn meta(&self) -> &MetaSection {
+        &self.meta
+    }
+
+    /// The running integrity report; complete once [`Self::next_chunk`]
+    /// has returned `None`.
+    #[must_use]
+    pub fn report(&self) -> &StoreReport {
+        &self.report
+    }
+
+    /// Yields the next intact chunk, skipping damaged skippable ones.
+    /// Returns `None` at end of file (after footer validation).
+    /// Frame-level damage (truncation, corrupt framing) ends the stream
+    /// with the error recorded in the report.
+    pub fn next_chunk(&mut self) -> Option<Result<StreamedChunk, StoreError>> {
+        while !self.done {
+            let frame = match self.frames.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => {
+                    self.done = true;
+                    if self.report.fatal.is_none() {
+                        self.report.fatal = Some("footer missing".into());
+                    }
+                    return None;
+                }
+                Err(e) => {
+                    self.done = true;
+                    let err = frame_error(e, None);
+                    self.report.fatal = Some(err.to_string());
+                    mtd_telemetry::count("store.chunk.corrupt", 1);
+                    return Some(Err(err));
+                }
+            };
+            if frame.kind() == Some(SectionKind::Footer) {
+                self.done = true;
+                if frame.crc_ok {
+                    if let Ok((count, stored_crc)) = parse_footer(&frame.payload) {
+                        self.report.footer_ok =
+                            count as usize == self.data_chunks && frame.index == count;
+                        self.report.file_crc_ok = stored_crc == frame.file_crc_before;
+                    }
+                }
+                return None;
+            }
+            self.data_chunks += 1;
+            self.report.total_chunks = self.data_chunks;
+            let section = frame.kind().map_or_else(
+                || format!("unknown({})", frame.kind_tag),
+                |k| k.name().into(),
+            );
+            let mut status = ChunkStatus {
+                section: section.clone(),
+                index: frame.index,
+                offset: frame.offset,
+                payload_len: frame.payload.len() as u32,
+                ok: true,
+                error: None,
+            };
+            let decoded: Result<StreamedChunk, String> = if !frame.crc_ok {
+                Err("payload CRC mismatch".into())
+            } else {
+                match frame.kind() {
+                    Some(SectionKind::Deciles) => decode_deciles(&frame.payload)
+                        .map(StreamedChunk::Deciles)
+                        .map_err(|e| e.to_string()),
+                    Some(SectionKind::Cells) => decode_cells_chunk(&frame.payload, &self.meta)
+                        .map(StreamedChunk::Cells)
+                        .map_err(|e| e.to_string()),
+                    Some(SectionKind::Minutes) => decode_minutes_chunk(&frame.payload, &self.meta)
+                        .map(StreamedChunk::Minutes)
+                        .map_err(|e| e.to_string()),
+                    Some(SectionKind::Meta) => Err("duplicate meta section".into()),
+                    Some(SectionKind::Footer) => unreachable!("handled above"),
+                    None => Err(format!("unknown section tag {}", frame.kind_tag)),
+                }
+            };
+            match decoded {
+                Ok(chunk) => {
+                    self.report.chunks.push(status);
+                    return Some(Ok(chunk));
+                }
+                Err(reason) => {
+                    // Skip-with-report: keep streaming past the damage.
+                    mtd_telemetry::count("store.chunk.corrupt", 1);
+                    mtd_telemetry::count("store.chunk.skipped", 1);
+                    status.ok = false;
+                    status.error = Some(reason);
+                    self.report.corrupt_chunks += 1;
+                    self.report.chunks.push(status);
+                }
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental assembly
+// ---------------------------------------------------------------------------
+
+/// Incrementally assembles a [`Dataset`] from streamed chunks — the
+/// consumer-side counterpart of [`DatasetStream`]. `mtd-core`'s streamed
+/// fit feeds chunks in as they arrive so peak extra memory is one chunk,
+/// not the whole file image; the strict loader reuses the same assembly
+/// rules so both paths produce identical datasets.
+///
+/// In strict mode, duplicate cell keys and doubly-covered minute rows are
+/// errors; in tolerant mode later data wins and gaps are zero-filled.
+pub struct DatasetAssembler {
+    meta: MetaSection,
+    strict: bool,
+    deciles: Option<DecileSection>,
+    cells: BTreeMap<CellKey, CellStats>,
+    minute_counts: Vec<Vec<u32>>,
+    minute_volume_mb: Vec<Vec<f32>>,
+    covered: Vec<bool>,
+}
+
+impl DatasetAssembler {
+    /// Starts assembly from a decoded Meta section (see
+    /// [`DatasetStream::meta`]).
+    #[must_use]
+    pub fn new(meta: MetaSection, strict: bool) -> DatasetAssembler {
+        let n_bs = meta.n_bs();
+        let row_len = meta.minutes_per_row();
+        DatasetAssembler {
+            meta,
+            strict,
+            deciles: None,
+            cells: BTreeMap::new(),
+            minute_counts: vec![vec![0u32; row_len]; n_bs],
+            minute_volume_mb: vec![vec![0.0f32; row_len]; n_bs],
+            covered: vec![false; n_bs],
+        }
+    }
+
+    fn set_deciles(&mut self, section: DecileSection) -> Result<(), String> {
+        if self.deciles.is_some() {
+            return Err("duplicate deciles section".into());
+        }
+        if section.decile_of_bs.len() != self.meta.n_bs() {
+            return Err(format!(
+                "meta has {} BSs, deciles section has {}",
+                self.meta.n_bs(),
+                section.decile_of_bs.len()
+            ));
+        }
+        self.deciles = Some(section);
+        Ok(())
+    }
+
+    fn add_cells(&mut self, batch: Vec<(CellKey, CellStats)>) -> Result<(), String> {
+        for (key, stats) in batch {
+            if self.cells.insert(key, stats).is_some() && self.strict {
+                return Err("duplicate cell key".into());
+            }
+        }
+        Ok(())
+    }
+
+    fn add_minutes(&mut self, block: MinuteBlock) -> Result<(), String> {
+        for (row, (c, v)) in block.counts.into_iter().zip(block.volumes).enumerate() {
+            let bs = block.first_bs as usize + row;
+            if self.covered[bs] && self.strict {
+                return Err(format!("BS {bs} covered twice"));
+            }
+            self.covered[bs] = true;
+            self.minute_counts[bs] = c;
+            self.minute_volume_mb[bs] = v;
+        }
+        Ok(())
+    }
+
+    /// Folds one streamed chunk into the dataset under construction.
+    pub fn apply(&mut self, chunk: StreamedChunk) -> Result<(), StoreError> {
+        match chunk {
+            StreamedChunk::Deciles(d) => self.set_deciles(d),
+            StreamedChunk::Cells(batch) => self.add_cells(batch),
+            StreamedChunk::Minutes(block) => self.add_minutes(block),
+        }
+        .map_err(StoreError::Inconsistent)
+    }
+
+    /// Finishes assembly, checking that every required piece arrived.
+    pub fn finish(self) -> Result<Dataset, StoreError> {
+        let deciles = self.deciles.ok_or(StoreError::MissingSection("deciles"))?;
+        if self.strict && !self.covered.iter().all(|c| *c) {
+            let missing = self.covered.iter().filter(|c| !**c).count();
+            return Err(StoreError::Inconsistent(format!(
+                "{missing} BS minute rows missing"
+            )));
+        }
+        Ok(Dataset {
+            volume_grid: self.meta.volume_grid,
+            duration_grid: self.meta.duration_grid,
+            service_names: self.meta.service_names,
+            groups: self.meta.groups,
+            group_of_bs: self.meta.group_of_bs,
+            decile_of_bs: deciles.decile_of_bs,
+            bs_total_volume_mb: deciles.bs_total_volume_mb,
+            cells: self.cells,
+            minute_counts: self.minute_counts,
+            minute_volume_mb: self.minute_volume_mb,
+            n_days: self.meta.n_days,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -30,37 +1572,216 @@ mod tests {
     use mtd_netsim::geo::Topology;
     use mtd_netsim::services::ServiceCatalog;
     use mtd_netsim::ScenarioConfig;
+    use std::sync::OnceLock;
+
+    fn build_small() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| {
+            let config = ScenarioConfig {
+                n_bs: 6,
+                days: 1,
+                arrival_scale: 0.1,
+                ..ScenarioConfig::small_test()
+            };
+            let topology = Topology::generate(config.n_bs, config.seed);
+            let catalog = ServiceCatalog::paper();
+            Dataset::build(&config, &topology, &catalog)
+        })
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mtd_dataset_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
 
     #[test]
     fn json_roundtrip_preserves_queries() {
-        let config = ScenarioConfig {
-            n_bs: 6,
-            days: 1,
-            arrival_scale: 0.1,
-            ..ScenarioConfig::small_test()
-        };
-        let topology = Topology::generate(config.n_bs, config.seed);
-        let catalog = ServiceCatalog::paper();
-        let ds = Dataset::build(&config, &topology, &catalog);
-
-        let dir = std::env::temp_dir().join("mtd_dataset_store_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("ds.json");
-        save_json(&ds, &path).unwrap();
+        let ds = build_small();
+        let path = temp_path("ds.json");
+        save_json(ds, &path).unwrap();
         let back = load_json(&path).unwrap();
         std::fs::remove_file(&path).ok();
 
-        assert_eq!(back.n_services(), ds.n_services());
-        assert_eq!(back.n_bs(), ds.n_bs());
+        // The in-crate codec round-trips the dataset exactly.
+        assert_eq!(&back, ds);
         let fb = ds.service_by_name("Facebook").unwrap();
         assert_eq!(
-            back.sessions(fb, &SliceFilter::all()),
-            ds.sessions(fb, &SliceFilter::all())
+            back.sessions(fb, &SliceFilter::all()).to_bits(),
+            ds.sessions(fb, &SliceFilter::all()).to_bits()
         );
     }
 
     #[test]
-    fn load_missing_file_errors() {
-        assert!(load_json(Path::new("/nonexistent/nope.json")).is_err());
+    fn load_json_distinguishes_missing_from_malformed() {
+        // Missing file → NotFound.
+        let missing = load_json(Path::new("/nonexistent/nope.json"));
+        assert!(
+            matches!(missing, Err(StoreError::NotFound(_))),
+            "{missing:?}"
+        );
+
+        // Present but not a dataset → MalformedJson.
+        let path = temp_path("garbage.json");
+        std::fs::write(&path, b"{\"not\": \"a dataset\"}").unwrap();
+        let malformed = load_json(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(malformed, Err(StoreError::MalformedJson { .. })),
+            "{malformed:?}"
+        );
+
+        // Not even JSON → also MalformedJson, not a panic.
+        let path = temp_path("garbage.bin");
+        std::fs::write(&path, [0xFFu8, 0x00, 0x13]).unwrap();
+        let binary_junk = load_json(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(binary_junk, Err(StoreError::MalformedJson { .. })));
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let ds = build_small();
+        let bytes = encode_binary(ds, 1);
+        let back = decode_binary(&bytes, 1).unwrap();
+        assert_eq!(&back, ds);
+        // Bit-exact: re-encoding the decoded dataset reproduces the bytes.
+        assert_eq!(encode_binary(&back, 1), bytes);
+    }
+
+    #[test]
+    fn parallel_encode_and_decode_match_sequential() {
+        let ds = build_small();
+        let seq = encode_binary(ds, 1);
+        for threads in [2, 4, 7] {
+            assert_eq!(encode_binary(ds, threads), seq, "threads={threads}");
+            assert_eq!(&decode_binary(&seq, threads).unwrap(), ds);
+        }
+    }
+
+    #[test]
+    fn save_load_binary_file_roundtrip() {
+        let ds = build_small();
+        let path = temp_path("ds.bin");
+        save_binary(ds, &path).unwrap();
+        assert_eq!(detect_format(&path).unwrap(), Format::Binary);
+        let back = load_binary(&path).unwrap();
+        assert_eq!(&back, ds);
+        // load_auto sniffs correctly for both formats.
+        assert_eq!(&load_auto(&path).unwrap(), ds);
+        let jpath = temp_path("ds_auto.json");
+        save_json(ds, &jpath).unwrap();
+        assert_eq!(detect_format(&jpath).unwrap(), Format::Json);
+        assert_eq!(&load_auto(&jpath).unwrap(), ds);
+        std::fs::remove_file(&jpath).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_file() {
+        let ds = build_small();
+        let path = temp_path("ds_atomic.bin");
+        save_binary(ds, &path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp-partial").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn verify_clean_file_reports_clean() {
+        let ds = build_small();
+        let path = temp_path("ds_verify.bin");
+        save_binary(ds, &path).unwrap();
+        let report = verify(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(report.is_clean(), "{}", report.to_json());
+        assert!(report.total_chunks >= 3);
+        assert_eq!(report.corrupt_chunks, 0);
+    }
+
+    #[test]
+    fn tolerant_load_skips_damaged_cells_chunk() {
+        let ds = build_small();
+        let mut bytes = encode_binary(ds, 1);
+        // Find the first Cells frame and flip a byte inside its payload.
+        let offset = find_section_offset(&bytes, SectionKind::Cells);
+        bytes[offset + crate::chunk::FRAME_HEADER_LEN + 10] ^= 0xFF;
+        let path = temp_path("ds_damaged.bin");
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Strict load refuses.
+        assert!(load_binary(&path).is_err());
+        // Tolerant load returns a dataset with fewer sessions + a report.
+        let (recovered, report) = load_binary_tolerant(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(report.corrupt_chunks, 1);
+        assert!(!report.is_clean());
+        let fb = ds.service_by_name("Facebook").unwrap();
+        let all = SliceFilter::all();
+        assert!(recovered.sessions(fb, &all) <= ds.sessions(fb, &all));
+    }
+
+    /// Byte offset of the first frame of `kind` in a binary image.
+    fn find_section_offset(bytes: &[u8], kind: SectionKind) -> usize {
+        let mut crc = Crc32::new();
+        crc.update(&bytes[..HEADER_LEN]);
+        let mut frames = FrameReader::new(&bytes[HEADER_LEN..], HEADER_LEN as u64, crc);
+        while let Ok(Some(f)) = frames.next_frame() {
+            if f.kind() == Some(kind) {
+                return f.offset as usize;
+            }
+        }
+        panic!("section not found");
+    }
+
+    #[test]
+    fn streaming_reader_yields_all_sections() {
+        let ds = build_small();
+        let path = temp_path("ds_stream.bin");
+        save_binary(ds, &path).unwrap();
+        let mut stream = DatasetStream::open(&path).unwrap();
+        assert_eq!(stream.meta().n_bs(), ds.n_bs());
+        assert_eq!(stream.meta().service_names.len(), ds.n_services());
+        let (mut deciles, mut cells, mut minutes) = (0, 0usize, 0usize);
+        while let Some(chunk) = stream.next_chunk() {
+            match chunk.unwrap() {
+                StreamedChunk::Deciles(d) => {
+                    deciles += 1;
+                    assert_eq!(d.decile_of_bs.len(), ds.n_bs());
+                }
+                StreamedChunk::Cells(batch) => cells += batch.len(),
+                StreamedChunk::Minutes(block) => minutes += block.counts.len(),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+        assert_eq!(deciles, 1);
+        assert_eq!(cells, ds.cells.len());
+        assert_eq!(minutes, ds.n_bs());
+        assert!(stream.report().is_clean(), "{}", stream.report().to_json());
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        assert!(matches!(
+            decode_binary(b"not a dataset at all", 1),
+            Err(StoreError::BadMagic)
+        ));
+        let ds = build_small();
+        let mut bytes = encode_binary(ds, 1);
+        bytes[8] = 99; // version 99
+        assert!(matches!(
+            decode_binary(&bytes, 1),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_truncated_files_error_cleanly() {
+        assert!(decode_binary(b"", 1).is_err());
+        let ds = build_small();
+        let bytes = encode_binary(ds, 1);
+        for cut in [HEADER_LEN, HEADER_LEN + 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_binary(&bytes[..cut], 1).is_err(), "cut at {cut}");
+        }
     }
 }

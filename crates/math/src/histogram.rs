@@ -140,6 +140,33 @@ impl LogHistogram {
         }
     }
 
+    /// Rebuilds a histogram from its raw parts (grid, per-bin weights and
+    /// the accumulated total), as produced by [`LogHistogram::counts`] and
+    /// [`LogHistogram::total`].
+    ///
+    /// `total` is stored rather than recomputed because the running sum
+    /// accumulated by [`LogHistogram::add_weighted`] can differ from
+    /// `counts.iter().sum()` in the last ULP; deserializers that must be
+    /// bit-exact (the binary dataset store) need the original value back.
+    pub fn from_parts(grid: LogGrid, counts: Vec<f64>, total: f64) -> Result<Self> {
+        if counts.len() != grid.bins() {
+            return Err(MathError::DimensionMismatch {
+                expected: grid.bins(),
+                got: counts.len(),
+            });
+        }
+        if !total.is_finite() || counts.iter().any(|c| !c.is_finite() || *c < 0.0) {
+            return Err(MathError::InvalidParameter(
+                "histogram counts must be finite and non-negative",
+            ));
+        }
+        Ok(LogHistogram {
+            grid,
+            counts,
+            total,
+        })
+    }
+
     /// Adds one observation of linear-units value `x`.
     pub fn add(&mut self, x: f64) {
         self.add_weighted(x, 1.0);
@@ -462,6 +489,26 @@ mod tests {
         let mut a = LogHistogram::new(grid());
         let b = LogHistogram::new(LogGrid::new(-2.0, 3.0, 50).unwrap());
         assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_exactly() {
+        let mut h = LogHistogram::new(grid());
+        for x in [0.3, 0.3, 7.0, 250.0] {
+            h.add_weighted(x, 0.1 + x);
+        }
+        let back = LogHistogram::from_parts(*h.grid(), h.counts().to_vec(), h.total()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.total().to_bits(), h.total().to_bits());
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_input() {
+        let g = grid();
+        assert!(LogHistogram::from_parts(g, vec![0.0; 3], 0.0).is_err());
+        assert!(LogHistogram::from_parts(g, vec![-1.0; g.bins()], 0.0).is_err());
+        assert!(LogHistogram::from_parts(g, vec![f64::NAN; g.bins()], 0.0).is_err());
+        assert!(LogHistogram::from_parts(g, vec![0.0; g.bins()], f64::INFINITY).is_err());
     }
 
     #[test]
