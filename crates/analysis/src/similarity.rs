@@ -4,9 +4,9 @@
 //! (§4.3 steps i–ii).
 
 use mtd_dataset::{Dataset, SliceFilter};
-use mtd_math::cluster::emd_distance_matrix;
+use mtd_math::emd::emd_centered;
 use mtd_math::histogram::BinnedPdf;
-use mtd_math::Result;
+use mtd_math::{MathError, Result};
 
 /// Per-service PDFs plus their pairwise distance matrix.
 #[derive(Debug, Clone)]
@@ -23,21 +23,55 @@ pub struct SimilarityAnalysis {
 
 /// Builds the similarity analysis over every service with data.
 pub fn service_similarity(dataset: &Dataset) -> Result<SimilarityAnalysis> {
+    service_similarity_pooled(dataset, &mtd_par::pool())
+}
+
+/// [`service_similarity`] on an explicit pool. PDF extraction fans out
+/// per service and the upper-triangular EMD matrix fans out per row;
+/// every cell is an independent [`emd_centered`] call, so the matrix is
+/// bit-identical for every thread count.
+pub fn service_similarity_pooled(
+    dataset: &Dataset,
+    pool: &mtd_par::Pool,
+) -> Result<SimilarityAnalysis> {
     let all = SliceFilter::all();
-    let mut names = Vec::new();
-    let mut weights = Vec::new();
-    let mut pdfs = Vec::new();
+    let mut services = Vec::new();
     for s in 0..dataset.n_services() as u16 {
         let sessions = dataset.sessions(s, &all);
-        if sessions <= 0.0 {
-            continue;
+        if sessions > 0.0 {
+            services.push((s, sessions));
         }
+    }
+    let mut names = Vec::with_capacity(services.len());
+    let mut weights = Vec::with_capacity(services.len());
+    for &(s, sessions) in &services {
         names.push(dataset.service_name(s).to_string());
         weights.push(sessions);
-        pdfs.push(dataset.volume_pdf(s, &all)?);
     }
-    let refs: Vec<&BinnedPdf> = pdfs.iter().collect();
-    let matrix = emd_distance_matrix(&refs)?;
+    let mut pdfs = Vec::with_capacity(services.len());
+    for pdf in pool.par_map_indexed(services.len(), |i| dataset.volume_pdf(services[i].0, &all)) {
+        pdfs.push(pdf?);
+    }
+
+    let n = pdfs.len();
+    if n == 0 {
+        return Err(MathError::EmptyInput("emd_distance_matrix"));
+    }
+    // Row i holds the strict upper triangle (i, i+1..n); scanning rows in
+    // order keeps the sequential "first error in (i, j) order" semantics.
+    let rows = pool.par_map_indexed(n, |i| {
+        ((i + 1)..n)
+            .map(|j| emd_centered(&pdfs[i], &pdfs[j]))
+            .collect::<Result<Vec<f64>>>()
+    });
+    let mut matrix = vec![vec![0.0; n]; n];
+    for (i, row) in rows.into_iter().enumerate() {
+        for (off, d) in row?.into_iter().enumerate() {
+            let j = i + 1 + off;
+            matrix[i][j] = d;
+            matrix[j][i] = d;
+        }
+    }
     Ok(SimilarityAnalysis {
         names,
         weights,
@@ -117,5 +151,20 @@ mod tests {
         let a = analysis();
         let n = a.names.len();
         assert_eq!(a.offdiagonal_distances().len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn matrix_is_bit_identical_across_pool_sizes() {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+        let baseline = service_similarity_pooled(&dataset, &mtd_par::Pool::new(1)).unwrap();
+        for threads in [2, 4, 7] {
+            let par = service_similarity_pooled(&dataset, &mtd_par::Pool::new(threads)).unwrap();
+            assert_eq!(par.names, baseline.names, "threads={threads}");
+            // Exact float equality is intentional: same calls, same order.
+            assert_eq!(par.matrix, baseline.matrix, "threads={threads}");
+        }
     }
 }

@@ -1,0 +1,98 @@
+//! Records the fitting-pipeline numbers behind `BENCH_fit.json`: builds a
+//! measurement dataset once, then times `fit_registry_pooled` at 1, 2, 4
+//! and 8 workers. Every parallel run is checked for bit-identity against
+//! the sequential registry before its timing is trusted.
+//!
+//! Usage: `cargo run --release -p mtd-bench --bin fit_bench [out.json]`
+//! (`MTD_FAST=1` switches to the small bench scenario for CI smoke runs.)
+
+use mtd_bench::{bench_config, time_median, DEFAULT_RUNS};
+use mtd_core::pipeline::fit_registry_pooled;
+use mtd_core::volume::VolumeFitConfig;
+use mtd_dataset::Dataset;
+use mtd_netsim::geo::Topology;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::ScenarioConfig;
+use std::fmt::Write as _;
+use std::path::Path;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fit.json".to_string());
+    let fast = std::env::var("MTD_FAST").is_ok();
+    let (config, preset) = if fast {
+        (bench_config(), "bench")
+    } else {
+        (ScenarioConfig::default(), "default")
+    };
+
+    eprintln!(
+        "building {preset} scenario dataset ({} BS x {} days)...",
+        config.n_bs, config.days
+    );
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let dataset = Dataset::build(&config, &topology, &ServiceCatalog::paper());
+    let volume_config = VolumeFitConfig::default();
+
+    let baseline = fit_registry_pooled(&dataset, &volume_config, &mtd_par::Pool::new(1))
+        .expect("bench dataset fits");
+
+    let mut timings = Vec::new();
+    for threads in THREAD_COUNTS {
+        let pool = mtd_par::Pool::new(threads);
+        let seconds = time_median(|| {
+            let registry = fit_registry_pooled(&dataset, &volume_config, &pool).unwrap();
+            // The timing of a wrong result is worthless: every run must
+            // reproduce the sequential registry bit for bit.
+            assert!(
+                registry == baseline,
+                "{threads}-thread registry differs from sequential"
+            );
+            registry
+        });
+        eprintln!("fit_registry with {threads} thread(s): {seconds:.6}s");
+        timings.push((threads, seconds));
+    }
+
+    let detected = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sequential_s = timings[0].1;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(
+        out,
+        "  \"bench\": \"fit: parallel model fitting vs sequential\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"scenario\": {{\"preset\": \"{preset}\", \"n_bs\": {}, \"days\": {}}},",
+        config.n_bs, config.days
+    );
+    let _ = writeln!(out, "  \"runs_per_timing\": {DEFAULT_RUNS},");
+    let _ = writeln!(out, "  \"statistic\": \"median wall-clock seconds\",");
+    let _ = writeln!(out, "  \"detected_cores\": {detected},");
+    let _ = writeln!(out, "  \"bit_identical_to_sequential\": true,");
+    let _ = writeln!(out, "  \"fit_seconds\": {{");
+    for (i, (threads, seconds)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"threads_{threads}\": {seconds:.6}{comma}");
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"speedup_over_sequential\": {{");
+    for (i, (threads, seconds)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"threads_{threads}\": {:.2}{comma}",
+            sequential_s / seconds
+        );
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+
+    std::fs::write(Path::new(&out_path), &out).unwrap();
+    eprintln!("wrote {out_path}");
+    print!("{out}");
+}

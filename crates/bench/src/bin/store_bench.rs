@@ -5,6 +5,7 @@
 //!
 //! Usage: `cargo run --release -p mtd-bench --bin store_bench [out.json]`
 
+use mtd_bench::{time_median, DEFAULT_RUNS};
 use mtd_dataset::store::{load_binary_with_threads, load_json, save_binary, save_json, verify};
 use mtd_dataset::Dataset;
 use mtd_netsim::geo::Topology;
@@ -12,22 +13,6 @@ use mtd_netsim::services::ServiceCatalog;
 use mtd_netsim::ScenarioConfig;
 use std::fmt::Write as _;
 use std::path::Path;
-use std::time::Instant;
-
-const RUNS: usize = 7;
-
-/// Median wall-clock seconds over `RUNS` runs of `f`.
-fn time_median<T>(mut f: impl FnMut() -> T) -> f64 {
-    let mut samples: Vec<f64> = (0..RUNS)
-        .map(|_| {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
 
 fn main() {
     let out_path = std::env::args()
@@ -71,7 +56,7 @@ fn main() {
         "  \"scenario\": {{\"preset\": \"default\", \"n_bs\": {}, \"days\": {}}},",
         config.n_bs, config.days
     );
-    let _ = writeln!(out, "  \"runs_per_timing\": {RUNS},");
+    let _ = writeln!(out, "  \"runs_per_timing\": {DEFAULT_RUNS},");
     let _ = writeln!(out, "  \"statistic\": \"median wall-clock seconds\",");
     let _ = writeln!(
         out,

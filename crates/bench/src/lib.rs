@@ -1,5 +1,7 @@
-//! Shared fixtures for the benchmark suite: a small but fully-populated
-//! measurement dataset and its fitted registry, built once per process.
+//! Shared fixtures and timing helpers for the benchmark suite: a small
+//! but fully-populated measurement dataset and its fitted registry,
+//! built once per process, plus the median-of-N wall-clock timer used by
+//! the `BENCH_*.json` recorder binaries.
 
 use mtd_core::pipeline::fit_registry;
 use mtd_core::registry::ModelRegistry;
@@ -8,6 +10,29 @@ use mtd_netsim::geo::Topology;
 use mtd_netsim::services::ServiceCatalog;
 use mtd_netsim::ScenarioConfig;
 use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Default sample count per timing: odd, so the median is an actual run.
+pub const DEFAULT_RUNS: usize = 7;
+
+/// Median wall-clock seconds over `runs` runs of `f`.
+pub fn time_median_of<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(runs > 0, "time_median_of needs at least one run");
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// [`time_median_of`] with [`DEFAULT_RUNS`] samples.
+pub fn time_median<T>(f: impl FnMut() -> T) -> f64 {
+    time_median_of(DEFAULT_RUNS, f)
+}
 
 /// The benchmark scenario: small enough to build in about a second,
 /// large enough that per-figure benchmarks measure real work.

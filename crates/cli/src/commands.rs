@@ -33,7 +33,7 @@ USAGE:
       Print the model parameter tuples [mu, sigma, {k,mu,sigma}, alpha, beta].
 
   mtd-traffic simulate [--n-bs N] [--days N] [--seed N] [--scale X]
-                       [--threads N] [--out FILE]
+                       [--out FILE]
       Run the measurement-campaign simulator and print aggregate run
       statistics; --out streams every per-BS observation as CSV.
       Defaults: 30 BSs, 3 days, seed 51966, scale 0.1, all cores.
@@ -46,7 +46,7 @@ USAGE:
       Defaults: 30 BSs, 7 days, seed 51966, scale 0.1, stdout.
 
   mtd-traffic dataset export [--n-bs N] [--days N] [--seed N] [--scale X]
-                             [--format json|binary] [--threads N] --out FILE
+                             [--format json|binary] --out FILE
       Simulate a measurement campaign and persist the dataset.
       Default format: binary (chunked + checksummed, see DESIGN.md \u{a7}9).
 
@@ -70,6 +70,10 @@ USAGE:
       Show this text.
 
 COMMON FLAGS (every subcommand):
+  --threads N         worker threads for fitting, simulation and dataset
+                      codecs. Precedence: --threads beats the MTD_THREADS
+                      environment variable, which beats the detected core
+                      count. Parallel output is bit-identical to --threads 1.
   --telemetry FILE    collect spans/counters/histograms, dump NDJSON to FILE
   --telemetry-stderr  collect telemetry, print a summary table to stderr
   --quiet             suppress progress messages on stderr
@@ -104,10 +108,32 @@ fn parse_flags_with_switches(
     switches: &[&str],
 ) -> Result<Flags, String> {
     let mut all = valued.to_vec();
-    all.push("telemetry");
+    all.extend_from_slice(&["telemetry", "threads"]);
     let mut bools = switches.to_vec();
     bools.extend_from_slice(&["telemetry-stderr", "quiet"]);
     Flags::parse(argv, &all, &bools)
+}
+
+/// Applies `--threads` to the process-wide pool sizing and returns the
+/// effective worker count. Precedence: the flag beats `MTD_THREADS`,
+/// which beats the detected core count (see [`mtd_par::threads`]).
+fn threads_init(flags: &Flags) -> Result<usize, String> {
+    match flags.opt("threads") {
+        Some(_) => {
+            let n: usize = flags.num_or("threads", 1usize)?;
+            if n == 0 {
+                return Err("--threads must be >= 1".into());
+            }
+            mtd_par::set_threads(n);
+            Ok(n)
+        }
+        None => {
+            // Clear any override from a previous in-process run so the
+            // environment/detection fallback applies.
+            mtd_par::set_threads(0);
+            Ok(mtd_par::threads())
+        }
+    }
 }
 
 /// Where the run's telemetry goes, decided once per command.
@@ -191,6 +217,7 @@ fn sink(path: Option<&str>) -> Result<Box<dyn Write>, String> {
 fn generate(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags(argv, &["registry", "decile", "days", "seed", "out"])?;
     let tdest = telemetry_init(&flags);
+    threads_init(&flags)?;
     let registry = load_registry(&flags)?;
     let decile: u8 = flags.num_or("decile", 9)?;
     if decile > 9 {
@@ -238,6 +265,7 @@ fn generate(argv: &[String]) -> Result<(), String> {
 fn models(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags(argv, &["registry"])?;
     let tdest = telemetry_init(&flags);
+    threads_init(&flags)?;
     let registry = load_registry(&flags)?;
     println!(
         "{:16} {:>7} {:>6} {:>6} {:>9} {:>5} {:>9} {:>6}",
@@ -308,8 +336,9 @@ impl<W: Write> EngineSink for CsvObservationSink<W> {
 }
 
 fn simulate(argv: &[String]) -> Result<(), String> {
-    let flags = parse_flags(argv, &["n-bs", "days", "seed", "scale", "threads", "out"])?;
+    let flags = parse_flags(argv, &["n-bs", "days", "seed", "scale", "out"])?;
     let tdest = telemetry_init(&flags);
+    let threads = threads_init(&flags)?;
     let config = ScenarioConfig {
         n_bs: flags.num_or("n-bs", 30usize)?,
         days: flags.num_or("days", 3u32)?,
@@ -318,8 +347,6 @@ fn simulate(argv: &[String]) -> Result<(), String> {
         ..ScenarioConfig::default()
     };
     config.validate()?;
-    let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let threads: usize = flags.num_or("threads", default_threads)?;
 
     progress!(
         "cli",
@@ -394,6 +421,7 @@ fn fit_from_file(path: &str) -> Result<ModelRegistry, String> {
 fn fit(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags(argv, &["n-bs", "days", "seed", "scale", "from", "out"])?;
     let tdest = telemetry_init(&flags);
+    threads_init(&flags)?;
     let registry = match flags.opt("from") {
         Some(path) => fit_from_file(path)?,
         None => {
@@ -445,11 +473,9 @@ fn dataset_cmd(argv: &[String]) -> Result<(), String> {
 }
 
 fn dataset_export(argv: &[String]) -> Result<(), String> {
-    let flags = parse_flags(
-        argv,
-        &["n-bs", "days", "seed", "scale", "format", "threads", "out"],
-    )?;
+    let flags = parse_flags(argv, &["n-bs", "days", "seed", "scale", "format", "out"])?;
     let tdest = telemetry_init(&flags);
+    let threads = threads_init(&flags)?;
     let out = flags.opt("out").ok_or("dataset export needs --out FILE")?;
     let format = match flags.opt("format") {
         None => Format::Binary,
@@ -463,8 +489,6 @@ fn dataset_export(argv: &[String]) -> Result<(), String> {
         ..ScenarioConfig::default()
     };
     config.validate()?;
-    let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let threads: usize = flags.num_or("threads", default_threads)?;
     progress!(
         "cli",
         "simulating {} BSs x {} days (seed {}, scale {}) ...",
@@ -506,8 +530,9 @@ fn print_dataset_summary(dataset: &Dataset) {
 }
 
 fn dataset_import(argv: &[String]) -> Result<(), String> {
-    let flags = parse_flags_with_switches(argv, &["in", "format", "threads"], &["tolerant"])?;
+    let flags = parse_flags_with_switches(argv, &["in", "format"], &["tolerant"])?;
     let tdest = telemetry_init(&flags);
+    let threads = threads_init(&flags)?;
     let input = flags.opt("in").ok_or("dataset import needs --in FILE")?;
     let path = Path::new(input);
     let format = match flags.opt("format") {
@@ -518,10 +543,6 @@ fn dataset_import(argv: &[String]) -> Result<(), String> {
     let dataset = match (format, tolerant) {
         (Format::Json, _) => store::load_json(path).map_err(|e| e.to_string())?,
         (Format::Binary, false) => {
-            let threads = flags.num_or(
-                "threads",
-                std::thread::available_parallelism().map_or(1, |n| n.get()),
-            )?;
             store::load_binary_with_threads(path, threads).map_err(|e| e.to_string())?
         }
         (Format::Binary, true) => {
@@ -561,6 +582,7 @@ fn print_verify_summary(report: &StoreReport) {
 fn dataset_verify(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags(argv, &["in", "report"])?;
     let tdest = telemetry_init(&flags);
+    threads_init(&flags)?;
     let input = flags.opt("in").ok_or("dataset verify needs --in FILE")?;
     let report = store::verify(Path::new(input)).map_err(|e| e.to_string())?;
     print_verify_summary(&report);
@@ -584,6 +606,7 @@ fn dataset_verify(argv: &[String]) -> Result<(), String> {
 fn validate_cmd(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags(argv, &["registry", "n-bs", "days", "seed", "scale"])?;
     let tdest = telemetry_init(&flags);
+    threads_init(&flags)?;
     let registry = load_registry(&flags)?;
     let config = ScenarioConfig {
         n_bs: flags.num_or("n-bs", 12usize)?,
@@ -744,6 +767,43 @@ mod tests {
         assert!(content.contains("\"name\":\"sim.worker.sessions\""));
         assert!(content.contains("\"label\":\"w0\""));
         assert!(content.contains("\"name\":\"sim.sessions\""));
+    }
+
+    #[test]
+    fn fit_output_is_identical_across_thread_counts() {
+        if !json_runtime_available() {
+            return;
+        }
+        let dir = temp_dir("mtd_cli_test_fit_threads");
+        let fit_to = |threads: &str, file: &str| -> String {
+            let path = dir.join(file);
+            let path_s = path.to_str().unwrap().to_string();
+            run(&argv(&[
+                "fit",
+                "--n-bs",
+                "4",
+                "--days",
+                "1",
+                "--scale",
+                "0.02",
+                "--threads",
+                threads,
+                "--out",
+                &path_s,
+                "--quiet",
+            ]))
+            .unwrap();
+            let content = std::fs::read_to_string(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            content
+        };
+        let sequential = fit_to("1", "r1.json");
+        assert_eq!(fit_to("3", "r3.json"), sequential);
+    }
+
+    #[test]
+    fn threads_flag_rejects_zero() {
+        assert!(run(&argv(&["models", "--threads", "0"])).is_err());
     }
 
     #[test]

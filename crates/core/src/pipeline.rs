@@ -22,10 +22,24 @@ pub fn fit_registry(dataset: &Dataset) -> Result<ModelRegistry> {
     fit_registry_with(dataset, &VolumeFitConfig::default())
 }
 
-/// [`fit_registry`] with explicit volume-fit tunables.
+/// [`fit_registry`] with explicit volume-fit tunables, fanned out on the
+/// process-wide [`mtd_par::pool`].
 pub fn fit_registry_with(
     dataset: &Dataset,
     volume_config: &VolumeFitConfig,
+) -> Result<ModelRegistry> {
+    fit_registry_pooled(dataset, volume_config, &mtd_par::pool())
+}
+
+/// [`fit_registry_with`] on an explicit pool. Per-service volume+duration
+/// fits and per-decile arrival fits are independent, so they fan out as
+/// parallel jobs; results return in input order, which makes the output
+/// **bit-identical** for every thread count (and keeps the "first error
+/// in service order" semantics of the sequential walk).
+pub fn fit_registry_pooled(
+    dataset: &Dataset,
+    volume_config: &VolumeFitConfig,
+    pool: &mtd_par::Pool,
 ) -> Result<ModelRegistry> {
     let _span = mtd_telemetry::span!("fit.registry");
     let all = SliceFilter::all();
@@ -36,84 +50,55 @@ pub fn fit_registry_with(
         return Err(MathError::EmptyInput("fit_registry: empty dataset"));
     }
 
-    let mut services = Vec::with_capacity(dataset.n_services());
+    let mut candidates: Vec<(u16, f64)> = Vec::with_capacity(dataset.n_services());
     for s in 0..dataset.n_services() as u16 {
         let sessions = dataset.sessions(s, &all);
         if sessions <= 0.0 {
             mtd_telemetry::count("fit.service.skipped_empty", 1);
-            continue;
-        }
-        let _span = mtd_telemetry::span!("service");
-        let pdf = dataset.volume_pdf(s, &all)?;
-        let vfit = {
-            let _span = mtd_telemetry::span!("volume_mixture");
-            fit_volume_mixture(&pdf, volume_config)?
-        };
-        mtd_telemetry::observe_labeled("fit.volume.emd", dataset.service_name(s), vfit.emd);
-
-        let pairs = dataset.duration_pairs(s, &all);
-        // Rare services may populate too few duration bins for the power
-        // law; fall back to a neutral β = 1 anchored at the mean volume
-        // (flagged by r2 = 0 so consumers can tell).
-        let _pl_span = mtd_telemetry::span!("power_law");
-        let (alpha, beta, r2) = match fit_duration_power_law(&pairs) {
-            Ok(f) => (f.alpha, f.beta, f.r2),
-            Err(_) => {
-                mtd_telemetry::count("fit.powerlaw.fallback", 1);
-                (pdf.mean_linear().max(1e-6) / 60.0, 1.0, 0.0)
-            }
-        };
-        drop(_pl_span);
-
-        // Duration scatter: within-duration-bin volume dispersion maps to
-        // duration dispersion through the power law (σ_d ≈ σ_{v|d} / β).
-        let duration_sigma = if beta > 0.05 {
-            (dataset.pair_dispersion(s, &all) / beta).clamp(0.0, 0.5)
         } else {
-            0.0
-        };
+            candidates.push((s, sessions));
+        }
+    }
 
-        let mut model = ServiceModel {
-            name: dataset.service_name(s).to_string(),
-            mu: vfit.mu,
-            sigma: vfit.sigma,
-            peaks: vfit.peaks,
-            alpha,
-            beta,
-            session_share: sessions / total_sessions,
-            duration_sigma,
-            support_log10: (pdf.quantile_log10(0.0005), pdf.quantile_log10(0.9995)),
-            quality: ModelQuality {
-                volume_emd: vfit.emd,
-                pair_r2: r2,
-            },
-        };
-        // Anchor the model's linear mean to the measurement (see
-        // `ServiceModel::support_log10`): the log-domain EMD is blind to
-        // the upper tail, but capacity studies are not.
-        model.calibrate_support(pdf.mean_linear());
-        services.push(model);
+    let fitted = pool.par_map_indexed(candidates.len(), |i| {
+        let (s, sessions) = candidates[i];
+        fit_service(dataset, s, sessions, total_sessions, volume_config)
+    });
+    let mut services = Vec::with_capacity(fitted.len());
+    for model in fitted {
+        services.push(model?);
     }
     if services.is_empty() {
         return Err(MathError::EmptyInput("fit_registry: no service fitted"));
     }
 
     let _arrivals_span = mtd_telemetry::span!("arrivals");
-    let mut per_decile = Vec::with_capacity(10);
-    for d in 0..10u8 {
+    // The "reuse previous decile" fallback is a sequential dependency, so
+    // only the fits themselves fan out; gaps are filled in order after.
+    let decile_fits = pool.par_map_indexed(10, |d| {
+        let d = d as u8;
         let peak = dataset.arrival_counts_windowed(d, true);
         let off = dataset.arrival_counts_windowed(d, false);
         if peak.len() < 2 {
-            // Tiny scenarios may not populate every decile; reuse the
-            // previous decile's model rather than leaving a hole.
-            mtd_telemetry::count("fit.arrival.decile_reused", 1);
-            let prev = per_decile.last().copied().ok_or(MathError::EmptyInput(
-                "fit_registry: no arrival data in the first decile",
-            ))?;
-            per_decile.push(prev);
-            continue;
+            None
+        } else {
+            Some(ArrivalModel::fit(&peak, &off))
         }
-        per_decile.push(ArrivalModel::fit(&peak, &off)?);
+    });
+    let mut per_decile: Vec<ArrivalModel> = Vec::with_capacity(10);
+    for fit in decile_fits {
+        match fit {
+            Some(result) => per_decile.push(result?),
+            None => {
+                // Tiny scenarios may not populate every decile; reuse the
+                // previous decile's model rather than leaving a hole.
+                mtd_telemetry::count("fit.arrival.decile_reused", 1);
+                let prev = per_decile.last().copied().ok_or(MathError::EmptyInput(
+                    "fit_registry: no arrival data in the first decile",
+                ))?;
+                per_decile.push(prev);
+            }
+        }
     }
     drop(_arrivals_span);
 
@@ -121,6 +106,68 @@ pub fn fit_registry_with(
         services,
         arrivals: ArrivalModelSet { per_decile },
     })
+}
+
+/// One service's complete fit — the unit of parallel work in
+/// [`fit_registry_pooled`].
+fn fit_service(
+    dataset: &Dataset,
+    s: u16,
+    sessions: f64,
+    total_sessions: f64,
+    volume_config: &VolumeFitConfig,
+) -> Result<ServiceModel> {
+    let all = SliceFilter::all();
+    let _span = mtd_telemetry::span!("service");
+    let pdf = dataset.volume_pdf(s, &all)?;
+    let vfit = {
+        let _span = mtd_telemetry::span!("volume_mixture");
+        fit_volume_mixture(&pdf, volume_config)?
+    };
+    mtd_telemetry::observe_labeled("fit.volume.emd", dataset.service_name(s), vfit.emd);
+
+    let pairs = dataset.duration_pairs(s, &all);
+    // Rare services may populate too few duration bins for the power
+    // law; fall back to a neutral β = 1 anchored at the mean volume
+    // (flagged by r2 = 0 so consumers can tell).
+    let _pl_span = mtd_telemetry::span!("power_law");
+    let (alpha, beta, r2) = match fit_duration_power_law(&pairs) {
+        Ok(f) => (f.alpha, f.beta, f.r2),
+        Err(_) => {
+            mtd_telemetry::count("fit.powerlaw.fallback", 1);
+            (pdf.mean_linear().max(1e-6) / 60.0, 1.0, 0.0)
+        }
+    };
+    drop(_pl_span);
+
+    // Duration scatter: within-duration-bin volume dispersion maps to
+    // duration dispersion through the power law (σ_d ≈ σ_{v|d} / β).
+    let duration_sigma = if beta > 0.05 {
+        (dataset.pair_dispersion(s, &all) / beta).clamp(0.0, 0.5)
+    } else {
+        0.0
+    };
+
+    let mut model = ServiceModel {
+        name: dataset.service_name(s).to_string(),
+        mu: vfit.mu,
+        sigma: vfit.sigma,
+        peaks: vfit.peaks,
+        alpha,
+        beta,
+        session_share: sessions / total_sessions,
+        duration_sigma,
+        support_log10: (pdf.quantile_log10(0.0005), pdf.quantile_log10(0.9995)),
+        quality: ModelQuality {
+            volume_emd: vfit.emd,
+            pair_r2: r2,
+        },
+    };
+    // Anchor the model's linear mean to the measurement (see
+    // `ServiceModel::support_log10`): the log-domain EMD is blind to
+    // the upper tail, but capacity studies are not.
+    model.calibrate_support(pdf.mean_linear());
+    Ok(model)
 }
 
 /// Error of the streamed fit: reading the file failed, or fitting did.

@@ -86,16 +86,17 @@ pub fn fit_volume_mixture_diagnostic(
     let grid = *pdf.grid();
     let step = grid.bin_width();
 
-    // Step 1: main log-normal and positive residual.
+    // Step 1: main log-normal and positive residual. The batch kernel
+    // evaluates the whole grid in one call (bit-identical to per-bin).
     let main = fit_lognormal10_from_pdf(pdf)?;
-    let main_density: Vec<f64> = (0..grid.bins())
-        .map(|i| main.pdf_log10(grid.center_log10(i)))
-        .collect();
+    let mut main_density = Vec::new();
+    main.pdf_log10_batch(&grid.centers_log10(), &mut main_density);
     let residual = pdf.positive_residual(&main_density)?;
 
     // Step 2: smoothed first derivative and interval detection.
     let sg = SavitzkyGolay::new(config.savgol_half_window, 1)?;
-    let derivative = sg.first_derivative(&residual, step)?;
+    let mut derivative = Vec::new();
+    sg.first_derivative_into(&residual, step, &mut derivative)?;
 
     let mut intervals: Vec<(usize, usize, f64)> = Vec::new();
     let mut start: Option<usize> = None;

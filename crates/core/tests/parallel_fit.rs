@@ -1,0 +1,50 @@
+//! The headline guarantee of the parallel fitting port: for any scenario
+//! and any worker count, `fit_registry_pooled` produces a registry that
+//! is **bit-identical** to the sequential fit. Every float must match
+//! exactly — parallelism may only change wall-clock time, never results.
+
+use mtd_core::pipeline::{fit_registry_pooled, fit_registry_with};
+use mtd_core::volume::VolumeFitConfig;
+use mtd_dataset::Dataset;
+use mtd_netsim::geo::Topology;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::ScenarioConfig;
+use proptest::prelude::*;
+
+fn build_dataset(n_bs: usize, seed: u64) -> Dataset {
+    let config = ScenarioConfig {
+        n_bs,
+        days: 1,
+        seed,
+        arrival_scale: 0.03,
+        ..ScenarioConfig::small_test()
+    };
+    let topology = Topology::generate(config.n_bs, config.seed);
+    let catalog = ServiceCatalog::paper();
+    Dataset::build(&config, &topology, &catalog)
+}
+
+proptest! {
+    // Each case fits a fresh campaign five times; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn pooled_fit_is_bit_identical_to_sequential(
+        n_bs in 2usize..5,
+        seed in 1u64..1000,
+    ) {
+        let dataset = build_dataset(n_bs, seed);
+        let config = VolumeFitConfig::default();
+        let sequential =
+            fit_registry_pooled(&dataset, &config, &mtd_par::Pool::new(1)).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel =
+                fit_registry_pooled(&dataset, &config, &mtd_par::Pool::new(threads)).unwrap();
+            // PartialEq on the registry compares every f64 exactly.
+            prop_assert_eq!(&parallel, &sequential, "threads={}", threads);
+        }
+        // The default entry point (process-wide pool) agrees too.
+        let default_pool = fit_registry_with(&dataset, &config).unwrap();
+        prop_assert_eq!(&default_pool, &sequential);
+    }
+}

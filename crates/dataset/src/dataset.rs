@@ -188,7 +188,7 @@ impl Dataset {
     ) -> Dataset {
         let _span = mtd_telemetry::span!("dataset.build");
         let engine = Engine::new(config, topology, catalog);
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = mtd_par::threads();
 
         // Pass 1: totals → deciles. (The parallel runner is bit-identical
         // to the sequential one.)

@@ -40,7 +40,6 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Cell records per Cells chunk (~0.3–3 MB depending on sparsity).
@@ -664,48 +663,27 @@ fn decode_minutes_chunk(payload: &[u8], meta: &MetaSection) -> Result<MinuteBloc
 }
 
 // ---------------------------------------------------------------------------
-// Deterministic parallel job runner
+// Parallel decode sizing
 // ---------------------------------------------------------------------------
 
-/// Runs `f(0..n)` on up to `threads` workers; the result vector is in job
-/// order regardless of scheduling, so parallel output is bit-identical to
-/// sequential (the `Engine::run_parallel` discipline).
-fn run_jobs<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F) -> Vec<T> {
-    let threads = threads.max(1).min(n.max(1));
-    if threads == 1 {
-        return (0..n).map(f).collect();
+/// Below this file size, parallel decode loses to sequential: thread
+/// spawn plus result shuffling costs more than the decode itself (the
+/// BENCH_store.json regression where 4 threads were ~13% slower than
+/// sequential on the ~23 MB default campaign).
+const PAR_DECODE_MIN_BYTES: usize = 64 << 20;
+
+/// With fewer chunks than this there is not enough independent work to
+/// amortize fan-out, whatever the byte count.
+const PAR_DECODE_MIN_CHUNKS: usize = 16;
+
+/// Worker count actually used for decoding: the caller's request, demoted
+/// to sequential when the file is too small to profit from fan-out.
+fn effective_decode_threads(requested: usize, bytes: usize, chunks: usize) -> usize {
+    if bytes < PAR_DECODE_MIN_BYTES || chunks < PAR_DECODE_MIN_CHUNKS {
+        1
+    } else {
+        requested.max(1)
     }
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                let f = &f;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, v) in h.join().expect("store worker panicked") {
-                slots[i] = Some(v);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("job completed"))
-        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -745,7 +723,7 @@ pub fn encode_binary(ds: &Dataset, threads: usize) -> Vec<u8> {
         first += rows;
     }
 
-    let payloads = run_jobs(jobs.len(), threads, |i| match &jobs[i] {
+    let payloads = mtd_par::Pool::new(threads).par_map_indexed(jobs.len(), |i| match &jobs[i] {
         EncodeJob::Meta => encode_meta(ds),
         EncodeJob::Deciles => encode_deciles(ds),
         EncodeJob::Cells(batch) => encode_cells_chunk(batch, vbins, dbins),
@@ -797,8 +775,7 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
 /// Saves a dataset in the binary format, using all available cores for
 /// chunk encoding. Atomic: a crash mid-write never corrupts `path`.
 pub fn save_binary(ds: &Dataset, path: &Path) -> Result<(), StoreError> {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    save_binary_with_threads(ds, path, threads)
+    save_binary_with_threads(ds, path, mtd_par::threads())
 }
 
 /// [`save_binary`] with an explicit worker count (output is identical for
@@ -1070,11 +1047,14 @@ fn decode_inner(
         .take()
         .ok_or(StoreError::MissingSection("deciles"))?;
 
-    // Decode the fat sections in parallel; each job is independent.
-    let cell_results = run_jobs(scan.cell_payloads.len(), threads, |i| {
+    // Decode the fat sections in parallel; each job is independent. Small
+    // files demote to sequential — fan-out costs more than it saves there.
+    let chunks = scan.cell_payloads.len() + scan.minute_payloads.len();
+    let pool = mtd_par::Pool::new(effective_decode_threads(threads, bytes.len(), chunks));
+    let cell_results = pool.par_map_indexed(scan.cell_payloads.len(), |i| {
         decode_cells_chunk(&scan.cell_payloads[i].2, &meta)
     });
-    let minute_results = run_jobs(scan.minute_payloads.len(), threads, |i| {
+    let minute_results = pool.par_map_indexed(scan.minute_payloads.len(), |i| {
         decode_minutes_chunk(&scan.minute_payloads[i].2, &meta)
     });
 
@@ -1137,8 +1117,7 @@ fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
 
 /// Loads a binary dataset strictly, decoding chunks on all cores.
 pub fn load_binary(path: &Path) -> Result<Dataset, StoreError> {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    load_binary_with_threads(path, threads)
+    load_binary_with_threads(path, mtd_par::threads())
 }
 
 /// [`load_binary`] with an explicit worker count.
@@ -1657,6 +1636,19 @@ mod tests {
             assert_eq!(encode_binary(ds, threads), seq, "threads={threads}");
             assert_eq!(&decode_binary(&seq, threads).unwrap(), ds);
         }
+    }
+
+    #[test]
+    fn small_files_decode_sequentially() {
+        // Below either threshold the requested fan-out is demoted to one
+        // worker; only big many-chunk files keep the parallel path.
+        assert_eq!(effective_decode_threads(8, 23 << 20, 40), 1);
+        assert_eq!(effective_decode_threads(8, PAR_DECODE_MIN_BYTES, 4), 1);
+        assert_eq!(
+            effective_decode_threads(8, PAR_DECODE_MIN_BYTES, PAR_DECODE_MIN_CHUNKS),
+            8
+        );
+        assert_eq!(effective_decode_threads(0, PAR_DECODE_MIN_BYTES, 99), 1);
     }
 
     #[test]

@@ -292,6 +292,19 @@ impl LogNormal10 {
         std_normal_pdf((u - self.mu) / self.sigma) / self.sigma
     }
 
+    /// Bulk [`LogNormal10::pdf_log10`] over a slice of log-axis points,
+    /// written into `out` (cleared and resized). One call per mixture
+    /// component evaluates a whole histogram grid without per-bin call
+    /// overhead; each output is the exact expression of the scalar path,
+    /// so the results are bit-identical.
+    pub fn pdf_log10_batch(&self, us: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            us.iter()
+                .map(|&u| std_normal_pdf((u - self.mu) / self.sigma) / self.sigma),
+        );
+    }
+
     /// Median `10^μ`.
     #[must_use]
     pub fn median(&self) -> f64 {
@@ -445,6 +458,16 @@ mod tests {
         assert!((ln.median() - 10f64.powf(1.6)).abs() < 1e-9);
         assert!((ln.cdf(ln.median()) - 0.5).abs() < 1e-9);
         assert!((ln.cdf(ln.quantile(0.8)) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lognormal10_batch_pdf_matches_scalar_bitwise() {
+        let ln = LogNormal10::new(1.6, 0.4).unwrap();
+        let us: Vec<f64> = (-40..=60).map(|i| f64::from(i) * 0.1).collect();
+        let mut out = vec![7.0; 4]; // stale contents must be discarded
+        ln.pdf_log10_batch(&us, &mut out);
+        let scalar: Vec<f64> = us.iter().map(|&u| ln.pdf_log10(u)).collect();
+        assert_eq!(out, scalar);
     }
 
     #[test]

@@ -263,7 +263,21 @@ pub fn fit_power_law(
             });
         }
     }
-    let fit = crate::levmar::lm_fit(&problem, &x0, &crate::levmar::LmOptions::default())?;
+    // One scratch per thread: fit_power_law runs once per service inside
+    // pool workers, and the Jacobian/residual buffers dominate its
+    // allocations. `lm_fit_with` is bit-identical to `lm_fit`.
+    thread_local! {
+        static LM_SCRATCH: std::cell::RefCell<crate::levmar::LmScratch> =
+            std::cell::RefCell::new(crate::levmar::LmScratch::new());
+    }
+    let fit = LM_SCRATCH.with(|scratch| {
+        crate::levmar::lm_fit_with(
+            &problem,
+            &x0,
+            &crate::levmar::LmOptions::default(),
+            &mut scratch.borrow_mut(),
+        )
+    })?;
 
     let alpha = fit.params[0];
     let beta = fit.params[1];

@@ -57,8 +57,40 @@ pub trait LmProblem {
     fn residuals(&self, params: &[f64], out: &mut [f64]);
 }
 
+/// Reusable allocations for [`lm_fit_with`]: the Jacobian matrix and the
+/// two residual buffers, by far the largest per-fit allocations. A single
+/// scratch serves fits of any problem size — buffers are resized (keeping
+/// capacity) on each call, so a thread-local scratch amortizes every LM
+/// allocation in a tight fitting loop.
+#[derive(Debug, Default)]
+pub struct LmScratch {
+    jac: Option<Matrix>,
+    r: Vec<f64>,
+    r_pert: Vec<f64>,
+}
+
+impl LmScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> LmScratch {
+        LmScratch::default()
+    }
+}
+
 /// Minimizes `½‖r(θ)‖²` for an [`LmProblem`] starting from `x0`.
 pub fn lm_fit<P: LmProblem>(problem: &P, x0: &[f64], opts: &LmOptions) -> Result<LmResult> {
+    lm_fit_with(problem, x0, opts, &mut LmScratch::new())
+}
+
+/// [`lm_fit`] reusing caller-owned scratch buffers. The iteration (and
+/// therefore the result) is bit-identical to a fresh-allocation run: every
+/// buffer is fully overwritten before it is read.
+pub fn lm_fit_with<P: LmProblem>(
+    problem: &P,
+    x0: &[f64],
+    opts: &LmOptions,
+    scratch: &mut LmScratch,
+) -> Result<LmResult> {
     if x0.is_empty() {
         return Err(MathError::EmptyInput("lm_fit parameters"));
     }
@@ -68,21 +100,30 @@ pub fn lm_fit<P: LmProblem>(problem: &P, x0: &[f64], opts: &LmOptions) -> Result
     }
     let np = x0.len();
     let mut params = x0.to_vec();
-    let mut r = vec![0.0; nr];
-    problem.residuals(&params, &mut r);
+    scratch.r.clear();
+    scratch.r.resize(nr, 0.0);
+    scratch.r_pert.clear();
+    scratch.r_pert.resize(nr, 0.0);
+    let mut r = &mut scratch.r;
+    let mut r_pert = &mut scratch.r_pert;
+    problem.residuals(&params, r);
     let mut cost = 0.5 * r.iter().map(|v| v * v).sum::<f64>();
 
     let mut lambda = opts.initial_lambda;
-    let mut jac = Matrix::zeros(nr, np);
-    let mut r_pert = vec![0.0; nr];
+    let jac = match &mut scratch.jac {
+        Some(j) if j.rows() == nr && j.cols() == np => j,
+        slot => slot.insert(Matrix::zeros(nr, np)),
+    };
 
     for iter in 1..=opts.max_iterations {
-        // Forward-difference Jacobian.
+        // Forward-difference Jacobian; params[j] is perturbed in place and
+        // restored — same values reach `residuals` as with a cloned vector.
         for j in 0..np {
-            let h = opts.fd_epsilon * params[j].abs().max(1e-8);
-            let mut pp = params.clone();
-            pp[j] += h;
-            problem.residuals(&pp, &mut r_pert);
+            let saved = params[j];
+            let h = opts.fd_epsilon * saved.abs().max(1e-8);
+            params[j] = saved + h;
+            problem.residuals(&params, r_pert);
+            params[j] = saved;
             for i in 0..nr {
                 jac[(i, j)] = (r_pert[i] - r[i]) / h;
             }
@@ -123,7 +164,7 @@ pub fn lm_fit<P: LmProblem>(problem: &P, x0: &[f64], opts: &LmOptions) -> Result
                 }
             };
             let candidate: Vec<f64> = params.iter().zip(&step).map(|(p, s)| p + s).collect();
-            problem.residuals(&candidate, &mut r_pert);
+            problem.residuals(&candidate, r_pert);
             let new_cost = 0.5 * r_pert.iter().map(|v| v * v).sum::<f64>();
             if new_cost.is_finite() && new_cost < cost {
                 let step_norm = step.iter().fold(0.0f64, |acc, s| acc.max(s.abs()));
@@ -293,6 +334,23 @@ mod tests {
         assert!((fit.params[0] - 3.0).abs() < 1e-4);
         assert!((fit.params[1] - 5.0).abs() < 1e-4);
         assert!((fit.params[2].abs() - 0.8).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_problem_sizes() {
+        let mut scratch = LmScratch::new();
+        for n in [12usize, 50, 7] {
+            let xs: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| 1.7 * x.powf(0.9)).collect();
+            let problem =
+                CurveProblem::new(&xs, &ys, None, |x, p: &[f64]| p[0] * x.powf(p[1])).unwrap();
+            let fresh = lm_fit(&problem, &[1.0, 1.0], &LmOptions::default()).unwrap();
+            let reused =
+                lm_fit_with(&problem, &[1.0, 1.0], &LmOptions::default(), &mut scratch).unwrap();
+            assert_eq!(reused.params, fresh.params, "n={n}");
+            assert_eq!(reused.cost, fresh.cost);
+            assert_eq!(reused.iterations, fresh.iterations);
+        }
     }
 
     #[test]

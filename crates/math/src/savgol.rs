@@ -70,6 +70,12 @@ impl SavitzkyGolay {
         self.apply(ys, 0, 1.0)
     }
 
+    /// [`SavitzkyGolay::smooth`] into a caller-owned buffer, avoiding the
+    /// per-call output allocation in tight fitting loops.
+    pub fn smooth_into(&self, ys: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        self.apply_into(ys, 0, 1.0, out)
+    }
+
     /// Applies the filter, returning the first derivative with sample
     /// spacing `step` (derivative in units of y per x).
     pub fn first_derivative(&self, ys: &[f64], step: f64) -> Result<Vec<f64>> {
@@ -79,9 +85,31 @@ impl SavitzkyGolay {
         self.apply(ys, 1, step)
     }
 
+    /// [`SavitzkyGolay::first_derivative`] into a caller-owned buffer.
+    pub fn first_derivative_into(&self, ys: &[f64], step: f64, out: &mut Vec<f64>) -> Result<()> {
+        if step <= 0.0 {
+            return Err(MathError::InvalidParameter("step must be > 0"));
+        }
+        self.apply_into(ys, 1, step, out)
+    }
+
     /// Shared evaluator: fits the window polynomial and evaluates its
     /// `deriv`-th derivative at the output offset.
     fn apply(&self, ys: &[f64], deriv: usize, step: f64) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.apply_into(ys, deriv, step, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SavitzkyGolay::apply`] writing into `out` (cleared and resized).
+    ///
+    /// Interior samples (evaluation offset 0) take a single-dot-product
+    /// fast path: every e^{k-deriv} term with k > deriv vanishes, so only
+    /// the `deriv`-th coefficient survives. The factorial ladder is
+    /// hoisted out of the sample loop. Both changes leave every output
+    /// bit unchanged relative to the naive loop (the fast path can at
+    /// most normalize a -0.0 to +0.0).
+    fn apply_into(&self, ys: &[f64], deriv: usize, step: f64, out: &mut Vec<f64>) -> Result<()> {
         let w = self.window();
         let n = ys.len();
         if n < w {
@@ -93,32 +121,48 @@ impl SavitzkyGolay {
             ));
         }
         let m = self.half_window;
-        let mut out = vec![0.0; n];
+        // d^deriv/de^deriv of e^k = k!/(k-deriv)! e^{k-deriv}; the
+        // k!/(k-deriv)! ladder depends only on (k, deriv).
+        let mut facs = vec![1.0; self.order + 1];
+        for (k, slot) in facs.iter_mut().enumerate().skip(deriv) {
+            let mut fac = 1.0;
+            for f in (k - deriv + 1)..=k {
+                fac *= f as f64;
+            }
+            *slot = fac;
+        }
+        let scale = step.powi(deriv as i32);
+        out.clear();
+        out.resize(n, 0.0);
         #[allow(clippy::needless_range_loop)] // window anchor needs the index
         for i in 0..n {
             // Window anchor: clamp so the window stays inside the signal;
             // `e` is the evaluation offset from the window center.
             let anchor = i.clamp(m, n - 1 - m);
-            let e = i as f64 - anchor as f64;
             let window = &ys[anchor - m..=anchor + m];
-            // Polynomial coefficients for this window.
-            let mut value = 0.0;
-            for k in deriv..=self.order {
-                let coef: f64 = self.projector[k]
+            let value = if i == anchor {
+                let coef: f64 = self.projector[deriv]
                     .iter()
                     .zip(window)
                     .map(|(c, y)| c * y)
                     .sum();
-                // d^deriv/de^deriv of e^k = k!/(k-deriv)! e^{k-deriv}
-                let mut fac = 1.0;
-                for f in (k - deriv + 1)..=k {
-                    fac *= f as f64;
+                coef * facs[deriv]
+            } else {
+                let e = i as f64 - anchor as f64;
+                let mut value = 0.0;
+                for k in deriv..=self.order {
+                    let coef: f64 = self.projector[k]
+                        .iter()
+                        .zip(window)
+                        .map(|(c, y)| c * y)
+                        .sum();
+                    value += coef * facs[k] * e.powi((k - deriv) as i32);
                 }
-                value += coef * fac * e.powi((k - deriv) as i32);
-            }
-            out[i] = value / step.powi(deriv as i32);
+                value
+            };
+            out[i] = value / scale;
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -209,5 +253,21 @@ mod tests {
         let sg = SavitzkyGolay::new(2, 1).unwrap();
         let ys = vec![0.0; 10];
         assert!(sg.first_derivative(&ys, 0.0).is_err());
+        let mut out = Vec::new();
+        assert!(sg.first_derivative_into(&ys, 0.0, &mut out).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants_exactly() {
+        let sg = SavitzkyGolay::new(4, 2).unwrap();
+        let ys: Vec<f64> = (0..60)
+            .map(|i| (f64::from(i) * 0.31).sin() * 2.0 + f64::from(i % 7))
+            .collect();
+        // One scratch buffer reused across calls of different lengths.
+        let mut out = vec![99.0; 3];
+        sg.smooth_into(&ys, &mut out).unwrap();
+        assert_eq!(out, sg.smooth(&ys).unwrap());
+        sg.first_derivative_into(&ys[..40], 0.25, &mut out).unwrap();
+        assert_eq!(out, sg.first_derivative(&ys[..40], 0.25).unwrap());
     }
 }

@@ -136,15 +136,15 @@ impl<'a> Engine<'a> {
         stats
     }
 
-    /// Runs the campaign across `threads` worker threads.
+    /// Runs the campaign across `threads` worker threads on the shared
+    /// [`mtd_par`] pool.
     ///
     /// Produces output **identical** to [`Engine::run`]: every station has
     /// its own derived RNG streams and deterministic session ids, workers
-    /// buffer each station's events, and the coordinator replays buffers
-    /// to `sink` in station order. Peak memory is bounded by the few
-    /// out-of-order station buffers in flight.
+    /// buffer each station's events, and the pool's ordered streaming map
+    /// replays buffers to `sink` in station order. Peak memory is bounded
+    /// by the few out-of-order station buffers in flight.
     pub fn run_parallel<S: EngineSink>(&self, sink: &mut S, threads: usize) -> RunStats {
-        use std::sync::atomic::{AtomicUsize, Ordering};
         let threads = threads.max(1).min(self.topology.len().max(1));
         if threads == 1 {
             return self.run(sink);
@@ -152,53 +152,23 @@ impl<'a> Engine<'a> {
         let _span = mtd_telemetry::span!("sim.run_parallel");
         mtd_telemetry::gauge_set("sim.threads", threads as f64);
         let stations = self.topology.stations();
-        let n = stations.len();
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, BufferSink, RunStats)>();
-
         let mut stats = RunStats::default();
-        crossbeam::thread::scope(|scope| {
-            for w in 0..threads {
-                let tx = tx.clone();
-                let next = &next;
-                scope.spawn(move |_| {
-                    let worker = format!("w{w}");
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let mut buffer = BufferSink::default();
-                        let mut st = RunStats::default();
-                        self.run_station(&stations[i], &mut buffer, &mut st);
-                        mtd_telemetry::count_labeled("sim.worker.stations", &worker, 1);
-                        mtd_telemetry::count_labeled("sim.worker.sessions", &worker, st.sessions);
-                        // A dropped receiver just ends the run early.
-                        if tx.send((i, buffer, st)).is_err() {
-                            break;
-                        }
-                    }
-                    // Scoped workers are joined before any snapshot, but an
-                    // explicit flush keeps the buffers' lifetime obvious.
-                    mtd_telemetry::flush_thread();
-                });
-            }
-            drop(tx);
-
-            // Replay station buffers in order as they complete.
-            let mut pending: std::collections::BTreeMap<usize, (BufferSink, RunStats)> =
-                std::collections::BTreeMap::new();
-            let mut next_replay = 0usize;
-            for (i, buffer, st) in rx {
-                pending.insert(i, (buffer, st));
-                while let Some((buffer, st)) = pending.remove(&next_replay) {
-                    buffer.replay(sink);
-                    stats.merge(&st);
-                    next_replay += 1;
-                }
-            }
-        })
-        .expect("engine worker panicked");
+        mtd_par::Pool::new(threads).par_for_each_ordered(
+            stations.len(),
+            |i| {
+                let mut buffer = BufferSink::default();
+                let mut st = RunStats::default();
+                self.run_station(&stations[i], &mut buffer, &mut st);
+                let worker = format!("w{}", mtd_par::current_worker().unwrap_or(0));
+                mtd_telemetry::count_labeled("sim.worker.stations", &worker, 1);
+                mtd_telemetry::count_labeled("sim.worker.sessions", &worker, st.sessions);
+                (buffer, st)
+            },
+            |_, (buffer, st)| {
+                buffer.replay(sink);
+                stats.merge(&st);
+            },
+        );
         record_run_stats(&stats);
         stats
     }

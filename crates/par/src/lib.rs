@@ -1,0 +1,91 @@
+//! `mtd-par` — the workspace's shared parallel runtime.
+//!
+//! A scoped thread pool with per-worker work-stealing deques and a
+//! deterministic, input-ordered parallel map. Every parallel entry point
+//! in the workspace (per-service fitting, the EMD similarity matrix, the
+//! netsim station fan-out, the dataset chunk codec) runs on this one
+//! abstraction, so a single knob sizes them all.
+//!
+//! # Determinism
+//!
+//! [`Pool::par_map_indexed`] and [`Pool::par_for_each_ordered`] guarantee
+//! results in **input order** regardless of thread count or scheduling:
+//! job `i` always runs `f(i)` on exactly one worker, and results are
+//! placed (or replayed) by index. Because every job executes the same
+//! code path as the sequential loop would, parallel output is
+//! bit-identical to sequential — the discipline established by
+//! `Engine::run_parallel` and the store codec, now centralized here.
+//!
+//! # Pool sizing
+//!
+//! The process-wide worker count is resolved by [`threads`] with the
+//! precedence **[`set_threads`] (CLI `--threads`) > `MTD_THREADS` env >
+//! `std::thread::available_parallelism`**. [`pool`] builds a [`Pool`] of
+//! that size; callers needing an explicit size (benchmarks, determinism
+//! tests) construct [`Pool::new`] directly.
+//!
+//! # Telemetry
+//!
+//! Workers publish per-worker task and steal counters
+//! (`par.worker.tasks` / `par.worker.steals`, labeled `w0`, `w1`, …) and
+//! sample their own queue depth into the `par.queue.depth` histogram —
+//! all no-ops when telemetry is disabled.
+
+mod deque;
+mod pool;
+
+pub use deque::WorkDeque;
+pub use pool::{current_worker, Pool, Scope};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count (the CLI `--threads` flag lands
+/// here). Takes precedence over `MTD_THREADS` and the detected core
+/// count; pass 0 to clear the override.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Resolves the process-wide worker count: [`set_threads`] override,
+/// then the `MTD_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`] (1 if even that fails).
+#[must_use]
+pub fn threads() -> usize {
+    let over = OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(v) = std::env::var("MTD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A [`Pool`] sized by [`threads`] — the pool every library-level caller
+/// should use unless the thread count is an explicit parameter.
+#[must_use]
+pub fn pool() -> Pool {
+    Pool::new(threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_beats_env_and_detection() {
+        // Serialize against other tests touching the global override.
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        assert_eq!(pool().threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}

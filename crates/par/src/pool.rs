@@ -1,0 +1,367 @@
+//! The scoped thread pool: deterministic parallel maps, `scope`/`join`.
+
+use crate::deque::WorkDeque;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+thread_local! {
+    /// Index of the pool worker running on this thread, if any.
+    static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The index of the pool worker executing the current job (`w0` is the
+/// calling thread when it doubles as a worker). `None` outside a pool —
+/// callers labeling per-worker telemetry treat that as worker 0.
+#[must_use]
+pub fn current_worker() -> Option<usize> {
+    WORKER.with(Cell::get)
+}
+
+/// Marks the current thread as worker `w` for the guard's lifetime,
+/// restoring the previous value on drop (nested pools, caller-as-worker).
+struct WorkerGuard {
+    prev: Option<usize>,
+}
+
+impl WorkerGuard {
+    fn enter(w: usize) -> WorkerGuard {
+        WorkerGuard {
+            prev: WORKER.with(|c| c.replace(Some(w))),
+        }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        WORKER.with(|c| c.set(prev));
+    }
+}
+
+/// One worker's schedule: drain the own deque (back), then scan the other
+/// deques round-robin and steal (front); exit when every deque is empty.
+/// No job is ever added after seeding, so empty-everywhere is final.
+fn worker_loop<J, E: FnMut(J)>(deques: &[WorkDeque<J>], w: usize, mut execute: E) {
+    let _guard = WorkerGuard::enter(w);
+    let own = &deques[w];
+    let mut tasks: u64 = 0;
+    let mut steals: u64 = 0;
+    loop {
+        let job = own.pop().or_else(|| {
+            (1..deques.len()).find_map(|off| {
+                let victim = &deques[(w + off) % deques.len()];
+                let stolen = victim.steal();
+                if stolen.is_some() {
+                    steals += 1;
+                }
+                stolen
+            })
+        });
+        let Some(job) = job else { break };
+        tasks += 1;
+        mtd_telemetry::observe("par.queue.depth", own.len() as f64);
+        execute(job);
+    }
+    let label = format!("w{w}");
+    mtd_telemetry::count_labeled("par.worker.tasks", &label, tasks);
+    if steals > 0 {
+        mtd_telemetry::count_labeled("par.worker.steals", &label, steals);
+    }
+}
+
+/// Seeds `n` indexed jobs round-robin across `threads` deques, pushed in
+/// descending order so each owner pops its share in ascending order.
+fn seed_indices(n: usize, threads: usize) -> Vec<WorkDeque<usize>> {
+    let deques: Vec<WorkDeque<usize>> = (0..threads).map(|_| WorkDeque::new()).collect();
+    for i in (0..n).rev() {
+        deques[i % threads].push(i);
+    }
+    deques
+}
+
+/// A fixed-size scoped thread pool. Cheap to construct: threads are
+/// spawned per call and joined before the call returns, so borrowed data
+/// (`&Dataset`, `&Engine`) flows into jobs without `'static` bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool running jobs on up to `threads` workers (min 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `0..n` in parallel, returning results in input
+    /// order. With one worker (or one job) this *is* the sequential loop
+    /// — same thread, same order — so output is bit-identical across
+    /// thread counts by construction.
+    ///
+    /// # Panics
+    /// Propagates the first worker panic after all workers stop.
+    pub fn par_map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = self.threads.min(n.max(1));
+        if threads <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let deques = seed_indices(n, threads);
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let deques = &deques;
+            let f = &f;
+            let handles: Vec<_> = (1..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        worker_loop(deques, w, |i| local.push((i, f(i))));
+                        mtd_telemetry::flush_thread();
+                        local
+                    })
+                })
+                .collect();
+            // The calling thread doubles as worker 0.
+            let mut local: Vec<(usize, T)> = Vec::new();
+            worker_loop(deques, 0, |i| local.push((i, f(i))));
+            for (i, v) in local {
+                slots[i] = Some(v);
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(pairs) => {
+                        for (i, v) in pairs {
+                            slots[i] = Some(v);
+                        }
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every seeded job ran"))
+            .collect()
+    }
+
+    /// Streaming variant of [`Pool::par_map_indexed`]: workers compute
+    /// `f(i)` out of order, the calling thread replays `consume(i, …)`
+    /// strictly in input order, buffering only the out-of-order results
+    /// in flight. Use when results are large (e.g. a station's buffered
+    /// events) and holding all `n` at once would be wasteful.
+    pub fn par_for_each_ordered<T, F, C>(&self, n: usize, f: F, mut consume: C)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: FnMut(usize, T),
+    {
+        let threads = self.threads.min(n.max(1));
+        if threads <= 1 {
+            for i in 0..n {
+                consume(i, f(i));
+            }
+            return;
+        }
+        let deques = seed_indices(n, threads);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            let deques = &deques;
+            let f = &f;
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        // A dropped receiver only happens on panic in the
+                        // consumer; the send result is irrelevant then.
+                        worker_loop(deques, w, |i| {
+                            let _ = tx.send((i, f(i)));
+                        });
+                        mtd_telemetry::flush_thread();
+                    })
+                })
+                .collect();
+            drop(tx);
+            let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+            let mut next = 0usize;
+            for (i, v) in rx {
+                pending.insert(i, v);
+                while let Some(v) = pending.remove(&next) {
+                    consume(next, v);
+                    next += 1;
+                }
+            }
+            for h in handles {
+                if let Err(panic) = h.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+    }
+
+    /// Runs two closures, potentially in parallel, returning both results.
+    pub fn join<RA, RB, FA, FB>(&self, a: FA, b: FB) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+        FA: FnOnce() -> RA + Send,
+        FB: FnOnce() -> RB + Send,
+    {
+        if self.threads <= 1 {
+            return (a(), b());
+        }
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(b);
+            let ra = a();
+            match hb.join() {
+                Ok(rb) => (ra, rb),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        })
+    }
+
+    /// Collects heterogeneous jobs via [`Scope::spawn`], then runs them
+    /// all over the work-stealing deques before returning. Jobs may
+    /// borrow anything outliving the `scope` call.
+    pub fn scope<'env, R>(&self, body: impl FnOnce(&Scope<'env>) -> R) -> R {
+        let sc = Scope {
+            jobs: RefCell::new(Vec::new()),
+        };
+        let result = body(&sc);
+        let jobs = sc.jobs.into_inner();
+        let n = jobs.len();
+        let threads = self.threads.min(n.max(1));
+        if threads <= 1 {
+            for job in jobs {
+                job();
+            }
+            return result;
+        }
+        let deques: Vec<WorkDeque<Job<'env>>> = (0..threads).map(|_| WorkDeque::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate().rev() {
+            deques[i % threads].push(job);
+        }
+        std::thread::scope(|scope| {
+            let deques = &deques;
+            let handles: Vec<_> = (1..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        worker_loop(deques, w, |job: Job<'env>| job());
+                        mtd_telemetry::flush_thread();
+                    })
+                })
+                .collect();
+            worker_loop(deques, 0, |job: Job<'env>| job());
+            for h in handles {
+                if let Err(panic) = h.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+        result
+    }
+}
+
+/// A deferred job captured by [`Pool::scope`].
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Spawn collector handed to the [`Pool::scope`] body.
+pub struct Scope<'env> {
+    jobs: RefCell<Vec<Job<'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues a job; it runs when the `scope` body returns.
+    pub fn spawn<F: FnOnce() + Send + 'env>(&self, f: F) {
+        self.jobs.borrow_mut().push(Box::new(f));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_is_input_ordered_for_every_thread_count() {
+        let expect: Vec<u64> = (0..97u64).map(|i| i * i).collect();
+        for threads in 1..=8 {
+            let got = Pool::new(threads).par_map_indexed(97, |i| (i as u64) * (i as u64));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_maps() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.par_map_indexed(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn ordered_replay_is_sequential_order() {
+        for threads in [1, 2, 5] {
+            let mut seen = Vec::new();
+            Pool::new(threads).par_for_each_ordered(40, |i| i * 3, |i, v| seen.push((i, v)));
+            let expect: Vec<(usize, usize)> = (0..40).map(|i| (i, i * 3)).collect();
+            assert_eq!(seen, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = Pool::new(2).join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+        let (a, b) = Pool::new(1).join(|| 3, || 4);
+        assert_eq!((a, b), (3, 4));
+    }
+
+    #[test]
+    fn scope_runs_every_job_with_borrows() {
+        let total = AtomicU64::new(0);
+        for threads in [1, 3] {
+            total.store(0, Ordering::SeqCst);
+            Pool::new(threads).scope(|s| {
+                for i in 1..=20u64 {
+                    let total = &total;
+                    s.spawn(move || {
+                        total.fetch_add(i, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(total.load(Ordering::SeqCst), 210, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_index_is_set_inside_jobs_and_clear_outside() {
+        assert_eq!(current_worker(), None);
+        let workers = Pool::new(3).par_map_indexed(12, |_| current_worker());
+        assert!(workers.iter().all(|w| matches!(w, Some(0..=2))));
+        assert_eq!(current_worker(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 7 exploded")]
+    fn map_propagates_worker_panics() {
+        Pool::new(4).par_map_indexed(16, |i| {
+            if i == 7 {
+                panic!("job 7 exploded");
+            }
+            i
+        });
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests: the pool's ordering and determinism guarantees hold
+//! for arbitrary job counts, thread counts, and per-job workloads.
+
+use mtd_par::Pool;
+use proptest::prelude::*;
+
+/// A job function whose result depends on the index in a non-trivial way
+/// (so misplaced results cannot accidentally collide).
+fn job(i: usize, salt: u64) -> u64 {
+    let mut x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+    x ^= x >> 33;
+    x.wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_map_matches_sequential_map(
+        n in 0usize..150,
+        threads in 1usize..9,
+        salt in any::<u64>(),
+    ) {
+        let seq: Vec<u64> = (0..n).map(|i| job(i, salt)).collect();
+        let par = Pool::new(threads).par_map_indexed(n, |i| job(i, salt));
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn ordered_for_each_replays_in_input_order(
+        n in 0usize..150,
+        threads in 1usize..9,
+        salt in any::<u64>(),
+    ) {
+        let mut replayed = Vec::new();
+        Pool::new(threads).par_for_each_ordered(
+            n,
+            |i| job(i, salt),
+            |i, v| replayed.push((i, v)),
+        );
+        let expect: Vec<(usize, u64)> = (0..n).map(|i| (i, job(i, salt))).collect();
+        prop_assert_eq!(replayed, expect);
+    }
+
+    #[test]
+    fn scope_executes_each_job_exactly_once(
+        n in 0usize..80,
+        threads in 1usize..6,
+    ) {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let runs: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        Pool::new(threads).scope(|s| {
+            for cell in &runs {
+                s.spawn(move || {
+                    cell.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        prop_assert!(runs.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+}
