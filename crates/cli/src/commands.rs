@@ -66,6 +66,14 @@ USAGE:
       Validate a registry against a freshly simulated campaign
       (EMD / KS / mean-ratio / share drift per service).
 
+  mtd-traffic validate --sampling [--registry FILE] [--seed N]
+                       [--gof-samples N] [--report FILE]
+      Run the seeded statistical goodness-of-fit battery over the
+      registry's own samplers (KS/EMD per distribution, arrival moment
+      matching per decile, share recovery, session-tuple consistency).
+      Deterministic: the same seed yields a byte-identical report.
+      --report writes the full per-check report as JSON.
+
   mtd-traffic help
       Show this text.
 
@@ -604,10 +612,25 @@ fn dataset_verify(argv: &[String]) -> Result<(), String> {
 }
 
 fn validate_cmd(argv: &[String]) -> Result<(), String> {
-    let flags = parse_flags(argv, &["registry", "n-bs", "days", "seed", "scale"])?;
+    let flags = parse_flags_with_switches(
+        argv,
+        &[
+            "registry",
+            "n-bs",
+            "days",
+            "seed",
+            "scale",
+            "gof-samples",
+            "report",
+        ],
+        &["sampling"],
+    )?;
     let tdest = telemetry_init(&flags);
     threads_init(&flags)?;
     let registry = load_registry(&flags)?;
+    if flags.is_set("sampling") {
+        return validate_sampling(&registry, &flags, &tdest);
+    }
     let config = ScenarioConfig {
         n_bs: flags.num_or("n-bs", 12usize)?,
         days: flags.num_or("days", 7u32)?,
@@ -651,6 +674,61 @@ median EMD {:.3}, median KS {:.3}, worst mean ratio {:.2}",
         Ok(())
     } else {
         Err("registry fails validation thresholds".into())
+    }
+}
+
+/// `validate --sampling`: the seeded GoF battery over the registry's own
+/// samplers — no simulation, pure sampler-vs-model statistics.
+fn validate_sampling(
+    registry: &ModelRegistry,
+    flags: &Flags,
+    tdest: &TelemetryDest,
+) -> Result<(), String> {
+    use mtd_core::validation::sampling::{run_battery, SamplingConfig};
+    let defaults = SamplingConfig::default();
+    let config = SamplingConfig {
+        seed: flags.num_or("seed", defaults.seed)?,
+        samples: flags.num_or("gof-samples", defaults.samples)?,
+    };
+    progress!(
+        "cli",
+        "running the sampling GoF battery (seed {}, {} draws per check) ...",
+        config.seed,
+        config.samples
+    );
+    let report = run_battery(registry, &config).map_err(|e| e.to_string())?;
+    let failed = report.failures().count();
+    if failed == 0 {
+        println!("all {} sampling checks passed", report.checks.len());
+    } else {
+        println!(
+            "{:40} {:>12} {:>12}  detail",
+            "failing check", "statistic", "threshold"
+        );
+        for c in report.failures() {
+            println!(
+                "{:40} {:>12.6} {:>12.6}  {}",
+                c.name, c.statistic, c.threshold, c.detail
+            );
+        }
+    }
+    if let Some(path) = flags.opt("report") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write report to {path}: {e}"))?;
+        progress!("cli", "wrote sampling report to {path}");
+    }
+    telemetry_finish(tdest)?;
+    if report.passed() {
+        println!(
+            "PASS: samplers reproduce the fitted models (seed {})",
+            report.seed
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "sampling battery failed: {failed} of {} checks",
+            report.checks.len()
+        ))
     }
 }
 
@@ -812,6 +890,38 @@ mod tests {
             "validate", "--n-bs", "8", "--days", "3", "--scale", "0.05", "--seed", "99"
         ]))
         .is_ok());
+    }
+
+    #[test]
+    fn validate_sampling_passes_and_report_is_deterministic() {
+        if !json_runtime_available() {
+            return; // needs the released registry (see triage note below)
+        }
+        let dir = temp_dir("mtd_cli_test_gof");
+        let write_report = |file: &str| -> String {
+            let path = dir.join(file);
+            let path_s = path.to_str().unwrap().to_string();
+            run(&argv(&[
+                "validate",
+                "--sampling",
+                "--seed",
+                "13",
+                "--gof-samples",
+                "8000",
+                "--report",
+                &path_s,
+                "--quiet",
+            ]))
+            .unwrap();
+            let content = std::fs::read_to_string(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            content
+        };
+        let a = write_report("gof-a.json");
+        let b = write_report("gof-b.json");
+        assert_eq!(a, b, "same seed must give a byte-identical report");
+        assert!(a.contains("\"passed\": true"));
+        assert!(a.contains("arrival/decile9/offpeak_mean"));
     }
 
     /// Offline builds link a typecheck-only `serde_json` stub that cannot

@@ -8,7 +8,9 @@
 //! sessions induced by each service is relatively constant across
 //! different BSs and over time", CV ≈ 1%).
 
-use mtd_math::distributions::{Distribution1D, Gaussian, Pareto};
+use mtd_math::distributions::{
+    Distribution1D, Gaussian, Pareto, TruncatedGaussian, TruncatedPareto,
+};
 use mtd_math::fit::fit_gaussian;
 use mtd_math::{MathError, Result};
 use rand::Rng;
@@ -87,19 +89,109 @@ impl ArrivalModel {
             .unwrap_or(0.0)
     }
 
+    /// The fitted off-peak mean `E[X] = b·s/(b−1)` the Pareto scale was
+    /// inverted from (infinite when `b ≤ 1`).
+    #[must_use]
+    pub fn offpeak_mean(&self) -> f64 {
+        if self.pareto_shape <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.pareto_shape * self.pareto_scale / (self.pareto_shape - 1.0)
+        }
+    }
+
+    /// Safety cap on a single off-peak minute (3× the peak mean): the
+    /// fitted integer counts the scale came from cannot out-draw the
+    /// daytime regime by much, so neither should the sampler.
+    #[must_use]
+    pub fn offpeak_cap(&self) -> f64 {
+        self.peak_mu * 3.0
+    }
+
+    /// Builds the calibrated continuous count samplers once; prefer this
+    /// over repeated [`ArrivalModel::sample_count`] in hot loops, since
+    /// the truncated-distribution calibration solves a bisection.
+    #[must_use]
+    pub fn sampler(&self) -> ArrivalSampler {
+        // Counts cannot be negative, so the peak draw conditions the
+        // Gaussian on X ≥ 0 with the location recalibrated to keep the
+        // fitted mean μ. Rectifying (`max(0.0)`) instead piles the
+        // negative tail onto 0 and inflates the mean when μ/σ is small.
+        let peak = match TruncatedGaussian::with_mean(self.peak_sigma.max(1e-9), 0.0, self.peak_mu)
+        {
+            Ok(d) => PeakDraw::Truncated(d),
+            Err(_) => PeakDraw::Rectified(
+                Gaussian::new(self.peak_mu.max(1e-9), self.peak_sigma.max(1e-9))
+                    .expect("positive mean and sigma"),
+            ),
+        };
+        // The off-peak draw samples the cap-truncated Pareto exactly,
+        // with the scale recalibrated so the truncated mean equals the
+        // fitted b·s/(b−1). Clamping raw draws at the cap (`min`) loses
+        // the (s/cap)^{b−1}/b share of the mean — ≈2.4% per decile in the
+        // released registry.
+        let offpeak = match TruncatedPareto::with_mean(
+            self.pareto_shape,
+            self.offpeak_cap(),
+            self.offpeak_mean(),
+        ) {
+            Ok(d) => OffpeakDraw::Truncated(d),
+            Err(_) => OffpeakDraw::Capped(
+                Pareto::new(self.pareto_shape.max(1e-9), self.pareto_scale.max(1e-9))
+                    .expect("positive shape and scale"),
+                self.offpeak_cap(),
+            ),
+        };
+        ArrivalSampler { peak, offpeak }
+    }
+
     /// Draws a per-minute arrival count for the peak or off-peak regime;
-    /// probabilistic rounding preserves means.
+    /// probabilistic rounding preserves means. Calibrates a fresh
+    /// [`ArrivalSampler`] per call — hoist one via
+    /// [`ArrivalModel::sampler`] when drawing many counts.
+    pub fn sample_count<R: Rng + ?Sized>(&self, peak: bool, rng: &mut R) -> u32 {
+        self.sampler().sample_count(peak, rng)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PeakDraw {
+    Truncated(TruncatedGaussian),
+    /// Fallback when no truncated calibration exists (`μ ≤ 0`, or μ so
+    /// far below 0 relative to σ that the conditioned mass underflows).
+    Rectified(Gaussian),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum OffpeakDraw {
+    Truncated(TruncatedPareto),
+    /// Fallback when the fitted mean is not attainable under the cap
+    /// (`b ≤ 1`, or a pathological scale ≥ cap).
+    Capped(Pareto, f64),
+}
+
+/// Calibrated continuous samplers of one [`ArrivalModel`]: the truncated
+/// distributions are solved once and reused across draws.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalSampler {
+    peak: PeakDraw,
+    offpeak: OffpeakDraw,
+}
+
+impl ArrivalSampler {
+    /// Draws a per-minute arrival count; probabilistic rounding of the
+    /// continuous draw preserves the regime mean exactly.
     pub fn sample_count<R: Rng + ?Sized>(&self, peak: bool, rng: &mut R) -> u32 {
         let x = if peak {
-            Gaussian::new(self.peak_mu, self.peak_sigma.max(1e-9))
-                .expect("valid gaussian")
-                .sample(rng)
-                .max(0.0)
+            match &self.peak {
+                PeakDraw::Truncated(d) => d.sample(rng),
+                PeakDraw::Rectified(d) => d.sample(rng).max(0.0),
+            }
         } else {
-            Pareto::new(self.pareto_shape, self.pareto_scale)
-                .expect("valid pareto")
-                .sample(rng)
-                .min(self.peak_mu * 3.0)
+            match &self.offpeak {
+                OffpeakDraw::Truncated(d) => d.sample(rng),
+                OffpeakDraw::Capped(d, cap) => d.sample(rng).min(*cap),
+            }
         };
         let base = x.floor();
         base as u32 + u32::from(rng.gen::<f64>() < (x - base))
@@ -113,10 +205,24 @@ pub struct ArrivalModelSet {
 }
 
 impl ArrivalModelSet {
-    /// The model of a decile (0 = lightest, 9 = busiest).
+    /// The model of a decile (0 = lightest, 9 = busiest); out-of-range
+    /// deciles clamp to the busiest class.
+    ///
+    /// # Panics
+    /// Panics when the set is empty — tolerant store loads can produce
+    /// one; use [`ArrivalModelSet::try_decile`] to handle that case.
     #[must_use]
     pub fn decile(&self, d: u8) -> &ArrivalModel {
-        &self.per_decile[usize::from(d).min(self.per_decile.len() - 1)]
+        self.try_decile(d)
+            .expect("ArrivalModelSet::decile called on an empty set")
+    }
+
+    /// [`ArrivalModelSet::decile`] without the panic: `None` when the set
+    /// is empty.
+    #[must_use]
+    pub fn try_decile(&self, d: u8) -> Option<&ArrivalModel> {
+        let last = self.per_decile.len().checked_sub(1)?;
+        self.per_decile.get(usize::from(d).min(last))
     }
 
     /// Number of decile classes (10 in the paper).
@@ -242,6 +348,33 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         assert!(off_mean < peak_mean / 4.0, "off mean {off_mean}");
+        // The cap-truncated sampler is recalibrated to the *fitted* mean
+        // b·s/(b−1), not the ≈2.4%-low clamped mean.
+        let fitted = m.offpeak_mean();
+        assert!(
+            (off_mean - fitted).abs() / fitted < 0.03,
+            "off mean {off_mean} vs fitted {fitted}"
+        );
+    }
+
+    #[test]
+    fn light_load_peak_mean_not_inflated_by_rectification() {
+        // μ/σ = 0.8: rectifying at 0 would inflate the mean by ~20%;
+        // the truncated sampler must stay on the fitted μ.
+        let m = ArrivalModel {
+            peak_mu: 0.4,
+            peak_sigma: 0.5,
+            pareto_shape: PARETO_SHAPE,
+            pareto_scale: 0.02,
+        };
+        let sampler = m.sampler();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| f64::from(sampler.sample_count(true, &mut rng)))
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean - 0.4).abs() < 0.01, "peak mean {mean}");
     }
 
     #[test]
@@ -295,5 +428,29 @@ mod tests {
         assert_eq!(set.len(), 10);
         let _ = set.decile(9);
         let _ = set.decile(200); // clamps, no panic
+    }
+
+    #[test]
+    fn empty_decile_set_is_guarded() {
+        let set = ArrivalModelSet { per_decile: vec![] };
+        assert!(set.is_empty());
+        assert!(set.try_decile(0).is_none());
+        assert!(set.try_decile(200).is_none());
+        let populated = ArrivalModelSet {
+            per_decile: vec![ArrivalModel {
+                peak_mu: 1.0,
+                peak_sigma: 0.1,
+                pareto_shape: PARETO_SHAPE,
+                pareto_scale: 0.05,
+            }],
+        };
+        assert!(populated.try_decile(9).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn empty_decile_set_panics_with_message() {
+        let set = ArrivalModelSet { per_decile: vec![] };
+        let _ = set.decile(0);
     }
 }

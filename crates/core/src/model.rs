@@ -103,6 +103,34 @@ impl ServiceModel {
         (main + peaks) / (1.0 + total_k)
     }
 
+    /// The Eq. (5) mixture CDF over the `log₁₀ x` axis — the analytic
+    /// companion of [`ServiceModel::pdf_log10`], used by the sampling
+    /// fidelity battery's KS test. Ignores the support clamp; see
+    /// [`ServiceModel::sample_volume`] for the censoring the sampler adds.
+    #[must_use]
+    pub fn cdf_log10(&self, u: f64) -> f64 {
+        use mtd_math::distributions::std_normal_cdf;
+        let main = std_normal_cdf((u - self.mu) / self.sigma.max(1e-9));
+        let peaks: f64 = self
+            .peaks
+            .iter()
+            .map(|p| p.k * std_normal_cdf((u - p.mu) / p.sigma.max(1e-9)))
+            .sum();
+        let total_k: f64 = self.peaks.iter().map(|p| p.k).sum();
+        (main + peaks) / (1.0 + total_k)
+    }
+
+    /// The effective `log₁₀` support of [`ServiceModel::sample_volume`]:
+    /// the fitted support intersected with the absolute 1 KB .. 10 GB
+    /// guard the sampler clamps to.
+    #[must_use]
+    pub fn effective_support_log10(&self) -> (f64, f64) {
+        (
+            self.support_log10.0.max(-3.0),
+            self.support_log10.1.min(4.0),
+        )
+    }
+
     /// Discretizes the Eq. (5) model onto a grid (for EMD comparisons and
     /// plotting against measured PDFs).
     pub fn to_binned_pdf(&self, grid: LogGrid) -> Result<BinnedPdf> {
@@ -271,6 +299,27 @@ mod tests {
             .map(|i| m.pdf_log10(lo + (i as f64 + 0.5) * step) * step)
             .sum();
         assert!((mass - 1.0).abs() < 1e-6, "mass {mass}");
+    }
+
+    #[test]
+    fn cdf_log10_integrates_pdf() {
+        let m = netflix_like();
+        assert!(m.cdf_log10(-8.0) < 1e-9);
+        assert!((m.cdf_log10(8.0) - 1.0).abs() < 1e-9);
+        // CDF at u equals the integral of the mixture density up to u.
+        for &u in &[0.0, 1.0, 1.6, 2.5] {
+            let n = 20_000;
+            let lo = -8.0;
+            let step = (u - lo) / n as f64;
+            let integral: f64 = (0..n)
+                .map(|i| m.pdf_log10(lo + (i as f64 + 0.5) * step) * step)
+                .sum();
+            assert!(
+                (m.cdf_log10(u) - integral).abs() < 1e-4,
+                "u={u}: cdf {} vs integral {integral}",
+                m.cdf_log10(u)
+            );
+        }
     }
 
     #[test]

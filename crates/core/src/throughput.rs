@@ -10,6 +10,7 @@
 
 use crate::model::ServiceModel;
 use mtd_math::histogram::{BinnedPdf, LogGrid, LogHistogram};
+use mtd_math::stats::percentile_sorted;
 use mtd_math::{MathError, Result};
 use rand::Rng;
 
@@ -20,6 +21,27 @@ pub struct ThroughputQuantiles {
     pub median: f64,
     pub p90: f64,
     pub mean: f64,
+}
+
+impl ThroughputQuantiles {
+    /// Computes the summary from raw per-session throughputs, with the
+    /// shared [`percentile_sorted`] interpolation between order
+    /// statistics (flooring the fractional rank instead biases p90 low).
+    pub fn from_samples(samples: &[f64]) -> Result<Self> {
+        if samples.len() < 10 {
+            return Err(MathError::EmptyInput(
+                "throughput quantiles need >= 10 samples",
+            ));
+        }
+        let mut ts = samples.to_vec();
+        ts.sort_by(f64::total_cmp);
+        Ok(ThroughputQuantiles {
+            p10: percentile_sorted(&ts, 0.10)?,
+            median: percentile_sorted(&ts, 0.50)?,
+            p90: percentile_sorted(&ts, 0.90)?,
+            mean: ts.iter().sum::<f64>() / ts.len() as f64,
+        })
+    }
 }
 
 /// Deterministic throughput at a given volume (the paper's §5.4 map):
@@ -60,15 +82,8 @@ pub fn throughput_quantiles<R: Rng + ?Sized>(
             "throughput_quantiles needs >= 10 samples",
         ));
     }
-    let mut ts: Vec<f64> = (0..samples).map(|_| model.sample_session(rng).2).collect();
-    ts.sort_by(f64::total_cmp);
-    let q = |p: f64| ts[((ts.len() - 1) as f64 * p) as usize];
-    Ok(ThroughputQuantiles {
-        p10: q(0.10),
-        median: q(0.50),
-        p90: q(0.90),
-        mean: ts.iter().sum::<f64>() / ts.len() as f64,
-    })
+    let ts: Vec<f64> = (0..samples).map(|_| model.sample_session(rng).2).collect();
+    ThroughputQuantiles::from_samples(&ts)
 }
 
 #[cfg(test)]
@@ -146,6 +161,18 @@ mod tests {
         let pdf = throughput_pdf(&m, grid, 10_000, &mut rng).unwrap();
         let mass: f64 = pdf.density().iter().sum::<f64>() * pdf.grid().bin_width();
         assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_between_order_statistics() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let q = ThroughputQuantiles::from_samples(&xs).unwrap();
+        // p90 of 0..=9 is 8.1 by interpolation; floor indexing gave 8.0.
+        assert!((q.p90 - 8.1).abs() < 1e-12, "p90 {}", q.p90);
+        assert!((q.p10 - 0.9).abs() < 1e-12);
+        assert!((q.median - 4.5).abs() < 1e-12);
+        assert!((q.mean - 4.5).abs() < 1e-12);
+        assert!(ThroughputQuantiles::from_samples(&xs[..5]).is_err());
     }
 
     #[test]

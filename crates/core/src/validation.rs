@@ -7,6 +7,8 @@
 //! blind to), and summarizes the result — the report a model consumer
 //! checks before trusting a registry on new data.
 
+pub mod sampling;
+
 use crate::registry::ModelRegistry;
 use mtd_dataset::{Dataset, SliceFilter};
 use mtd_math::emd::{emd_same_grid, ks_same_grid};

@@ -592,6 +592,48 @@ mod tests {
     }
 
     #[test]
+    fn observations_attribute_to_their_start_day_across_midnight() {
+        use mtd_netsim::ids::{BsId, ServiceId, SessionId};
+        use mtd_netsim::time::SimTime;
+
+        let (mut ds, _) = build_small();
+        let n_days = ds.n_days();
+        assert!(n_days >= 2, "small_test scenario needs >= 2 days");
+        let obs = |start: SimTime| SessionObservation {
+            session: SessionId(1),
+            bs: BsId(0),
+            rat: Rat::Lte,
+            service: ServiceId(0),
+            start,
+            duration_s: 120.0,
+            volume_mb: 1.0,
+            transient: false,
+            segment_index: 0,
+        };
+
+        // A fragment starting in the last minute of day 0 (even one whose
+        // duration runs past midnight) counts in minute 1439 of day 0.
+        let last_minute = (MINUTES_PER_DAY - 1) as usize;
+        let before = ds.minute_counts[0][last_minute];
+        ds.record_observation(&obs(SimTime::new(0, 86_399.5)));
+        assert_eq!(ds.minute_counts[0][last_minute], before + 1);
+
+        // A fragment starting just after midnight counts in minute 0 of
+        // day 1 — the first slot of the next day's stripe.
+        let day1_first = MINUTES_PER_DAY as usize;
+        let before = ds.minute_counts[0][day1_first];
+        ds.record_observation(&obs(SimTime::new(0, 86_400.5)));
+        assert_eq!(ds.minute_counts[0][day1_first], before + 1);
+
+        // Spill past the campaign end is dropped, not mis-attributed.
+        let snapshot = ds.minute_counts[0].clone();
+        let day0_cells = ds.cells.len();
+        ds.record_observation(&obs(SimTime::new(n_days - 1, 86_400.5)));
+        assert_eq!(ds.minute_counts[0], snapshot);
+        assert_eq!(ds.cells.len(), day0_cells);
+    }
+
+    #[test]
     fn empty_slice_errors() {
         let (ds, _) = build_small();
         let nf = ds.service_by_name("Netflix").unwrap();

@@ -341,6 +341,289 @@ impl Distribution1D for LogNormal10 {
     }
 }
 
+/// Mills-ratio reciprocal `λ(α) = φ(α)/(1−Φ(α))`, the hazard rate of the
+/// standard normal. Switches to the asymptotic continued-fraction
+/// expansion where the rational-`erf` tail loses all precision.
+fn std_normal_hazard(alpha: f64) -> f64 {
+    if alpha > 5.0 {
+        // λ(α) ~ α + 1/α − 2/α³ + 10/α⁵ (error < 1e-6 already at α = 5).
+        alpha + 1.0 / alpha - 2.0 / alpha.powi(3) + 10.0 / alpha.powi(5)
+    } else {
+        std_normal_pdf(alpha) / (1.0 - std_normal_cdf(alpha))
+    }
+}
+
+/// Gaussian truncated below at `lo`, sampled exactly by inverse transform.
+///
+/// This is the correct count-cannot-be-negative version of a rectified
+/// Gaussian: clipping `N(μ, σ²)` draws at 0 piles the negative-tail mass
+/// onto 0 and shifts the mean up by `σ·φ(−μ/σ)` terms; conditioning on
+/// `X ≥ lo` keeps a proper distribution whose moments are in closed form,
+/// so the location can be recalibrated ([`TruncatedGaussian::with_mean`])
+/// to preserve a target mean exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedGaussian {
+    location: f64,
+    std: f64,
+    lo: f64,
+    /// Cached `Φ((lo − location)/std)` — the truncated-away mass.
+    p_lo: f64,
+}
+
+impl TruncatedGaussian {
+    /// Creates a Gaussian with untruncated location/std, conditioned on
+    /// `X ≥ lo`. Errors when the parameters are invalid or the truncation
+    /// removes (numerically) all mass.
+    pub fn new(location: f64, std: f64, lo: f64) -> Result<Self> {
+        if !(std > 0.0) || !std.is_finite() || !location.is_finite() || !lo.is_finite() {
+            return Err(MathError::InvalidParameter(
+                "TruncatedGaussian requires finite location, lo, std > 0",
+            ));
+        }
+        let p_lo = std_normal_cdf((lo - location) / std);
+        if !(p_lo < 1.0) {
+            return Err(MathError::InvalidParameter(
+                "TruncatedGaussian: truncation removes all mass",
+            ));
+        }
+        Ok(TruncatedGaussian {
+            location,
+            std,
+            lo,
+            p_lo,
+        })
+    }
+
+    /// Finds by bisection the location whose lower-truncated mean equals
+    /// `mean` (which must exceed `lo`; truncation always raises the mean,
+    /// so the location lands at or below `mean`).
+    pub fn with_mean(std: f64, lo: f64, mean: f64) -> Result<Self> {
+        if !(std > 0.0) || !std.is_finite() || !lo.is_finite() || !mean.is_finite() {
+            return Err(MathError::InvalidParameter(
+                "TruncatedGaussian::with_mean requires finite lo, mean, std > 0",
+            ));
+        }
+        if !(mean > lo) {
+            return Err(MathError::InvalidParameter(
+                "TruncatedGaussian::with_mean requires mean > lo",
+            ));
+        }
+        let mean_at = |location: f64| {
+            let alpha = (lo - location) / std;
+            location + std * std_normal_hazard(alpha)
+        };
+        // The truncated mean is increasing in the location and always
+        // exceeds it, so `mean` itself is an upper bound; walk the lower
+        // bound out until it brackets.
+        let mut hi = mean;
+        let mut lo_b = mean - std;
+        let mut step = std;
+        for _ in 0..64 {
+            if mean_at(lo_b) <= mean {
+                break;
+            }
+            step *= 2.0;
+            lo_b -= step;
+        }
+        if mean_at(lo_b) > mean {
+            return Err(MathError::NoConvergence { iterations: 64 });
+        }
+        for _ in 0..100 {
+            let mid = 0.5 * (lo_b + hi);
+            if mean_at(mid) > mean {
+                hi = mid;
+            } else {
+                lo_b = mid;
+            }
+        }
+        Self::new(0.5 * (lo_b + hi), std, lo)
+    }
+
+    /// Untruncated location parameter.
+    #[must_use]
+    pub fn location(&self) -> f64 {
+        self.location
+    }
+
+    /// Lower truncation bound.
+    #[must_use]
+    pub fn lower_bound(&self) -> f64 {
+        self.lo
+    }
+}
+
+impl Distribution1D for TruncatedGaussian {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo {
+            0.0
+        } else {
+            std_normal_pdf((x - self.location) / self.std) / (self.std * (1.0 - self.p_lo))
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.lo {
+            0.0
+        } else {
+            let raw = std_normal_cdf((x - self.location) / self.std);
+            ((raw - self.p_lo) / (1.0 - self.p_lo)).clamp(0.0, 1.0)
+        }
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        let q = (self.p_lo + p * (1.0 - self.p_lo)).clamp(1e-300, 1.0 - 1e-16);
+        (self.location + self.std * std_normal_quantile(q)).max(self.lo)
+    }
+    fn mean(&self) -> f64 {
+        let alpha = (self.lo - self.location) / self.std;
+        self.location + self.std * std_normal_hazard(alpha)
+    }
+    fn variance(&self) -> f64 {
+        let alpha = (self.lo - self.location) / self.std;
+        let lambda = std_normal_hazard(alpha);
+        self.std * self.std * (1.0 + alpha * lambda - lambda * lambda)
+    }
+}
+
+/// Pareto truncated above at `cap`, sampled exactly by inverse transform.
+///
+/// With shape `b < 2` the tail carries real mean mass: clipping draws at
+/// `cap` (`min(x, cap)`) loses `(s/cap)^{b−1}/b` of the mean, which for
+/// the released arrival models is a ≈2.4% systematic deficit. The
+/// conditional distribution on `[s, cap]` has closed-form moments, so the
+/// scale can be recalibrated ([`TruncatedPareto::with_mean`]) to hit a
+/// target mean exactly under the cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedPareto {
+    shape: f64,
+    scale: f64,
+    cap: f64,
+    /// Cached `1 − (scale/cap)^shape` — the retained mass.
+    z: f64,
+}
+
+impl TruncatedPareto {
+    /// Creates a Pareto conditioned on `X ≤ cap`; errors unless
+    /// `0 < scale < cap` and `shape > 0`.
+    pub fn new(shape: f64, scale: f64, cap: f64) -> Result<Self> {
+        if !(shape > 0.0 && scale > 0.0 && cap > scale && cap.is_finite()) {
+            return Err(MathError::InvalidParameter(
+                "TruncatedPareto requires shape > 0, 0 < scale < cap < inf",
+            ));
+        }
+        let z = 1.0 - (scale / cap).powf(shape);
+        if !(z > 0.0) {
+            return Err(MathError::InvalidParameter(
+                "TruncatedPareto: truncation interval carries no mass",
+            ));
+        }
+        Ok(TruncatedPareto {
+            shape,
+            scale,
+            cap,
+            z,
+        })
+    }
+
+    /// Finds by bisection the scale whose upper-truncated mean equals
+    /// `mean` (which must lie strictly inside `(0, cap)`). The truncated
+    /// mean grows monotonically from 0 to `cap` as the scale sweeps
+    /// `(0, cap)`, so a solution always exists.
+    pub fn with_mean(shape: f64, cap: f64, mean: f64) -> Result<Self> {
+        if !(shape > 0.0) || !cap.is_finite() || !(cap > 0.0) {
+            return Err(MathError::InvalidParameter(
+                "TruncatedPareto::with_mean requires shape > 0, finite cap > 0",
+            ));
+        }
+        if !(mean > 0.0 && mean < cap) {
+            return Err(MathError::InvalidParameter(
+                "TruncatedPareto::with_mean requires 0 < mean < cap",
+            ));
+        }
+        // Truncation lowers the mean at fixed scale, so the untruncated
+        // inversion `mean·(b−1)/b` (when finite) is a valid lower bracket.
+        let mut lo = if shape > 1.0 {
+            (mean * (shape - 1.0) / shape).min(cap * 0.5)
+        } else {
+            cap * 1e-12
+        };
+        let mut hi = cap * (1.0 - 1e-12);
+        let mean_at = |scale: f64| {
+            Self::new(shape, scale, cap)
+                .map(|d| d.mean())
+                .unwrap_or(f64::NAN)
+        };
+        if !(mean_at(lo) <= mean) {
+            lo = cap * 1e-300;
+        }
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if mean_at(mid) > mean {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Self::new(shape, 0.5 * (lo + hi), cap)
+    }
+
+    /// Shape parameter `b`.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `s` (the lower support bound).
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Upper truncation bound.
+    #[must_use]
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+}
+
+impl Distribution1D for TruncatedPareto {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.scale || x > self.cap {
+            0.0
+        } else {
+            self.shape * self.scale.powf(self.shape) / (x.powf(self.shape + 1.0) * self.z)
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            0.0
+        } else if x >= self.cap {
+            1.0
+        } else {
+            (1.0 - (self.scale / x).powf(self.shape)) / self.z
+        }
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        (self.scale * (1.0 - p * self.z).powf(-1.0 / self.shape)).min(self.cap)
+    }
+    fn mean(&self) -> f64 {
+        let (b, s, t) = (self.shape, self.scale, self.cap);
+        if (b - 1.0).abs() < 1e-12 {
+            s * (t / s).ln() / self.z
+        } else {
+            (b / (b - 1.0)) * s * (1.0 - (s / t).powf(b - 1.0)) / self.z
+        }
+    }
+    fn variance(&self) -> f64 {
+        let (b, s, t) = (self.shape, self.scale, self.cap);
+        let second = if (b - 2.0).abs() < 1e-12 {
+            2.0 * s * s * (t / s).ln() / self.z
+        } else {
+            (b / (2.0 - b)) * s * s * ((t / s).powf(2.0 - b) - 1.0) / self.z
+        };
+        let m = self.mean();
+        second - m * m
+    }
+}
+
 /// Exponential distribution with rate `λ` (`pdf = λ e^{-λx}`, `x ≥ 0`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Exponential {
@@ -495,6 +778,78 @@ mod tests {
             "sample {m} vs {}",
             ln.mean()
         );
+    }
+
+    #[test]
+    fn truncated_gaussian_moments_and_cdf() {
+        // Heavy truncation: location 0.5, σ 1, floor at 0 cuts ~31% of mass.
+        let t = TruncatedGaussian::new(0.5, 1.0, 0.0).unwrap();
+        assert_eq!(t.pdf(-0.1), 0.0);
+        assert_eq!(t.cdf(-0.1), 0.0);
+        assert!((t.cdf(t.quantile(0.3)) - 0.3).abs() < 1e-6);
+        assert!(t.mean() > 0.5, "truncation raises the mean");
+        // Sampled moments track the closed forms.
+        let m = sample_mean(&t, 100_000, 17);
+        assert!((m - t.mean()).abs() < 0.02, "sample {m} vs {}", t.mean());
+        assert!(t.variance() < 1.0, "truncation shrinks the variance");
+    }
+
+    #[test]
+    fn truncated_gaussian_with_mean_preserves_target() {
+        for &target in &[0.2, 1.0, 5.0, 40.0] {
+            let t = TruncatedGaussian::with_mean(1.0, 0.0, target).unwrap();
+            assert!(
+                (t.mean() - target).abs() < 1e-9,
+                "target {target}: mean {}",
+                t.mean()
+            );
+            assert!(t.location() <= target);
+        }
+        // Mild-truncation regime: the location barely moves.
+        let t = TruncatedGaussian::with_mean(1.0, 0.0, 10.0).unwrap();
+        assert!((t.location() - 10.0).abs() < 1e-9);
+        assert!(TruncatedGaussian::with_mean(1.0, 0.0, -1.0).is_err());
+        assert!(TruncatedGaussian::with_mean(0.0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn truncated_pareto_moments_and_cdf() {
+        let t = TruncatedPareto::new(1.765, 1.0, 30.0).unwrap();
+        assert_eq!(t.pdf(0.9), 0.0);
+        assert_eq!(t.pdf(30.1), 0.0);
+        assert_eq!(t.cdf(40.0), 1.0);
+        assert!((t.cdf(t.quantile(0.7)) - 0.7).abs() < 1e-12);
+        assert!(t.quantile(1.0 - 1e-16) <= 30.0);
+        // The truncated mean sits below the untruncated b·s/(b−1).
+        let full = Pareto::new(1.765, 1.0).unwrap();
+        assert!(t.mean() < full.mean());
+        assert!(t.variance().is_finite() && t.variance() > 0.0);
+        let m = sample_mean(&t, 100_000, 19);
+        assert!(
+            (m - t.mean()).abs() / t.mean() < 0.02,
+            "sample {m} vs {}",
+            t.mean()
+        );
+    }
+
+    #[test]
+    fn truncated_pareto_with_mean_preserves_target() {
+        for &target in &[0.05, 0.5, 2.0, 20.0] {
+            let t = TruncatedPareto::with_mean(1.765, 30.0, target).unwrap();
+            assert!(
+                (t.mean() - target).abs() / target < 1e-9,
+                "target {target}: mean {}",
+                t.mean()
+            );
+            // Recalibration raises the scale above the untruncated inversion.
+            assert!(t.scale() >= target * 0.765 / 1.765 * (1.0 - 1e-12));
+        }
+        // Infinite-mean shapes still admit a truncated solution.
+        let t = TruncatedPareto::with_mean(0.9, 10.0, 1.0).unwrap();
+        assert!((t.mean() - 1.0).abs() < 1e-9);
+        assert!(TruncatedPareto::with_mean(1.765, 10.0, 10.0).is_err());
+        assert!(TruncatedPareto::with_mean(1.765, 10.0, 0.0).is_err());
+        assert!(TruncatedPareto::new(1.765, 2.0, 2.0).is_err());
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Goodness-of-fit statistics for sampler validation.
+//!
+//! The §5.4 model assessment compares fitted models against measured
+//! PDFs; this module supplies the sample-vs-analytic half of that story:
+//! one-sample Kolmogorov–Smirnov tests against an arbitrary CDF and an
+//! earth-mover distance against an arbitrary quantile function. Both are
+//! exact functions of the sorted sample, so seeded draws give bit-stable
+//! statistics — the property the sampling-fidelity battery builds on.
+
+use crate::{MathError, Result};
+
+/// Outcome of a one-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS distance `D = sup |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value of `D` under the null (sample drawn from `F`),
+    /// with Stephens' finite-`n` correction.
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// KS distance of an **ascending-sorted** sample against a CDF.
+pub fn ks_statistic_sorted(sorted: &[f64], cdf: impl Fn(f64) -> f64) -> Result<f64> {
+    if sorted.is_empty() {
+        return Err(MathError::EmptyInput("ks_statistic_sorted"));
+    }
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        if !f.is_finite() {
+            return Err(MathError::InvalidParameter("ks: CDF returned non-finite"));
+        }
+        // ECDF steps from i/n to (i+1)/n at x; check both sides.
+        let below = f - i as f64 / n;
+        let above = (i + 1) as f64 / n - f;
+        d = d.max(below).max(above);
+    }
+    Ok(d)
+}
+
+/// One-sample KS test of `samples` against the continuous CDF `cdf`
+/// (sorts a copy; see [`ks_statistic_sorted`] to skip the sort).
+pub fn ks_test(samples: &[f64], cdf: impl Fn(f64) -> f64) -> Result<KsTest> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let statistic = ks_statistic_sorted(&sorted, cdf)?;
+    let n = sorted.len();
+    // Stephens (1970): the asymptotic Kolmogorov law applied at
+    // (√n + 0.12 + 0.11/√n)·D is accurate down to n ≈ 5.
+    let sqrt_n = (n as f64).sqrt();
+    let p_value = kolmogorov_sf((sqrt_n + 0.12 + 0.11 / sqrt_n) * statistic);
+    Ok(KsTest {
+        statistic,
+        p_value,
+        n,
+    })
+}
+
+/// Survival function of the Kolmogorov distribution:
+/// `P(K > x) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2k²x²)`.
+#[must_use]
+pub fn kolmogorov_sf(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let mut acc = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64 * x).powi(2)).exp();
+        acc += sign * term;
+        sign = -sign;
+        if term < 1e-18 {
+            break;
+        }
+    }
+    (2.0 * acc).clamp(0.0, 1.0)
+}
+
+/// Earth-mover (Wasserstein-1) distance between a sample and an analytic
+/// distribution given by its quantile function, via the quantile-coupling
+/// form `W₁ ≈ (1/n) Σ |x_(i) − Q((i−½)/n)|` on the sorted sample.
+///
+/// Heavy-tailed targets make the top order statistics noisy; callers
+/// comparing against infinite-variance laws should truncate first.
+pub fn emd_to_quantile(samples: &[f64], quantile: impl Fn(f64) -> f64) -> Result<f64> {
+    if samples.is_empty() {
+        return Err(MathError::EmptyInput("emd_to_quantile"));
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let mut acc = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let q = quantile((i as f64 + 0.5) / n);
+        if !q.is_finite() {
+            return Err(MathError::InvalidParameter(
+                "emd: quantile returned non-finite",
+            ));
+        }
+        acc += (x - q).abs();
+    }
+    Ok(acc / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{Distribution1D, Gaussian};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn gaussian_sample(n: usize, seed: u64) -> (Gaussian, Vec<f64>) {
+        let g = Gaussian::new(2.0, 1.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let xs = (0..n).map(|_| g.sample(&mut rng)).collect();
+        (g, xs)
+    }
+
+    #[test]
+    fn kolmogorov_sf_known_values() {
+        // Classical critical values: sf(1.358) ≈ 0.05, sf(1.628) ≈ 0.01.
+        assert!((kolmogorov_sf(1.358) - 0.05).abs() < 0.005);
+        assert!((kolmogorov_sf(1.628) - 0.01).abs() < 0.002);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn ks_accepts_matching_distribution() {
+        let (g, xs) = gaussian_sample(20_000, 1);
+        let t = ks_test(&xs, |x| g.cdf(x)).unwrap();
+        assert!(
+            t.statistic < 2.3 / (t.n as f64).sqrt(),
+            "D = {}",
+            t.statistic
+        );
+        assert!(t.p_value > 1e-4, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn ks_rejects_shifted_distribution() {
+        let (_, xs) = gaussian_sample(20_000, 2);
+        let shifted = Gaussian::new(2.3, 1.5).unwrap();
+        let t = ks_test(&xs, |x| shifted.cdf(x)).unwrap();
+        assert!(t.p_value < 1e-6, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn ks_exact_on_tiny_sample() {
+        // Single point at the median: D = 1/2 on either side.
+        let d = ks_statistic_sorted(&[0.0], |x| if x < 0.0 { 0.0 } else { 0.5 }).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_small_for_matching_distribution() {
+        let (g, xs) = gaussian_sample(20_000, 3);
+        let w = emd_to_quantile(&xs, |p| g.quantile(p)).unwrap();
+        assert!(w < 0.05, "W1 = {w}");
+    }
+
+    #[test]
+    fn emd_detects_location_shift() {
+        let (g, xs) = gaussian_sample(20_000, 4);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 0.5).collect();
+        let w = emd_to_quantile(&shifted, |p| g.quantile(p)).unwrap();
+        assert!((w - 0.5).abs() < 0.05, "W1 = {w}");
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(ks_statistic_sorted(&[], |_| 0.5).is_err());
+        assert!(ks_test(&[], |_| 0.5).is_err());
+        assert!(emd_to_quantile(&[], |_| 0.0).is_err());
+    }
+}

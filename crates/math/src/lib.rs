@@ -10,6 +10,8 @@
 //!   mirroring the operator's privacy-preserving aggregation, plus mixture
 //!   averaging (Eq. 2).
 //! - [`emd`] — 1-D earth mover (Wasserstein-1) distance used throughout §4.
+//! - [`gof`] — one-sample Kolmogorov–Smirnov tests and sample-vs-quantile
+//!   EMD backing the sampling-fidelity battery (`validate --sampling`).
 //! - [`savgol`] — Savitzky–Golay smoothing/derivative filter used by the
 //!   residual-peak detector of §5.2.
 //! - [`levmar`] — Levenberg–Marquardt nonlinear least squares used for the
@@ -29,6 +31,7 @@ pub mod cluster;
 pub mod distributions;
 pub mod emd;
 pub mod fit;
+pub mod gof;
 pub mod histogram;
 pub mod levmar;
 pub mod linalg;
@@ -38,7 +41,9 @@ pub mod savgol;
 pub mod stats;
 pub mod tail;
 
-pub use distributions::{Distribution1D, Exponential, Gaussian, LogNormal10, Pareto};
+pub use distributions::{
+    Distribution1D, Exponential, Gaussian, LogNormal10, Pareto, TruncatedGaussian, TruncatedPareto,
+};
 pub use histogram::{BinnedPdf, LogHistogram};
 
 /// Errors produced by numerical routines in this crate.

@@ -79,7 +79,17 @@ pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> Result<f64> {
 ///
 /// `p` is a fraction in `[0, 1]`.
 pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
-    if xs.is_empty() {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    percentile_sorted(&sorted, p)
+}
+
+/// [`percentile`] on an **ascending-sorted** sample, without the
+/// sort-and-copy. The same linear interpolation between order statistics
+/// applies — truncating the fractional rank instead (`(n−1)·p as usize`)
+/// systematically biases upper quantiles low.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Result<f64> {
+    if sorted.is_empty() {
         return Err(MathError::EmptyInput("percentile"));
     }
     if !(0.0..=1.0).contains(&p) {
@@ -87,8 +97,6 @@ pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
             "percentile fraction must be in [0,1]",
         ));
     }
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = p * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -227,6 +235,21 @@ mod tests {
     #[test]
     fn percentile_rejects_bad_fraction() {
         assert!(percentile(&[1.0], 1.5).is_err());
+        assert!(percentile_sorted(&[1.0], -0.1).is_err());
+        assert!(percentile_sorted(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        for &p in &[0.0, 0.1, 0.5, 0.9, 0.95, 1.0] {
+            assert_eq!(
+                percentile_sorted(&xs, p).unwrap(),
+                percentile(&xs, p).unwrap()
+            );
+        }
+        // p90 of 0..=9 interpolates to 8.1; floor indexing would give 8.0.
+        assert!((percentile_sorted(&xs, 0.9).unwrap() - 8.1).abs() < 1e-12);
     }
 
     #[test]

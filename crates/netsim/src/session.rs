@@ -207,6 +207,22 @@ mod tests {
     }
 
     #[test]
+    fn fragments_crossing_midnight_normalize_their_start_day() {
+        // A session starting 50 s before midnight whose handover happens
+        // after it: the second fragment's start must land on the next day
+        // with a normalized second-of-day, not on day 1 at second > 86400.
+        let mut s = spec(300.0, 30.0);
+        s.start = SimTime::new(1, 86_350.0);
+        let plan = [(BsId(0), 100.0), (BsId(1), 200.0)];
+        let frags = fragment_session(&s, &plan, |_| Rat::Lte);
+        assert_eq!(frags[0].start.day, 1);
+        assert!((frags[0].start.second - 86_350.0).abs() < 1e-9);
+        assert_eq!(frags[1].start.day, 2);
+        assert!((frags[1].start.second - 50.0).abs() < 1e-9);
+        assert!(frags[1].start.second < 86_400.0);
+    }
+
+    #[test]
     fn throughput_invariant_under_fragmentation() {
         // Proportional apportioning keeps the fragment throughput equal to
         // the session throughput.

@@ -26,20 +26,37 @@ pub struct SimTime {
 }
 
 impl SimTime {
-    /// Creates a timestamp; normalizes overflowing seconds into days.
+    /// Creates a timestamp; normalizes out-of-range seconds into days in
+    /// either direction (negative seconds borrow from earlier days).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite seconds, on timestamps that would precede
+    /// day 0 (the campaign start), and on day-index overflow — all three
+    /// used to be silently clamped, which turned caller bugs into
+    /// corrupted per-day attribution instead of a diagnosable failure.
     #[must_use]
     pub fn new(day: u32, second: f64) -> Self {
+        assert!(
+            second.is_finite(),
+            "SimTime::new: non-finite second ({second})"
+        );
         let extra_days = (second / f64::from(SECONDS_PER_DAY)).floor();
-        if extra_days > 0.0 && second.is_finite() {
-            SimTime {
-                day: day + extra_days as u32,
-                second: second - extra_days * f64::from(SECONDS_PER_DAY),
-            }
-        } else {
-            SimTime {
-                day,
-                second: second.max(0.0),
-            }
+        if extra_days == 0.0 {
+            return SimTime { day, second };
+        }
+        let shifted = i128::from(day) + extra_days as i128;
+        assert!(
+            shifted >= 0,
+            "SimTime::new: day {day} + {second} s precedes the campaign start"
+        );
+        assert!(
+            shifted <= i128::from(u32::MAX),
+            "SimTime::new: day {day} + {second} s overflows the day index"
+        );
+        SimTime {
+            day: shifted as u32,
+            second: second - extra_days * f64::from(SECONDS_PER_DAY),
         }
     }
 
@@ -125,6 +142,41 @@ mod tests {
         let t = SimTime::new(0, 2.5 * f64::from(SECONDS_PER_DAY));
         assert_eq!(t.day, 2);
         assert!((t.second - 43_200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn new_borrows_days_for_negative_seconds() {
+        let t = SimTime::new(2, -100.0);
+        assert_eq!(t.day, 1);
+        assert!((t.second - 86_300.0).abs() < 1e-9);
+        // Multi-day borrow.
+        let t = SimTime::new(5, -2.5 * f64::from(SECONDS_PER_DAY));
+        assert_eq!(t.day, 2);
+        assert!((t.second - 43_200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn new_rejects_nan_seconds() {
+        let _ = SimTime::new(0, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn new_rejects_infinite_seconds() {
+        let _ = SimTime::new(0, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the campaign start")]
+    fn new_rejects_times_before_day_zero() {
+        let _ = SimTime::new(0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the day index")]
+    fn new_rejects_day_overflow() {
+        let _ = SimTime::new(u32::MAX, f64::from(SECONDS_PER_DAY));
     }
 
     #[test]
