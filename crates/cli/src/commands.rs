@@ -74,6 +74,22 @@ USAGE:
       Deterministic: the same seed yields a byte-identical report.
       --report writes the full per-check report as JSON.
 
+  mtd-traffic selftest [--seed N] [--plans N] [--faults SPEC]
+                       [--report FILE] [--workdir DIR]
+      Chaos selftest: drive the full build -> replay -> fit -> sample ->
+      export -> import -> re-fit pipeline under seeded fault-injection
+      plans and check that every run is either bit-identical to the
+      fault-free golden digests or fails with a structured,
+      stage-attributed error — never a panic, a torn output file or a
+      silently different result. Defaults: 32 plans cycling the built-in
+      roster, seed 3298844397. With --faults, run exactly that one plan
+      (paste a failure's printed repro line to replay it). --report
+      writes the deterministic JSON report (same seed => same bytes).
+      Fault specs: comma-separated site[=prob] with groups store, par,
+      json, all — e.g. 'store=0.5' or 'store.write.short=1,par.stall=0.1'.
+      (MTD_FAULTS=SPEC + MTD_FAULT_SEED=N arm the same fault runtime in
+      any other subcommand or experiment binary.)
+
   mtd-traffic help
       Show this text.
 
@@ -89,6 +105,11 @@ COMMON FLAGS (every subcommand):
 
 /// Dispatches a full command line (without the program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
+    // Arm the fault runtime from MTD_FAULTS/MTD_FAULT_SEED (ad-hoc chaos
+    // on any subcommand); `selftest` replaces this with its own plans.
+    if let Some(line) = mtd_fault::install_from_env()? {
+        progress!("cli", "{line}");
+    }
     match argv.first().map(String::as_str) {
         Some("generate") => generate(&argv[1..]),
         Some("models") => models(&argv[1..]),
@@ -96,6 +117,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("fit") => fit(&argv[1..]),
         Some("dataset") => dataset_cmd(&argv[1..]),
         Some("validate") => validate_cmd(&argv[1..]),
+        Some("selftest") => selftest_cmd(&argv[1..]),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -728,6 +750,77 @@ fn validate_sampling(
         Err(format!(
             "sampling battery failed: {failed} of {} checks",
             report.checks.len()
+        ))
+    }
+}
+
+/// `selftest`: the chaos differential harness over the full pipeline
+/// (see `mobile_traffic_dists::chaos` and DESIGN.md §11).
+fn selftest_cmd(argv: &[String]) -> Result<(), String> {
+    use mobile_traffic_dists::chaos::{self, Verdict};
+
+    let flags = parse_flags(argv, &["seed", "plans", "faults", "report", "workdir"])?;
+    let tdest = telemetry_init(&flags);
+    let threads = threads_init(&flags)?.max(2);
+    if !mtd_fault::compiled_in() {
+        return Err(
+            "this binary was built without the mtd-fault `fault-inject` feature; \
+             the selftest would not inject anything"
+                .into(),
+        );
+    }
+    let seed: u64 = flags.num_or("seed", mtd_fault::DEFAULT_SEED)?;
+    let plans = match flags.opt("faults") {
+        Some(spec) => vec![mtd_fault::FaultPlan::parse(spec, seed)?],
+        None => chaos::roster_plans(seed, flags.num_or("plans", 32usize)?),
+    };
+    let workdir = match flags.opt("workdir") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join("mtd-selftest"),
+    };
+
+    progress!(
+        "cli",
+        "chaos selftest: {} plan(s), master seed {seed}, {threads} thread(s), workdir {}",
+        plans.len(),
+        workdir.display()
+    );
+    let report = chaos::selftest(seed, &plans, threads, &workdir)?;
+
+    for run in &report.runs {
+        let verdict = match &run.verdict {
+            Verdict::Pass => "pass".to_string(),
+            Verdict::DetectedOk { stage } => format!("detected at {stage}"),
+            Verdict::Fail { reason } => format!("FAIL: {reason}"),
+        };
+        println!("seed={:<20} faults={:<48} {verdict}", run.seed, run.spec);
+    }
+    if let Some(path) = flags.opt("report") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write report to {path}: {e}"))?;
+        progress!("cli", "wrote selftest report to {path}");
+    }
+    telemetry_finish(&tdest)?;
+
+    if report.passed {
+        println!(
+            "PASS: {} fault plan(s) upheld the chaos contract (golden digests \
+             thread-invariant at 1 vs {threads} workers)",
+            report.runs.len()
+        );
+        Ok(())
+    } else {
+        for run in report.failures() {
+            eprintln!("FAIL [{}]", run.spec);
+            if let Verdict::Fail { reason } = &run.verdict {
+                eprintln!("  {reason}");
+            }
+            eprintln!("  repro: {}", run.repro);
+        }
+        Err(format!(
+            "chaos contract violated by {} of {} plan(s)",
+            report.failures().len(),
+            report.runs.len()
         ))
     }
 }

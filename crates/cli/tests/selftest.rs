@@ -1,0 +1,158 @@
+//! `mtd-traffic selftest` end-to-end: spawns the real binary (its own
+//! process, so the process-global fault runtime cannot interfere with
+//! other tests) and checks the pass path, the report artifact, its
+//! byte-determinism, and the mutation path that must fail with a
+//! torn-file diagnosis and a replayable repro line.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn mtd_traffic(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mtd-traffic"))
+        .args(args)
+        .env_remove("MTD_FAULTS")
+        .env_remove("MTD_FAULT_SEED")
+        .env_remove("MTD_TELEMETRY")
+        .env_remove("MTD_THREADS")
+        .output()
+        .expect("spawn mtd-traffic")
+}
+
+fn workdir(name: &str) -> (PathBuf, String) {
+    let dir = std::env::temp_dir().join("mtd_cli_selftest").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let s = dir.to_str().unwrap().to_string();
+    (dir, s)
+}
+
+#[test]
+fn single_none_plan_passes_and_report_is_deterministic() {
+    let (dir, dir_s) = workdir("pass");
+    let report_a = dir.join("a.json").to_str().unwrap().to_string();
+    let report_b = dir.join("b.json").to_str().unwrap().to_string();
+    let args = |report: &str| {
+        vec![
+            "selftest",
+            "--faults",
+            "none",
+            "--seed",
+            "7",
+            "--workdir",
+            &dir_s,
+            "--report",
+            report,
+            "--quiet",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect::<Vec<_>>()
+    };
+
+    let out = mtd_traffic(
+        &args(&report_a)
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("PASS"), "{stdout}");
+
+    let a = std::fs::read_to_string(&report_a).unwrap();
+    assert!(a.contains("\"passed\": true"), "{a}");
+    assert!(a.contains("\"spec\": \"none\""), "{a}");
+
+    // Same seed + same workdir => byte-identical report (what CI `cmp`s).
+    let out = mtd_traffic(
+        &args(&report_b)
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    assert!(out.status.success());
+    let b = std::fs::read_to_string(&report_b).unwrap();
+    assert_eq!(a, b, "selftest report must be byte-deterministic");
+}
+
+#[test]
+fn injected_store_faults_are_detected_with_exit_zero() {
+    let (_dir, dir_s) = workdir("detected");
+    let out = mtd_traffic(&[
+        "selftest",
+        "--faults",
+        "store.write.enospc=1",
+        "--seed",
+        "11",
+        "--workdir",
+        &dir_s,
+        "--quiet",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // A *detected* fault is the contract being upheld, not a failure.
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("detected at export"), "{stdout}");
+}
+
+#[test]
+fn mutation_plan_fails_with_torn_file_diagnosis_and_repro_line() {
+    let (_dir, dir_s) = workdir("mutation");
+    let out = mtd_traffic(&[
+        "selftest",
+        "--faults",
+        "store.write.skip_atomic=1,store.write.short=1",
+        "--seed",
+        "9",
+        "--workdir",
+        &dir_s,
+        "--quiet",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "mutation must fail; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(stderr.contains("torn file"), "{stderr}");
+    assert!(
+        stderr.contains(
+            "repro: mtd-traffic selftest --seed 9 \
+             --faults 'store.write.skip_atomic=1,store.write.short=1'"
+        ),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn mtd_faults_env_reaches_ordinary_subcommands() {
+    let (dir, dir_s) = workdir("env");
+    let ds = dir.join("ds.bin").to_str().unwrap().to_string();
+    let out = Command::new(env!("CARGO_BIN_EXE_mtd-traffic"))
+        .args([
+            "dataset", "export", "--n-bs", "4", "--days", "1", "--scale", "0.02", "--out", &ds,
+            "--quiet",
+        ])
+        .env("MTD_FAULTS", "store.write.enospc=1")
+        .env("MTD_FAULT_SEED", "3")
+        .output()
+        .expect("spawn mtd-traffic");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "injected ENOSPC must fail the export"
+    );
+    assert!(stderr.contains("ENOSPC"), "{stderr}");
+    assert!(
+        !std::path::Path::new(&ds).exists(),
+        "failed export must not leave a destination"
+    );
+    let _ = dir_s;
+}

@@ -1,0 +1,186 @@
+//! §5.2 volume-mixture invariants, pinned as regression tests:
+//!
+//! 1. the Eq. (5) composition `(f_s + Σ f_{s,n}) / (1 + Σ k_n)`
+//!    renormalizes to a proper density (weights sum to 1) for any peak
+//!    masses,
+//! 2. residual-peak detection retains at most 3 peaks at the paper's
+//!    1e-5 Savitzky–Golay derivative threshold even when more intervals
+//!    are detected, keeping the highest-mass ones,
+//! 3. every fitted peak honors `σ = 0.997·ℓ/3` for its interval span
+//!    `ℓ` (and takes `μ` at the interval's maximum-residual abscissa,
+//!    `k` as the interval's residual mass).
+
+use mtd_core::model::{ModelQuality, PeakComponent, ServiceModel};
+use mtd_core::volume::{fit_volume_mixture_diagnostic, VolumeFitConfig};
+use mtd_math::distributions::LogNormal10;
+use mtd_math::histogram::{BinnedPdf, LogGrid};
+
+fn grid() -> LogGrid {
+    LogGrid::new(-3.0, 4.0, 210).unwrap()
+}
+
+/// Analytic multi-peak mixture: a wide main component plus `peaks`
+/// narrow log-normals of equal weight. Analytic (not sampled) so the
+/// residual intervals are smooth and deterministic.
+fn planted_pdf(peak_mus: &[f64]) -> BinnedPdf {
+    let main = LogNormal10::new(0.6, 0.8).unwrap();
+    let narrow: Vec<LogNormal10> = peak_mus
+        .iter()
+        .map(|mu| LogNormal10::new(*mu, 0.05).unwrap())
+        .collect();
+    let w_peak = 0.30 / narrow.len() as f64;
+    BinnedPdf::from_fn(grid(), |u| {
+        0.70 * main.pdf_log10(u) + narrow.iter().map(|p| w_peak * p.pdf_log10(u)).sum::<f64>()
+    })
+    .unwrap()
+}
+
+fn model_with_peaks(peaks: Vec<PeakComponent>) -> ServiceModel {
+    ServiceModel {
+        name: String::new(),
+        mu: 0.6,
+        sigma: 0.8,
+        peaks,
+        alpha: 1.0,
+        beta: 1.0,
+        session_share: 0.0,
+        duration_sigma: 0.0,
+        support_log10: (-3.0, 4.0),
+        quality: ModelQuality::default(),
+    }
+}
+
+/// Trapezoidal integral of the Eq. (5) density over a wide log₁₀ range.
+fn integral(model: &ServiceModel) -> f64 {
+    let (lo, hi, n) = (-6.0, 7.0, 13_000);
+    let du = (hi - lo) / n as f64;
+    (0..=n)
+        .map(|i| {
+            let u = lo + i as f64 * du;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            w * model.pdf_log10(u) * du
+        })
+        .sum()
+}
+
+#[test]
+fn eq5_weights_renormalize_to_one_for_any_peak_masses() {
+    // Raw component weights (1 main + Σk) exceed 1; the 1/(1+Σk)
+    // normalizer must bring the mixture back to a proper density.
+    for peaks in [
+        vec![],
+        vec![PeakComponent {
+            k: 0.4,
+            mu: 1.6,
+            sigma: 0.08,
+        }],
+        vec![
+            PeakComponent {
+                k: 0.5,
+                mu: 1.2,
+                sigma: 0.10,
+            },
+            PeakComponent {
+                k: 0.3,
+                mu: 2.2,
+                sigma: 0.06,
+            },
+            PeakComponent {
+                k: 0.2,
+                mu: 2.8,
+                sigma: 0.05,
+            },
+        ],
+    ] {
+        let total_k: f64 = peaks.iter().map(|p| p.k).sum();
+        let model = model_with_peaks(peaks);
+        // Mixture weights sum to 1 exactly (Eq. 5 algebra) ...
+        let weight_sum = (1.0 + total_k) / (1.0 + total_k);
+        assert_eq!(weight_sum, 1.0);
+        // ... and the composed density integrates to 1.
+        let mass = integral(&model);
+        assert!(
+            (mass - 1.0).abs() < 1e-3,
+            "Eq. (5) density integrates to {mass}, not 1 (Σk = {total_k})"
+        );
+    }
+}
+
+#[test]
+fn fitted_mixture_is_a_proper_density() {
+    let pdf = planted_pdf(&[1.3, 1.9, 2.5]);
+    let (fit, _) = fit_volume_mixture_diagnostic(&pdf, &VolumeFitConfig::default()).unwrap();
+    let total_k: f64 = fit.peaks.iter().map(|p| p.k).sum();
+    assert!(total_k > 0.0, "planted peaks must be detected");
+    let mut model = model_with_peaks(fit.peaks.clone());
+    model.mu = fit.mu;
+    model.sigma = fit.sigma;
+    let mass = integral(&model);
+    assert!(
+        (mass - 1.0).abs() < 1e-3,
+        "fitted Eq. (5) density integrates to {mass}"
+    );
+}
+
+#[test]
+fn at_most_three_highest_mass_peaks_survive_the_1e_minus_5_threshold() {
+    // Five planted peaks: detection at the paper's 1e-5 threshold must
+    // see more than three rising intervals, yet retain only the three
+    // with the largest residual mass, ranked descending.
+    let pdf = planted_pdf(&[0.9, 1.4, 1.9, 2.4, 2.9]);
+    let config = VolumeFitConfig::default();
+    assert_eq!(config.derivative_threshold, 1e-5, "paper default");
+    assert_eq!(config.max_peaks, 3, "paper: at most 3 peaks");
+    let (fit, diag) = fit_volume_mixture_diagnostic(&pdf, &config).unwrap();
+
+    assert!(
+        diag.intervals.len() > 3,
+        "expected >3 detected intervals for 5 planted peaks, got {}",
+        diag.intervals.len()
+    );
+    assert!(fit.peaks.len() <= 3, "retained {} peaks", fit.peaks.len());
+    for w in fit.peaks.windows(2) {
+        assert!(
+            w[0].k >= w[1].k,
+            "peaks not ranked by mass: {:?}",
+            fit.peaks
+        );
+    }
+    // The retained masses are exactly the top-ranked interval masses.
+    for (peak, interval) in fit.peaks.iter().zip(diag.intervals.iter()) {
+        assert_eq!(peak.k, interval.2, "peak mass must equal interval mass");
+    }
+}
+
+#[test]
+fn peak_sigma_honors_0997_span_over_3() {
+    let pdf = planted_pdf(&[1.3, 1.9, 2.5]);
+    let config = VolumeFitConfig::default();
+    let (fit, diag) = fit_volume_mixture_diagnostic(&pdf, &config).unwrap();
+    assert!(!fit.peaks.is_empty());
+
+    let g = grid();
+    let step = g.bin_width();
+    // Reconstruct each retained peak from its ranked interval with the
+    // §5.2 formulas; the fit must match bit for bit.
+    let retained: Vec<&(usize, usize, f64)> = diag
+        .intervals
+        .iter()
+        .take(config.max_peaks)
+        .filter(|(_, _, mass)| *mass >= config.min_peak_mass)
+        .collect();
+    assert_eq!(retained.len(), fit.peaks.len());
+    for (peak, (s, e, mass)) in fit.peaks.iter().zip(retained) {
+        let span = ((*e - *s) as f64 * step * 2.0).max(step * 2.0);
+        assert_eq!(
+            peak.sigma,
+            0.997 * span / 3.0,
+            "σ must be 0.997·ℓ/3 for interval [{s}, {e})"
+        );
+        let arg_max = (*s..*e)
+            .max_by(|a, b| diag.residual[*a].total_cmp(&diag.residual[*b]))
+            .unwrap();
+        assert_eq!(peak.mu, g.center_log10(arg_max));
+        assert_eq!(peak.k, *mass);
+    }
+}

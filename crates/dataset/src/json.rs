@@ -225,10 +225,16 @@ enum Val<'a> {
     Obj(Vec<(String, Val<'a>)>),
 }
 
+/// Maximum container nesting. The dataset schema needs 5 levels; the
+/// recursive-descent parser must reject hostile deeply-nested input
+/// (`[[[[…`) with a structured error before it can exhaust the stack.
+const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     text: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 type PResult<T> = Result<T, String>;
@@ -239,7 +245,16 @@ impl<'a> Parser<'a> {
             bytes: text.as_bytes(),
             text,
             pos: 0,
+            depth: 0,
         }
+    }
+
+    fn enter(&mut self) -> PResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        Ok(())
     }
 
     fn err(&self, msg: &str) -> String {
@@ -294,11 +309,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_object(&mut self) -> PResult<Val<'a>> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Val::Obj(fields));
         }
         loop {
@@ -312,6 +329,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Val::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -320,11 +338,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self) -> PResult<Val<'a>> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Val::Arr(items));
         }
         loop {
@@ -334,6 +354,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Val::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),

@@ -305,10 +305,14 @@ pub fn save_json(dataset: &Dataset, path: &Path) -> Result<(), StoreError> {
 pub fn load_json(path: &Path) -> Result<Dataset, StoreError> {
     let _span = mtd_telemetry::span!("store.load_json");
     let bytes = with_retry(|| std::fs::read(path)).map_err(|e| io_err(path, e))?;
-    let text = String::from_utf8(bytes).map_err(|_| StoreError::MalformedJson {
+    let mut text = String::from_utf8(bytes).map_err(|_| StoreError::MalformedJson {
         path: path.to_path_buf(),
         detail: "not valid UTF-8".to_string(),
     })?;
+    // Injected parse-fuzz (truncation / trailing garbage / structural
+    // byte swap): the recursive-descent parser must reject with a
+    // positioned message, never panic.
+    mtd_fault::json_parse_corrupt(&mut text);
     crate::json::dataset_from_json(&text).map_err(|detail| StoreError::MalformedJson {
         path: path.to_path_buf(),
         detail,
@@ -757,6 +761,10 @@ pub fn encode_binary(ds: &Dataset, threads: usize) -> Vec<u8> {
 /// Writes bytes to `path` atomically: temp file in the same directory,
 /// flush, then rename over the destination.
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let faults = mtd_fault::store_write_faults(bytes.len());
+    if faults.any() {
+        return write_atomic_faulted(path, bytes, &faults);
+    }
     let tmp = path.with_extension("tmp-partial");
     let result = (|| -> io::Result<()> {
         let mut file = with_retry(|| std::fs::File::create(&tmp))?;
@@ -767,6 +775,64 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     })();
     if let Err(e) = result {
         std::fs::remove_file(&tmp).ok();
+        return Err(io_err(path, e));
+    }
+    Ok(())
+}
+
+/// The faulted twin of [`write_atomic`], taken only when an injected
+/// [`mtd_fault::WriteFaults`] bundle fired. Preserves the atomicity
+/// contract — on error the destination keeps its previous content and no
+/// temp file leaks — except under the `store.write.skip_atomic` mutation
+/// site, which deliberately bypasses the temp-file + rename protocol so
+/// the chaos harness can prove it detects torn outputs.
+#[cold]
+fn write_atomic_faulted(
+    path: &Path,
+    bytes: &[u8],
+    faults: &mtd_fault::WriteFaults,
+) -> Result<(), StoreError> {
+    let mut image = bytes.to_vec();
+    if let Some((off, bit)) = faults.flip {
+        // Post-encode flip: models silent media corruption, which the
+        // read side must catch via frame CRCs / the file-CRC footer.
+        image[off] ^= 1 << bit;
+    }
+    let target = if faults.skip_atomic {
+        path.to_path_buf()
+    } else {
+        path.with_extension("tmp-partial")
+    };
+    let result = (|| -> io::Result<()> {
+        if faults.enospc {
+            return Err(io::Error::other("injected ENOSPC (store.write.enospc)"));
+        }
+        let mut file = with_retry(|| std::fs::File::create(&target))?;
+        if let Some(keep) = faults.short {
+            file.write_all(&image[..keep])?;
+            let _ = file.sync_all();
+            return Err(io::Error::other(format!(
+                "injected short write after {keep} of {} bytes (store.write.short)",
+                image.len()
+            )));
+        }
+        with_retry(|| file.write_all(&image))?;
+        with_retry(|| file.sync_all())?;
+        drop(file);
+        if faults.rename_fail {
+            return Err(io::Error::other(
+                "injected rename failure (store.write.rename)",
+            ));
+        }
+        if !faults.skip_atomic {
+            with_retry(|| std::fs::rename(&target, path))?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = result {
+        if !faults.skip_atomic {
+            std::fs::remove_file(&target).ok();
+        }
         return Err(io_err(path, e));
     }
     Ok(())
@@ -1112,7 +1178,12 @@ fn mark_chunk_bad(report: &mut StoreReport, offset: u64, reason: &str) {
 }
 
 fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
-    with_retry(|| std::fs::read(path)).map_err(|e| io_err(path, e))
+    let mut bytes = with_retry(|| std::fs::read(path)).map_err(|e| io_err(path, e))?;
+    // Injected read-side corruption (truncation between frames, bit rot):
+    // mutates the in-memory image before any decoding, so the strict
+    // loader must surface a structured error, never a panic.
+    mtd_fault::store_read_mutate(&mut bytes);
+    Ok(bytes)
 }
 
 /// Loads a binary dataset strictly, decoding chunks on all cores.

@@ -1,0 +1,208 @@
+//! `dataset import --format json` robustness (DESIGN.md §11 satellite):
+//! truncated, mutated or outright hostile input must come back as a
+//! structured `StoreError` — never a panic, never an abort.
+//!
+//! Two layers:
+//!
+//! 1. a committed regression corpus under `tests/corpus/` — each file is
+//!    a previously-interesting (or shrunk) hostile input that must keep
+//!    failing *cleanly*,
+//! 2. property tests that truncate and mutate a real serialized dataset
+//!    at arbitrary points and assert the no-panic contract, with
+//!    `Ok` ⇒ full-document round-trip equality for truncations.
+
+use mtd_dataset::store::{load_json, save_json, StoreError};
+use mtd_dataset::Dataset;
+use mtd_netsim::geo::Topology;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::ScenarioConfig;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+fn base() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        let config = ScenarioConfig {
+            n_bs: 4,
+            days: 1,
+            arrival_scale: 0.02,
+            ..ScenarioConfig::small_test()
+        };
+        let topology = Topology::generate(config.n_bs, config.seed);
+        Dataset::build(&config, &topology, &ServiceCatalog::paper())
+    })
+}
+
+/// The base dataset's JSON serialization, read back as raw bytes — the
+/// substrate the property tests truncate and mutate.
+fn base_json() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let path = scratch("base");
+        save_json(base(), &path).expect("serialize base dataset");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        bytes
+    })
+}
+
+/// Unique scratch path (tests in this binary run in parallel).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join("mtd_json_robustness");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!(
+        "{tag}-{}-{}.json",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Writes `bytes` to a scratch file, runs `load_json`, cleans up, and
+/// asserts the no-panic contract. Returns the structured result.
+fn try_load(tag: &str, bytes: &[u8]) -> Result<Dataset, StoreError> {
+    let path = scratch(tag);
+    std::fs::write(&path, bytes).expect("write input");
+    let result = catch_unwind(AssertUnwindSafe(|| load_json(&path)));
+    std::fs::remove_file(&path).ok();
+    match result {
+        Ok(r) => r,
+        Err(_) => panic!("load_json panicked on {} bytes ({tag})", bytes.len()),
+    }
+}
+
+fn assert_structured(origin: &Path, err: &StoreError) {
+    match err {
+        StoreError::MalformedJson { path, detail } => {
+            assert!(!detail.is_empty(), "{origin:?}: empty detail");
+            assert!(path.exists() || path.to_str().is_some());
+            // The Display form is what the CLI prints; it must carry the
+            // diagnostic, not just a variant name.
+            let shown = err.to_string();
+            assert!(
+                shown.contains(detail.as_str()),
+                "{origin:?}: Display {shown:?} drops detail {detail:?}"
+            );
+        }
+        other => panic!("{origin:?}: expected MalformedJson, got {other}"),
+    }
+}
+
+#[test]
+fn every_corpus_file_fails_with_a_structured_error() {
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut seen = 0;
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&corpus)
+        .expect("tests/corpus must be committed")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e != "md"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let bytes = std::fs::read(&path).expect("read corpus file");
+        let err = match try_load("corpus", &bytes) {
+            Ok(_) => panic!("corpus file {path:?} unexpectedly parsed as a dataset"),
+            Err(e) => e,
+        };
+        assert_structured(&path, &err);
+        seen += 1;
+    }
+    assert!(
+        seen >= 8,
+        "corpus shrank to {seen} files — was a case lost?"
+    );
+}
+
+#[test]
+fn nesting_bomb_hits_the_depth_limit_not_the_stack() {
+    // 100k open brackets: without the parser's depth limit this is a
+    // stack overflow — an uncatchable abort, i.e. a contract violation.
+    let bomb = vec![b'['; 100_000];
+    let err = try_load("bomb", &bomb).expect_err("bomb must not parse");
+    let shown = err.to_string();
+    assert!(
+        shown.contains("nesting deeper than"),
+        "expected the depth-limit diagnostic, got: {shown}"
+    );
+}
+
+#[test]
+fn deeply_nested_but_legal_documents_still_parse() {
+    // The limit must not reject the dataset schema itself (5 levels) or
+    // reasonable depth: 32 nested arrays stay well inside the bound.
+    let mut doc = String::new();
+    for _ in 0..32 {
+        doc.push('[');
+    }
+    doc.push('1');
+    for _ in 0..32 {
+        doc.push(']');
+    }
+    // Not a dataset, so it must fail *schema* validation — but with a
+    // "dataset: expected object" style error, not the depth diagnostic.
+    let err = try_load("legal-depth", doc.as_bytes()).expect_err("not a dataset");
+    assert!(
+        !err.to_string().contains("nesting deeper than"),
+        "depth limit misfired on legal input: {err}"
+    );
+}
+
+#[test]
+fn full_document_round_trips() {
+    let ds = try_load("full", base_json()).expect("full document must parse");
+    assert_eq!(&ds, base());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truncation sweep: any prefix of a valid document either parses to
+    /// the original dataset (only possible at full length — the schema
+    /// ends in `}`) or fails with a structured MalformedJson.
+    #[test]
+    fn truncated_documents_never_panic(frac in 0.0..1.0f64) {
+        let full = base_json();
+        let cut = ((full.len() as f64) * frac) as usize;
+        match try_load("trunc", &full[..cut]) {
+            Ok(ds) => {
+                prop_assert_eq!(cut, full.len());
+                prop_assert_eq!(&ds, base());
+            }
+            Err(err) => {
+                prop_assert!(matches!(err, StoreError::MalformedJson { .. }),
+                    "truncation at {} gave {}", cut, err);
+            }
+        }
+    }
+
+    /// Garbage sweep: flip one byte anywhere in the document. Most flips
+    /// must fail structurally; benign flips (whitespace, a digit) may
+    /// still parse — then the value must be a usable dataset that
+    /// re-serializes without panicking.
+    #[test]
+    fn mutated_documents_never_panic(frac in 0.0..1.0f64, byte in 0u16..256) {
+        let mut bytes = base_json().to_vec();
+        let idx = ((bytes.len() as f64) * frac) as usize % bytes.len();
+        bytes[idx] = byte as u8;
+        if let Ok(ds) = try_load("mutate", &bytes) {
+            let out = scratch("reserialize");
+            save_json(&ds, &out).expect("accepted dataset must re-serialize");
+            std::fs::remove_file(&out).ok();
+        }
+    }
+
+    /// Random-junk sweep: short arbitrary byte strings (including invalid
+    /// UTF-8) must always produce MalformedJson.
+    #[test]
+    fn arbitrary_bytes_never_panic(words in proptest::collection::vec(0u16..256, 0..64)) {
+        let bytes: Vec<u8> = words.iter().map(|w| *w as u8).collect();
+        if let Err(err) = try_load("junk", &bytes) {
+            prop_assert!(matches!(err, StoreError::MalformedJson { .. }),
+                "junk input gave {}", err);
+        }
+        // Ok is astronomically unlikely but not a contract violation.
+    }
+}

@@ -60,8 +60,25 @@ impl Drop for TelemetryGuard {
     }
 }
 
-/// See [`TelemetryGuard`].
+/// See [`TelemetryGuard`]. Besides telemetry, this also arms the fault
+/// runtime from `MTD_FAULTS` / `MTD_FAULT_SEED`, so every experiment
+/// binary can be chaos-tested without a rebuild:
+///
+/// ```text
+/// MTD_FAULTS='store=0.5' MTD_FAULT_SEED=7 cargo run --release --bin fig4
+/// ```
+///
+/// An invalid spec aborts the run (silently ignoring a requested fault
+/// plan would defeat the experiment).
 pub fn telemetry_from_env() -> TelemetryGuard {
+    match mtd_fault::install_from_env() {
+        Ok(Some(line)) => progress!("mtd", "{line}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("[mtd] MTD_FAULTS: {e}");
+            std::process::exit(2);
+        }
+    }
     TelemetryGuard {
         dest: mtd_telemetry::enable_from_env(),
     }

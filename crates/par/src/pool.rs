@@ -47,16 +47,11 @@ fn worker_loop<J, E: FnMut(J)>(deques: &[WorkDeque<J>], w: usize, mut execute: E
     let own = &deques[w];
     let mut tasks: u64 = 0;
     let mut steals: u64 = 0;
+    let mut scans: u64 = 0;
     loop {
         let job = own.pop().or_else(|| {
-            (1..deques.len()).find_map(|off| {
-                let victim = &deques[(w + off) % deques.len()];
-                let stolen = victim.steal();
-                if stolen.is_some() {
-                    steals += 1;
-                }
-                stolen
-            })
+            scans += 1;
+            steal_scan(deques, w, scans, &mut steals)
         });
         let Some(job) = job else { break };
         tasks += 1;
@@ -68,6 +63,38 @@ fn worker_loop<J, E: FnMut(J)>(deques: &[WorkDeque<J>], w: usize, mut execute: E
     if steals > 0 {
         mtd_telemetry::count_labeled("par.worker.steals", &label, steals);
     }
+}
+
+/// One steal sweep over the other workers' deques in the fixed
+/// round-robin order `(w+1 .. w+n) mod n`. Under an active fault plan
+/// the order may be reshuffled and the worker stalled — both decisions
+/// seeded and pure in `(worker, scan)` — to prove that *which* worker
+/// steals *what* never leaks into ordered results. The fast path is the
+/// plain loop; `mtd_fault::par_perturb_enabled()` compiles to `false`
+/// without the `fault-inject` feature.
+fn steal_scan<J>(deques: &[WorkDeque<J>], w: usize, scan: u64, steals: &mut u64) -> Option<J> {
+    if mtd_fault::par_perturb_enabled() {
+        let mut order: Vec<usize> = (1..deques.len())
+            .map(|off| (w + off) % deques.len())
+            .collect();
+        mtd_fault::steal_order_perturb(w, scan, &mut order);
+        mtd_fault::steal_stall(w, scan);
+        return order.into_iter().find_map(|victim| {
+            let stolen = deques[victim].steal();
+            if stolen.is_some() {
+                *steals += 1;
+            }
+            stolen
+        });
+    }
+    (1..deques.len()).find_map(|off| {
+        let victim = &deques[(w + off) % deques.len()];
+        let stolen = victim.steal();
+        if stolen.is_some() {
+            *steals += 1;
+        }
+        stolen
+    })
 }
 
 /// Seeds `n` indexed jobs round-robin across `threads` deques, pushed in

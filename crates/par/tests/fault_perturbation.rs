@@ -1,0 +1,64 @@
+//! Determinism under adversarial scheduling: with seeded steal-order
+//! shuffles and injected worker stalls active, `par_map_indexed` and
+//! `par_for_each_ordered` must stay bit-identical to the sequential run
+//! at every thread count — the mtd-par contract cannot depend on which
+//! worker steals what.
+//!
+//! All scenarios live in one test function because the fault runtime is
+//! process-global.
+
+use mtd_fault::FaultPlan;
+use mtd_par::Pool;
+
+/// A job heavy enough (~1k SplitMix64 steps) that workers actually
+/// contend and steal, keyed on the input index.
+fn work(i: usize) -> u64 {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (i as u64);
+    let mut acc = 0u64;
+    for _ in 0..1_000 {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc ^= z ^ (z >> 31);
+    }
+    acc
+}
+
+#[test]
+fn maps_stay_bit_identical_under_shuffles_and_stalls() {
+    assert!(
+        mtd_fault::compiled_in(),
+        "this test binary must enable mtd-fault/fault-inject (dev-dependency)"
+    );
+    const N: usize = 257;
+    let expect: Vec<u64> = (0..N).map(work).collect();
+
+    let plans = [
+        ("par.steal.shuffle=1", 11u64),
+        ("par.stall=0.2", 12),
+        ("par.steal.shuffle=1,par.stall=0.1", 13),
+    ];
+    for (spec, seed) in plans {
+        let plan = FaultPlan::parse(spec, seed).unwrap();
+        mtd_fault::install(plan);
+        for threads in 1..=8 {
+            let got = Pool::new(threads).par_map_indexed(N, work);
+            assert_eq!(got, expect, "spec={spec} threads={threads}");
+
+            let mut replay: Vec<(usize, u64)> = Vec::with_capacity(N);
+            Pool::new(threads).par_for_each_ordered(N, work, |i, v| replay.push((i, v)));
+            assert!(
+                replay.iter().enumerate().all(|(k, (i, _))| k == *i),
+                "spec={spec} threads={threads}: replay must be input-ordered"
+            );
+            assert_eq!(
+                replay.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+                expect,
+                "spec={spec} threads={threads}"
+            );
+        }
+        mtd_fault::clear();
+    }
+    assert!(!mtd_fault::active());
+}

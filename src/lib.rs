@@ -49,9 +49,13 @@
 //! assert!(!day.is_empty());
 //! ```
 
+pub mod chaos;
+pub mod digest;
+
 pub use mtd_analysis as analysis;
 pub use mtd_core as models;
 pub use mtd_dataset as dataset;
+pub use mtd_fault as fault;
 pub use mtd_math as math;
 pub use mtd_netsim as netsim;
 pub use mtd_usecases as usecases;

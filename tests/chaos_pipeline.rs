@@ -1,0 +1,138 @@
+//! Chaos differential tests: the full fit → sample → simulate → export
+//! → import → re-fit pipeline must, under any injected fault plan,
+//! either reproduce the golden digests bit-for-bit or fail with a
+//! structured, stage-attributed error — never panic, never tear a file,
+//! never diverge silently. Also proves the harness *can* fail: the
+//! `store.write.skip_atomic` mutation site disables the store's atomic
+//! rename protocol, and the harness must diagnose the torn file and
+//! print a replayable repro line.
+
+use mobile_traffic_dists::chaos::{self, Verdict};
+use mobile_traffic_dists::fault::{self, FaultPlan};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The fault runtime is process-global; every test serializes on this.
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mtd_chaos_test").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn roster_plans_uphold_the_chaos_contract_and_report_deterministically() {
+    let _g = fault_lock();
+    assert!(
+        fault::compiled_in(),
+        "chaos tests must build with mtd-fault/fault-inject (root dev-dependency)"
+    );
+    // One full roster cycle would be 16 plans; 8 keeps the test fast and
+    // still covers pass-through, every write fault, both read faults and
+    // the JSON fuzzer. CI's `mtd-traffic selftest --plans 32` covers the
+    // roster twice.
+    let dir = workdir("roster");
+    let plans = chaos::roster_plans(0xC4A0_5EED, 8);
+    let report = chaos::selftest(0xC4A0_5EED, &plans, 4, &dir).expect("selftest setup");
+
+    for run in &report.runs {
+        assert!(
+            !matches!(run.verdict, Verdict::Fail { .. }),
+            "plan '{}' (seed {}) violated the chaos contract: {:?}\nrepro: {}",
+            run.spec,
+            run.seed,
+            run.verdict,
+            run.repro
+        );
+    }
+    assert!(report.passed);
+
+    // Plan 0 is the fault-free "none" spec: must match golden exactly.
+    assert_eq!(report.runs[0].spec, "none");
+    assert_eq!(report.runs[0].verdict, Verdict::Pass);
+
+    // The p=1 store/json plans must actually detect their faults, with
+    // fired-site accounting and a bounded trace for the repro.
+    let detected: Vec<_> = report
+        .runs
+        .iter()
+        .filter(|r| matches!(r.verdict, Verdict::DetectedOk { .. }))
+        .collect();
+    assert!(
+        detected.len() >= 5,
+        "expected most p=1 plans to detect, got {}/{}",
+        detected.len(),
+        report.runs.len()
+    );
+    for run in &detected {
+        assert!(
+            run.fired.iter().any(|(_, _, fired)| *fired > 0),
+            "plan '{}' detected a fault but recorded no fired site",
+            run.spec
+        );
+        assert!(
+            !run.trace.is_empty(),
+            "plan '{}' detected a fault but has an empty trace",
+            run.spec
+        );
+        assert!(
+            run.repro.contains("--faults") && run.repro.contains(&format!("{}", run.seed)),
+            "repro line must carry spec and seed: {}",
+            run.repro
+        );
+    }
+
+    // Re-running the identical selftest must reproduce the report byte
+    // for byte — this is what lets CI `cmp` two runs.
+    let again = chaos::selftest(0xC4A0_5EED, &plans, 4, &dir).expect("selftest rerun");
+    assert_eq!(
+        report.to_json(),
+        again.to_json(),
+        "selftest report must be deterministic"
+    );
+}
+
+#[test]
+fn mutation_check_skipping_atomic_rename_is_diagnosed_as_torn_file() {
+    let _g = fault_lock();
+    // Mutation check: `store.write.skip_atomic` writes straight to the
+    // destination (as a store without the temp-file + rename protocol
+    // would) and `store.write.short` then tears that write. A correct
+    // harness must FAIL this plan with a torn-file diagnosis — if it
+    // passes, the harness isn't actually checking the invariant.
+    let dir = workdir("mutation");
+    let plan = FaultPlan::parse("store.write.skip_atomic=1,store.write.short=1", 0xBAD_F11E)
+        .expect("mutation spec parses");
+    let report = chaos::selftest(0xBAD_F11E, &[plan], 2, &dir).expect("selftest setup");
+
+    assert!(!report.passed, "mutation must be caught");
+    let failures = report.failures();
+    assert_eq!(failures.len(), 1);
+    let run = failures[0];
+    match &run.verdict {
+        Verdict::Fail { reason } => {
+            assert!(
+                reason.contains("torn file"),
+                "diagnosis must name the torn file, got: {reason}"
+            );
+            assert!(reason.contains("export"), "stage attribution: {reason}");
+        }
+        other => panic!("expected Fail, got {other:?}"),
+    }
+    // The repro line replays exactly this plan.
+    assert!(run.repro.contains("--seed 195948830"), "{}", run.repro);
+    assert!(
+        run.repro
+            .contains("--faults 'store.write.skip_atomic=1,store.write.short=1'"),
+        "{}",
+        run.repro
+    );
+    // And the report serialization carries the diagnosis for CI logs.
+    assert!(report.to_json().contains("FAIL:torn file"));
+}
