@@ -34,6 +34,7 @@ pub fn service_similarity_pooled(
     dataset: &Dataset,
     pool: &mtd_par::Pool,
 ) -> Result<SimilarityAnalysis> {
+    let _span = mtd_telemetry::span!("emd.matrix");
     let all = SliceFilter::all();
     let mut services = Vec::new();
     for s in 0..dataset.n_services() as u16 {
@@ -60,6 +61,7 @@ pub fn service_similarity_pooled(
     // Row i holds the strict upper triangle (i, i+1..n); scanning rows in
     // order keeps the sequential "first error in (i, j) order" semantics.
     let rows = pool.par_map_indexed(n, |i| {
+        let _span = mtd_telemetry::span!("emd.row");
         ((i + 1)..n)
             .map(|j| emd_centered(&pdfs[i], &pdfs[j]))
             .collect::<Result<Vec<f64>>>()

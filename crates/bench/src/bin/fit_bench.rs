@@ -6,7 +6,7 @@
 //! Usage: `cargo run --release -p mtd-bench --bin fit_bench [out.json]`
 //! (`MTD_FAST=1` switches to the small bench scenario for CI smoke runs.)
 
-use mtd_bench::{bench_config, time_median, DEFAULT_RUNS};
+use mtd_bench::{bench_config, machine_info, time_median, BenchReport};
 use mtd_core::pipeline::fit_registry_pooled;
 use mtd_core::volume::VolumeFitConfig;
 use mtd_dataset::Dataset;
@@ -14,7 +14,6 @@ use mtd_netsim::geo::Topology;
 use mtd_netsim::services::ServiceCatalog;
 use mtd_netsim::ScenarioConfig;
 use std::fmt::Write as _;
-use std::path::Path;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -57,42 +56,45 @@ fn main() {
         timings.push((threads, seconds));
     }
 
-    let detected = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let machine = machine_info();
     let sequential_s = timings[0].1;
-    let mut out = String::new();
-    let _ = writeln!(out, "{{");
-    let _ = writeln!(
-        out,
-        "  \"bench\": \"fit: parallel model fitting vs sequential\","
+    let mut report = BenchReport::new("fit: parallel model fitting vs sequential");
+    report.field_raw(
+        "scenario",
+        &format!(
+            "{{\"preset\": \"{preset}\", \"n_bs\": {}, \"days\": {}}}",
+            config.n_bs, config.days
+        ),
     );
-    let _ = writeln!(
-        out,
-        "  \"scenario\": {{\"preset\": \"{preset}\", \"n_bs\": {}, \"days\": {}}},",
-        config.n_bs, config.days
+    report.field_raw("bit_identical_to_sequential", "true");
+    report.field_raw(
+        "cores_limited",
+        if machine.detected_cores == 1 {
+            "true"
+        } else {
+            "false"
+        },
     );
-    let _ = writeln!(out, "  \"runs_per_timing\": {DEFAULT_RUNS},");
-    let _ = writeln!(out, "  \"statistic\": \"median wall-clock seconds\",");
-    let _ = writeln!(out, "  \"detected_cores\": {detected},");
-    let _ = writeln!(out, "  \"bit_identical_to_sequential\": true,");
-    let _ = writeln!(out, "  \"fit_seconds\": {{");
-    for (i, (threads, seconds)) in timings.iter().enumerate() {
-        let comma = if i + 1 < timings.len() { "," } else { "" };
-        let _ = writeln!(out, "    \"threads_{threads}\": {seconds:.6}{comma}");
-    }
-    let _ = writeln!(out, "  }},");
-    let _ = writeln!(out, "  \"speedup_over_sequential\": {{");
-    for (i, (threads, seconds)) in timings.iter().enumerate() {
-        let comma = if i + 1 < timings.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    \"threads_{threads}\": {:.2}{comma}",
-            sequential_s / seconds
-        );
-    }
-    let _ = writeln!(out, "  }}");
-    let _ = writeln!(out, "}}");
+    report.field_raw(
+        "fit_seconds",
+        &timing_object(&timings, |s| format!("{s:.6}")),
+    );
+    // On a 1-core machine every speedup is pinned near 1.0x by the
+    // hardware, not the runtime — `cores_limited` above flags that.
+    report.field_raw(
+        "speedup_over_sequential",
+        &timing_object(&timings, |s| format!("{:.2}", sequential_s / s)),
+    );
+    report.write(&out_path);
+}
 
-    std::fs::write(Path::new(&out_path), &out).unwrap();
-    eprintln!("wrote {out_path}");
-    print!("{out}");
+/// `{"threads_1": ..., "threads_2": ...}` with per-entry formatting.
+fn timing_object(timings: &[(usize, f64)], fmt: impl Fn(f64) -> String) -> String {
+    let mut out = String::from("{");
+    for (i, (threads, seconds)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { ", " } else { "" };
+        let _ = write!(out, "\"threads_{threads}\": {}{comma}", fmt(*seconds));
+    }
+    out.push('}');
+    out
 }

@@ -1,24 +1,28 @@
-//! Fault-hook overhead guard (DESIGN.md §11): times the BENCH_fit and
-//! BENCH_store hot paths and records whether the fault-injection hooks
-//! are compiled in. CI builds this binary twice — default (hooks
-//! compiled out) and `--features fault-inject` (hooks compiled in but
-//! idle, no plan installed) — and asserts the idle-hook medians stay
-//! within 1% of the hook-free ones.
+//! Hook overhead guard (DESIGN.md §11 and §12): times the BENCH_fit and
+//! BENCH_store hot paths and records which instrumentation hooks are
+//! compiled in. CI builds this binary three ways — default (all hooks
+//! compiled out), `--features fault-inject` (fault hooks compiled in but
+//! idle, no plan installed) and `--features prof` (profiler scope hooks
+//! compiled in but idle, no sampler running) — and asserts each idle-hook
+//! median stays within 1% of the hook-free one.
 //!
 //! Usage: `cargo run --release -p mtd-bench --bin overhead_guard [out.json]`
 
-use mtd_bench::{fixture, time_median, DEFAULT_RUNS};
+use mtd_bench::{fixture, time_median, BenchReport};
 use mtd_core::pipeline::fit_registry_pooled;
 use mtd_core::volume::VolumeFitConfig;
 use mtd_dataset::store::{decode_binary, encode_binary};
-use std::fmt::Write as _;
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "overhead-guard.json".to_string());
-    let compiled_in = mtd_fault::compiled_in();
-    eprintln!("fault hooks compiled in: {compiled_in} (idle either way — no plan installed)");
+    let fault_in = mtd_fault::compiled_in();
+    let prof_in = cfg!(feature = "prof");
+    eprintln!(
+        "fault hooks compiled in: {fault_in}, prof hooks compiled in: {prof_in} \
+         (idle either way — no plan installed, no sampler running)"
+    );
 
     let fx = fixture();
     let pool = mtd_par::Pool::new(2);
@@ -33,21 +37,12 @@ fn main() {
     let decode_s = time_median(|| decode_binary(&bytes, 1).expect("decode"));
     eprintln!("store encode median: {encode_s:.6}s, decode median: {decode_s:.6}s");
 
-    let mut out = String::new();
-    let _ = writeln!(out, "{{");
-    let _ = writeln!(
-        out,
-        "  \"bench\": \"overhead_guard: BENCH_fit/BENCH_store hot paths vs fault hooks\","
-    );
-    let _ = writeln!(out, "  \"fault_hooks_compiled_in\": {compiled_in},");
-    let _ = writeln!(out, "  \"runs_per_timing\": {DEFAULT_RUNS},");
-    let _ = writeln!(out, "  \"statistic\": \"median wall-clock seconds\",");
-    let _ = writeln!(out, "  \"fit_seconds\": {fit_s:.6},");
-    let _ = writeln!(out, "  \"store_encode_seconds\": {encode_s:.6},");
-    let _ = writeln!(out, "  \"store_decode_seconds\": {decode_s:.6}");
-    let _ = writeln!(out, "}}");
-
-    std::fs::write(&out_path, &out).unwrap();
-    eprintln!("wrote {out_path}");
-    print!("{out}");
+    let mut report =
+        BenchReport::new("overhead_guard: BENCH_fit/BENCH_store hot paths vs idle hooks");
+    report.field_raw("fault_hooks_compiled_in", &fault_in.to_string());
+    report.field_raw("prof_hooks_compiled_in", &prof_in.to_string());
+    report.field_seconds("fit_seconds", fit_s);
+    report.field_seconds("store_encode_seconds", encode_s);
+    report.field_seconds("store_decode_seconds", decode_s);
+    report.write(&out_path);
 }

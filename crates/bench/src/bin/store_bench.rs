@@ -5,14 +5,12 @@
 //!
 //! Usage: `cargo run --release -p mtd-bench --bin store_bench [out.json]`
 
-use mtd_bench::{time_median, DEFAULT_RUNS};
+use mtd_bench::{time_median, BenchReport};
 use mtd_dataset::store::{load_binary_with_threads, load_json, save_binary, save_json, verify};
 use mtd_dataset::Dataset;
 use mtd_netsim::geo::Topology;
 use mtd_netsim::services::ServiceCatalog;
 use mtd_netsim::ScenarioConfig;
-use std::fmt::Write as _;
-use std::path::Path;
 
 fn main() {
     let out_path = std::env::args()
@@ -45,47 +43,38 @@ fn main() {
     std::fs::remove_file(&bin_path).ok();
     std::fs::remove_file(&json_path).ok();
 
-    let mut out = String::new();
-    let _ = writeln!(out, "{{");
-    let _ = writeln!(
-        out,
-        "  \"bench\": \"store: binary chunked format vs JSON fallback\","
+    let mut report = BenchReport::new("store: binary chunked format vs JSON fallback");
+    report.field_raw(
+        "scenario",
+        &format!(
+            "{{\"preset\": \"default\", \"n_bs\": {}, \"days\": {}}}",
+            config.n_bs, config.days
+        ),
     );
-    let _ = writeln!(
-        out,
-        "  \"scenario\": {{\"preset\": \"default\", \"n_bs\": {}, \"days\": {}}},",
-        config.n_bs, config.days
+    report.field_raw(
+        "file_bytes",
+        &format!("{{\"binary\": {bin_size}, \"json\": {json_size}}}"),
     );
-    let _ = writeln!(out, "  \"runs_per_timing\": {DEFAULT_RUNS},");
-    let _ = writeln!(out, "  \"statistic\": \"median wall-clock seconds\",");
-    let _ = writeln!(
-        out,
-        "  \"file_bytes\": {{\"binary\": {bin_size}, \"json\": {json_size}}},"
+    report.field_raw(
+        "save_seconds",
+        &format!("{{\"binary\": {save_binary_s:.6}, \"json\": {save_json_s:.6}}}"),
     );
-    let _ = writeln!(
-        out,
-        "  \"save_seconds\": {{\"binary\": {save_binary_s:.6}, \"json\": {save_json_s:.6}}},"
+    report.field_raw(
+        "load_seconds",
+        &format!(
+            "{{\"binary\": {load_binary_s:.6}, \"binary_4_threads\": {load_binary_par_s:.6}, \"json\": {load_json_s:.6}}}"
+        ),
     );
-    let _ = writeln!(
-        out,
-        "  \"load_seconds\": {{\"binary\": {load_binary_s:.6}, \"binary_4_threads\": {load_binary_par_s:.6}, \"json\": {load_json_s:.6}}},"
+    report.field_seconds("verify_seconds", verify_s);
+    report.field_raw(
+        "speedup_load_binary_over_json",
+        &format!("{:.2}", load_json_s / load_binary_s),
     );
-    let _ = writeln!(out, "  \"verify_seconds\": {verify_s:.6},");
-    let _ = writeln!(
-        out,
-        "  \"speedup_load_binary_over_json\": {:.2},",
-        load_json_s / load_binary_s
+    report.field_raw(
+        "speedup_load_binary_4_threads_over_json",
+        &format!("{:.2}", load_json_s / load_binary_par_s),
     );
-    let _ = writeln!(
-        out,
-        "  \"speedup_load_binary_4_threads_over_json\": {:.2}",
-        load_json_s / load_binary_par_s
-    );
-    let _ = writeln!(out, "}}");
-
-    std::fs::write(Path::new(&out_path), &out).unwrap();
-    eprintln!("wrote {out_path}");
-    print!("{out}");
+    report.write(&out_path);
 }
 
 /// Every timed load is also checked against the in-memory dataset so the

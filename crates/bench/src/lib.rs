@@ -16,6 +16,11 @@ use std::time::Instant;
 pub const DEFAULT_RUNS: usize = 7;
 
 /// Median wall-clock seconds over `runs` runs of `f`.
+///
+/// The median itself comes from [`mtd_math::stats::median_sorted`]: one
+/// interpolation rule for every percentile in the workspace, instead of
+/// a local `samples[len / 2]` that silently picks the upper-middle run
+/// for even sample counts.
 pub fn time_median_of<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
     assert!(runs > 0, "time_median_of needs at least one run");
     let mut samples: Vec<f64> = (0..runs)
@@ -26,12 +31,136 @@ pub fn time_median_of<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
         })
         .collect();
     samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+    mtd_math::stats::median_sorted(&samples).expect("runs > 0")
 }
 
 /// [`time_median_of`] with [`DEFAULT_RUNS`] samples.
 pub fn time_median<T>(f: impl FnMut() -> T) -> f64 {
     time_median_of(DEFAULT_RUNS, f)
+}
+
+/// The machine a benchmark ran on — recorded in every `BENCH_*.json` so
+/// speedup tables can be read in context (a 1-core container cannot show
+/// a parallel speedup, however good the runtime is).
+#[derive(Debug, Clone)]
+pub struct MachineInfo {
+    /// `std::thread::available_parallelism()` at benchmark time.
+    pub detected_cores: usize,
+    /// CPU model string from `/proc/cpuinfo` (`"unknown"` elsewhere).
+    pub cpu_model: String,
+    /// `os/arch`, e.g. `linux/x86_64`.
+    pub os: String,
+}
+
+/// Probes the current machine.
+#[must_use]
+pub fn machine_info() -> MachineInfo {
+    MachineInfo {
+        detected_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cpu_model: cpu_model(),
+        os: format!("{}/{}", std::env::consts::OS, std::env::consts::ARCH),
+    }
+}
+
+fn cpu_model() -> String {
+    let Ok(text) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return "unknown".to_string();
+    };
+    // x86 exposes "model name", ARM "Hardware" or "CPU part"; take the
+    // first match in that order of preference.
+    for key in ["model name", "Hardware", "CPU part"] {
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix(key) {
+                if let Some((_, value)) = rest.split_once(':') {
+                    let value = value.trim();
+                    if !value.is_empty() {
+                        return value.to_string();
+                    }
+                }
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+/// Ordered JSON-object builder for the `BENCH_*.json` artifacts: every
+/// report opens with the same header (bench name, machine metadata, run
+/// count, statistic) so the recorder binaries cannot drift apart, and
+/// values are raw JSON fragments so nested objects stay one-liners.
+pub struct BenchReport {
+    fields: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// Starts a report: `bench` + machine metadata + timing provenance.
+    #[must_use]
+    pub fn new(bench: &str) -> BenchReport {
+        let m = machine_info();
+        let mut report = BenchReport { fields: Vec::new() };
+        report.field_str("bench", bench);
+        report.field_raw(
+            "machine",
+            &format!(
+                "{{\"detected_cores\": {}, \"cpu_model\": \"{}\", \"os\": \"{}\"}}",
+                m.detected_cores,
+                escape_json(&m.cpu_model),
+                escape_json(&m.os)
+            ),
+        );
+        report.field_raw("detected_cores", &m.detected_cores.to_string());
+        report.field_raw("runs_per_timing", &DEFAULT_RUNS.to_string());
+        report.field_str("statistic", "median wall-clock seconds");
+        report
+    }
+
+    /// Appends a string-valued field (escaped).
+    pub fn field_str(&mut self, key: &str, value: &str) {
+        self.field_raw(key, &format!("\"{}\"", escape_json(value)));
+    }
+
+    /// Appends a field whose value is already valid JSON (number, bool,
+    /// or a hand-built object/array).
+    pub fn field_raw(&mut self, key: &str, raw_json: &str) {
+        self.fields.push((key.to_string(), raw_json.to_string()));
+    }
+
+    /// Appends a float with 6-digit precision (the timing convention).
+    pub fn field_seconds(&mut self, key: &str, seconds: f64) {
+        self.field_raw(key, &format!("{seconds:.6}"));
+    }
+
+    /// Renders the report as pretty-printed JSON (2-space indent, one
+    /// field per line, insertion order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 < self.fields.len() { "," } else { "" };
+            out.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the report to `path` and echoes it to stdout (what every
+    /// recorder binary did by hand before).
+    pub fn write(&self, path: &str) {
+        let json = self.to_json();
+        std::fs::write(path, &json).expect("write bench report");
+        eprintln!("wrote {path}");
+        print!("{json}");
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// The benchmark scenario: small enough to build in about a second,
@@ -75,4 +204,53 @@ pub fn fixture() -> &'static Fixture {
             registry,
         }
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_info_is_populated() {
+        let m = machine_info();
+        assert!(m.detected_cores >= 1);
+        assert!(!m.cpu_model.is_empty());
+        assert!(m.os.contains('/'));
+    }
+
+    #[test]
+    fn bench_report_has_machine_header_and_is_balanced() {
+        let mut r = BenchReport::new("demo bench");
+        r.field_seconds("fit_seconds", 1.23456789);
+        r.field_raw("speedup", "{\"threads_2\": 1.95}");
+        let json = r.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"bench\": \"demo bench\""));
+        assert!(json.contains("\"machine\": {\"detected_cores\": "));
+        assert!(json.contains("\"cpu_model\": "));
+        assert!(json.contains("\"fit_seconds\": 1.234568"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // No trailing comma before the closing brace.
+        assert!(!json.contains(",\n}"));
+    }
+
+    #[test]
+    fn escape_json_handles_quotes_and_controls() {
+        assert_eq!(escape_json("a\"b\\c\u{1}"), "a\\\"b\\\\c\\u0001");
+    }
+
+    #[test]
+    fn time_median_interpolates_even_run_counts() {
+        // With 2 runs the median must be between the two samples, not
+        // simply the larger one — regression test for the old
+        // `samples[len / 2]` indexing.
+        let mut calls = 0u32;
+        let s = time_median_of(2, || {
+            calls += 1;
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert_eq!(calls, 2);
+        assert!(s >= 0.001);
+    }
 }

@@ -90,6 +90,16 @@ USAGE:
       (MTD_FAULTS=SPEC + MTD_FAULT_SEED=N arm the same fault runtime in
       any other subcommand or experiment binary.)
 
+  mtd-traffic profile [--sample-hz N] [--folded FILE] [--report FILE]
+                      -- <subcommand ...>
+      Run any subcommand under the mtd-prof sampling profiler (see
+      DESIGN.md \u{a7}12): a background thread samples every instrumented
+      scope stack at --sample-hz (default 997 Hz). --folded writes
+      flamegraph-compatible folded stacks (one 'a;b;c N' line per stack,
+      feed to inferno / flamegraph.pl); --report writes the self/total
+      time + per-scope allocation report (printed to stderr otherwise).
+      Example: mtd-traffic profile --folded fit.folded -- fit --quiet
+
   mtd-traffic help
       Show this text.
 
@@ -100,6 +110,12 @@ COMMON FLAGS (every subcommand):
                       count. Parallel output is bit-identical to --threads 1.
   --telemetry FILE    collect spans/counters/histograms, dump NDJSON to FILE
   --telemetry-stderr  collect telemetry, print a summary table to stderr
+  --heartbeat SECS    print a live status line (stage, progress, BS-min/s,
+                      sessions/s, memory, ETA) to stderr every SECS seconds
+  --metrics-interval SECS
+                      with --telemetry FILE: rewrite FILE with the current
+                      snapshot every SECS seconds, so a killed run still
+                      leaves a telemetry trail
   --quiet             suppress progress messages on stderr
   (MTD_TELEMETRY=FILE|stderr in the environment works like the flags)";
 
@@ -118,6 +134,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("dataset") => dataset_cmd(&argv[1..]),
         Some("validate") => validate_cmd(&argv[1..]),
         Some("selftest") => selftest_cmd(&argv[1..]),
+        Some("profile") => profile_cmd(&argv[1..]),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -138,7 +155,7 @@ fn parse_flags_with_switches(
     switches: &[&str],
 ) -> Result<Flags, String> {
     let mut all = valued.to_vec();
-    all.extend_from_slice(&["telemetry", "threads"]);
+    all.extend_from_slice(&["telemetry", "threads", "heartbeat", "metrics-interval"]);
     let mut bools = switches.to_vec();
     bools.extend_from_slice(&["telemetry-stderr", "quiet"]);
     Flags::parse(argv, &all, &bools)
@@ -173,10 +190,21 @@ enum TelemetryDest {
     Stderr,
 }
 
-/// Applies `--quiet` and the telemetry flags (or `MTD_TELEMETRY`), and
-/// clears any previously recorded data so the dump covers this run only.
-fn telemetry_init(flags: &Flags) -> TelemetryDest {
+/// The per-command telemetry runtime: the final-dump destination plus the
+/// optional live surfaces (`--heartbeat`, `--metrics-interval`). Built by
+/// [`telemetry_init`], torn down by [`telemetry_finish`].
+struct RunTelemetry {
+    dest: TelemetryDest,
+    heartbeat: Option<mtd_telemetry::heartbeat::Heartbeat>,
+    metrics: Option<mtd_telemetry::export::MetricsStream>,
+}
+
+/// Applies `--quiet`, the telemetry flags (or `MTD_TELEMETRY`) and the
+/// live surfaces, clears any previously recorded data so the dump covers
+/// this run only, and labels the heartbeat with the subcommand name.
+fn telemetry_init(flags: &Flags, stage: &str) -> Result<RunTelemetry, String> {
     mtd_telemetry::set_quiet(flags.is_set("quiet"));
+    mtd_telemetry::heartbeat::set_stage(stage);
     let dest = if let Some(path) = flags.opt("telemetry") {
         mtd_telemetry::set_enabled(true);
         TelemetryDest::File(path.to_string())
@@ -190,16 +218,68 @@ fn telemetry_init(flags: &Flags) -> TelemetryDest {
             None => TelemetryDest::Off,
         }
     };
-    if !matches!(dest, TelemetryDest::Off) {
+
+    let heartbeat_s = match flags.opt("heartbeat") {
+        None => None,
+        Some(_) => {
+            let secs: f64 = flags.num_or("heartbeat", 0.0)?;
+            if secs.is_nan() || secs <= 0.0 {
+                return Err("--heartbeat needs a positive number of seconds".into());
+            }
+            Some(secs)
+        }
+    };
+    let metrics_s = match flags.opt("metrics-interval") {
+        None => None,
+        Some(_) => {
+            let secs: f64 = flags.num_or("metrics-interval", 0.0)?;
+            if secs.is_nan() || secs <= 0.0 {
+                return Err("--metrics-interval needs a positive number of seconds".into());
+            }
+            if !matches!(dest, TelemetryDest::File(_)) {
+                return Err(
+                    "--metrics-interval needs --telemetry FILE (the file to stream to)".into(),
+                );
+            }
+            Some(secs)
+        }
+    };
+    // The heartbeat reads progress counters, so it turns collection on
+    // even without a dump destination.
+    if heartbeat_s.is_some() {
+        mtd_telemetry::set_enabled(true);
+    }
+    if mtd_telemetry::enabled() {
         mtd_telemetry::reset();
     }
-    dest
+    Ok(RunTelemetry {
+        heartbeat: heartbeat_s.map(mtd_telemetry::heartbeat::start),
+        metrics: metrics_s.map(|secs| {
+            let TelemetryDest::File(path) = &dest else {
+                unreachable!("checked above")
+            };
+            mtd_telemetry::export::MetricsStream::start(path, secs)
+        }),
+        dest,
+    })
 }
 
-/// Exports collected telemetry to its destination and disables collection.
-fn telemetry_finish(dest: &TelemetryDest) -> Result<(), String> {
-    match dest {
-        TelemetryDest::Off => Ok(()),
+/// Stops the live surfaces, exports collected telemetry to its
+/// destination and disables collection.
+fn telemetry_finish(rt: RunTelemetry) -> Result<(), String> {
+    if let Some(hb) = rt.heartbeat {
+        hb.finish();
+    }
+    if let Some(ms) = rt.metrics {
+        ms.finish();
+    }
+    match &rt.dest {
+        TelemetryDest::Off => {
+            // A heartbeat-only run enabled collection without a dump
+            // destination; switch it back off.
+            mtd_telemetry::set_enabled(false);
+            Ok(())
+        }
         TelemetryDest::File(path) => {
             let snap = mtd_telemetry::snapshot();
             mtd_telemetry::set_enabled(false);
@@ -246,7 +326,7 @@ fn sink(path: Option<&str>) -> Result<Box<dyn Write>, String> {
 
 fn generate(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags(argv, &["registry", "decile", "days", "seed", "out"])?;
-    let tdest = telemetry_init(&flags);
+    let tdest = telemetry_init(&flags, "generate")?;
     threads_init(&flags)?;
     let registry = load_registry(&flags)?;
     let decile: u8 = flags.num_or("decile", 9)?;
@@ -289,12 +369,12 @@ fn generate(argv: &[String]) -> Result<(), String> {
         "cli",
         "generated {count} sessions over {days} day(s) at decile {decile}"
     );
-    telemetry_finish(&tdest)
+    telemetry_finish(tdest)
 }
 
 fn models(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags(argv, &["registry"])?;
-    let tdest = telemetry_init(&flags);
+    let tdest = telemetry_init(&flags, "models")?;
     threads_init(&flags)?;
     let registry = load_registry(&flags)?;
     println!(
@@ -330,7 +410,7 @@ fn models(argv: &[String]) -> Result<(), String> {
             a.peak_mu, a.peak_sigma, a.pareto_scale
         );
     }
-    telemetry_finish(&tdest)
+    telemetry_finish(tdest)
 }
 
 /// Sink that discards events (simulate without `--out`: stats only).
@@ -367,8 +447,11 @@ impl<W: Write> EngineSink for CsvObservationSink<W> {
 
 fn simulate(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags(argv, &["n-bs", "days", "seed", "scale", "out"])?;
-    let tdest = telemetry_init(&flags);
+    let tdest = telemetry_init(&flags, "simulate")?;
     let threads = threads_init(&flags)?;
+    // Root profiler frame: keeps the main thread attributed while it
+    // merges worker output (a span would drop after the telemetry dump).
+    let _root = mtd_telemetry::prof::scope("cli.simulate");
     let config = ScenarioConfig {
         n_bs: flags.num_or("n-bs", 30usize)?,
         days: flags.num_or("days", 3u32)?,
@@ -417,7 +500,7 @@ fn simulate(argv: &[String]) -> Result<(), String> {
         "sessions {}  observations {}  transient {}  volume {:.1} MB",
         stats.sessions, stats.observations, stats.transient_observations, stats.total_volume_mb
     );
-    telemetry_finish(&tdest)
+    telemetry_finish(tdest)
 }
 
 /// Fits a registry from a previously exported dataset file. Binary files
@@ -450,8 +533,9 @@ fn fit_from_file(path: &str) -> Result<ModelRegistry, String> {
 
 fn fit(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags(argv, &["n-bs", "days", "seed", "scale", "from", "out"])?;
-    let tdest = telemetry_init(&flags);
+    let tdest = telemetry_init(&flags, "fit")?;
     threads_init(&flags)?;
+    let _root = mtd_telemetry::prof::scope("cli.fit");
     let registry = match flags.opt("from") {
         Some(path) => fit_from_file(path)?,
         None => {
@@ -487,7 +571,7 @@ fn fit(argv: &[String]) -> Result<(), String> {
         registry.len(),
         registry.arrivals.len()
     );
-    telemetry_finish(&tdest)
+    telemetry_finish(tdest)
 }
 
 fn dataset_cmd(argv: &[String]) -> Result<(), String> {
@@ -504,8 +588,9 @@ fn dataset_cmd(argv: &[String]) -> Result<(), String> {
 
 fn dataset_export(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags(argv, &["n-bs", "days", "seed", "scale", "format", "out"])?;
-    let tdest = telemetry_init(&flags);
+    let tdest = telemetry_init(&flags, "dataset export")?;
     let threads = threads_init(&flags)?;
+    let _root = mtd_telemetry::prof::scope("cli.dataset_export");
     let out = flags.opt("out").ok_or("dataset export needs --out FILE")?;
     let format = match flags.opt("format") {
         None => Format::Binary,
@@ -537,7 +622,7 @@ fn dataset_export(argv: &[String]) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     progress!("cli", "wrote {format:?} dataset ({size} bytes) to {out}");
-    telemetry_finish(&tdest)
+    telemetry_finish(tdest)
 }
 
 /// Prints what a loaded dataset contains.
@@ -561,8 +646,9 @@ fn print_dataset_summary(dataset: &Dataset) {
 
 fn dataset_import(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags_with_switches(argv, &["in", "format"], &["tolerant"])?;
-    let tdest = telemetry_init(&flags);
+    let tdest = telemetry_init(&flags, "dataset import")?;
     let threads = threads_init(&flags)?;
+    let _root = mtd_telemetry::prof::scope("cli.dataset_import");
     let input = flags.opt("in").ok_or("dataset import needs --in FILE")?;
     let path = Path::new(input);
     let format = match flags.opt("format") {
@@ -589,7 +675,7 @@ fn dataset_import(argv: &[String]) -> Result<(), String> {
         }
     };
     print_dataset_summary(&dataset);
-    telemetry_finish(&tdest)
+    telemetry_finish(tdest)
 }
 
 /// Prints a one-line verdict for a verify report.
@@ -611,7 +697,7 @@ fn print_verify_summary(report: &StoreReport) {
 
 fn dataset_verify(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags(argv, &["in", "report"])?;
-    let tdest = telemetry_init(&flags);
+    let tdest = telemetry_init(&flags, "dataset verify")?;
     threads_init(&flags)?;
     let input = flags.opt("in").ok_or("dataset verify needs --in FILE")?;
     let report = store::verify(Path::new(input)).map_err(|e| e.to_string())?;
@@ -621,7 +707,7 @@ fn dataset_verify(argv: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write report to {report_path}: {e}"))?;
         progress!("cli", "wrote verify report to {report_path}");
     }
-    telemetry_finish(&tdest)?;
+    telemetry_finish(tdest)?;
     if report.is_clean() {
         println!("PASS: {input} is intact");
         Ok(())
@@ -647,11 +733,12 @@ fn validate_cmd(argv: &[String]) -> Result<(), String> {
         ],
         &["sampling"],
     )?;
-    let tdest = telemetry_init(&flags);
+    let tdest = telemetry_init(&flags, "validate")?;
     threads_init(&flags)?;
+    let _root = mtd_telemetry::prof::scope("cli.validate");
     let registry = load_registry(&flags)?;
     if flags.is_set("sampling") {
-        return validate_sampling(&registry, &flags, &tdest);
+        return validate_sampling(&registry, &flags, tdest);
     }
     let config = ScenarioConfig {
         n_bs: flags.num_or("n-bs", 12usize)?,
@@ -688,7 +775,7 @@ median EMD {:.3}, median KS {:.3}, worst mean ratio {:.2}",
         report.median_ks(),
         report.worst_mean_ratio()
     );
-    telemetry_finish(&tdest)?;
+    telemetry_finish(tdest)?;
     // Thresholds sized for small validation campaigns, whose rare-service
     // PDFs are noisy; a mismatched registry exceeds them by multiples.
     if report.passes(0.45, 0.8) {
@@ -704,7 +791,7 @@ median EMD {:.3}, median KS {:.3}, worst mean ratio {:.2}",
 fn validate_sampling(
     registry: &ModelRegistry,
     flags: &Flags,
-    tdest: &TelemetryDest,
+    tdest: RunTelemetry,
 ) -> Result<(), String> {
     use mtd_core::validation::sampling::{run_battery, SamplingConfig};
     let defaults = SamplingConfig::default();
@@ -760,7 +847,7 @@ fn selftest_cmd(argv: &[String]) -> Result<(), String> {
     use mobile_traffic_dists::chaos::{self, Verdict};
 
     let flags = parse_flags(argv, &["seed", "plans", "faults", "report", "workdir"])?;
-    let tdest = telemetry_init(&flags);
+    let tdest = telemetry_init(&flags, "selftest")?;
     let threads = threads_init(&flags)?.max(2);
     if !mtd_fault::compiled_in() {
         return Err(
@@ -800,7 +887,7 @@ fn selftest_cmd(argv: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write report to {path}: {e}"))?;
         progress!("cli", "wrote selftest report to {path}");
     }
-    telemetry_finish(&tdest)?;
+    telemetry_finish(tdest)?;
 
     if report.passed {
         println!(
@@ -823,6 +910,57 @@ fn selftest_cmd(argv: &[String]) -> Result<(), String> {
             report.runs.len()
         ))
     }
+}
+
+/// `profile`: run any other subcommand under the mtd-prof sampling
+/// profiler (DESIGN.md §12) and write folded stacks / a self-total report.
+fn profile_cmd(argv: &[String]) -> Result<(), String> {
+    let sep = argv.iter().position(|a| a == "--").ok_or(
+        "profile needs an inner command after `--`, e.g. \
+         `mtd-traffic profile --folded fit.folded -- fit --quiet`",
+    )?;
+    let flags = Flags::parse(&argv[..sep], &["sample-hz", "folded", "report"], &[])?;
+    let inner = &argv[sep + 1..];
+    match inner.first().map(String::as_str) {
+        None => return Err("profile: nothing to run after `--`".into()),
+        Some("profile") => return Err("profile cannot profile itself".into()),
+        Some(_) => {}
+    }
+    // 997 Hz (prime) avoids sampling in lockstep with periodic work.
+    let sample_hz: f64 = flags.num_or("sample-hz", 997.0)?;
+
+    let profiler = mtd_telemetry::prof::Profiler::start(sample_hz)?;
+    let result = run(inner);
+    let report = profiler.stop();
+
+    if let Some(path) = flags.opt("folded") {
+        let mut file = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        );
+        report
+            .write_folded(&mut file)
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("cannot write folded stacks to {path}: {e}"))?;
+        progress!("prof", "wrote folded stacks to {path}");
+    }
+    match flags.opt("report") {
+        Some(path) => {
+            std::fs::write(path, report.render())
+                .map_err(|e| format!("cannot write profile report to {path}: {e}"))?;
+            progress!("prof", "wrote profile report to {path}");
+        }
+        None => eprint!("{}", report.render()),
+    }
+    // Unconditional: the summary is the product of `profile`, and the
+    // inner command's --quiet has already muted `progress!` by now.
+    eprintln!(
+        "[prof] {} samples at {:.0} Hz over {:.2}s, {:.1}% attributed to named scopes",
+        report.samples,
+        report.sample_hz,
+        report.elapsed_s,
+        100.0 * report.attributed_fraction()
+    );
+    result
 }
 
 #[cfg(test)]
@@ -1194,6 +1332,111 @@ mod tests {
         );
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&tel).ok();
+    }
+
+    #[test]
+    fn heartbeat_flag_runs_and_rejects_bad_values() {
+        // A sub-second interval on a tiny run: the command must finish
+        // cleanly whether or not a line got printed.
+        run(&argv(&[
+            "simulate",
+            "--n-bs",
+            "2",
+            "--days",
+            "1",
+            "--scale",
+            "0.02",
+            "--heartbeat",
+            "0.1",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert!(run(&argv(&["simulate", "--heartbeat", "0", "--quiet"])).is_err());
+        assert!(run(&argv(&["simulate", "--heartbeat", "nope", "--quiet"])).is_err());
+    }
+
+    #[test]
+    fn metrics_interval_needs_telemetry_file_and_streams() {
+        // Without a file destination there is nothing to stream to.
+        assert!(run(&argv(&["simulate", "--metrics-interval", "1", "--quiet"])).is_err());
+        assert!(run(&argv(&[
+            "simulate",
+            "--telemetry-stderr",
+            "--metrics-interval",
+            "1",
+            "--quiet"
+        ]))
+        .is_err());
+
+        let dir = temp_dir("mtd_cli_test_metrics");
+        let tel = dir.join("stream.ndjson");
+        let tel_s = tel.to_str().unwrap().to_string();
+        run(&argv(&[
+            "simulate",
+            "--n-bs",
+            "2",
+            "--days",
+            "1",
+            "--scale",
+            "0.02",
+            "--telemetry",
+            &tel_s,
+            "--metrics-interval",
+            "0.1",
+            "--quiet",
+        ]))
+        .unwrap();
+        // The final dump always lands, whatever the streamer managed.
+        let content = std::fs::read_to_string(&tel).unwrap();
+        std::fs::remove_file(&tel).ok();
+        assert!(content.contains("\"type\":\"meta\""), "{content}");
+    }
+
+    #[test]
+    fn profile_wraps_simulate_and_writes_folded_stacks() {
+        let dir = temp_dir("mtd_cli_test_profile");
+        let folded = dir.join("sim.folded");
+        let folded_s = folded.to_str().unwrap().to_string();
+        let report = dir.join("sim.profile.txt");
+        let report_s = report.to_str().unwrap().to_string();
+        run(&argv(&[
+            "profile",
+            "--sample-hz",
+            "500",
+            "--folded",
+            &folded_s,
+            "--report",
+            &report_s,
+            "--",
+            "simulate",
+            "--n-bs",
+            "6",
+            "--days",
+            "2",
+            "--scale",
+            "0.05",
+            "--quiet",
+        ]))
+        .unwrap();
+        let folded_text = std::fs::read_to_string(&folded).unwrap();
+        let report_text = std::fs::read_to_string(&report).unwrap();
+        std::fs::remove_file(&folded).ok();
+        std::fs::remove_file(&report).ok();
+        // Folded format: every line is "frame(;frame)* count".
+        for line in folded_text.lines() {
+            let (frames, count) = line.rsplit_once(' ').expect("stack + count");
+            assert!(!frames.is_empty(), "{line}");
+            count.parse::<u64>().expect("sample count");
+        }
+        assert!(report_text.contains("samples"), "{report_text}");
+    }
+
+    #[test]
+    fn profile_rejects_bad_usage() {
+        // No `--` separator, nothing after it, and self-profiling.
+        assert!(run(&argv(&["profile", "fit"])).is_err());
+        assert!(run(&argv(&["profile", "--"])).is_err());
+        assert!(run(&argv(&["profile", "--", "profile", "--", "fit"])).is_err());
     }
 
     #[test]

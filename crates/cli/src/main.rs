@@ -16,6 +16,13 @@ mod commands;
 
 use std::process::ExitCode;
 
+/// Counting allocator (mtd-prof memory accounting): delegates to the
+/// system allocator and keeps live/peak counters that `profile` and
+/// `--heartbeat` read. A few relaxed atomics per allocation — see the
+/// overhead_guard CI gate.
+#[global_allocator]
+static ALLOC: mtd_telemetry::alloc::CountingAlloc = mtd_telemetry::alloc::CountingAlloc::new();
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::run(&argv) {

@@ -60,9 +60,19 @@ pub fn fit_registry_pooled(
         }
     }
 
+    if mtd_telemetry::enabled() {
+        // Heartbeat progress: one unit per service fit plus one per
+        // arrival decile fit below.
+        mtd_telemetry::gauge_set("progress.total_units", (candidates.len() + 10) as f64);
+    }
     let fitted = pool.par_map_indexed(candidates.len(), |i| {
         let (s, sessions) = candidates[i];
-        fit_service(dataset, s, sessions, total_sessions, volume_config)
+        let model = fit_service(dataset, s, sessions, total_sessions, volume_config);
+        if mtd_telemetry::enabled() {
+            mtd_telemetry::count("progress.done_units", 1);
+            mtd_telemetry::flush_thread();
+        }
+        model
     });
     let mut services = Vec::with_capacity(fitted.len());
     for model in fitted {
@@ -79,11 +89,16 @@ pub fn fit_registry_pooled(
         let d = d as u8;
         let peak = dataset.arrival_counts_windowed(d, true);
         let off = dataset.arrival_counts_windowed(d, false);
-        if peak.len() < 2 {
+        let fit = if peak.len() < 2 {
             None
         } else {
             Some(ArrivalModel::fit(&peak, &off))
+        };
+        if mtd_telemetry::enabled() {
+            mtd_telemetry::count("progress.done_units", 1);
+            mtd_telemetry::flush_thread();
         }
+        fit
     });
     let mut per_decile: Vec<ArrivalModel> = Vec::with_capacity(10);
     for fit in decile_fits {

@@ -91,6 +91,7 @@ pub fn lm_fit_with<P: LmProblem>(
     opts: &LmOptions,
     scratch: &mut LmScratch,
 ) -> Result<LmResult> {
+    let _span = mtd_telemetry::span!("lm.fit");
     if x0.is_empty() {
         return Err(MathError::EmptyInput("lm_fit parameters"));
     }

@@ -109,6 +109,15 @@ pub fn median(xs: &[f64]) -> Result<f64> {
     percentile(xs, 0.5)
 }
 
+/// [`median`] on an **ascending-sorted** sample, without the
+/// sort-and-copy — the shared helper behind `mtd-bench`'s timing medians
+/// and the analysis percentile paths. Even-length samples interpolate
+/// between the two middle order statistics; `sorted[len / 2]` indexing
+/// would instead pick the upper one and bias the estimate.
+pub fn median_sorted(sorted: &[f64]) -> Result<f64> {
+    percentile_sorted(sorted, 0.5)
+}
+
 /// Five-number summary used by the boxplots of Fig 8 and Fig 13b:
 /// 5th percentile, first quartile, median, third quartile, 95th percentile.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -250,6 +259,33 @@ mod tests {
         }
         // p90 of 0..=9 interpolates to 8.1; floor indexing would give 8.0.
         assert!((percentile_sorted(&xs, 0.9).unwrap() - 8.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_sorted_interpolation_pinned() {
+        // Odd length: the middle order statistic, exactly.
+        assert_eq!(median_sorted(&[1.0, 5.0, 9.0]).unwrap(), 5.0);
+        // Even length: the midpoint of the two middle values — NOT the
+        // upper-middle that `sorted[len / 2]` indexing would return.
+        assert_eq!(median_sorted(&[1.0, 2.0, 3.0, 10.0]).unwrap(), 2.5);
+        assert_eq!(median_sorted(&[2.0, 4.0]).unwrap(), 3.0);
+        // Single sample and agreement with the sorting front-end.
+        assert_eq!(median_sorted(&[7.0]).unwrap(), 7.0);
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(median(&xs).unwrap(), median_sorted(&sorted).unwrap());
+        assert!(median_sorted(&[]).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolation_pinned_between_order_statistics() {
+        // p = 0.75 over 4 points sits at rank 2.25: a quarter of the way
+        // from the 3rd to the 4th order statistic.
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert!((percentile_sorted(&xs, 0.75).unwrap() - 32.5).abs() < 1e-12);
+        // Truncating the rank would snap to 30.0 — pin the difference.
+        assert!(percentile_sorted(&xs, 0.75).unwrap() > 30.0);
     }
 
     #[test]

@@ -124,6 +124,7 @@ impl<'a> Engine<'a> {
     /// Runs the full campaign, feeding `sink`.
     pub fn run<S: EngineSink>(&self, sink: &mut S) -> RunStats {
         let _span = mtd_telemetry::span!("sim.run");
+        self.announce_total_units();
         let mut stats = RunStats::default();
         for station in self.topology.stations() {
             // Per-station accumulation merged in station order keeps the
@@ -151,6 +152,7 @@ impl<'a> Engine<'a> {
         }
         let _span = mtd_telemetry::span!("sim.run_parallel");
         mtd_telemetry::gauge_set("sim.threads", threads as f64);
+        self.announce_total_units();
         let stations = self.topology.stations();
         let mut stats = RunStats::default();
         mtd_par::Pool::new(threads).par_for_each_ordered(
@@ -183,9 +185,11 @@ impl<'a> Engine<'a> {
         sink: &mut S,
         stats: &mut RunStats,
     ) {
+        let _prof = mtd_telemetry::prof::scope("sim.station");
         let arrivals =
             ArrivalProcess::for_load_quantile(station.load_quantile, self.config.arrival_scale);
         for day in 0..self.config.days {
+            let day_sessions = stats.sessions;
             let stream = u64::from(station.id.0) * 1_000_003 + u64::from(day);
             let mut rng = stream_rng(self.config.seed ^ stream_id("engine"), stream);
             let mut counter: u64 = 0;
@@ -205,9 +209,28 @@ impl<'a> Engine<'a> {
                     );
                 }
             }
+            if mtd_telemetry::enabled() {
+                // Heartbeat progress: one simulated BS-day done. Flushed
+                // eagerly so the live reader sees sub-second updates even
+                // though counters normally buffer per thread.
+                mtd_telemetry::count("progress.done_units", u64::from(MINUTES_PER_DAY));
+                mtd_telemetry::count("progress.bs_minutes", u64::from(MINUTES_PER_DAY));
+                mtd_telemetry::count("progress.sessions", stats.sessions - day_sessions);
+                mtd_telemetry::flush_thread();
+            }
         }
         // `stats` is fresh per call, so this is the per-station throughput.
         mtd_telemetry::observe("sim.station.sessions", stats.sessions as f64);
+    }
+
+    /// Publishes the campaign size (in BS-minutes) for heartbeat ETA.
+    fn announce_total_units(&self) {
+        if mtd_telemetry::enabled() {
+            let total = self.topology.len() as u64
+                * u64::from(self.config.days)
+                * u64::from(MINUTES_PER_DAY);
+            mtd_telemetry::gauge_set("progress.total_units", total as f64);
+        }
     }
 
     /// Generates one complete session starting at `(bs, day, minute)` and

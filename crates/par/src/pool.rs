@@ -44,6 +44,9 @@ impl Drop for WorkerGuard {
 /// No job is ever added after seeding, so empty-everywhere is final.
 fn worker_loop<J, E: FnMut(J)>(deques: &[WorkDeque<J>], w: usize, mut execute: E) {
     let _guard = WorkerGuard::enter(w);
+    // Root profiler frame for this worker: everything a job does on this
+    // thread is attributed under `par.worker` unless a deeper scope opens.
+    let _prof = mtd_telemetry::prof::scope("par.worker");
     let own = &deques[w];
     let mut tasks: u64 = 0;
     let mut steals: u64 = 0;

@@ -1,0 +1,238 @@
+//! Counting global allocator and `/proc/self/status` memory readers.
+//!
+//! [`CountingAlloc`] wraps the system allocator with relaxed atomic
+//! counters: live bytes, peak live bytes, allocation/free counts, and a
+//! per-scope attribution table keyed by the profiler's innermost open
+//! scope (see [`crate::prof`]). Binaries opt in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: mtd_telemetry::alloc::CountingAlloc =
+//!     mtd_telemetry::alloc::CountingAlloc::new();
+//! ```
+//!
+//! The CLI installs it; benchmark binaries deliberately do not, so the
+//! CI overhead gate measures the un-wrapped hot paths.
+//!
+//! ## Allocator-safety
+//!
+//! Everything on the alloc/dealloc path is static atomics plus one
+//! const-initialized, Drop-free `thread_local!` `Cell` read — no locks,
+//! no lazy TLS initialization, and therefore no possible recursion into
+//! the allocator itself.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+use crate::prof::MAX_SCOPES;
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static PEAK: AtomicI64 = AtomicI64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Bytes / allocation counts per interned scope id; slot `MAX_SCOPES-1`
+/// aggregates all overflow ids.
+static SCOPE_BYTES: [AtomicU64; MAX_SCOPES] = [const { AtomicU64::new(0) }; MAX_SCOPES];
+static SCOPE_COUNTS: [AtomicU64; MAX_SCOPES] = [const { AtomicU64::new(0) }; MAX_SCOPES];
+
+/// A `#[global_allocator]` wrapper around [`System`] that keeps the
+/// counters read by [`stats`], the heartbeat and the profile report.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    #[must_use]
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn on_alloc(size: usize) {
+    if !INSTALLED.load(Ordering::Relaxed) {
+        INSTALLED.store(true, Ordering::Relaxed);
+    }
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE.fetch_add(size as i64, Ordering::Relaxed) + size as i64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+    let scope = crate::prof::current_scope_id();
+    if scope != 0 {
+        let slot = (scope as usize).min(MAX_SCOPES - 1);
+        SCOPE_BYTES[slot].fetch_add(size as u64, Ordering::Relaxed);
+        SCOPE_COUNTS[slot].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn on_dealloc(size: usize) {
+    DEALLOCS.fetch_add(1, Ordering::Relaxed);
+    LIVE.fetch_sub(size as i64, Ordering::Relaxed);
+}
+
+// SAFETY: delegates every operation verbatim to `System`; the counter
+// updates never allocate (see module docs).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// Process-wide counting-allocator totals. All zeros (and
+/// `installed == false`) in binaries that did not install
+/// [`CountingAlloc`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllocStats {
+    /// Whether a [`CountingAlloc`] has served at least one allocation.
+    pub installed: bool,
+    /// Currently live heap bytes (allocated minus freed).
+    pub live_bytes: i64,
+    /// High-water mark of `live_bytes`.
+    pub peak_live_bytes: i64,
+    pub allocs: u64,
+    pub deallocs: u64,
+}
+
+/// Reads the current allocator counters (relaxed loads; values from
+/// racing threads may be a few operations apart).
+#[must_use]
+pub fn stats() -> AllocStats {
+    AllocStats {
+        installed: INSTALLED.load(Ordering::Relaxed),
+        live_bytes: LIVE.load(Ordering::Relaxed),
+        peak_live_bytes: PEAK.load(Ordering::Relaxed),
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        deallocs: DEALLOCS.load(Ordering::Relaxed),
+    }
+}
+
+/// Clears the per-scope attribution table (called on profiler start so
+/// each profile reports its own window).
+pub(crate) fn reset_scope_table() {
+    for slot in 0..MAX_SCOPES {
+        SCOPE_BYTES[slot].store(0, Ordering::Relaxed);
+        SCOPE_COUNTS[slot].store(0, Ordering::Relaxed);
+    }
+}
+
+/// Non-zero rows of the per-scope table as `(scope id, bytes, count)`.
+pub(crate) fn scope_table_snapshot() -> Vec<(u32, u64, u64)> {
+    (1..MAX_SCOPES)
+        .filter_map(|slot| {
+            let bytes = SCOPE_BYTES[slot].load(Ordering::Relaxed);
+            let count = SCOPE_COUNTS[slot].load(Ordering::Relaxed);
+            (bytes > 0 || count > 0).then_some((slot as u32, bytes, count))
+        })
+        .collect()
+}
+
+/// Peak resident set size (`VmHWM`), in bytes. `None` off Linux.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmHWM:")
+}
+
+/// Current resident set size (`VmRSS`), in bytes. `None` off Linux.
+#[must_use]
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmRSS:")
+}
+
+#[cfg(target_os = "linux")]
+fn proc_status_bytes(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_field(&status, field)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn proc_status_bytes(_field: &str) -> Option<u64> {
+    None
+}
+
+/// Parses one `Field:   1234 kB` line out of `/proc/self/status` text.
+fn parse_status_field(status: &str, field: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    let kb: u64 = line[field.len()..]
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_status_field_reads_kb_lines() {
+        let status = "Name:\tmtd\nVmHWM:\t  123456 kB\nVmRSS:\t     42 kB\n";
+        assert_eq!(parse_status_field(status, "VmHWM:"), Some(123_456 * 1024));
+        assert_eq!(parse_status_field(status, "VmRSS:"), Some(42 * 1024));
+        assert_eq!(parse_status_field(status, "VmPeak:"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn proc_self_status_is_readable() {
+        let hwm = peak_rss_bytes().expect("VmHWM present on Linux");
+        let rss = current_rss_bytes().expect("VmRSS present on Linux");
+        assert!(hwm > 0 && rss > 0);
+        assert!(
+            hwm >= rss / 2,
+            "HWM {hwm} should not be far below RSS {rss}"
+        );
+    }
+
+    #[test]
+    fn scope_table_snapshot_skips_empty_slots() {
+        // The table belongs to whichever profile run is active; this test
+        // only checks the filter, using a slot id far above interned ids.
+        let slot = MAX_SCOPES - 2;
+        SCOPE_BYTES[slot].store(0, Ordering::Relaxed);
+        SCOPE_COUNTS[slot].store(0, Ordering::Relaxed);
+        assert!(!scope_table_snapshot()
+            .iter()
+            .any(|&(id, _, _)| id as usize == slot));
+        SCOPE_BYTES[slot].store(7, Ordering::Relaxed);
+        SCOPE_COUNTS[slot].store(1, Ordering::Relaxed);
+        assert!(scope_table_snapshot()
+            .iter()
+            .any(|&(id, b, c)| id as usize == slot && b == 7 && c == 1));
+        SCOPE_BYTES[slot].store(0, Ordering::Relaxed);
+        SCOPE_COUNTS[slot].store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,423 @@
+//! Live campaign heartbeat: a periodic stderr status line with stage,
+//! progress, throughput rates, memory, and an ETA.
+//!
+//! Long runs (the paper's campaign is 282k base stations × 45 days)
+//! need a progress surface that costs nothing when off and one registry
+//! snapshot per tick when on. The heartbeat reads the **progress
+//! contract** that instrumented stages already emit:
+//!
+//! | metric                 | kind    | meaning                          |
+//! |------------------------|---------|----------------------------------|
+//! | `progress.total_units` | gauge   | planned work units for the stage |
+//! | `progress.done_units`  | counter | work units completed             |
+//! | `progress.bs_minutes`  | counter | simulated base-station minutes   |
+//! | `progress.sessions`    | counter | sessions generated so far        |
+//!
+//! netsim counts one unit per simulated base-station minute; the fit
+//! pipeline counts one unit per fitted model. The ETA and rate math live
+//! in [`EtaEstimator`] / [`HeartbeatState`], which take time as plain
+//! seconds from an injectable [`Clock`] so the math is testable without
+//! sleeping.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::registry::Snapshot;
+
+/// Monotonic-seconds source; injectable so ETA math is testable.
+pub trait Clock: Send {
+    fn now_s(&self) -> f64;
+}
+
+/// Real clock: seconds since construction.
+pub struct MonotonicClock(Instant);
+
+impl MonotonicClock {
+    #[must_use]
+    pub fn new() -> MonotonicClock {
+        MonotonicClock(Instant::now())
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_s(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Current pipeline stage label shown on the heartbeat line.
+static STAGE: Mutex<Option<String>> = Mutex::new(None);
+
+/// Sets the stage label (instrumented stages call this as they begin).
+pub fn set_stage(stage: &str) {
+    *STAGE.lock().unwrap_or_else(|e| e.into_inner()) = Some(stage.to_string());
+}
+
+/// The current stage label, `"run"` until any stage reported.
+#[must_use]
+pub fn stage() -> String {
+    STAGE
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_else(|| "run".to_string())
+}
+
+/// Average-rate ETA anchored at the first observation with progress.
+///
+/// `update` returns the estimated seconds remaining, or `None` while no
+/// rate is established: before any progress, when total is unknown, or
+/// when the rate is zero/negative (the zero-rate guard — an ETA of
+/// infinity is reported as "no ETA", never as a huge number).
+#[derive(Debug, Default)]
+pub struct EtaEstimator {
+    /// `(time, done)` at the first observation.
+    origin: Option<(f64, f64)>,
+}
+
+impl EtaEstimator {
+    #[must_use]
+    pub const fn new() -> EtaEstimator {
+        EtaEstimator { origin: None }
+    }
+
+    pub fn update(&mut self, now_s: f64, done: f64, total: f64) -> Option<f64> {
+        if total.is_nan() || total <= 0.0 || done < 0.0 {
+            return None;
+        }
+        if done >= total {
+            return Some(0.0);
+        }
+        let (t0, d0) = *self.origin.get_or_insert((now_s, done));
+        let elapsed = now_s - t0;
+        let progressed = done - d0;
+        if elapsed <= 0.0 || progressed <= 0.0 {
+            return None;
+        }
+        Some((total - done) * elapsed / progressed)
+    }
+}
+
+/// One heartbeat observation, ready to render.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tick {
+    pub elapsed_s: f64,
+    pub stage: String,
+    pub done: f64,
+    pub total: f64,
+    /// `None` until two observations establish a rate.
+    pub sessions_per_s: Option<f64>,
+    pub bs_minutes_per_s: Option<f64>,
+    /// Live heap bytes from the counting allocator (0 if not installed).
+    pub live_bytes: i64,
+    pub peak_rss_bytes: Option<u64>,
+    pub eta_s: Option<f64>,
+}
+
+/// Clock-independent heartbeat core: feed it snapshots, get [`Tick`]s.
+#[derive(Default)]
+pub struct HeartbeatState {
+    eta: EtaEstimator,
+    /// `(time, sessions, bs_minutes)` at the previous tick.
+    last: Option<(f64, f64, f64)>,
+}
+
+impl HeartbeatState {
+    #[must_use]
+    pub fn new() -> HeartbeatState {
+        HeartbeatState::default()
+    }
+
+    pub fn tick(&mut self, now_s: f64, snap: &Snapshot) -> Tick {
+        let done = snap.counter("progress.done_units").unwrap_or(0) as f64;
+        let total = snap.gauge("progress.total_units").unwrap_or(0.0);
+        let sessions = snap.counter("progress.sessions").unwrap_or(0) as f64;
+        let bs_minutes = snap.counter("progress.bs_minutes").unwrap_or(0) as f64;
+        let (sessions_per_s, bs_minutes_per_s) = match self.last {
+            Some((t0, s0, b0)) if now_s > t0 => {
+                let dt = now_s - t0;
+                (Some((sessions - s0) / dt), Some((bs_minutes - b0) / dt))
+            }
+            _ => (None, None),
+        };
+        self.last = Some((now_s, sessions, bs_minutes));
+        Tick {
+            elapsed_s: now_s,
+            stage: stage(),
+            done,
+            total,
+            sessions_per_s,
+            bs_minutes_per_s,
+            live_bytes: crate::alloc::stats().live_bytes,
+            peak_rss_bytes: crate::alloc::peak_rss_bytes(),
+            eta_s: self.eta.update(now_s, done, total),
+        }
+    }
+}
+
+/// Renders one status line (no trailing newline), e.g.
+///
+/// ```text
+/// [hb +12s] simulate 35.0% (211680/604800) | 50400 BS-min/s | 8123 sessions/s | mem 120.1 MiB live, 310.0 MiB peak | ETA 22s
+/// ```
+#[must_use]
+pub fn render(tick: &Tick) -> String {
+    let progress = if tick.total > 0.0 {
+        format!(
+            "{:.1}% ({}/{})",
+            100.0 * (tick.done / tick.total).min(1.0),
+            tick.done as u64,
+            tick.total as u64
+        )
+    } else {
+        "-".to_string()
+    };
+    let rate = |r: Option<f64>| match r {
+        Some(v) if v.is_finite() => format!("{v:.0}"),
+        _ => "-".to_string(),
+    };
+    let mem = match tick.peak_rss_bytes {
+        Some(peak) => format!(
+            "{} live, {} peak",
+            crate::prof::fmt_bytes(tick.live_bytes.max(0) as u64),
+            crate::prof::fmt_bytes(peak)
+        ),
+        None => crate::prof::fmt_bytes(tick.live_bytes.max(0) as u64),
+    };
+    let eta = match tick.eta_s {
+        Some(s) => fmt_duration(s),
+        None => "--".to_string(),
+    };
+    format!(
+        "[hb +{:.0}s] {} {} | {} BS-min/s | {} sessions/s | mem {} | ETA {}",
+        tick.elapsed_s,
+        tick.stage,
+        progress,
+        rate(tick.bs_minutes_per_s),
+        rate(tick.sessions_per_s),
+        mem,
+        eta
+    )
+}
+
+/// `90s` / `12m30s` / `2h05m` rendering for the ETA field.
+#[must_use]
+pub fn fmt_duration(seconds: f64) -> String {
+    let s = seconds.max(0.0).round() as u64;
+    if s < 120 {
+        format!("{s}s")
+    } else if s < 7200 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    }
+}
+
+/// A running heartbeat printer; stop it with [`Heartbeat::finish`] (or
+/// drop it). Started by the CLI's `--heartbeat <secs>` flag.
+pub struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawns a thread that prints one [`render`]ed line to stderr every
+/// `interval_s` seconds (minimum 0.1s).
+#[must_use]
+pub fn start(interval_s: f64) -> Heartbeat {
+    let interval = interval_s.max(0.1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("mtd-heartbeat".into())
+        .spawn(move || {
+            let clock = MonotonicClock::new();
+            let mut state = HeartbeatState::new();
+            let mut next_emit = interval;
+            // Poll the stop flag often so `finish` never waits a full
+            // interval, but only snapshot/print on the interval.
+            while !stop_flag.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(50));
+                let now = clock.now_s();
+                if now >= next_emit {
+                    let snap = crate::snapshot();
+                    let tick = state.tick(now, &snap);
+                    eprintln!("{}", render(&tick));
+                    next_emit = now + interval;
+                }
+            }
+        })
+        .ok();
+    Heartbeat { stop, handle }
+}
+
+impl Heartbeat {
+    /// Stops the printer thread and waits for it to exit.
+    pub fn finish(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic test clock: shared mutable seconds.
+    struct FakeClock(std::cell::Cell<f64>);
+
+    impl FakeClock {
+        fn new() -> FakeClock {
+            FakeClock(std::cell::Cell::new(0.0))
+        }
+        fn advance(&self, s: f64) -> f64 {
+            self.0.set(self.0.get() + s);
+            self.0.get()
+        }
+    }
+
+    #[test]
+    fn eta_needs_progress_before_estimating() {
+        let clock = FakeClock::new();
+        let mut eta = EtaEstimator::new();
+        // No total, no estimate.
+        assert_eq!(eta.update(clock.advance(1.0), 0.0, 0.0), None);
+        // First observation anchors; still no rate.
+        assert_eq!(eta.update(clock.advance(1.0), 0.0, 100.0), None);
+        // Zero-rate guard: time passes, no progress.
+        assert_eq!(eta.update(clock.advance(10.0), 0.0, 100.0), None);
+        // Progress establishes a rate: 25 units in the 10s since the
+        // anchor (the first observation with a positive total, at t=2).
+        let est = eta.update(clock.advance(0.0), 25.0, 100.0).unwrap();
+        assert!((est - 75.0 * 10.0 / 25.0).abs() < 1e-9, "est {est}");
+    }
+
+    #[test]
+    fn eta_converges_under_constant_rate() {
+        // 10 units/s toward 1000: after the anchor, the estimate must be
+        // exact and shrink monotonically to 0.
+        let mut eta = EtaEstimator::new();
+        assert_eq!(eta.update(0.0, 0.0, 1000.0), None);
+        let mut last = f64::INFINITY;
+        for step in 1..=100u32 {
+            let t = f64::from(step);
+            let done = 10.0 * t;
+            let est = eta.update(t, done, 1000.0).unwrap();
+            assert!((est - (1000.0 - done) / 10.0).abs() < 1e-9, "step {step}");
+            assert!(est <= last, "ETA must fall under constant rate");
+            last = est;
+        }
+        assert_eq!(eta.update(100.0, 1000.0, 1000.0), Some(0.0));
+    }
+
+    #[test]
+    fn eta_is_finite_even_when_rate_slows() {
+        let mut eta = EtaEstimator::new();
+        eta.update(0.0, 0.0, 100.0);
+        let fast = eta.update(10.0, 50.0, 100.0).unwrap();
+        // Rate collapses: the average-rate ETA grows but stays finite.
+        let slow = eta.update(1000.0, 51.0, 100.0).unwrap();
+        assert!(slow.is_finite() && slow > fast);
+    }
+
+    #[test]
+    fn heartbeat_state_computes_rates_from_counter_deltas() {
+        let key = |name: &'static str| crate::registry::Key { name, label: None };
+        let mut snap = Snapshot::default();
+        snap.counters.extend([
+            (key("progress.done_units"), 100),
+            (key("progress.sessions"), 500),
+            (key("progress.bs_minutes"), 1440),
+        ]);
+        snap.gauges.insert(key("progress.total_units"), 1000.0);
+
+        let mut state = HeartbeatState::new();
+        let clock = FakeClock::new();
+        let first = state.tick(clock.advance(1.0), &snap);
+        assert_eq!(first.sessions_per_s, None, "no rate from one observation");
+        assert_eq!(first.done, 100.0);
+        assert_eq!(first.total, 1000.0);
+
+        // 2 seconds later: +300 sessions, +2880 BS-minutes, +100 units.
+        snap.counters.insert(key("progress.done_units"), 200);
+        snap.counters.insert(key("progress.sessions"), 800);
+        snap.counters.insert(key("progress.bs_minutes"), 4320);
+        let second = state.tick(clock.advance(2.0), &snap);
+        assert!((second.sessions_per_s.unwrap() - 150.0).abs() < 1e-9);
+        assert!((second.bs_minutes_per_s.unwrap() - 1440.0).abs() < 1e-9);
+        let eta = second.eta_s.unwrap();
+        // 100 units in 2s since anchor -> 800 remaining at 50/s = 16s.
+        assert!((eta - 16.0).abs() < 1e-9, "eta {eta}");
+        // Progress is monotone in the rendered tick.
+        assert!(second.done >= first.done);
+    }
+
+    #[test]
+    fn render_handles_missing_data_and_full_data() {
+        let empty = Tick {
+            elapsed_s: 5.0,
+            stage: "run".into(),
+            done: 0.0,
+            total: 0.0,
+            sessions_per_s: None,
+            bs_minutes_per_s: None,
+            live_bytes: 0,
+            peak_rss_bytes: None,
+            eta_s: None,
+        };
+        let line = render(&empty);
+        assert!(line.starts_with("[hb +5s] run -"), "line: {line}");
+        assert!(line.contains("- BS-min/s") && line.contains("ETA --"));
+
+        let full = Tick {
+            elapsed_s: 12.0,
+            stage: "simulate".into(),
+            done: 350.0,
+            total: 1000.0,
+            sessions_per_s: Some(8123.4),
+            bs_minutes_per_s: Some(50400.0),
+            live_bytes: 125_829_120,
+            peak_rss_bytes: Some(325_058_560),
+            eta_s: Some(22.4),
+        };
+        let line = render(&full);
+        assert!(line.contains("simulate 35.0% (350/1000)"), "line: {line}");
+        assert!(line.contains("50400 BS-min/s"));
+        assert!(line.contains("8123 sessions/s"));
+        assert!(line.contains("120.0 MiB live, 310.0 MiB peak"));
+        assert!(line.contains("ETA 22s"));
+    }
+
+    #[test]
+    fn fmt_duration_breaks_at_sensible_units() {
+        assert_eq!(fmt_duration(0.4), "0s");
+        assert_eq!(fmt_duration(90.0), "90s");
+        assert_eq!(fmt_duration(750.0), "12m30s");
+        assert_eq!(fmt_duration(7500.0), "2h05m");
+    }
+
+    #[test]
+    fn stage_defaults_to_run_and_tracks_updates() {
+        // Note: stage is process-global; use a unique label and restore.
+        set_stage("heartbeat.test.stage");
+        assert_eq!(stage(), "heartbeat.test.stage");
+    }
+}

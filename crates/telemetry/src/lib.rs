@@ -35,6 +35,19 @@
 //! JSON object per line (schema documented on the function) and
 //! [`export::summary`] renders a human-readable table.
 //!
+//! ## mtd-prof (profiling / runtime observability)
+//!
+//! Three sibling modules turn the same instrumentation into a profiler:
+//!
+//! * [`prof`] — a scope-stack sampling profiler. With the `prof` cargo
+//!   feature, every [`span!`] also pushes onto a per-thread scope stack
+//!   that a background sampler snapshots into folded flamegraph stacks.
+//! * [`alloc`] — a counting `#[global_allocator]` wrapper attributing
+//!   live/peak bytes to the innermost profiler scope, cross-checked
+//!   against `VmHWM` from `/proc/self/status`.
+//! * [`heartbeat`] — a periodic stderr status line (stage, rates, memory,
+//!   ETA) driven by the `progress.*` registry metrics.
+//!
 //! ```
 //! let _span = mtd_telemetry::span!("demo.stage");
 //! mtd_telemetry::count("demo.sessions", 3);
@@ -44,8 +57,11 @@
 //! mtd_telemetry::export::write_ndjson(&snap, &mut ndjson).unwrap();
 //! ```
 
+pub mod alloc;
 pub mod export;
+pub mod heartbeat;
 mod histogram;
+pub mod prof;
 mod progress;
 mod registry;
 mod span;

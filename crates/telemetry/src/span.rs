@@ -24,6 +24,10 @@ pub(crate) struct SpanRecord {
 pub struct SpanGuard {
     /// `None` when telemetry was disabled at entry: drop is then a no-op.
     start: Option<Instant>,
+    /// Whether this guard pushed onto the profiler scope stack (only
+    /// when a sampler was running at entry); drop must pop exactly then.
+    #[cfg(feature = "prof")]
+    prof_pushed: bool,
 }
 
 /// Opens a span named `name`. While the returned guard lives, spans opened
@@ -35,17 +39,29 @@ pub struct SpanGuard {
 /// inert guard.
 #[must_use = "a span measures the lifetime of this guard; bind it with `let _span = ...`"]
 pub fn span(name: &'static str) -> SpanGuard {
+    #[cfg(feature = "prof")]
+    let prof_pushed = crate::prof::push_if_active(name);
     if !crate::enabled() {
-        return SpanGuard { start: None };
+        return SpanGuard {
+            start: None,
+            #[cfg(feature = "prof")]
+            prof_pushed,
+        };
     }
     STACK.with(|stack| stack.borrow_mut().push(name));
     SpanGuard {
         start: Some(Instant::now()),
+        #[cfg(feature = "prof")]
+        prof_pushed,
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        #[cfg(feature = "prof")]
+        if self.prof_pushed {
+            crate::prof::pop();
+        }
         let Some(start) = self.start else {
             return;
         };
