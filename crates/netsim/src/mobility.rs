@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn long_mobile_sessions_split() {
-        let m = MobilityModel::new(1.0, 30.0);
+        // Effectively infinite trip so the outcome depends only on dwell
+        // draws, not on one seed's trip length — the single-seed variant
+        // is RNG-stream-sensitive and flips under the offline rand stub.
+        let m = MobilityModel::with_trip(1.0, 30.0, 1e12);
         let t = topo();
         let mut rng = SmallRng::seed_from_u64(3);
         let plan = m.attachment_plan(&t, BsId(0), 600.0, &mut rng);
