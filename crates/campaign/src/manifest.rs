@@ -1,0 +1,383 @@
+//! Campaign checkpoint manifest.
+//!
+//! The manifest is the single source of truth for resume: which shards
+//! of each pass are complete, the running pass-1 totals, and a digest
+//! for every durable artifact. It is written atomically (through
+//! [`mtd_dataset::store::write_atomic`], so it inherits the injected
+//! write faults) on every shard boundary and carries a trailing CRC32 —
+//! a torn write is detected wholesale and reported as
+//! [`CampaignError::TornManifest`], never half-parsed.
+//!
+//! The scenario configuration is echoed bit-exactly (f64 fields as raw
+//! bits) so a resume with a drifted configuration is a structured
+//! [`CampaignError::ConfigMismatch`] instead of a silently different
+//! campaign. Deciles and group tables are *not* stored: they are cheap,
+//! deterministic functions of the totals and are recomputed on every
+//! resume.
+
+use crate::CampaignError;
+use mtd_dataset::format::{crc32, ByteReader, ByteWriter, FormatResult};
+use mtd_netsim::ScenarioConfig;
+use std::path::Path;
+
+/// Manifest file magic.
+pub const MAGIC: [u8; 8] = *b"MTDMANIF";
+/// Manifest format version.
+pub const VERSION: u32 = 1;
+
+/// Durable campaign progress. See the module docs for the contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Bit-exact echo of the scenario this campaign runs.
+    pub scenario: ScenarioConfig,
+    /// Shard count `K`; checkpoints are numbered `0..2K` (pass 1 shard
+    /// `s` → `s`, pass 2 shard `s` → `K + s`).
+    pub shards: u32,
+    /// Running pass-1 quantized per-BS volume totals over the completed
+    /// prefix of shards (associative integer sums, so the prefix is
+    /// exact, not approximate).
+    pub totals_q: Vec<i128>,
+    /// Pass-1 shards completed (shards run in order, so this is a prefix
+    /// count).
+    pub pass1_done: u32,
+    /// Digest of the totals after each completed pass-1 shard.
+    pub pass1_digests: Vec<u64>,
+    /// Pass-2 shards completed.
+    pub pass2_done: u32,
+    /// FNV-1a digest of each completed shard's spill file.
+    pub spill_digests: Vec<u64>,
+    /// Whether the final store has been assembled and renamed into place.
+    pub assembled: bool,
+}
+
+impl Manifest {
+    /// A fresh manifest for a campaign that has completed nothing.
+    #[must_use]
+    pub fn new(scenario: ScenarioConfig, shards: u32) -> Manifest {
+        let n_bs = scenario.n_bs;
+        Manifest {
+            scenario,
+            shards,
+            totals_q: vec![0; n_bs],
+            pass1_done: 0,
+            pass1_digests: Vec::new(),
+            pass2_done: 0,
+            spill_digests: Vec::new(),
+            assembled: false,
+        }
+    }
+
+    /// Encodes the manifest: magic, version, payload, trailing CRC32 of
+    /// everything preceding it.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        put_scenario(&mut w, &self.scenario);
+        w.put_u32(self.shards);
+        w.put_u32(self.totals_q.len() as u32);
+        for q in &self.totals_q {
+            put_i128(&mut w, *q);
+        }
+        w.put_u32(self.pass1_done);
+        w.put_u32(self.pass1_digests.len() as u32);
+        for d in &self.pass1_digests {
+            w.put_u64(*d);
+        }
+        w.put_u32(self.pass2_done);
+        w.put_u32(self.spill_digests.len() as u32);
+        for d in &self.spill_digests {
+            w.put_u64(*d);
+        }
+        w.put_u8(u8::from(self.assembled));
+        let payload = w.into_bytes();
+
+        let mut out = Vec::with_capacity(16 + payload.len() + 4);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes manifest bytes. CRC failures → [`CampaignError::TornManifest`];
+    /// everything after a good CRC that still fails to parse →
+    /// [`CampaignError::CorruptManifest`].
+    pub fn decode(bytes: &[u8], path: &Path) -> Result<Manifest, CampaignError> {
+        let torn = || CampaignError::TornManifest(path.to_path_buf());
+        let corrupt = |reason: &str| CampaignError::CorruptManifest {
+            path: path.to_path_buf(),
+            reason: reason.to_string(),
+        };
+        if bytes.len() < MAGIC.len() + 4 + 4 {
+            return Err(torn());
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let stored_crc = u32::from_le_bytes(tail.try_into().expect("4-byte tail"));
+        if crc32(body) != stored_crc {
+            return Err(torn());
+        }
+        if body[..MAGIC.len()] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        parse_payload(&body[12..]).map_err(|e| corrupt(&e.to_string()))
+    }
+
+    /// Loads and decodes the manifest at `path`. A missing file is
+    /// [`CampaignError::NotStarted`].
+    pub fn load(path: &Path) -> Result<Manifest, CampaignError> {
+        let bytes = std::fs::read(path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                CampaignError::NotStarted(path.to_path_buf())
+            } else {
+                CampaignError::Store(mtd_dataset::StoreError::Io {
+                    path: path.to_path_buf(),
+                    source: e,
+                })
+            }
+        })?;
+        Manifest::decode(&bytes, path)
+    }
+
+    /// Atomically persists the manifest (temp file + rename; injected
+    /// write faults apply, which is how the torn-manifest battery drives
+    /// this path).
+    pub fn save(&self, path: &Path) -> Result<(), CampaignError> {
+        mtd_dataset::write_atomic(path, &self.encode())?;
+        Ok(())
+    }
+
+    /// Total checkpoint count (`2K`).
+    #[must_use]
+    pub fn total_checkpoints(&self) -> u64 {
+        2 * u64::from(self.shards)
+    }
+
+    /// Checkpoints completed so far (shards only; assembly is atomic).
+    #[must_use]
+    pub fn checkpoints_done(&self) -> u64 {
+        u64::from(self.pass1_done) + u64::from(self.pass2_done)
+    }
+
+    /// Structured comparison against the configuration a resume was
+    /// invoked with; `Some(reason)` when they differ.
+    #[must_use]
+    pub fn config_mismatch(&self, scenario: &ScenarioConfig, shards: u32) -> Option<String> {
+        if self.shards != shards {
+            return Some(format!(
+                "manifest has {} shards, resume requested {shards}",
+                self.shards
+            ));
+        }
+        let a = scenario_bits(&self.scenario);
+        let b = scenario_bits(scenario);
+        if a != b {
+            return Some("scenario configuration differs from the manifest echo".to_string());
+        }
+        None
+    }
+}
+
+fn put_scenario(w: &mut ByteWriter, s: &ScenarioConfig) {
+    w.put_u64(s.n_bs as u64);
+    w.put_u32(s.days);
+    w.put_u64(s.seed);
+    for bits in scenario_f64_bits(s) {
+        w.put_u64(bits);
+    }
+}
+
+fn scenario_f64_bits(s: &ScenarioConfig) -> [u64; 6] {
+    [
+        s.arrival_scale.to_bits(),
+        s.p_mobile.to_bits(),
+        s.mean_dwell_s.to_bits(),
+        s.mean_trip_s.to_bits(),
+        s.classifier_error_rate.to_bits(),
+        s.timeout_split_prob.to_bits(),
+    ]
+}
+
+/// Everything that defines the campaign's output, as comparable bits.
+fn scenario_bits(s: &ScenarioConfig) -> (u64, u32, u64, [u64; 6]) {
+    (s.n_bs as u64, s.days, s.seed, scenario_f64_bits(s))
+}
+
+fn get_scenario(r: &mut ByteReader) -> FormatResult<ScenarioConfig> {
+    let n_bs = r.get_u64()? as usize;
+    let days = r.get_u32()?;
+    let seed = r.get_u64()?;
+    let arrival_scale = f64::from_bits(r.get_u64()?);
+    let p_mobile = f64::from_bits(r.get_u64()?);
+    let mean_dwell_s = f64::from_bits(r.get_u64()?);
+    let mean_trip_s = f64::from_bits(r.get_u64()?);
+    let classifier_error_rate = f64::from_bits(r.get_u64()?);
+    let timeout_split_prob = f64::from_bits(r.get_u64()?);
+    Ok(ScenarioConfig {
+        n_bs,
+        days,
+        seed,
+        arrival_scale,
+        p_mobile,
+        mean_dwell_s,
+        mean_trip_s,
+        classifier_error_rate,
+        timeout_split_prob,
+    })
+}
+
+/// Writes an `i128` as two little-endian 64-bit halves (two's
+/// complement, hi then lo).
+pub(crate) fn put_i128(w: &mut ByteWriter, q: i128) {
+    let u = q as u128;
+    w.put_u64((u >> 64) as u64);
+    w.put_u64(u as u64);
+}
+
+/// Reads an `i128` written by [`put_i128`].
+pub(crate) fn get_i128(r: &mut ByteReader) -> FormatResult<i128> {
+    let hi = r.get_u64()?;
+    let lo = r.get_u64()?;
+    Ok(((u128::from(hi) << 64) | u128::from(lo)) as i128)
+}
+
+fn parse_payload(payload: &[u8]) -> FormatResult<Manifest> {
+    let mut r = ByteReader::new(payload);
+    let scenario = get_scenario(&mut r)?;
+    let shards = r.get_u32()?;
+    let n = r.get_u32()? as usize;
+    let mut totals_q = Vec::with_capacity(n);
+    for _ in 0..n {
+        totals_q.push(get_i128(&mut r)?);
+    }
+    let pass1_done = r.get_u32()?;
+    let n1 = r.get_u32()? as usize;
+    let mut pass1_digests = Vec::with_capacity(n1);
+    for _ in 0..n1 {
+        pass1_digests.push(r.get_u64()?);
+    }
+    let pass2_done = r.get_u32()?;
+    let n2 = r.get_u32()? as usize;
+    let mut spill_digests = Vec::with_capacity(n2);
+    for _ in 0..n2 {
+        spill_digests.push(r.get_u64()?);
+    }
+    let assembled = r.get_u8()? != 0;
+    if !r.is_exhausted() {
+        return Err(mtd_dataset::format::FormatError(
+            "trailing bytes after manifest payload",
+        ));
+    }
+    Ok(Manifest {
+        scenario,
+        shards,
+        totals_q,
+        pass1_done,
+        pass1_digests,
+        pass2_done,
+        spill_digests,
+        assembled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let scenario = ScenarioConfig {
+            n_bs: 5,
+            days: 2,
+            ..ScenarioConfig::small_test()
+        };
+        let mut m = Manifest::new(scenario, 3);
+        m.totals_q = vec![1, -2, i128::MAX / 3, i128::MIN / 5, 0];
+        m.pass1_done = 2;
+        m.pass1_digests = vec![0xdead_beef, 42];
+        m.pass2_done = 1;
+        m.spill_digests = vec![7];
+        m
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let m = sample();
+        let bytes = m.encode();
+        let back = Manifest::decode(&bytes, Path::new("x")).unwrap();
+        assert_eq!(back, m);
+        // Including negative/extreme i128 totals and the f64 bit echo.
+        assert_eq!(back.scenario.seed, m.scenario.seed);
+        assert_eq!(
+            back.scenario.arrival_scale.to_bits(),
+            m.scenario.arrival_scale.to_bits()
+        );
+    }
+
+    #[test]
+    fn torn_writes_are_detected_not_half_trusted() {
+        let bytes = sample().encode();
+        // Truncation at every prefix length: always Torn, never Ok and
+        // never a panic.
+        for cut in 0..bytes.len() {
+            let r = Manifest::decode(&bytes[..cut], Path::new("x"));
+            assert!(
+                matches!(r, Err(CampaignError::TornManifest(_))),
+                "cut={cut}: {r:?}"
+            );
+        }
+        // A flipped byte anywhere breaks the CRC.
+        for pos in [0, 9, bytes.len() / 2, bytes.len() - 1] {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x40;
+            let r = Manifest::decode(&flipped, Path::new("x"));
+            assert!(
+                matches!(r, Err(CampaignError::TornManifest(_))),
+                "pos={pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_corrupt_not_torn() {
+        let mut bytes = sample().encode();
+        // Patch version and re-seal the CRC so only the version differs.
+        bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        let r = Manifest::decode(&bytes, Path::new("x"));
+        assert!(
+            matches!(r, Err(CampaignError::CorruptManifest { .. })),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn config_mismatch_is_structured() {
+        let m = sample();
+        assert!(m.config_mismatch(&m.scenario, 3).is_none());
+        assert!(m.config_mismatch(&m.scenario, 4).is_some());
+        let mut drifted = m.scenario.clone();
+        drifted.seed ^= 1;
+        assert!(m.config_mismatch(&drifted, 3).is_some());
+    }
+
+    #[test]
+    fn save_and_load_via_disk() {
+        let dir = std::env::temp_dir().join("mtd_campaign_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.mtdmanif");
+        let m = sample();
+        m.save(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), m);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            Manifest::load(&path),
+            Err(CampaignError::NotStarted(_))
+        ));
+    }
+}

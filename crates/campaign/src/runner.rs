@@ -1,0 +1,507 @@
+//! The sharded campaign runner: run / resume / status / assembly.
+//!
+//! A campaign is the same two-pass pipeline as
+//! [`Dataset::build`](mtd_dataset::Dataset::build) — pass 1 measures
+//! per-BS totals for decile assignment, pass 2 fills cells and minute
+//! rows — except each pass walks the base stations shard by shard,
+//! checkpointing the manifest after every shard. All accumulation is
+//! fixed-point (`mtd_dataset::accum`), so the assembled store is
+//! byte-identical to a monolithic build for any shard count, thread
+//! count, or kill/resume history.
+//!
+//! Checkpoint numbering: pass 1 shard `s` completes checkpoint `s`,
+//! pass 2 shard `s` completes checkpoint `K + s`. After each checkpoint
+//! the runner consults the `campaign.shard.kill` fault site (and the
+//! explicit `kill_after` knob) and aborts with
+//! [`CampaignError::Killed`] — progress up to and including the
+//! checkpoint is already durable, which is exactly what a crash at that
+//! point would leave behind.
+
+use crate::manifest::Manifest;
+use crate::spill::{self, SpillCursor};
+use crate::{fnv64, CampaignError, Fnv64};
+use mtd_dataset::accum::{ExactCell, MinuteRowQ, ShardAccumulator, VolumeTotalsQ};
+use mtd_dataset::chunk::SectionKind;
+use mtd_dataset::dataset::{group_table, CellKey};
+use mtd_dataset::decile::assign_deciles;
+use mtd_dataset::record::CellStats;
+use mtd_dataset::record::{duration_grid, volume_grid};
+use mtd_dataset::store::{
+    encode_cells_chunk, encode_deciles_fields, encode_meta_fields, encode_minutes_rows,
+    StoreWriter, CELLS_PER_CHUNK, MINUTE_ROWS_PER_CHUNK,
+};
+use mtd_netsim::engine::Engine;
+use mtd_netsim::geo::Topology;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::ScenarioConfig;
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside the campaign directory.
+pub const MANIFEST_FILE: &str = "campaign.mtdmanif";
+
+/// Everything a campaign invocation needs.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The simulated scenario (shared with the monolithic pipeline).
+    pub scenario: ScenarioConfig,
+    /// Shard count `K` (clamped to `1..=n_bs` at run time).
+    pub shards: u32,
+    /// Worker threads per shard simulation.
+    pub threads: usize,
+    /// Working directory for the manifest and spill files.
+    pub dir: PathBuf,
+    /// Output path for the assembled binary store.
+    pub out: PathBuf,
+    /// Deterministic kill switch: abort with [`CampaignError::Killed`]
+    /// right after this checkpoint becomes durable. The CI smoke job and
+    /// the CLI use this; the test battery uses the fault site.
+    pub kill_after: Option<u64>,
+}
+
+impl CampaignConfig {
+    /// The manifest path for this campaign.
+    #[must_use]
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_FILE)
+    }
+
+    /// The spill path for pass-2 shard `s`.
+    #[must_use]
+    pub fn spill_path(&self, s: u32) -> PathBuf {
+        self.dir.join(format!("shard-{s:05}.mtdspill"))
+    }
+
+    /// The shard count actually used: `shards` clamped to `1..=n_bs`.
+    #[must_use]
+    pub fn effective_shards(&self) -> u32 {
+        (self.shards.max(1) as usize).min(self.scenario.n_bs.max(1)) as u32
+    }
+}
+
+/// Result of a completed campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Where the assembled store landed.
+    pub store_path: PathBuf,
+    /// Assembled store size in bytes.
+    pub store_bytes: u64,
+    /// FNV-1a digest of the assembled store file.
+    pub store_digest: u64,
+    /// Shard count used.
+    pub shards: u32,
+    /// Base stations simulated.
+    pub n_bs: usize,
+    /// Days simulated.
+    pub days: u32,
+}
+
+impl CampaignReport {
+    /// BS-minutes covered by the campaign (the bench throughput unit).
+    #[must_use]
+    pub fn bs_minutes(&self) -> u64 {
+        self.n_bs as u64 * u64::from(self.days) * 1440
+    }
+}
+
+/// Campaign progress snapshot (from the manifest alone; no simulation).
+#[derive(Debug, Clone)]
+pub struct CampaignStatus {
+    /// Shard count `K`.
+    pub shards: u32,
+    /// Pass-1 shards done.
+    pub pass1_done: u32,
+    /// Pass-2 shards done.
+    pub pass2_done: u32,
+    /// Whether the store has been assembled.
+    pub assembled: bool,
+    /// Base stations in the scenario.
+    pub n_bs: usize,
+    /// Days in the scenario.
+    pub days: u32,
+}
+
+impl std::fmt::Display for CampaignStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pass1 {}/{} pass2 {}/{} assembled={} ({} BS x {} days)",
+            self.pass1_done,
+            self.shards,
+            self.pass2_done,
+            self.shards,
+            self.assembled,
+            self.n_bs,
+            self.days
+        )
+    }
+}
+
+/// The contiguous BS range `[first, first+len)` of shard `s` of `k`.
+/// Ranges tile `0..n_bs` exactly and differ in size by at most one.
+#[must_use]
+pub fn shard_range(n_bs: usize, k: u32, s: u32) -> (usize, usize) {
+    assert!(s < k, "shard {s} out of {k}");
+    let k = k as usize;
+    let s = s as usize;
+    let first = n_bs * s / k;
+    let end = n_bs * (s + 1) / k;
+    (first, end - first)
+}
+
+/// Starts a fresh campaign. Fails with
+/// [`CampaignError::AlreadyStarted`] when the directory already has a
+/// manifest — resume instead, or clear the directory.
+pub fn run(config: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
+    std::fs::create_dir_all(&config.dir).map_err(|e| {
+        CampaignError::Store(mtd_dataset::StoreError::Io {
+            path: config.dir.clone(),
+            source: e,
+        })
+    })?;
+    let manifest_path = config.manifest_path();
+    if manifest_path.exists() {
+        return Err(CampaignError::AlreadyStarted(manifest_path));
+    }
+    let manifest = Manifest::new(config.scenario.clone(), config.effective_shards());
+    advance(config, manifest)
+}
+
+/// Resumes a previously started campaign from its manifest. The
+/// configuration must match the manifest's bit-exact echo, and every
+/// spill the manifest claims complete must verify against its digest.
+pub fn resume(config: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
+    let manifest = Manifest::load(&config.manifest_path())?;
+    if let Some(reason) = manifest.config_mismatch(&config.scenario, config.effective_shards()) {
+        return Err(CampaignError::ConfigMismatch { reason });
+    }
+    // Never trust durable state blindly: re-verify completed pass-2
+    // spills before building on them.
+    for s in 0..manifest.pass2_done {
+        let digest = spill::verify(&config.spill_path(s), s)?;
+        if digest != manifest.spill_digests[s as usize] {
+            return Err(CampaignError::SpillCorrupt {
+                shard: s,
+                reason: "digest differs from manifest".to_string(),
+            });
+        }
+    }
+    advance(config, manifest)
+}
+
+/// Reads campaign progress from the manifest in `dir`.
+pub fn status(dir: &Path) -> Result<CampaignStatus, CampaignError> {
+    let manifest = Manifest::load(&dir.join(MANIFEST_FILE))?;
+    Ok(CampaignStatus {
+        shards: manifest.shards,
+        pass1_done: manifest.pass1_done,
+        pass2_done: manifest.pass2_done,
+        assembled: manifest.assembled,
+        n_bs: manifest.scenario.n_bs,
+        days: manifest.scenario.days,
+    })
+}
+
+/// Digest of the totals prefix — recorded per pass-1 checkpoint.
+fn totals_digest(totals_q: &[i128]) -> u64 {
+    let mut h = Fnv64::new();
+    for q in totals_q {
+        h.update(&(*q as u128).to_le_bytes());
+    }
+    h.finish()
+}
+
+fn publish_progress(manifest: &Manifest) {
+    mtd_telemetry::gauge_set("campaign.shards_total", manifest.total_checkpoints() as f64);
+    mtd_telemetry::gauge_set("campaign.shards_done", manifest.checkpoints_done() as f64);
+}
+
+/// After-checkpoint kill gate: the fault site first, then the explicit
+/// `kill_after` knob. Called only once the checkpoint is durable.
+fn kill_gate(config: &CampaignConfig, checkpoint: u64) -> Result<(), CampaignError> {
+    if mtd_fault::campaign_kill_checkpoint(checkpoint) || config.kill_after == Some(checkpoint) {
+        return Err(CampaignError::Killed { checkpoint });
+    }
+    Ok(())
+}
+
+/// Drives the campaign from wherever the manifest says it is to a
+/// finished store.
+fn advance(
+    config: &CampaignConfig,
+    mut manifest: Manifest,
+) -> Result<CampaignReport, CampaignError> {
+    let _span = mtd_telemetry::span!("campaign.advance");
+    let scenario = &manifest.scenario;
+    let topology = Topology::generate(scenario.n_bs, scenario.seed);
+    let catalog = ServiceCatalog::paper();
+    let engine = Engine::new(scenario, &topology, &catalog);
+    let k = manifest.shards;
+    let n_bs = scenario.n_bs;
+    publish_progress(&manifest);
+
+    // Pass 1: per-BS totals, shard by shard.
+    while manifest.pass1_done < k {
+        let s = manifest.pass1_done;
+        let _span = mtd_telemetry::span!("campaign.pass1_shard");
+        let (first, len) = shard_range(n_bs, k, s);
+        let mut sink = VolumeTotalsQ::new(n_bs);
+        engine.run_shard(&mut sink, first, len, config.threads);
+        for (acc, delta) in manifest.totals_q.iter_mut().zip(&sink.totals_q) {
+            *acc += delta;
+        }
+        manifest.pass1_done = s + 1;
+        manifest
+            .pass1_digests
+            .push(totals_digest(&manifest.totals_q));
+        manifest.save(&config.manifest_path())?;
+        publish_progress(&manifest);
+        mtd_telemetry::count("campaign.shards.completed", 1);
+        kill_gate(config, u64::from(s))?;
+    }
+
+    // Deciles and groups are deterministic functions of the totals —
+    // recomputed on every resume rather than persisted.
+    let totals_mb: Vec<f64> = {
+        let t = VolumeTotalsQ {
+            totals_q: manifest.totals_q.clone(),
+        };
+        t.totals_mb()
+    };
+    let decile_of_bs = assign_deciles(&totals_mb);
+    let (groups, group_of_bs) = group_table(topology.stations(), &decile_of_bs);
+
+    // Pass 2: cells + minute rows, spilled per shard.
+    let (vg, dg) = (volume_grid(), duration_grid());
+    while manifest.pass2_done < k {
+        let s = manifest.pass2_done;
+        let _span = mtd_telemetry::span!("campaign.pass2_shard");
+        let (first, len) = shard_range(n_bs, k, s);
+        let mut sink = ShardAccumulator::new(vg, dg, group_of_bs.clone(), scenario.days);
+        engine.run_shard(&mut sink, first, len, config.threads);
+        let bytes = spill::encode(&sink, vg.bins(), dg.bins());
+        mtd_dataset::write_atomic(&config.spill_path(s), &bytes)?;
+        manifest.pass2_done = s + 1;
+        manifest.spill_digests.push(fnv64(&bytes));
+        manifest.save(&config.manifest_path())?;
+        publish_progress(&manifest);
+        mtd_telemetry::count("campaign.shards.completed", 1);
+        kill_gate(config, u64::from(k) + u64::from(s))?;
+    }
+
+    // Assembly: merge spills out of core into the final store.
+    if !manifest.assembled {
+        assemble(
+            config,
+            &manifest,
+            &decile_of_bs,
+            &totals_mb,
+            &groups,
+            &group_of_bs,
+            catalog
+                .services()
+                .iter()
+                .map(|svc| svc.name.clone())
+                .collect(),
+        )?;
+        manifest.assembled = true;
+        manifest.save(&config.manifest_path())?;
+    }
+
+    let (store_bytes, store_digest) = digest_file(&config.out)?;
+    Ok(CampaignReport {
+        store_path: config.out.clone(),
+        store_bytes,
+        store_digest,
+        shards: k,
+        n_bs,
+        days: scenario.days,
+    })
+}
+
+/// Streams the K verified spills into the final MTDSTORE file.
+///
+/// Memory contract: the merged cell map is bounded by realized groups
+/// (not stations); minute rows flow through one 64-row block plus one
+/// buffered row per open spill cursor.
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    config: &CampaignConfig,
+    manifest: &Manifest,
+    decile_of_bs: &[u8],
+    totals_mb: &[f64],
+    groups: &[mtd_dataset::GroupKey],
+    group_of_bs: &[u16],
+    service_names: Vec<String>,
+) -> Result<(), CampaignError> {
+    let _span = mtd_telemetry::span!("campaign.assemble");
+    let k = manifest.shards;
+    let scenario = &manifest.scenario;
+    let n_bs = scenario.n_bs;
+    let (vg, dg) = (volume_grid(), duration_grid());
+    let row_len = (scenario.days * mtd_netsim::time::MINUTES_PER_DAY) as usize;
+
+    // Verify every spill against the manifest, then open cursors.
+    // Cells merge eagerly (group-bounded); minute rows stay on disk.
+    let mut merged_cells: BTreeMap<CellKey, ExactCell> = BTreeMap::new();
+    let mut cursors: Vec<SpillCursor> = Vec::with_capacity(k as usize);
+    for s in 0..k {
+        let path = config.spill_path(s);
+        let digest = spill::verify(&path, s)?;
+        if digest != manifest.spill_digests[s as usize] {
+            return Err(CampaignError::SpillCorrupt {
+                shard: s,
+                reason: "digest differs from manifest".to_string(),
+            });
+        }
+        let (cursor, cells) = SpillCursor::open(&path, s)?;
+        for (key, cell) in cells {
+            merged_cells
+                .entry(key)
+                .or_insert_with(|| ExactCell::new(vg.bins(), dg.bins()))
+                .merge(&cell);
+        }
+        cursors.push(cursor);
+    }
+    mtd_telemetry::gauge_set("campaign.cells", merged_cells.len() as f64);
+
+    // Finalize cells once; identical to Dataset::build's finalize. The
+    // map is consumed so integer cells free as their float twins are
+    // built — holding both full maps would double the assembly peak.
+    let final_cells: BTreeMap<CellKey, CellStats> = merged_cells
+        .into_iter()
+        .map(|(key, cell)| (key, cell.to_cell_stats(&vg)))
+        .collect();
+
+    let mut writer = StoreWriter::create(&config.out)?;
+    writer.append(
+        SectionKind::Meta,
+        &encode_meta_fields(&vg, &dg, scenario.days, &service_names, groups, group_of_bs),
+    )?;
+    writer.append(
+        SectionKind::Deciles,
+        &encode_deciles_fields(decile_of_bs, totals_mb),
+    )?;
+    let records: Vec<(&CellKey, &CellStats)> = final_cells.iter().collect();
+    for batch in records.chunks(CELLS_PER_CHUNK) {
+        writer.append(
+            SectionKind::Cells,
+            &encode_cells_chunk(batch, vg.bins(), dg.bins()),
+        )?;
+    }
+
+    // Minute blocks: merge-join the sorted cursors over each 64-BS
+    // block, summing cross-shard contributions (handover fragments land
+    // on neighbor BSs outside their own shard).
+    let mut first = 0usize;
+    while first < n_bs {
+        let rows_in_block = MINUTE_ROWS_PER_CHUNK.min(n_bs - first);
+        let mut block: Vec<Option<MinuteRowQ>> = vec![None; rows_in_block];
+        for cursor in &mut cursors {
+            while let Some(bs) = cursor.peek_bs() {
+                let bs = bs as usize;
+                if bs >= first + rows_in_block {
+                    break;
+                }
+                if bs < first {
+                    return Err(CampaignError::SpillCorrupt {
+                        shard: 0,
+                        reason: format!("row for BS {bs} seen after block {first}"),
+                    });
+                }
+                let (_, row) = cursor.next_row()?.expect("peeked row present");
+                match &mut block[bs - first] {
+                    Some(acc) => acc.merge(&row),
+                    slot => *slot = Some(row),
+                }
+            }
+        }
+        let dense: Vec<(Vec<u32>, Vec<f32>)> = block
+            .into_iter()
+            .map(|slot| match slot {
+                Some(row) => row.to_row(),
+                None => (vec![0u32; row_len], vec![0.0f32; row_len]),
+            })
+            .collect();
+        let refs: Vec<(&[u32], &[f32])> = dense
+            .iter()
+            .map(|(c, v)| (c.as_slice(), v.as_slice()))
+            .collect();
+        writer.append(
+            SectionKind::Minutes,
+            &encode_minutes_rows(first as u32, row_len, &refs),
+        )?;
+        first += rows_in_block;
+    }
+
+    for cursor in &cursors {
+        if cursor.peek_bs().is_some() {
+            return Err(CampaignError::SpillCorrupt {
+                shard: 0,
+                reason: "spill rows beyond the scenario's BS range".to_string(),
+            });
+        }
+    }
+
+    let bytes = writer.finish()?;
+    mtd_telemetry::gauge_set("store.encode.bytes", bytes as f64);
+    Ok(())
+}
+
+/// Streams a file once, returning `(len, fnv64 digest)`.
+fn digest_file(path: &Path) -> Result<(u64, u64), CampaignError> {
+    let file = std::fs::File::open(path).map_err(|e| {
+        CampaignError::Store(mtd_dataset::StoreError::Io {
+            path: path.to_path_buf(),
+            source: e,
+        })
+    })?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut fnv = Fnv64::new();
+    let mut len = 0u64;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = reader.read(&mut buf).map_err(|e| {
+            CampaignError::Store(mtd_dataset::StoreError::Io {
+                path: path.to_path_buf(),
+                source: e,
+            })
+        })?;
+        if n == 0 {
+            break;
+        }
+        fnv.update(&buf[..n]);
+        len += n as u64;
+    }
+    Ok((len, fnv.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_tile_exactly() {
+        for n_bs in [1usize, 5, 12, 97, 1000] {
+            for k in [1u32, 2, 3, 7, 32] {
+                let k = (k as usize).min(n_bs) as u32;
+                let mut next = 0usize;
+                for s in 0..k {
+                    let (first, len) = shard_range(n_bs, k, s);
+                    assert_eq!(first, next, "n_bs={n_bs} k={k} s={s}");
+                    assert!(len >= n_bs / k as usize, "n_bs={n_bs} k={k} s={s}");
+                    assert!(len <= n_bs / k as usize + 1, "n_bs={n_bs} k={k} s={s}");
+                    next = first + len;
+                }
+                assert_eq!(next, n_bs, "n_bs={n_bs} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn shard_range_rejects_overflow_index() {
+        let _ = shard_range(10, 3, 3);
+    }
+}

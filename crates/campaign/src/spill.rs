@@ -1,0 +1,512 @@
+//! Per-shard spill files: the durable form of a pass-2
+//! [`ShardAccumulator`](mtd_dataset::ShardAccumulator).
+//!
+//! Everything is stored in the fixed-point integer domain — dequantizing
+//! happens exactly once, at store assembly — so a spill round-trip is
+//! lossless by construction and the assembled store cannot drift from a
+//! monolithic build.
+//!
+//! Layout (all little-endian, built on `mtd_dataset::format`):
+//!
+//! ```text
+//! magic "MTDSPILL" | version u32
+//! header block:  u32 len | vbins, dbins, row_len, n_cells, n_rows (u32 each)
+//! cells block:   u32 len | n_cells × cell record (sparse vectors)
+//! n_rows ×       u32 len | bs u32, sparse counts, sparse vol_q   (bs ascending)
+//! crc32 of all preceding bytes
+//! ```
+//!
+//! Rows are individually length-prefixed and sorted by BS id so the
+//! assembler can stream a spill through [`SpillCursor`] — one row
+//! resident per open spill — instead of materializing the whole shard.
+//! Cells are one block: their count is bounded by realized BS *groups*
+//! (services × groups × days), independent of shard size.
+
+use crate::manifest::{get_i128, put_i128};
+use crate::{CampaignError, Fnv64};
+use mtd_dataset::accum::{ExactCell, MinuteRowQ, ShardAccumulator};
+use mtd_dataset::dataset::CellKey;
+use mtd_dataset::format::{crc32, ByteReader, ByteWriter, Crc32, FormatError, FormatResult};
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::path::Path;
+
+/// Spill file magic.
+pub const MAGIC: [u8; 8] = *b"MTDSPILL";
+/// Spill format version.
+pub const VERSION: u32 = 1;
+
+/// Encodes a shard accumulator into a complete spill file image
+/// (including the trailing CRC).
+#[must_use]
+pub fn encode(acc: &ShardAccumulator, vbins: usize, dbins: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+
+    let mut header = ByteWriter::new();
+    header.put_u32(vbins as u32);
+    header.put_u32(dbins as u32);
+    header.put_u32(acc.row_len() as u32);
+    header.put_u32(acc.cells.len() as u32);
+    header.put_u32(acc.minutes.len() as u32);
+    put_block(&mut out, header.into_bytes());
+
+    let mut cells = ByteWriter::new();
+    for (key, cell) in &acc.cells {
+        put_cell(&mut cells, key, cell);
+    }
+    put_block(&mut out, cells.into_bytes());
+
+    for (bs, row) in &acc.minutes {
+        let mut w = ByteWriter::new();
+        w.put_u32(*bs);
+        put_sparse_u32(&mut w, &row.counts);
+        put_sparse_i64(&mut w, &row.vol_q);
+        put_block(&mut out, w.into_bytes());
+    }
+
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn put_block(out: &mut Vec<u8>, payload: Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+fn put_cell(w: &mut ByteWriter, key: &CellKey, cell: &ExactCell) {
+    let (service, group, day) = *key;
+    w.put_u16(service);
+    w.put_u16(group);
+    w.put_u32(day);
+    w.put_u64(cell.sessions);
+    put_i128(w, cell.traffic_q);
+    w.put_u64(cell.hist_total);
+    put_sparse_u64(w, &cell.hist_counts);
+    put_sparse_i128(w, &cell.pair_vol_q);
+    put_sparse_u64(w, &cell.pair_counts);
+    put_sparse_i128(w, &cell.pair_log_q);
+    put_sparse_i128(w, &cell.pair_log_sq_q);
+}
+
+fn get_cell(r: &mut ByteReader, vbins: usize, dbins: usize) -> FormatResult<(CellKey, ExactCell)> {
+    let service = r.get_u16()?;
+    let group = r.get_u16()?;
+    let day = r.get_u32()?;
+    let mut cell = ExactCell::new(vbins, dbins);
+    cell.sessions = r.get_u64()?;
+    cell.traffic_q = get_i128(r)?;
+    cell.hist_total = r.get_u64()?;
+    get_sparse_u64(r, &mut cell.hist_counts)?;
+    get_sparse_i128(r, &mut cell.pair_vol_q)?;
+    get_sparse_u64(r, &mut cell.pair_counts)?;
+    get_sparse_i128(r, &mut cell.pair_log_q)?;
+    get_sparse_i128(r, &mut cell.pair_log_sq_q)?;
+    Ok(((service, group, day), cell))
+}
+
+// Sparse vector codecs: nnz count, then (index, value) pairs in index
+// order. Spill vectors (histogram bins, minute rows at realistic
+// arrival scales) are mostly zero, and "always sparse" keeps the
+// encoding deterministic.
+
+fn put_sparse_u32(w: &mut ByteWriter, v: &[u32]) {
+    w.put_u32(v.iter().filter(|x| **x != 0).count() as u32);
+    for (i, x) in v.iter().enumerate() {
+        if *x != 0 {
+            w.put_u32(i as u32);
+            w.put_u32(*x);
+        }
+    }
+}
+
+fn put_sparse_u64(w: &mut ByteWriter, v: &[u64]) {
+    w.put_u32(v.iter().filter(|x| **x != 0).count() as u32);
+    for (i, x) in v.iter().enumerate() {
+        if *x != 0 {
+            w.put_u32(i as u32);
+            w.put_u64(*x);
+        }
+    }
+}
+
+fn put_sparse_i64(w: &mut ByteWriter, v: &[i64]) {
+    w.put_u32(v.iter().filter(|x| **x != 0).count() as u32);
+    for (i, x) in v.iter().enumerate() {
+        if *x != 0 {
+            w.put_u32(i as u32);
+            w.put_u64(*x as u64);
+        }
+    }
+}
+
+fn put_sparse_i128(w: &mut ByteWriter, v: &[i128]) {
+    w.put_u32(v.iter().filter(|x| **x != 0).count() as u32);
+    for (i, x) in v.iter().enumerate() {
+        if *x != 0 {
+            w.put_u32(i as u32);
+            put_i128(w, *x);
+        }
+    }
+}
+
+fn sparse_index(r: &mut ByteReader, len: usize) -> FormatResult<usize> {
+    let i = r.get_u32()? as usize;
+    if i >= len {
+        return Err(FormatError("sparse index out of range"));
+    }
+    Ok(i)
+}
+
+fn get_sparse_u32(r: &mut ByteReader, out: &mut [u32]) -> FormatResult<()> {
+    let nnz = r.get_u32()?;
+    for _ in 0..nnz {
+        let i = sparse_index(r, out.len())?;
+        out[i] = r.get_u32()?;
+    }
+    Ok(())
+}
+
+fn get_sparse_u64(r: &mut ByteReader, out: &mut [u64]) -> FormatResult<()> {
+    let nnz = r.get_u32()?;
+    for _ in 0..nnz {
+        let i = sparse_index(r, out.len())?;
+        out[i] = r.get_u64()?;
+    }
+    Ok(())
+}
+
+fn get_sparse_i64(r: &mut ByteReader, out: &mut [i64]) -> FormatResult<()> {
+    let nnz = r.get_u32()?;
+    for _ in 0..nnz {
+        let i = sparse_index(r, out.len())?;
+        out[i] = r.get_u64()? as i64;
+    }
+    Ok(())
+}
+
+fn get_sparse_i128(r: &mut ByteReader, out: &mut [i128]) -> FormatResult<()> {
+    let nnz = r.get_u32()?;
+    for _ in 0..nnz {
+        let i = sparse_index(r, out.len())?;
+        out[i] = get_i128(r)?;
+    }
+    Ok(())
+}
+
+/// Streams a spill file once end to end, returning its FNV-1a digest
+/// after verifying the trailing CRC. Constant memory; used to check a
+/// spill against the manifest before trusting it.
+pub fn verify(path: &Path, shard: u32) -> Result<u64, CampaignError> {
+    let corrupt = |reason: String| CampaignError::SpillCorrupt { shard, reason };
+    let file = std::fs::File::open(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            CampaignError::SpillMissing {
+                shard,
+                path: path.to_path_buf(),
+            }
+        } else {
+            CampaignError::Store(mtd_dataset::StoreError::Io {
+                path: path.to_path_buf(),
+                source: e,
+            })
+        }
+    })?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut fnv = Fnv64::new();
+    let mut crc = Crc32::new();
+    // Keep a 4-byte lag so the trailing CRC is excluded from the body CRC.
+    let mut tail: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = reader
+            .read(&mut buf)
+            .map_err(|e| corrupt(format!("read failed: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        fnv.update(&buf[..n]);
+        tail.extend_from_slice(&buf[..n]);
+        if tail.len() > 4 {
+            let body = tail.len() - 4;
+            crc.update(&tail[..body]);
+            tail.drain(..body);
+        }
+    }
+    if tail.len() < 4 {
+        return Err(corrupt("file shorter than its CRC trailer".to_string()));
+    }
+    let stored = u32::from_le_bytes(tail[..4].try_into().expect("4 bytes"));
+    if crc.finish() != stored {
+        return Err(corrupt("CRC mismatch".to_string()));
+    }
+    Ok(fnv.finish())
+}
+
+/// Decoded spill header.
+#[derive(Debug, Clone, Copy)]
+pub struct SpillHeader {
+    /// Volume-histogram bins per cell.
+    pub vbins: usize,
+    /// Duration bins per cell.
+    pub dbins: usize,
+    /// Minute-row length (`n_days × 1440`).
+    pub row_len: usize,
+    /// Cell count.
+    pub n_cells: usize,
+    /// Minute-row count.
+    pub n_rows: usize,
+}
+
+/// A sequential reader over one spill file: decodes the cells block
+/// eagerly (group-bounded) and then yields minute rows one at a time in
+/// ascending BS order — the memory contract the out-of-core assembler
+/// relies on. Run [`verify`] first; the cursor itself does not
+/// re-checksum.
+pub struct SpillCursor {
+    reader: std::io::BufReader<std::fs::File>,
+    shard: u32,
+    header: SpillHeader,
+    rows_read: usize,
+    last_bs: Option<u32>,
+    /// Next row, pre-read so callers can order cursors by `peek_bs`.
+    buffered: Option<(u32, MinuteRowQ)>,
+}
+
+impl SpillCursor {
+    /// Opens a spill, decodes header and cells, and pre-reads the first
+    /// minute row.
+    pub fn open(
+        path: &Path,
+        shard: u32,
+    ) -> Result<(SpillCursor, BTreeMap<CellKey, ExactCell>), CampaignError> {
+        let corrupt = |reason: String| CampaignError::SpillCorrupt { shard, reason };
+        let file = std::fs::File::open(path).map_err(|e| {
+            CampaignError::Store(mtd_dataset::StoreError::Io {
+                path: path.to_path_buf(),
+                source: e,
+            })
+        })?;
+        let mut reader = std::io::BufReader::new(file);
+
+        let mut magic = [0u8; 12];
+        read_exact(&mut reader, &mut magic, shard)?;
+        if magic[..8] != MAGIC {
+            return Err(corrupt("bad magic".to_string()));
+        }
+        let version = u32::from_le_bytes(magic[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(corrupt(format!("unsupported version {version}")));
+        }
+
+        let header_block = read_block(&mut reader, shard)?;
+        let mut r = ByteReader::new(&header_block);
+        let header = (|| -> FormatResult<SpillHeader> {
+            Ok(SpillHeader {
+                vbins: r.get_u32()? as usize,
+                dbins: r.get_u32()? as usize,
+                row_len: r.get_u32()? as usize,
+                n_cells: r.get_u32()? as usize,
+                n_rows: r.get_u32()? as usize,
+            })
+        })()
+        .map_err(|e| corrupt(e.to_string()))?;
+
+        let cells_block = read_block(&mut reader, shard)?;
+        let mut r = ByteReader::new(&cells_block);
+        let mut cells = BTreeMap::new();
+        for _ in 0..header.n_cells {
+            let (key, cell) =
+                get_cell(&mut r, header.vbins, header.dbins).map_err(|e| corrupt(e.to_string()))?;
+            cells.insert(key, cell);
+        }
+        if !r.is_exhausted() {
+            return Err(corrupt("trailing bytes in cells block".to_string()));
+        }
+
+        let mut cursor = SpillCursor {
+            reader,
+            shard,
+            header,
+            rows_read: 0,
+            last_bs: None,
+            buffered: None,
+        };
+        cursor.fill()?;
+        Ok((cursor, cells))
+    }
+
+    /// The spill's header.
+    #[must_use]
+    pub fn header(&self) -> SpillHeader {
+        self.header
+    }
+
+    /// BS id of the next row, if any.
+    #[must_use]
+    pub fn peek_bs(&self) -> Option<u32> {
+        self.buffered.as_ref().map(|(bs, _)| *bs)
+    }
+
+    /// Takes the next row (ascending BS order).
+    pub fn next_row(&mut self) -> Result<Option<(u32, MinuteRowQ)>, CampaignError> {
+        let row = self.buffered.take();
+        if row.is_some() {
+            self.fill()?;
+        }
+        Ok(row)
+    }
+
+    fn fill(&mut self) -> Result<(), CampaignError> {
+        if self.rows_read >= self.header.n_rows {
+            return Ok(());
+        }
+        let corrupt = |shard: u32, reason: String| CampaignError::SpillCorrupt { shard, reason };
+        let block = read_block(&mut self.reader, self.shard)?;
+        let mut r = ByteReader::new(&block);
+        let row = (|| -> FormatResult<(u32, MinuteRowQ)> {
+            let bs = r.get_u32()?;
+            let mut row = MinuteRowQ {
+                counts: vec![0; self.header.row_len],
+                vol_q: vec![0; self.header.row_len],
+            };
+            get_sparse_u32(&mut r, &mut row.counts)?;
+            get_sparse_i64(&mut r, &mut row.vol_q)?;
+            Ok((bs, row))
+        })()
+        .map_err(|e| corrupt(self.shard, e.to_string()))?;
+        if let Some(prev) = self.last_bs {
+            if row.0 <= prev {
+                return Err(corrupt(self.shard, "rows out of order".to_string()));
+            }
+        }
+        self.last_bs = Some(row.0);
+        self.rows_read += 1;
+        self.buffered = Some(row);
+        Ok(())
+    }
+}
+
+fn read_exact(reader: &mut impl Read, buf: &mut [u8], shard: u32) -> Result<(), CampaignError> {
+    reader
+        .read_exact(buf)
+        .map_err(|e| CampaignError::SpillCorrupt {
+            shard,
+            reason: format!("truncated: {e}"),
+        })
+}
+
+fn read_block(reader: &mut impl Read, shard: u32) -> Result<Vec<u8>, CampaignError> {
+    let mut len = [0u8; 4];
+    read_exact(reader, &mut len, shard)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > 256 << 20 {
+        return Err(CampaignError::SpillCorrupt {
+            shard,
+            reason: format!("implausible block length {len}"),
+        });
+    }
+    let mut block = vec![0u8; len];
+    read_exact(reader, &mut block, shard)?;
+    Ok(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtd_dataset::record::{duration_grid, volume_grid};
+    use mtd_math::histogram::LogGrid;
+    use mtd_netsim::ids::{BsId, Rat, ServiceId, SessionId};
+    use mtd_netsim::session::SessionObservation;
+    use mtd_netsim::time::SimTime;
+
+    fn grids() -> (LogGrid, LogGrid) {
+        (volume_grid(), duration_grid())
+    }
+
+    fn sample_acc() -> ShardAccumulator {
+        let (vg, dg) = grids();
+        let mut acc = ShardAccumulator::new(vg, dg, vec![0, 1, 0, 1, 2], 2);
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..400 {
+            let obs = SessionObservation {
+                session: SessionId(1),
+                bs: BsId((next() % 5) as u32),
+                rat: Rat::Lte,
+                service: ServiceId((next() % 4) as u16),
+                start: SimTime::new((next() % 2) as u32, (next() % 86_400) as f64),
+                duration_s: 1.0 + (next() % 3000) as f64,
+                volume_mb: 10f64.powf((next() % 5000) as f64 / 1000.0 - 2.0),
+                transient: false,
+                segment_index: 0,
+            };
+            acc.record(&obs);
+        }
+        acc
+    }
+
+    fn write_spill(acc: &ShardAccumulator) -> (std::path::PathBuf, Vec<u8>) {
+        let (vg, dg) = grids();
+        let bytes = encode(acc, vg.bins(), dg.bins());
+        let dir = std::env::temp_dir().join("mtd_campaign_spill_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("s{}.mtdspill", crate::fnv64(&bytes)));
+        std::fs::write(&path, &bytes).unwrap();
+        (path, bytes)
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let acc = sample_acc();
+        let (path, bytes) = write_spill(&acc);
+
+        let digest = verify(&path, 0).unwrap();
+        assert_eq!(digest, crate::fnv64(&bytes));
+
+        let (mut cursor, cells) = SpillCursor::open(&path, 0).unwrap();
+        assert_eq!(cells, acc.cells);
+        let mut minutes = BTreeMap::new();
+        while let Some((bs, row)) = cursor.next_row().unwrap() {
+            minutes.insert(bs, row);
+        }
+        assert_eq!(minutes, acc.minutes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let acc = sample_acc();
+        let (path, bytes) = write_spill(&acc);
+
+        // Flip one byte mid-file: CRC fails.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            verify(&path, 3),
+            Err(CampaignError::SpillCorrupt { shard: 3, .. })
+        ));
+
+        // Truncation fails too.
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(matches!(
+            verify(&path, 3),
+            Err(CampaignError::SpillCorrupt { .. })
+        ));
+
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            verify(&path, 3),
+            Err(CampaignError::SpillMissing { shard: 3, .. })
+        ));
+    }
+}

@@ -61,6 +61,22 @@ USAGE:
       payload decode, footer). Exits non-zero on any corruption;
       --report writes the full per-chunk report as JSON.
 
+  mtd-traffic campaign run    [--n-bs N] [--days N] [--seed N] [--scale X]
+                              [--shards K] --dir DIR [--out FILE]
+                              [--kill-after C]
+  mtd-traffic campaign resume --dir DIR [--out FILE] [plus the run flags]
+  mtd-traffic campaign status --dir DIR
+      Sharded out-of-core campaign (DESIGN.md \u{a7}13): simulate the RAN in
+      K base-station shards, checkpointing a durable manifest in DIR
+      after every shard, and assemble the final MTDSTORE by streaming
+      shard spills — the result is byte-identical to a monolithic
+      `dataset export`, for any K and thread count. A killed or crashed
+      run (simulate one with --kill-after C, checkpoints 0..2K-1) is
+      picked up by `resume` with the same flags; completed shards are
+      never recomputed. `status` prints manifest progress.
+      Defaults: 30 BSs, 3 days, seed 51966, scale 0.1, 8 shards,
+      DIR/store.mtdstore.
+
   mtd-traffic validate [--registry FILE] [--n-bs N] [--days N] [--seed N]
                        [--scale X]
       Validate a registry against a freshly simulated campaign
@@ -132,6 +148,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("simulate") => simulate(&argv[1..]),
         Some("fit") => fit(&argv[1..]),
         Some("dataset") => dataset_cmd(&argv[1..]),
+        Some("campaign") => campaign_cmd(&argv[1..]),
         Some("validate") => validate_cmd(&argv[1..]),
         Some("selftest") => selftest_cmd(&argv[1..]),
         Some("profile") => profile_cmd(&argv[1..]),
@@ -719,6 +736,123 @@ fn dataset_verify(argv: &[String]) -> Result<(), String> {
     }
 }
 
+fn campaign_cmd(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("run") => campaign_run(&argv[1..], false),
+        Some("resume") => campaign_run(&argv[1..], true),
+        Some("status") => campaign_status(&argv[1..]),
+        Some(other) => Err(format!(
+            "unknown campaign subcommand: {other} (expected run, resume or status)"
+        )),
+        None => Err("campaign needs a subcommand: run | resume | status".into()),
+    }
+}
+
+/// Builds a [`mtd_campaign::CampaignConfig`] from the shared flag set.
+fn campaign_config_from_flags(
+    flags: &Flags,
+    threads: usize,
+) -> Result<mtd_campaign::CampaignConfig, String> {
+    let dir = flags.opt("dir").ok_or("campaign needs --dir DIR")?;
+    let dir = std::path::PathBuf::from(dir);
+    let scenario = ScenarioConfig {
+        n_bs: flags.num_or("n-bs", 30usize)?,
+        days: flags.num_or("days", 3u32)?,
+        seed: flags.num_or("seed", 0xCAFEu64)?,
+        arrival_scale: flags.num_or("scale", 0.1f64)?,
+        ..ScenarioConfig::default()
+    };
+    scenario.validate()?;
+    let kill_after = match flags.opt("kill-after") {
+        None => None,
+        Some(_) => Some(flags.num_or("kill-after", 0u64)?),
+    };
+    Ok(mtd_campaign::CampaignConfig {
+        scenario,
+        shards: flags.num_or("shards", 8u32)?,
+        threads,
+        out: match flags.opt("out") {
+            Some(p) => std::path::PathBuf::from(p),
+            None => dir.join("store.mtdstore"),
+        },
+        dir,
+        kill_after,
+    })
+}
+
+fn campaign_run(argv: &[String], is_resume: bool) -> Result<(), String> {
+    let flags = parse_flags(
+        argv,
+        &[
+            "n-bs",
+            "days",
+            "seed",
+            "scale",
+            "shards",
+            "dir",
+            "out",
+            "kill-after",
+        ],
+    )?;
+    let stage = if is_resume {
+        "campaign resume"
+    } else {
+        "campaign run"
+    };
+    let tdest = telemetry_init(&flags, stage)?;
+    let threads = threads_init(&flags)?;
+    let _root = mtd_telemetry::prof::scope("cli.campaign");
+    let config = campaign_config_from_flags(&flags, threads)?;
+    progress!(
+        "cli",
+        "{} {} BSs x {} days in {} shard(s) (seed {}, scale {}) in {} ...",
+        if is_resume { "resuming" } else { "running" },
+        config.scenario.n_bs,
+        config.scenario.days,
+        config.effective_shards(),
+        config.scenario.seed,
+        config.scenario.arrival_scale,
+        config.dir.display()
+    );
+    let result = if is_resume {
+        mtd_campaign::resume(&config)
+    } else {
+        mtd_campaign::run(&config)
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(mtd_campaign::CampaignError::Killed { checkpoint }) => {
+            telemetry_finish(tdest)?;
+            println!(
+                "killed after checkpoint {checkpoint} (manifest durable); \
+                 `campaign resume --dir {}` continues",
+                config.dir.display()
+            );
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    println!(
+        "assembled {} ({} bytes, fnv64 {:016x}) from {} shard(s) over {} BS-minutes",
+        report.store_path.display(),
+        report.store_bytes,
+        report.store_digest,
+        report.shards,
+        report.bs_minutes()
+    );
+    telemetry_finish(tdest)
+}
+
+fn campaign_status(argv: &[String]) -> Result<(), String> {
+    let flags = parse_flags(argv, &["dir"])?;
+    let tdest = telemetry_init(&flags, "campaign status")?;
+    threads_init(&flags)?;
+    let dir = flags.opt("dir").ok_or("campaign status needs --dir DIR")?;
+    let status = mtd_campaign::status(Path::new(dir)).map_err(|e| e.to_string())?;
+    println!("{status}");
+    telemetry_finish(tdest)
+}
+
 fn validate_cmd(argv: &[String]) -> Result<(), String> {
     let flags = parse_flags_with_switches(
         argv,
@@ -1298,6 +1432,107 @@ mod tests {
             "dataset", "export", "--format", "yaml", "--out", &out, "--quiet"
         ]))
         .is_err());
+    }
+
+    const SMALL_CAMPAIGN: &[&str] = &[
+        "--n-bs", "6", "--days", "1", "--seed", "21", "--scale", "0.04",
+    ];
+
+    #[test]
+    fn campaign_run_matches_dataset_export_bytes() {
+        let dir = temp_dir("mtd_cli_test_campaign");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Monolithic export of the exact same scenario.
+        let mono = dir.join("mono.bin");
+        let mut a = argv(&["dataset", "export"]);
+        a.extend(argv(SMALL_CAMPAIGN));
+        a.extend(argv(&["--out", mono.to_str().unwrap(), "--quiet"]));
+        run(&a).unwrap();
+
+        let work = dir.join("work");
+        let mut a = argv(&["campaign", "run"]);
+        a.extend(argv(SMALL_CAMPAIGN));
+        a.extend(argv(&[
+            "--shards",
+            "3",
+            "--dir",
+            work.to_str().unwrap(),
+            "--quiet",
+        ]));
+        run(&a).unwrap();
+
+        let campaign_bytes = std::fs::read(work.join("store.mtdstore")).unwrap();
+        assert_eq!(campaign_bytes, std::fs::read(&mono).unwrap());
+
+        // A second `run` into the same directory refuses to clobber.
+        let mut a = argv(&["campaign", "run"]);
+        a.extend(argv(SMALL_CAMPAIGN));
+        a.extend(argv(&[
+            "--shards",
+            "3",
+            "--dir",
+            work.to_str().unwrap(),
+            "--quiet",
+        ]));
+        assert!(run(&a).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_kill_resume_status_flow() {
+        let dir = temp_dir("mtd_cli_test_campaign_resume");
+        std::fs::remove_dir_all(&dir).ok();
+        let work = dir.join("work");
+        let work_s = work.to_str().unwrap().to_string();
+
+        let base = |cmd: &str| -> Vec<String> {
+            let mut a = argv(&["campaign", cmd]);
+            a.extend(argv(SMALL_CAMPAIGN));
+            a.extend(argv(&["--shards", "2", "--dir", &work_s, "--quiet"]));
+            a
+        };
+
+        // Kill right after the first pass-1 checkpoint: exits cleanly.
+        let mut a = base("run");
+        a.extend(argv(&["--kill-after", "0"]));
+        run(&a).unwrap();
+        assert!(!work.join("store.mtdstore").exists());
+
+        // Status reads the manifest.
+        run(&argv(&["campaign", "status", "--dir", &work_s, "--quiet"])).unwrap();
+
+        // Resume completes the campaign.
+        run(&base("resume")).unwrap();
+        assert!(work.join("store.mtdstore").exists());
+
+        // Resume with drifted flags is refused.
+        let mut a = argv(&["campaign", "resume"]);
+        a.extend(argv(&[
+            "--n-bs", "6", "--days", "1", "--seed", "22", "--scale", "0.04",
+        ]));
+        a.extend(argv(&["--shards", "2", "--dir", &work_s, "--quiet"]));
+        assert!(run(&a).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_rejects_bad_usage() {
+        assert!(run(&argv(&["campaign"])).is_err());
+        assert!(run(&argv(&["campaign", "frobnicate"])).is_err());
+        assert!(run(&argv(&["campaign", "run", "--quiet"])).is_err()); // no --dir
+        assert!(run(&argv(&["campaign", "status", "--quiet"])).is_err()); // no --dir
+        let empty = temp_dir("mtd_cli_test_campaign_empty");
+        assert!(run(&argv(&[
+            "campaign",
+            "status",
+            "--dir",
+            empty.to_str().unwrap(),
+            "--quiet"
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&empty).ok();
     }
 
     #[test]

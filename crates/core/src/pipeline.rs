@@ -244,8 +244,21 @@ pub fn fit_registry_streamed_with(
     path: &Path,
     volume_config: &VolumeFitConfig,
 ) -> std::result::Result<(ModelRegistry, StoreReport), StreamFitError> {
+    let stream = DatasetStream::open(path)?;
+    fit_registry_from_stream(stream, volume_config)
+}
+
+/// Fits the registry from an already-opened [`DatasetStream`] over any
+/// reader — a campaign store still on disk, a store piped over a socket,
+/// or an in-memory image under test. The path-based entry points
+/// delegate here; the equivalence is what lets the campaign runner's
+/// output feed the fit without a [`Dataset`] ever materializing from a
+/// file path.
+pub fn fit_registry_from_stream<R: std::io::Read>(
+    mut stream: DatasetStream<R>,
+    volume_config: &VolumeFitConfig,
+) -> std::result::Result<(ModelRegistry, StoreReport), StreamFitError> {
     let _span = mtd_telemetry::span!("fit.registry_streamed");
-    let mut stream = DatasetStream::open(path)?;
     // Tolerant assembly: the stream already skips damaged chunks, and the
     // point of recovery is to fit whatever survived.
     let mut assembler = DatasetAssembler::new(stream.meta().clone(), false);
@@ -341,6 +354,21 @@ mod tests {
         // Bit-identical: the streamed path assembles the same dataset, and
         // the fit is deterministic.
         assert_eq!(streamed, in_memory);
+    }
+
+    #[test]
+    fn reader_based_fit_matches_path_based_fit() {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let dataset = Dataset::build(&config, &topology, &catalog);
+        let bytes = mtd_dataset::store::encode_binary(&dataset, 1);
+
+        let stream = mtd_dataset::DatasetStream::from_reader(std::io::Cursor::new(&bytes)).unwrap();
+        let (from_reader, report) =
+            fit_registry_from_stream(stream, &VolumeFitConfig::default()).unwrap();
+        assert!(report.is_clean(), "{}", report.to_json());
+        assert_eq!(from_reader, fit_registry(&dataset).unwrap());
     }
 
     #[test]

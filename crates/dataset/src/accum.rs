@@ -1,0 +1,508 @@
+//! Quantized, order-independent accumulation of engine observations.
+//!
+//! Floating-point addition is not associative, so per-shard partial sums
+//! merged across shards would differ from a monolithic run by ULPs — and
+//! the campaign runner promises **byte-identical** stores for any shard
+//! count, thread count, or kill/resume point. The fix is to accumulate
+//! every real-valued statistic as a fixed-point integer: integer addition
+//! is associative, so any grouping of the same observations produces the
+//! same sums, and the float value is materialized exactly once, at
+//! finalize time, by a single division.
+//!
+//! Quantization steps:
+//!
+//! - volumes (MB): `2⁻²⁰` MB ≈ 1 byte — far below the generator's output
+//!   granularity, worst-case relative error ~1e-10 on a 1 MB session;
+//! - `log₁₀(volume)` and its square: `2⁻³²` — the fit pipelines consume
+//!   these through means and variances where the error vanishes.
+//!
+//! Sums are `i128` (a campaign of 10⁹ observations × 10¹⁰ quantized units
+//! per observation stays 60+ bits from overflow); counts are plain `u64`.
+//!
+//! [`Dataset::build`](crate::Dataset::build) itself accumulates through
+//! this module, so a sharded campaign and a monolithic build are the same
+//! pipeline by construction, not by coincidence.
+
+use crate::dataset::CellKey;
+use crate::record::CellStats;
+use mtd_math::histogram::{LogGrid, LogHistogram};
+use mtd_netsim::engine::EngineSink;
+use mtd_netsim::session::SessionObservation;
+use mtd_netsim::time::MINUTES_PER_DAY;
+use std::collections::BTreeMap;
+
+/// Fixed-point scale for traffic volumes (MB): 2²⁰ units per MB.
+pub const Q_VOL: f64 = 1_048_576.0;
+/// Fixed-point scale for `log₁₀(volume)` statistics: 2³² units.
+pub const Q_LOG: f64 = 4_294_967_296.0;
+
+/// Quantizes a volume (MB) to fixed-point units.
+#[inline]
+#[must_use]
+pub fn q_vol(v: f64) -> i128 {
+    (v * Q_VOL).round() as i128
+}
+
+/// Dequantizes a fixed-point volume sum back to MB.
+#[inline]
+#[must_use]
+pub fn dq_vol(q: i128) -> f64 {
+    q as f64 / Q_VOL
+}
+
+/// Quantizes a `log₁₀` statistic to fixed-point units.
+#[inline]
+#[must_use]
+pub fn q_log(v: f64) -> i128 {
+    (v * Q_LOG).round() as i128
+}
+
+/// Dequantizes a fixed-point `log₁₀` sum.
+#[inline]
+#[must_use]
+pub fn dq_log(q: i128) -> f64 {
+    q as f64 / Q_LOG
+}
+
+/// One (service, BS-group, day) cell accumulated in fixed point — the
+/// exact-arithmetic twin of [`CellStats`]. Fields are public so the
+/// campaign runner can spill and reload shards without a codec here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactCell {
+    /// Session count (`sessions` in [`CellStats`]).
+    pub sessions: u64,
+    /// Total traffic volume, quantized MB.
+    pub traffic_q: i128,
+    /// Volume histogram bin counts. Kept separate from `sessions`
+    /// because `LogHistogram::add` skips non-finite values.
+    pub hist_counts: Vec<u64>,
+    /// Total weight of `hist_counts`.
+    pub hist_total: u64,
+    /// Sum of volumes per duration bin, quantized MB.
+    pub pair_vol_q: Vec<i128>,
+    /// Session count per duration bin.
+    pub pair_counts: Vec<u64>,
+    /// Sum of `log₁₀(volume)` per duration bin, quantized.
+    pub pair_log_q: Vec<i128>,
+    /// Sum of `log₁₀(volume)²` per duration bin, quantized. The square
+    /// is quantized directly (not squared after quantization) so the
+    /// finalized value is one rounding away from the float it replaces.
+    pub pair_log_sq_q: Vec<i128>,
+}
+
+impl ExactCell {
+    /// An empty cell on `volume_bins` histogram bins and
+    /// `duration_bins` pair bins.
+    #[must_use]
+    pub fn new(volume_bins: usize, duration_bins: usize) -> ExactCell {
+        ExactCell {
+            sessions: 0,
+            traffic_q: 0,
+            hist_counts: vec![0; volume_bins],
+            hist_total: 0,
+            pair_vol_q: vec![0; duration_bins],
+            pair_counts: vec![0; duration_bins],
+            pair_log_q: vec![0; duration_bins],
+            pair_log_sq_q: vec![0; duration_bins],
+        }
+    }
+
+    /// Records one session observation — the integer mirror of
+    /// [`CellStats::record`].
+    pub fn record(&mut self, volume_mb: f64, duration_s: f64, vgrid: &LogGrid, dgrid: &LogGrid) {
+        self.sessions += 1;
+        self.traffic_q += q_vol(volume_mb);
+        if volume_mb.is_finite() {
+            self.hist_counts[vgrid.bin_of(volume_mb)] += 1;
+            self.hist_total += 1;
+        }
+        let bin = dgrid.bin_of(duration_s);
+        self.pair_vol_q[bin] += q_vol(volume_mb);
+        self.pair_counts[bin] += 1;
+        let lv = volume_mb.max(1e-12).log10();
+        self.pair_log_q[bin] += q_log(lv);
+        self.pair_log_sq_q[bin] += q_log(lv * lv);
+    }
+
+    /// Adds another cell (same bin counts) into this one. Pure integer
+    /// addition: associative and commutative, so merge order never
+    /// changes the result.
+    pub fn merge(&mut self, other: &ExactCell) {
+        assert_eq!(self.pair_counts.len(), other.pair_counts.len());
+        assert_eq!(self.hist_counts.len(), other.hist_counts.len());
+        self.sessions += other.sessions;
+        self.traffic_q += other.traffic_q;
+        self.hist_total += other.hist_total;
+        for (a, b) in self.hist_counts.iter_mut().zip(&other.hist_counts) {
+            *a += b;
+        }
+        for (a, b) in self.pair_vol_q.iter_mut().zip(&other.pair_vol_q) {
+            *a += b;
+        }
+        for (a, b) in self.pair_counts.iter_mut().zip(&other.pair_counts) {
+            *a += b;
+        }
+        for (a, b) in self.pair_log_q.iter_mut().zip(&other.pair_log_q) {
+            *a += b;
+        }
+        for (a, b) in self.pair_log_sq_q.iter_mut().zip(&other.pair_log_sq_q) {
+            *a += b;
+        }
+    }
+
+    /// Finalizes into the float [`CellStats`] the store encodes. Every
+    /// field is a deterministic function of the integer sums, so equal
+    /// sums yield bit-equal stats.
+    #[must_use]
+    pub fn to_cell_stats(&self, vgrid: &LogGrid) -> CellStats {
+        let counts: Vec<f64> = self.hist_counts.iter().map(|c| *c as f64).collect();
+        CellStats {
+            sessions: self.sessions as f64,
+            traffic_mb: dq_vol(self.traffic_q),
+            volume_hist: LogHistogram::from_parts(*vgrid, counts, self.hist_total as f64)
+                .expect("counts match grid"),
+            pair_sums: self.pair_vol_q.iter().map(|q| dq_vol(*q)).collect(),
+            pair_counts: self.pair_counts.iter().map(|c| *c as f64).collect(),
+            pair_log_sums: self.pair_log_q.iter().map(|q| dq_log(*q)).collect(),
+            pair_log_sum_sqs: self.pair_log_sq_q.iter().map(|q| dq_log(*q)).collect(),
+        }
+    }
+}
+
+/// Pass-1 sink: per-BS quantized volume totals for decile assignment.
+pub struct VolumeTotalsQ {
+    /// Quantized total volume per global BS id.
+    pub totals_q: Vec<i128>,
+}
+
+impl VolumeTotalsQ {
+    /// Zeroed totals for `n_bs` stations.
+    #[must_use]
+    pub fn new(n_bs: usize) -> VolumeTotalsQ {
+        VolumeTotalsQ {
+            totals_q: vec![0; n_bs],
+        }
+    }
+
+    /// Dequantized totals in MB.
+    #[must_use]
+    pub fn totals_mb(&self) -> Vec<f64> {
+        self.totals_q.iter().map(|q| dq_vol(*q)).collect()
+    }
+}
+
+impl EngineSink for VolumeTotalsQ {
+    fn on_observation(&mut self, obs: &SessionObservation) {
+        self.totals_q[obs.bs.0 as usize] += q_vol(obs.volume_mb);
+    }
+}
+
+/// One BS's per-minute row in fixed point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinuteRowQ {
+    /// Session starts per campaign minute.
+    pub counts: Vec<u32>,
+    /// Traffic volume per campaign minute, quantized MB. `i64` suffices:
+    /// a single BS-minute stays far below 2⁴³ quantized units.
+    pub vol_q: Vec<i64>,
+}
+
+impl MinuteRowQ {
+    fn new(row_len: usize) -> MinuteRowQ {
+        MinuteRowQ {
+            counts: vec![0; row_len],
+            vol_q: vec![0; row_len],
+        }
+    }
+
+    /// Finalizes into the dense `(counts, volumes)` row the store
+    /// encodes.
+    #[must_use]
+    pub fn to_row(&self) -> (Vec<u32>, Vec<f32>) {
+        (
+            self.counts.clone(),
+            self.vol_q
+                .iter()
+                .map(|q| dq_vol(i128::from(*q)) as f32)
+                .collect(),
+        )
+    }
+
+    /// Adds another row of the same length into this one.
+    pub fn merge(&mut self, other: &MinuteRowQ) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (a, b) in self.vol_q.iter_mut().zip(&other.vol_q) {
+            *a += b;
+        }
+    }
+}
+
+/// Pass-2 sink: accumulates cells and minute rows for (a shard of) a
+/// campaign in fixed point.
+///
+/// Observations are attributed by **global** BS id, so a shard sink also
+/// collects handover fragments that land on neighbor stations outside
+/// its own range; the campaign assembler merges those cross-shard
+/// contributions with integer adds, reproducing the monolithic result
+/// exactly. Rows are kept sparse (only touched BSs) so a shard's memory
+/// scales with its own size plus the handover fringe, not with `n_bs`.
+pub struct ShardAccumulator {
+    volume_grid: LogGrid,
+    duration_grid: LogGrid,
+    group_of_bs: Vec<u16>,
+    n_days: u32,
+    row_len: usize,
+    /// Accumulated cells keyed by (service, group, day).
+    pub cells: BTreeMap<CellKey, ExactCell>,
+    /// Accumulated minute rows keyed by global BS id.
+    pub minutes: BTreeMap<u32, MinuteRowQ>,
+}
+
+impl ShardAccumulator {
+    /// An empty accumulator for a campaign with the given group table.
+    #[must_use]
+    pub fn new(
+        volume_grid: LogGrid,
+        duration_grid: LogGrid,
+        group_of_bs: Vec<u16>,
+        n_days: u32,
+    ) -> ShardAccumulator {
+        ShardAccumulator {
+            volume_grid,
+            duration_grid,
+            group_of_bs,
+            n_days,
+            row_len: (n_days * MINUTES_PER_DAY) as usize,
+            cells: BTreeMap::new(),
+            minutes: BTreeMap::new(),
+        }
+    }
+
+    /// Records one observation (same attribution rules as
+    /// [`crate::Dataset::record_observation`]).
+    pub fn record(&mut self, obs: &SessionObservation) {
+        let day = obs.start.day;
+        if day >= self.n_days {
+            // Sessions spilling past the campaign end are not measured.
+            mtd_telemetry::count("dataset.observations.spilled", 1);
+            return;
+        }
+        let minute = (day * MINUTES_PER_DAY + obs.start.minute_of_day()) as usize;
+        let row_len = self.row_len;
+        let row = self
+            .minutes
+            .entry(obs.bs.0)
+            .or_insert_with(|| MinuteRowQ::new(row_len));
+        row.counts[minute] += 1;
+        row.vol_q[minute] += q_vol(obs.volume_mb) as i64;
+
+        let key = (obs.service.0, self.group_of_bs[obs.bs.0 as usize], day);
+        let (vbins, dbins) = (self.volume_grid.bins(), self.duration_grid.bins());
+        self.cells
+            .entry(key)
+            .or_insert_with(|| ExactCell::new(vbins, dbins))
+            .record(
+                obs.volume_mb,
+                obs.duration_s,
+                &self.volume_grid,
+                &self.duration_grid,
+            );
+    }
+
+    /// Merges another accumulator (same campaign) into this one.
+    pub fn merge(&mut self, other: &ShardAccumulator) {
+        for (key, cell) in &other.cells {
+            let (vbins, dbins) = (self.volume_grid.bins(), self.duration_grid.bins());
+            self.cells
+                .entry(*key)
+                .or_insert_with(|| ExactCell::new(vbins, dbins))
+                .merge(cell);
+        }
+        for (bs, row) in &other.minutes {
+            let row_len = self.row_len;
+            self.minutes
+                .entry(*bs)
+                .or_insert_with(|| MinuteRowQ::new(row_len))
+                .merge(row);
+        }
+    }
+
+    /// Finalizes the cells into their float [`CellStats`] form.
+    #[must_use]
+    pub fn finalize_cells(&self) -> BTreeMap<CellKey, CellStats> {
+        self.cells
+            .iter()
+            .map(|(k, c)| (*k, c.to_cell_stats(&self.volume_grid)))
+            .collect()
+    }
+
+    /// Finalizes the minute rows into dense per-BS arrays for `n_bs`
+    /// stations (untouched BSs get zero rows).
+    #[must_use]
+    pub fn finalize_minutes(&self, n_bs: usize) -> (Vec<Vec<u32>>, Vec<Vec<f32>>) {
+        let mut counts = vec![vec![0u32; self.row_len]; n_bs];
+        let mut volumes = vec![vec![0.0f32; self.row_len]; n_bs];
+        for (bs, row) in &self.minutes {
+            let (c, v) = row.to_row();
+            counts[*bs as usize] = c;
+            volumes[*bs as usize] = v;
+        }
+        (counts, volumes)
+    }
+
+    /// Minute-row length (`n_days × 1440`).
+    #[must_use]
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+}
+
+impl EngineSink for ShardAccumulator {
+    fn on_observation(&mut self, obs: &SessionObservation) {
+        self.record(obs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{duration_grid, volume_grid};
+    use mtd_netsim::ids::{BsId, Rat, ServiceId, SessionId};
+    use mtd_netsim::time::SimTime;
+
+    fn obs(bs: u32, service: u16, day: u32, secs: f64, vol: f64, dur: f64) -> SessionObservation {
+        SessionObservation {
+            session: SessionId(1),
+            bs: BsId(bs),
+            rat: Rat::Lte,
+            service: ServiceId(service),
+            start: SimTime::new(day, secs),
+            duration_s: dur,
+            volume_mb: vol,
+            transient: false,
+            segment_index: 0,
+        }
+    }
+
+    /// A deterministic pseudo-random stream of observations.
+    fn stream(n: usize, n_bs: u32) -> Vec<SessionObservation> {
+        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            state >> 33
+        };
+        (0..n)
+            .map(|_| {
+                let bs = (next() % u64::from(n_bs)) as u32;
+                let service = (next() % 7) as u16;
+                let day = (next() % 3) as u32;
+                let secs = (next() % 86_400) as f64 + 0.5;
+                let vol = 10f64.powf((next() % 6000) as f64 / 1000.0 - 2.0);
+                let dur = 1.0 + (next() % 4000) as f64;
+                obs(bs, service, day, secs, vol, dur)
+            })
+            .collect()
+    }
+
+    fn accum(observations: &[SessionObservation], group_of_bs: Vec<u16>) -> ShardAccumulator {
+        let mut acc = ShardAccumulator::new(volume_grid(), duration_grid(), group_of_bs, 3);
+        for o in observations {
+            acc.record(o);
+        }
+        acc
+    }
+
+    #[test]
+    fn merge_grouping_is_unobservable() {
+        // The campaign invariant in miniature: any partition of the same
+        // observation stream into accumulators, merged in any order,
+        // yields identical integer state.
+        let all = stream(2_000, 8);
+        let groups = vec![0u16; 8];
+        let monolithic = accum(&all, groups.clone());
+
+        for parts in [2usize, 3, 7] {
+            let chunk = all.len().div_ceil(parts);
+            let mut merged =
+                ShardAccumulator::new(volume_grid(), duration_grid(), groups.clone(), 3);
+            // Merge shards in reverse order to stress order-independence.
+            let shards: Vec<ShardAccumulator> = all
+                .chunks(chunk)
+                .map(|c| accum(c, groups.clone()))
+                .collect();
+            for shard in shards.iter().rev() {
+                merged.merge(shard);
+            }
+            assert_eq!(merged.cells, monolithic.cells, "parts={parts}");
+            assert_eq!(merged.minutes, monolithic.minutes, "parts={parts}");
+            // And the finalized float form is bit-equal, not just close.
+            let a = merged.finalize_cells();
+            let b = monolithic.finalize_cells();
+            assert_eq!(a, b, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn exact_cell_tracks_cellstats_closely() {
+        // The quantized pipeline replaces float accumulation; the
+        // finalized values must match a direct CellStats accumulation to
+        // quantization precision, and counts exactly.
+        let dg = duration_grid();
+        let vg = volume_grid();
+        let mut exact = ExactCell::new(vg.bins(), dg.bins());
+        let mut float = CellStats::new(vg, dg.bins());
+        for o in stream(500, 1) {
+            exact.record(o.volume_mb, o.duration_s, &vg, &dg);
+            float.record(o.volume_mb, o.duration_s, &dg);
+        }
+        let finalized = exact.to_cell_stats(&vg);
+        assert_eq!(finalized.sessions, float.sessions);
+        assert_eq!(finalized.volume_hist.counts(), float.volume_hist.counts());
+        assert_eq!(finalized.volume_hist.total(), float.volume_hist.total());
+        assert_eq!(finalized.pair_counts, float.pair_counts);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+        assert!(rel(finalized.traffic_mb, float.traffic_mb) < 1e-9);
+        for i in 0..dg.bins() {
+            if float.pair_counts[i] == 0.0 {
+                continue;
+            }
+            assert!(rel(finalized.pair_sums[i], float.pair_sums[i]) < 1e-6);
+            assert!((finalized.pair_log_sums[i] - float.pair_log_sums[i]).abs() < 1e-6);
+            assert!((finalized.pair_log_sum_sqs[i] - float.pair_log_sum_sqs[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spilled_observations_are_dropped() {
+        let mut acc = ShardAccumulator::new(volume_grid(), duration_grid(), vec![0], 2);
+        acc.record(&obs(0, 0, 2, 10.0, 1.0, 60.0)); // day 2 of a 2-day run
+        assert!(acc.cells.is_empty());
+        assert!(acc.minutes.is_empty());
+    }
+
+    #[test]
+    fn volume_totals_are_partition_invariant() {
+        let all = stream(1_000, 5);
+        let mut mono = VolumeTotalsQ::new(5);
+        for o in &all {
+            mono.on_observation(o);
+        }
+        let mut merged = VolumeTotalsQ::new(5);
+        for part in all.chunks(137) {
+            let mut shard = VolumeTotalsQ::new(5);
+            for o in part {
+                shard.on_observation(o);
+            }
+            for (a, b) in merged.totals_q.iter_mut().zip(&shard.totals_q) {
+                *a += b;
+            }
+        }
+        assert_eq!(merged.totals_q, mono.totals_q);
+        assert_eq!(merged.totals_mb(), mono.totals_mb());
+    }
+}

@@ -4,7 +4,7 @@ use crate::decile::assign_deciles;
 use crate::record::{duration_grid, volume_grid, CellStats, PairPoint};
 use mtd_math::histogram::{BinnedPdf, LogGrid};
 use mtd_math::{MathError, Result};
-use mtd_netsim::engine::{Engine, EngineSink};
+use mtd_netsim::engine::Engine;
 use mtd_netsim::geo::{Region, Topology};
 use mtd_netsim::ids::Rat;
 use mtd_netsim::services::ServiceCatalog;
@@ -12,7 +12,7 @@ use mtd_netsim::session::SessionObservation;
 use mtd_netsim::time::{DayType, MINUTES_PER_DAY};
 use mtd_netsim::ScenarioConfig;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// The (load-decile, region, city, RAT) combination keying a BS group.
 ///
@@ -134,9 +134,37 @@ pub struct Dataset {
 }
 
 /// Cell key: (service, group index, day).
-pub(crate) type CellKey = (u16, u16, u32);
+pub type CellKey = (u16, u16, u32);
 /// The ordered cell store.
-pub(crate) type CellMap = std::collections::BTreeMap<CellKey, CellStats>;
+pub type CellMap = std::collections::BTreeMap<CellKey, CellStats>;
+
+/// Builds the interned group table for a topology: the distinct
+/// [`GroupKey`]s in first-appearance (station) order, plus each BS's
+/// group index. Shared by [`Dataset::build`] and the campaign runner so
+/// both derive identical group numbering from identical deciles.
+#[must_use]
+pub fn group_table(
+    stations: &[mtd_netsim::geo::BaseStation],
+    decile_of_bs: &[u8],
+) -> (Vec<GroupKey>, Vec<u16>) {
+    let mut groups: Vec<GroupKey> = Vec::new();
+    let mut group_index: HashMap<GroupKey, u16> = HashMap::new();
+    let mut group_of_bs = Vec::with_capacity(stations.len());
+    for (i, s) in stations.iter().enumerate() {
+        let key = GroupKey {
+            decile: decile_of_bs[i],
+            region: s.region,
+            city: s.city,
+            rat: s.rat,
+        };
+        let idx = *group_index.entry(key).or_insert_with(|| {
+            groups.push(key);
+            (groups.len() - 1) as u16
+        });
+        group_of_bs.push(idx);
+    }
+    (groups, group_of_bs)
+}
 
 /// Serializes the tuple-keyed cell map as a vector of entries.
 mod cell_map_serde {
@@ -154,32 +182,15 @@ mod cell_map_serde {
     }
 }
 
-/// Pass-1 sink: per-BS volume totals for decile assignment.
-struct VolumeTotalsSink {
-    totals: Vec<f64>,
-}
-
-impl EngineSink for VolumeTotalsSink {
-    fn on_observation(&mut self, obs: &SessionObservation) {
-        self.totals[obs.bs.0 as usize] += obs.volume_mb;
-    }
-}
-
-/// Pass-2 sink: fills the dataset cells.
-struct CellFillSink<'a> {
-    dataset: &'a mut Dataset,
-}
-
-impl EngineSink for CellFillSink<'_> {
-    fn on_observation(&mut self, obs: &SessionObservation) {
-        self.dataset.record_observation(obs);
-    }
-}
-
 impl Dataset {
     /// Builds the dataset by running the engine twice (see crate docs):
     /// once to measure per-BS totals for decile assignment, once to fill
     /// the cells. Both passes are deterministic and identical.
+    ///
+    /// Accumulation goes through the fixed-point [`crate::accum`] sinks —
+    /// the same pipeline the sharded campaign runner uses — so a
+    /// monolithic build and a sharded campaign produce byte-identical
+    /// stores by construction.
     #[must_use]
     pub fn build(
         config: &ScenarioConfig,
@@ -192,61 +203,41 @@ impl Dataset {
 
         // Pass 1: totals → deciles. (The parallel runner is bit-identical
         // to the sequential one.)
-        let mut pass1 = VolumeTotalsSink {
-            totals: vec![0.0; topology.len()],
-        };
+        let mut pass1 = crate::accum::VolumeTotalsQ::new(topology.len());
         {
             let _span = mtd_telemetry::span!("pass1_totals");
             engine.run_parallel(&mut pass1, threads);
         }
-        let decile_of_bs = assign_deciles(&pass1.totals);
+        let totals_mb = pass1.totals_mb();
+        let decile_of_bs = assign_deciles(&totals_mb);
+        let (groups, group_of_bs) = group_table(topology.stations(), &decile_of_bs);
 
-        // Group table.
-        let mut groups: Vec<GroupKey> = Vec::new();
-        let mut group_index: HashMap<GroupKey, u16> = HashMap::new();
-        let mut group_of_bs = Vec::with_capacity(topology.len());
-        for (i, s) in topology.stations().iter().enumerate() {
-            let key = GroupKey {
-                decile: decile_of_bs[i],
-                region: s.region,
-                city: s.city,
-                rat: s.rat,
-            };
-            let idx = *group_index.entry(key).or_insert_with(|| {
-                groups.push(key);
-                (groups.len() - 1) as u16
-            });
-            group_of_bs.push(idx);
+        // Pass 2: identical run fills cells.
+        let mut pass2 = crate::accum::ShardAccumulator::new(
+            volume_grid(),
+            duration_grid(),
+            group_of_bs.clone(),
+            config.days,
+        );
+        {
+            let _span = mtd_telemetry::span!("pass2_fill");
+            engine.run_parallel(&mut pass2, threads);
         }
-
-        let mut dataset = Dataset {
+        let cells = pass2.finalize_cells();
+        let (minute_counts, minute_volume_mb) = pass2.finalize_minutes(topology.len());
+        let dataset = Dataset {
             volume_grid: volume_grid(),
             duration_grid: duration_grid(),
             service_names: catalog.services().iter().map(|s| s.name.clone()).collect(),
             groups,
             group_of_bs,
             decile_of_bs,
-            bs_total_volume_mb: pass1.totals,
-            cells: BTreeMap::new(),
-            minute_counts: vec![
-                vec![0u32; (config.days * MINUTES_PER_DAY) as usize];
-                topology.len()
-            ],
-            minute_volume_mb: vec![
-                vec![0.0f32; (config.days * MINUTES_PER_DAY) as usize];
-                topology.len()
-            ],
+            bs_total_volume_mb: totals_mb,
+            cells,
+            minute_counts,
+            minute_volume_mb,
             n_days: config.days,
         };
-
-        // Pass 2: identical run fills cells.
-        let mut pass2 = CellFillSink {
-            dataset: &mut dataset,
-        };
-        {
-            let _span = mtd_telemetry::span!("pass2_fill");
-            engine.run_parallel(&mut pass2, threads);
-        }
         mtd_telemetry::gauge_set("dataset.cells", dataset.cells.len() as f64);
         dataset
     }

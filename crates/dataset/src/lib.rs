@@ -23,6 +23,7 @@
 //! deterministic re-run of the engine) fills the cells. Determinism of the
 //! engine makes the two passes see exactly the same traffic.
 
+pub mod accum;
 pub mod chunk;
 pub mod dataset;
 pub mod decile;
@@ -32,7 +33,11 @@ pub mod record;
 pub mod shares;
 pub mod store;
 
-pub use dataset::{Dataset, SliceFilter};
+pub use accum::{ExactCell, MinuteRowQ, ShardAccumulator, VolumeTotalsQ};
+pub use dataset::{group_table, CellKey, CellMap, Dataset, GroupKey, SliceFilter};
 pub use record::{CellStats, PairPoint};
 pub use shares::SharesAccumulator;
-pub use store::{DatasetAssembler, DatasetStream, StoreError, StoreReport, StreamedChunk};
+pub use store::{
+    write_atomic, DatasetAssembler, DatasetStream, StoreError, StoreReport, StoreWriter,
+    StreamedChunk,
+};

@@ -43,11 +43,14 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Cell records per Cells chunk (~0.3–3 MB depending on sparsity).
-const CELLS_PER_CHUNK: usize = 256;
-/// Per-BS minute rows per Minutes chunk.
-const MINUTE_ROWS_PER_CHUNK: usize = 64;
+/// Public because the campaign assembler batches cells identically to
+/// reproduce [`encode_binary`]'s exact chunking.
+pub const CELLS_PER_CHUNK: usize = 256;
+/// Per-BS minute rows per Minutes chunk (same contract as
+/// [`CELLS_PER_CHUNK`]).
+pub const MINUTE_ROWS_PER_CHUNK: usize = 64;
 /// Fixed file header length: 8-byte magic + version + flags.
-const HEADER_LEN: usize = 16;
+pub const HEADER_LEN: usize = 16;
 
 // ---------------------------------------------------------------------------
 // Errors and reports
@@ -396,20 +399,43 @@ fn rat_from_tag(t: u8) -> Result<Rat, FormatError> {
 }
 
 fn encode_meta(ds: &Dataset) -> Vec<u8> {
+    encode_meta_fields(
+        &ds.volume_grid,
+        &ds.duration_grid,
+        ds.n_days,
+        &ds.service_names,
+        &ds.groups,
+        &ds.group_of_bs,
+    )
+}
+
+/// Encodes a Meta payload from its components — the field-level twin of
+/// the `&Dataset` encoder, for writers (the campaign assembler) that
+/// never materialize a whole [`Dataset`]. Byte-identical to the path
+/// [`encode_binary`] takes.
+#[must_use]
+pub fn encode_meta_fields(
+    volume_grid: &LogGrid,
+    duration_grid: &LogGrid,
+    n_days: u32,
+    service_names: &[String],
+    groups: &[GroupKey],
+    group_of_bs: &[u16],
+) -> Vec<u8> {
     let mut w = ByteWriter::new();
-    for grid in [&ds.volume_grid, &ds.duration_grid] {
+    for grid in [volume_grid, duration_grid] {
         w.put_f64(grid.lo_log10());
         w.put_f64(grid.hi_log10());
         w.put_u32(grid.bins() as u32);
     }
-    w.put_u32(ds.n_days);
-    w.put_u32(ds.group_of_bs.len() as u32);
-    w.put_u16(ds.service_names.len() as u16);
-    for name in &ds.service_names {
+    w.put_u32(n_days);
+    w.put_u32(group_of_bs.len() as u32);
+    w.put_u16(service_names.len() as u16);
+    for name in service_names {
         w.put_str(name);
     }
-    w.put_u32(ds.groups.len() as u32);
-    for g in &ds.groups {
+    w.put_u32(groups.len() as u32);
+    for g in groups {
         w.put_u8(g.decile);
         w.put_u8(region_tag(g.region));
         match g.city {
@@ -424,7 +450,7 @@ fn encode_meta(ds: &Dataset) -> Vec<u8> {
         }
         w.put_u8(rat_tag(g.rat));
     }
-    for idx in &ds.group_of_bs {
+    for idx in group_of_bs {
         w.put_u16(*idx);
     }
     w.into_bytes()
@@ -498,12 +524,19 @@ fn decode_meta(payload: &[u8]) -> Result<MetaSection, FormatError> {
 }
 
 fn encode_deciles(ds: &Dataset) -> Vec<u8> {
+    encode_deciles_fields(&ds.decile_of_bs, &ds.bs_total_volume_mb)
+}
+
+/// Encodes a Deciles payload from its components (see
+/// [`encode_meta_fields`]).
+#[must_use]
+pub fn encode_deciles_fields(decile_of_bs: &[u8], bs_total_volume_mb: &[f64]) -> Vec<u8> {
     let mut w = ByteWriter::new();
-    w.put_u32(ds.decile_of_bs.len() as u32);
-    for d in &ds.decile_of_bs {
+    w.put_u32(decile_of_bs.len() as u32);
+    for d in decile_of_bs {
         w.put_u8(*d);
     }
-    w.put_f64_dense(&ds.bs_total_volume_mb);
+    w.put_f64_dense(bs_total_volume_mb);
     w.into_bytes()
 }
 
@@ -534,7 +567,15 @@ fn decode_deciles(payload: &[u8]) -> Result<DecileSection, FormatError> {
     })
 }
 
-fn encode_cells_chunk(records: &[(&CellKey, &CellStats)], vbins: usize, dbins: usize) -> Vec<u8> {
+/// Encodes one Cells chunk of up to [`CELLS_PER_CHUNK`] records. Public
+/// for the campaign assembler, which feeds batches of exactly this size
+/// in key order to reproduce [`encode_binary`]'s bytes.
+#[must_use]
+pub fn encode_cells_chunk(
+    records: &[(&CellKey, &CellStats)],
+    vbins: usize,
+    dbins: usize,
+) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u32(records.len() as u32);
     w.put_u32(vbins as u32);
@@ -619,17 +660,32 @@ fn decode_cells_chunk(
 }
 
 fn encode_minutes_chunk(ds: &Dataset, first_bs: usize, rows: usize) -> Vec<u8> {
-    let mut w = ByteWriter::new();
     let row_len = ds
         .minute_counts
         .first()
         .map_or((ds.n_days * MINUTES_PER_DAY) as usize, Vec::len);
-    w.put_u32(first_bs as u32);
-    w.put_u32(rows as u32);
+    let refs: Vec<(&[u32], &[f32])> = (first_bs..first_bs + rows)
+        .map(|bs| {
+            (
+                ds.minute_counts[bs].as_slice(),
+                ds.minute_volume_mb[bs].as_slice(),
+            )
+        })
+        .collect();
+    encode_minutes_rows(first_bs as u32, row_len, &refs)
+}
+
+/// Encodes one Minutes chunk from explicit rows (see
+/// [`encode_meta_fields`]); rows cover BSs `first_bs ..`.
+#[must_use]
+pub fn encode_minutes_rows(first_bs: u32, row_len: usize, rows: &[(&[u32], &[f32])]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(first_bs);
+    w.put_u32(rows.len() as u32);
     w.put_u32(row_len as u32);
-    for bs in first_bs..first_bs + rows {
-        w.put_u32_vec(&ds.minute_counts[bs]);
-        w.put_f32_vec(&ds.minute_volume_mb[bs]);
+    for (counts, volumes) in rows {
+        w.put_u32_vec(counts);
+        w.put_f32_vec(volumes);
     }
     w.into_bytes()
 }
@@ -759,8 +815,10 @@ pub fn encode_binary(ds: &Dataset, threads: usize) -> Vec<u8> {
 }
 
 /// Writes bytes to `path` atomically: temp file in the same directory,
-/// flush, then rename over the destination.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+/// flush, then rename over the destination. Public so sibling crates
+/// (the campaign manifest) inherit both the atomicity contract and the
+/// injected write faults.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     let faults = mtd_fault::store_write_faults(bytes.len());
     if faults.any() {
         return write_atomic_faulted(path, bytes, &faults);
@@ -854,6 +912,123 @@ pub fn save_binary_with_threads(
     let _span = mtd_telemetry::span!("store.save_binary");
     let bytes = encode_binary(ds, threads);
     write_atomic(path, &bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming writer
+// ---------------------------------------------------------------------------
+
+/// Streaming binary store writer: appends one frame at a time to a temp
+/// file and atomically renames it into place on [`StoreWriter::finish`].
+///
+/// Fed the same payloads in the same order, the output is byte-identical
+/// to [`encode_binary`] — but peak memory is one frame, not the whole
+/// file image, which is what lets the campaign assembler emit
+/// paper-scale stores out of core. Frame indices and the whole-file CRC
+/// footer are maintained internally.
+pub struct StoreWriter {
+    path: PathBuf,
+    tmp: PathBuf,
+    file: Option<io::BufWriter<std::fs::File>>,
+    crc: Crc32,
+    next_index: u32,
+    frame_buf: Vec<u8>,
+    bytes_written: u64,
+}
+
+impl StoreWriter {
+    /// Opens the temp file and writes the fixed header.
+    pub fn create(path: &Path) -> Result<StoreWriter, StoreError> {
+        let tmp = path.with_extension("tmp-partial");
+        let file = with_retry(|| std::fs::File::create(&tmp)).map_err(|e| io_err(path, e))?;
+        let mut writer = StoreWriter {
+            path: path.to_path_buf(),
+            tmp,
+            file: Some(io::BufWriter::new(file)),
+            crc: Crc32::new(),
+            next_index: 0,
+            frame_buf: Vec::new(),
+            bytes_written: 0,
+        };
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes()); // flags, reserved
+        writer.write_checksummed(&header)?;
+        Ok(writer)
+    }
+
+    fn write_raw(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let file = self.file.as_mut().expect("StoreWriter already finished");
+        with_retry(|| file.write_all(bytes)).map_err(|e| io_err(&self.path, e))?;
+        self.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn write_checksummed(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.crc.update(bytes);
+        self.write_raw(bytes)
+    }
+
+    /// Appends one data frame; indices are assigned sequentially in
+    /// append order (the format's chunk-index invariant).
+    pub fn append(&mut self, kind: SectionKind, payload: &[u8]) -> Result<(), StoreError> {
+        self.frame_buf.clear();
+        write_frame(&mut self.frame_buf, kind, self.next_index, payload);
+        self.next_index += 1;
+        let frame = std::mem::take(&mut self.frame_buf);
+        let result = self.write_checksummed(&frame);
+        self.frame_buf = frame;
+        result
+    }
+
+    /// Data frames appended so far.
+    #[must_use]
+    pub fn frames(&self) -> u32 {
+        self.next_index
+    }
+
+    /// Writes the footer, syncs, and atomically renames the temp file
+    /// over the destination. Returns the total bytes written.
+    pub fn finish(mut self) -> Result<u64, StoreError> {
+        let count = self.next_index;
+        let file_crc = self.crc.finish();
+        self.frame_buf.clear();
+        let mut footer = std::mem::take(&mut self.frame_buf);
+        write_frame(
+            &mut footer,
+            SectionKind::Footer,
+            count,
+            &footer_payload(count, file_crc),
+        );
+        // The footer frame is not part of the whole-file CRC it carries.
+        self.write_raw(&footer)?;
+        let file = self.file.take().expect("StoreWriter already finished");
+        let result = (|| -> io::Result<u64> {
+            let file = file.into_inner().map_err(io::IntoInnerError::into_error)?;
+            with_retry(|| file.sync_all())?;
+            drop(file);
+            with_retry(|| std::fs::rename(&self.tmp, &self.path))?;
+            Ok(self.bytes_written)
+        })();
+        match result {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                std::fs::remove_file(&self.tmp).ok();
+                Err(io_err(&self.path, e))
+            }
+        }
+    }
+}
+
+impl Drop for StoreWriter {
+    fn drop(&mut self) {
+        // An abandoned writer (error or early return) must not leak its
+        // temp file; a finished one already renamed it away.
+        if self.file.take().is_some() {
+            std::fs::remove_file(&self.tmp).ok();
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1350,11 +1525,26 @@ impl DatasetStream<io::BufReader<std::fs::File>> {
     /// always the first chunk).
     pub fn open(path: &Path) -> Result<Self, StoreError> {
         let file = with_retry(|| std::fs::File::open(path)).map_err(|e| io_err(path, e))?;
-        let mut reader = io::BufReader::new(file);
+        let mut stream = Self::from_reader_inner(io::BufReader::new(file), Some(path))?;
+        stream.report.path = Some(path.display().to_string());
+        Ok(stream)
+    }
+}
+
+impl<R: Read> DatasetStream<R> {
+    /// Opens a stream over any reader positioned at the start of a binary
+    /// store image (header included) — in-memory buffers and pipes as
+    /// well as files. Decodes the Meta section (always the first chunk).
+    pub fn from_reader(reader: R) -> Result<Self, StoreError> {
+        Self::from_reader_inner(reader, None)
+    }
+
+    fn from_reader_inner(mut reader: R, path: Option<&Path>) -> Result<Self, StoreError> {
+        let err_path = path.unwrap_or_else(|| Path::new("<stream>"));
         let mut header = [0u8; HEADER_LEN];
         reader.read_exact(&mut header).map_err(|e| match e.kind() {
             io::ErrorKind::UnexpectedEof => StoreError::BadMagic,
-            _ => io_err(path, e),
+            _ => io_err(err_path, e),
         })?;
         check_header(&header)?;
         let mut crc = Crc32::new();
@@ -1363,7 +1553,7 @@ impl DatasetStream<io::BufReader<std::fs::File>> {
 
         let first = frames
             .next_frame()
-            .map_err(|e| frame_error(e, Some(path)))?
+            .map_err(|e| frame_error(e, path))?
             .ok_or(StoreError::MissingSection("meta"))?;
         if first.kind() != Some(SectionKind::Meta) {
             return Err(StoreError::MissingSection("meta (must be the first chunk)"));
@@ -1383,7 +1573,6 @@ impl DatasetStream<io::BufReader<std::fs::File>> {
             reason: e.to_string(),
         })?;
         let mut report = StoreReport::new(&format!("binary-v{FORMAT_VERSION}"));
-        report.path = Some(path.display().to_string());
         report.total_chunks = 1;
         report.chunks.push(ChunkStatus {
             section: "meta".into(),
@@ -1697,6 +1886,72 @@ mod tests {
         assert_eq!(&back, ds);
         // Bit-exact: re-encoding the decoded dataset reproduces the bytes.
         assert_eq!(encode_binary(&back, 1), bytes);
+    }
+
+    #[test]
+    fn store_writer_matches_encode_binary_bytes() {
+        let ds = build_small();
+        let expected = encode_binary(ds, 1);
+
+        let path = temp_path("writer.mtdstore");
+        let mut writer = StoreWriter::create(&path).unwrap();
+        writer.append(SectionKind::Meta, &encode_meta(ds)).unwrap();
+        writer
+            .append(SectionKind::Deciles, &encode_deciles(ds))
+            .unwrap();
+        let vbins = ds.volume_grid.bins();
+        let dbins = ds.duration_grid.bins();
+        let cell_refs: Vec<(&CellKey, &CellStats)> = ds.cells.iter().collect();
+        for batch in cell_refs.chunks(CELLS_PER_CHUNK) {
+            writer
+                .append(SectionKind::Cells, &encode_cells_chunk(batch, vbins, dbins))
+                .unwrap();
+        }
+        let n_bs = ds.minute_counts.len();
+        let mut first = 0;
+        while first < n_bs {
+            let rows = MINUTE_ROWS_PER_CHUNK.min(n_bs - first);
+            writer
+                .append(SectionKind::Minutes, &encode_minutes_chunk(ds, first, rows))
+                .unwrap();
+            first += rows;
+        }
+        let written = writer.finish().unwrap();
+
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(written, bytes.len() as u64);
+        assert_eq!(bytes, expected);
+        // And it decodes like any other store.
+        let back = decode_binary(&bytes, 1).unwrap();
+        assert_eq!(&back, ds);
+    }
+
+    #[test]
+    fn stream_from_reader_matches_full_decode() {
+        let ds = build_small();
+        let bytes = encode_binary(ds, 1);
+        let mut stream = DatasetStream::from_reader(io::Cursor::new(bytes)).unwrap();
+        let mut asm = DatasetAssembler::new(stream.meta().clone(), true);
+        while let Some(chunk) = stream.next_chunk() {
+            asm.apply(chunk.unwrap()).unwrap();
+        }
+        assert!(stream.report().fatal.is_none(), "{:?}", stream.report());
+        let back = asm.finish().unwrap();
+        assert_eq!(&back, ds);
+    }
+
+    #[test]
+    fn store_writer_drop_cleans_up_temp_file() {
+        let path = temp_path("abandoned.mtdstore");
+        let tmp = path.with_extension("tmp-partial");
+        {
+            let mut writer = StoreWriter::create(&path).unwrap();
+            writer.append(SectionKind::Meta, b"partial").unwrap();
+            assert!(tmp.exists());
+        }
+        assert!(!tmp.exists(), "dropped writer must remove its temp file");
+        assert!(!path.exists(), "abandoned write must not surface a store");
     }
 
     #[test]

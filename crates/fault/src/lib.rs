@@ -86,6 +86,7 @@ pub const SITES: &[&str] = &[
     "json.parse.corrupt",
     "par.steal.shuffle",
     "par.stall",
+    "campaign.shard.kill",
 ];
 
 /// Sites included by the `store` group spec. `store.write.skip_atomic` is
@@ -326,6 +327,7 @@ mod runtime {
     static PAR_SEED: AtomicU64 = AtomicU64::new(0);
     static PAR_SHUFFLE_PROB: AtomicU64 = AtomicU64::new(0);
     static PAR_STALL_PROB: AtomicU64 = AtomicU64::new(0);
+    static CAMPAIGN_KILL_PROB: AtomicU64 = AtomicU64::new(0);
 
     /// Installs `plan` as the process-wide active plan, resetting all site
     /// streams, counters and the trace. Replaces any previous plan.
@@ -344,6 +346,10 @@ mod runtime {
         PAR_SEED.store(plan.seed, Ordering::Relaxed);
         PAR_SHUFFLE_PROB.store(plan.prob("par.steal.shuffle").to_bits(), Ordering::Relaxed);
         PAR_STALL_PROB.store(plan.prob("par.stall").to_bits(), Ordering::Relaxed);
+        CAMPAIGN_KILL_PROB.store(
+            plan.prob("campaign.shard.kill").to_bits(),
+            Ordering::Relaxed,
+        );
         let mut guard = RUNTIME.lock().expect("fault runtime poisoned");
         *guard = Some(Runtime {
             plan,
@@ -358,6 +364,7 @@ mod runtime {
         ACTIVE.store(false, Ordering::Release);
         PAR_SHUFFLE_PROB.store(0, Ordering::Relaxed);
         PAR_STALL_PROB.store(0, Ordering::Relaxed);
+        CAMPAIGN_KILL_PROB.store(0, Ordering::Relaxed);
         *RUNTIME.lock().expect("fault runtime poisoned") = None;
     }
 
@@ -547,6 +554,31 @@ mod runtime {
         std::thread::sleep(std::time::Duration::from_micros(micros));
         true
     }
+
+    /// Whether the campaign runner should die right after committing
+    /// checkpoint `checkpoint`. A pure hash of `(seed, site, checkpoint)`
+    /// — independent of any stream state — so the decision for a given
+    /// checkpoint is identical across resumed processes: at `prob=1` every
+    /// checkpoint kills, and a resume loop deterministically walks the run
+    /// forward one shard at a time (the resume-equivalence battery).
+    pub fn campaign_kill_checkpoint(checkpoint: u64) -> bool {
+        let prob = f64::from_bits(CAMPAIGN_KILL_PROB.load(Ordering::Relaxed));
+        if !active() || prob <= 0.0 {
+            return false;
+        }
+        let mut s = derive_seed(
+            derive_seed(
+                PAR_SEED.load(Ordering::Relaxed),
+                site_id("campaign.shard.kill"),
+            ),
+            checkpoint,
+        );
+        if u01(splitmix_next(&mut s)) >= prob {
+            return false;
+        }
+        mtd_telemetry::count_labeled("fault.injected", "campaign.shard.kill", 1);
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -608,11 +640,17 @@ mod runtime {
     pub fn steal_stall(_worker: usize, _epoch: u64) -> bool {
         false
     }
+    /// Never kills without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn campaign_kill_checkpoint(_checkpoint: u64) -> bool {
+        false
+    }
 }
 
 pub use runtime::{
-    active, clear, fired_counts, install, installed, json_parse_corrupt, par_perturb_enabled,
-    steal_order_perturb, steal_stall, store_read_mutate, store_write_faults, trace,
+    active, campaign_kill_checkpoint, clear, fired_counts, install, installed, json_parse_corrupt,
+    par_perturb_enabled, steal_order_perturb, steal_stall, store_read_mutate, store_write_faults,
+    trace,
 };
 
 /// Whether the `fault-inject` feature was compiled in. The selftest CLI
@@ -681,6 +719,15 @@ mod tests {
         assert_eq!(all.prob("par.steal.shuffle"), 0.25);
         assert_eq!(all.prob("json.parse.corrupt"), 0.25);
         assert_eq!(all.prob("store.write.skip_atomic"), 0.0);
+        // The campaign kill switch is likewise group-excluded: it models a
+        // process death, not a maskable fault, and must be named explicitly.
+        assert_eq!(all.prob("campaign.shard.kill"), 0.0);
+        assert_eq!(
+            FaultPlan::parse("campaign.shard.kill=0.5", 7)
+                .unwrap()
+                .prob("campaign.shard.kill"),
+            0.5
+        );
 
         let none = FaultPlan::parse("none", 3).unwrap();
         assert!(none.sites().is_empty());
@@ -806,6 +853,27 @@ mod tests {
             assert_eq!(sorted, (0..6).collect::<Vec<_>>());
             clear();
             assert!(!par_perturb_enabled());
+        }
+
+        #[test]
+        fn campaign_kill_is_pure_in_checkpoint_index() {
+            let _g = lock();
+            install(FaultPlan::parse("campaign.shard.kill=1", 11).unwrap());
+            // prob=1 fires at every checkpoint, and re-querying the same
+            // checkpoint (as a resumed process would) repeats the decision.
+            for idx in 0..16u64 {
+                assert!(campaign_kill_checkpoint(idx));
+                assert!(campaign_kill_checkpoint(idx));
+            }
+            clear();
+            assert!(!campaign_kill_checkpoint(0));
+            // Fractional prob: decision per checkpoint is seed-stable.
+            install(FaultPlan::parse("campaign.shard.kill=0.5", 11).unwrap());
+            let a: Vec<bool> = (0..64).map(campaign_kill_checkpoint).collect();
+            let b: Vec<bool> = (0..64).map(campaign_kill_checkpoint).collect();
+            assert_eq!(a, b);
+            assert!(a.iter().any(|f| *f) && a.iter().any(|f| !*f));
+            clear();
         }
 
         #[test]

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Full description of a synthetic measurement campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioConfig {
     /// Number of base stations in the RAN.
     pub n_bs: usize,

@@ -175,6 +175,59 @@ impl<'a> Engine<'a> {
         stats
     }
 
+    /// Runs only the stations in `[first, first + len)` — one **shard** of
+    /// the campaign — feeding `sink` in station order.
+    ///
+    /// Because every per-station RNG stream and session-id namespace is
+    /// derived from the *global* [`BsId`] (see [`BsId::rng_stream`]),
+    /// concatenating the outputs of any shard partition reproduces the
+    /// monolithic [`Engine::run`] event stream byte for byte. Unlike the
+    /// full runners this does **not** publish `progress.total_units`; the
+    /// campaign driver owns whole-run progress accounting.
+    ///
+    /// # Panics
+    /// Panics when the range falls outside the topology.
+    pub fn run_shard<S: EngineSink>(
+        &self,
+        sink: &mut S,
+        first: usize,
+        len: usize,
+        threads: usize,
+    ) -> RunStats {
+        let stations = self.topology.stations();
+        assert!(
+            first <= stations.len() && len <= stations.len() - first,
+            "shard [{first}, {first}+{len}) outside topology of {}",
+            stations.len()
+        );
+        let _span = mtd_telemetry::span!("sim.run_shard");
+        let shard = &stations[first..first + len];
+        let mut stats = RunStats::default();
+        let threads = threads.max(1).min(shard.len().max(1));
+        if threads == 1 {
+            for station in shard {
+                let mut st = RunStats::default();
+                self.run_station(station, sink, &mut st);
+                stats.merge(&st);
+            }
+        } else {
+            mtd_par::Pool::new(threads).par_for_each_ordered(
+                shard.len(),
+                |i| {
+                    let mut buffer = BufferSink::default();
+                    let mut st = RunStats::default();
+                    self.run_station(&shard[i], &mut buffer, &mut st);
+                    (buffer, st)
+                },
+                |_, (buffer, st)| {
+                    buffer.replay(sink);
+                    stats.merge(&st);
+                },
+            );
+        }
+        stats
+    }
+
     /// Simulates one station's whole campaign into `sink`.
     ///
     /// Session ids are derived from `(station, day, index)` so that the
@@ -190,10 +243,10 @@ impl<'a> Engine<'a> {
             ArrivalProcess::for_load_quantile(station.load_quantile, self.config.arrival_scale);
         for day in 0..self.config.days {
             let day_sessions = stats.sessions;
-            let stream = u64::from(station.id.0) * 1_000_003 + u64::from(day);
+            let stream = station.id.rng_stream(day);
             let mut rng = stream_rng(self.config.seed ^ stream_id("engine"), stream);
             let mut counter: u64 = 0;
-            let base = (u64::from(station.id.0) << 42) | (u64::from(day) << 32);
+            let base = station.id.session_base(day);
             for minute in 0..MINUTES_PER_DAY {
                 let n = arrivals.sample_count(minute, &mut rng);
                 for _ in 0..n {
@@ -566,6 +619,52 @@ mod tests {
         for (a, b) in seq.sessions.iter().zip(&par.sessions) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn shard_concatenation_matches_monolithic_run() {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let engine = Engine::new(&config, &topology, &catalog);
+        let mut mono = CollectSink::default();
+        let mono_stats = engine.run(&mut mono);
+
+        // Any contiguous partition, at any thread count, must replay the
+        // exact monolithic event stream when concatenated in order.
+        for (shards, threads) in [(1usize, 1usize), (3, 1), (3, 4), (12, 2)] {
+            let mut sharded = CollectSink::default();
+            let mut stats = RunStats::default();
+            for s in 0..shards {
+                let first = s * config.n_bs / shards;
+                let end = (s + 1) * config.n_bs / shards;
+                stats.merge(&engine.run_shard(&mut sharded, first, end - first, threads));
+            }
+            // The event stream is bit-identical; the aggregate float
+            // total is only grouping-sensitive in its last ULPs.
+            assert_eq!(stats.sessions, mono_stats.sessions);
+            assert_eq!(stats.observations, mono_stats.observations);
+            assert_eq!(
+                stats.transient_observations,
+                mono_stats.transient_observations
+            );
+            let rel = (stats.total_volume_mb - mono_stats.total_volume_mb).abs()
+                / mono_stats.total_volume_mb;
+            assert!(rel < 1e-12, "{shards} shards x {threads} threads: {rel}");
+            assert_eq!(sharded.sessions, mono.sessions);
+            assert_eq!(sharded.observations, mono.observations);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn out_of_range_shard_panics() {
+        let config = ScenarioConfig::small_test();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let engine = Engine::new(&config, &topology, &catalog);
+        let mut sink = CollectSink::default();
+        let _ = engine.run_shard(&mut sink, config.n_bs - 1, 2, 1);
     }
 
     #[test]

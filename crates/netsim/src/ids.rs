@@ -9,6 +9,30 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct BsId(pub u32);
 
+impl BsId {
+    /// The RNG stream index for this station on `day`.
+    ///
+    /// Derived from the **global** BS id, never a shard-local index, so a
+    /// shard-scoped run draws the exact random sequence a monolithic run
+    /// draws for the same station. The multiplier keeps `(bs, day)` pairs
+    /// injective for any campaign with fewer than 1,000,003 days.
+    #[must_use]
+    pub fn rng_stream(self, day: u32) -> u64 {
+        u64::from(self.0) * 1_000_003 + u64::from(day)
+    }
+
+    /// The session-id namespace base for this station on `day`.
+    ///
+    /// Session ids are `base | counter` with a per-day counter; packing
+    /// the global BS id into the high bits keeps ids unique — and
+    /// identical between sharded and monolithic runs — for campaigns up
+    /// to 2^22 stations × 2^10 days × 2^32 sessions per BS-day.
+    #[must_use]
+    pub fn session_base(self, day: u32) -> u64 {
+        (u64::from(self.0) << 42) | (u64::from(day) << 32)
+    }
+}
+
 /// User equipment identifier (stands in for the IMSI the real probes see).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct UeId(pub u64);
@@ -62,6 +86,59 @@ mod tests {
         set.insert(BsId(1));
         assert_eq!(set.len(), 2);
         assert!(BsId(1) < BsId(2));
+    }
+
+    #[test]
+    fn rng_stream_depends_only_on_global_id() {
+        // The shard coupling bug this pins against: a shard covering
+        // stations [first, first+len) must derive streams from global
+        // ids, so the same station yields the same stream no matter
+        // which shard (or shard count) processed it.
+        for global in [0u32, 1, 41, 42, 4_095, 282_000] {
+            for day in [0u32, 1, 6, 44] {
+                let expected = u64::from(global) * 1_000_003 + u64::from(day);
+                assert_eq!(BsId(global).rng_stream(day), expected);
+                // Offset stability: re-deriving from any "local index +
+                // offset" decomposition lands on the same stream.
+                for offset in [0u32, 1, 7, 1000] {
+                    if global >= offset {
+                        let local = global - offset;
+                        assert_eq!(BsId(local + offset).rng_stream(day), expected);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_injective_across_bs_days() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for bs in 0..64u32 {
+            for day in 0..45u32 {
+                assert!(
+                    seen.insert(BsId(bs).rng_stream(day)),
+                    "stream collision at bs {bs} day {day}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_bases_are_disjoint_namespaces() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for bs in [0u32, 1, 2, 1023, 4_194_303] {
+            for day in [0u32, 1, 44, 1023] {
+                let base = BsId(bs).session_base(day);
+                assert!(seen.insert(base), "base collision bs {bs} day {day}");
+                // The low 32 bits are free for the per-day counter.
+                assert_eq!(base & 0xFFFF_FFFF, 0);
+                // And the id decomposes back into its parts.
+                assert_eq!((base >> 42) as u32, bs);
+                assert_eq!(((base >> 32) & 0x3FF) as u32, day & 0x3FF);
+            }
+        }
     }
 
     #[test]

@@ -115,6 +115,9 @@ pub struct Tick {
     /// `None` until two observations establish a rate.
     pub sessions_per_s: Option<f64>,
     pub bs_minutes_per_s: Option<f64>,
+    /// Campaign shard-checkpoint progress `(done, total)`; `None` when
+    /// no campaign runner published the `campaign.shards_*` gauges.
+    pub shards: Option<(u64, u64)>,
     /// Live heap bytes from the counting allocator (0 if not installed).
     pub live_bytes: i64,
     pub peak_rss_bytes: Option<u64>,
@@ -148,6 +151,13 @@ impl HeartbeatState {
             _ => (None, None),
         };
         self.last = Some((now_s, sessions, bs_minutes));
+        let shards = match snap.gauge("campaign.shards_total") {
+            Some(t) if t > 0.0 => {
+                let d = snap.gauge("campaign.shards_done").unwrap_or(0.0);
+                Some((d.max(0.0) as u64, t as u64))
+            }
+            _ => None,
+        };
         Tick {
             elapsed_s: now_s,
             stage: stage(),
@@ -155,6 +165,7 @@ impl HeartbeatState {
             total,
             sessions_per_s,
             bs_minutes_per_s,
+            shards,
             live_bytes: crate::alloc::stats().live_bytes,
             peak_rss_bytes: crate::alloc::peak_rss_bytes(),
             eta_s: self.eta.update(now_s, done, total),
@@ -195,11 +206,16 @@ pub fn render(tick: &Tick) -> String {
         Some(s) => fmt_duration(s),
         None => "--".to_string(),
     };
+    let shards = match tick.shards {
+        Some((done, total)) => format!("shard {done}/{total} | "),
+        None => String::new(),
+    };
     format!(
-        "[hb +{:.0}s] {} {} | {} BS-min/s | {} sessions/s | mem {} | ETA {}",
+        "[hb +{:.0}s] {} {} | {}{} BS-min/s | {} sessions/s | mem {} | ETA {}",
         tick.elapsed_s,
         tick.stage,
         progress,
+        shards,
         rate(tick.bs_minutes_per_s),
         rate(tick.sessions_per_s),
         mem,
@@ -371,6 +387,20 @@ mod tests {
     }
 
     #[test]
+    fn shard_progress_appears_only_when_a_campaign_publishes_it() {
+        let key = |name: &'static str| crate::registry::Key { name, label: None };
+        let mut state = HeartbeatState::new();
+        let mut snap = Snapshot::default();
+        assert_eq!(state.tick(1.0, &snap).shards, None, "no campaign gauges");
+
+        snap.gauges.insert(key("campaign.shards_total"), 6.0);
+        snap.gauges.insert(key("campaign.shards_done"), 2.0);
+        let tick = state.tick(2.0, &snap);
+        assert_eq!(tick.shards, Some((2, 6)));
+        assert!(render(&tick).contains("shard 2/6"), "{}", render(&tick));
+    }
+
+    #[test]
     fn render_handles_missing_data_and_full_data() {
         let empty = Tick {
             elapsed_s: 5.0,
@@ -379,6 +409,7 @@ mod tests {
             total: 0.0,
             sessions_per_s: None,
             bs_minutes_per_s: None,
+            shards: None,
             live_bytes: 0,
             peak_rss_bytes: None,
             eta_s: None,
@@ -394,12 +425,14 @@ mod tests {
             total: 1000.0,
             sessions_per_s: Some(8123.4),
             bs_minutes_per_s: Some(50400.0),
+            shards: Some((3, 8)),
             live_bytes: 125_829_120,
             peak_rss_bytes: Some(325_058_560),
             eta_s: Some(22.4),
         };
         let line = render(&full);
         assert!(line.contains("simulate 35.0% (350/1000)"), "line: {line}");
+        assert!(line.contains("shard 3/8 | 50400 BS-min/s"), "line: {line}");
         assert!(line.contains("50400 BS-min/s"));
         assert!(line.contains("8123 sessions/s"));
         assert!(line.contains("120.0 MiB live, 310.0 MiB peak"));
