@@ -60,7 +60,9 @@ pub fn service_similarity_pooled(
     }
     // Row i holds the strict upper triangle (i, i+1..n); scanning rows in
     // order keeps the sequential "first error in (i, j) order" semantics.
-    let rows = pool.par_map_indexed(n, |i| {
+    // Rows are cheap relative to scheduling, so they go out in contiguous
+    // grains rather than one job per row.
+    let rows = pool.par_map_chunked(n, pool.auto_grain(n), |i| {
         let _span = mtd_telemetry::span!("emd.row");
         ((i + 1)..n)
             .map(|j| emd_centered(&pdfs[i], &pdfs[j]))

@@ -80,11 +80,23 @@ fn main() {
         &timing_object(&timings, |s| format!("{s:.6}")),
     );
     // On a 1-core machine every speedup is pinned near 1.0x by the
-    // hardware, not the runtime — `cores_limited` above flags that.
-    report.field_raw(
-        "speedup_over_sequential",
-        &timing_object(&timings, |s| format!("{:.2}", sequential_s / s)),
-    );
+    // hardware, not the runtime, so a headline speedup claim would be
+    // meaningless at best and misleading at worst. Record the raw thread
+    // timings above either way, but only publish the speedup table when
+    // the machine can actually express one.
+    if machine.detected_cores == 1 {
+        report.field_raw("speedup_over_sequential", "null");
+        report.field_str(
+            "speedup_suppressed_reason",
+            "1 detected core: parallel timings measure scheduling overhead, \
+             not speedup; see fit_seconds for the raw numbers",
+        );
+    } else {
+        report.field_raw(
+            "speedup_over_sequential",
+            &timing_object(&timings, |s| format!("{:.2}", sequential_s / s)),
+        );
+    }
     report.write(&out_path);
 }
 

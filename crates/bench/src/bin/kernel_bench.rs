@@ -1,0 +1,266 @@
+//! Records the batch-kernel throughput numbers behind
+//! `BENCH_kernels.json`: every `mtd_math::simd` kernel timed on the
+//! scalar fallback tier and on the dispatched tier of this CPU, as
+//! median-of-N elements/second, plus a plain libm loop for the
+//! transcendentals as an external reference point.
+//!
+//! Usage:
+//!   cargo run --release -p mtd-bench --bin kernel_bench [out.json]
+//!   cargo run --release -p mtd-bench --bin kernel_bench -- --guard
+//!
+//! `--guard` is the CI perf-regression gate: it re-measures the
+//! SIMD-over-scalar speedup ratio per kernel — a same-machine,
+//! same-moment quantity, so it holds on any runner — and fails when a
+//! kernel falls below the pinned floor (half the baseline recorded in
+//! the repo's BENCH_kernels.json, rounded down; noise-tolerant via the
+//! shared median-of-N timer). On CPUs that dispatch to the scalar tier
+//! there is no vector path to guard, so the gate passes with a note.
+//!
+//! `MTD_FAST=1` shrinks the buffers for CI smoke runs; the speedup
+//! *ratio* the guard checks is size-independent for these
+//! cache-resident kernels.
+
+use mtd_bench::{time_median, BenchReport};
+use mtd_math::simd::{self, Tier};
+use std::fmt::Write as _;
+
+/// Guarded floors: SIMD-over-scalar speedup per kernel, pinned well
+/// below the ratios recorded in BENCH_kernels.json on the baseline
+/// machine (AVX2: 1.5–5.5x) but far above the signature of a real break
+/// (losing cross-feature inlining measured 0.2–0.4x on the heavy
+/// kernels). A lane dropped to scalar, a dispatch bug, or an accidental
+/// bounds check in the inner loop trips the gate; run-to-run noise —
+/// savgol's scalar loop auto-vectorizes and swings the ratio hardest —
+/// does not.
+const GUARD_MIN_SPEEDUP: &[(&str, f64)] = &[
+    ("exp", 1.1),
+    ("ln", 0.7),
+    ("erf", 0.9),
+    ("gaussian_pdf", 0.9),
+    ("gaussian_cdf", 1.0),
+    ("savgol_convolve", 1.5),
+];
+
+/// One measured kernel: million elements per second per tier.
+struct KernelResult {
+    name: &'static str,
+    scalar_melems: f64,
+    simd_melems: f64,
+    /// Plain libm loop, where one exists (`None` for the compat-only
+    /// kernels).
+    libm_melems: Option<f64>,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.simd_melems / self.scalar_melems
+    }
+}
+
+/// Times `f` (which processes `n * reps` elements) and converts to
+/// million elements/second.
+fn melems(n: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    let seconds = time_median(|| {
+        for _ in 0..reps {
+            f();
+        }
+    });
+    (n * reps) as f64 / seconds / 1e6
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let guard = arg.as_deref() == Some("--guard");
+    let out_path = if guard {
+        None
+    } else {
+        Some(arg.unwrap_or_else(|| "BENCH_kernels.json".to_string()))
+    };
+    let fast = std::env::var("MTD_FAST").is_ok();
+    let n: usize = if fast { 1 << 13 } else { 1 << 16 };
+    let reps: usize = if fast { 8 } else { 16 };
+
+    let active = simd::active_tier();
+    eprintln!(
+        "dispatched tier: {} (available: {}), {n} elements x {reps} reps per sample",
+        active.name(),
+        simd::available_tiers()
+            .iter()
+            .map(|t| t.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // Inputs spanning each kernel's hot domain (log10-volume grids run
+    // roughly -2..5; erf arguments a few sigma around 0).
+    let xs: Vec<f64> = (0..n).map(|i| -6.0 + 12.0 * i as f64 / n as f64).collect();
+    let pos: Vec<f64> = (0..n).map(|i| 1e-4 + i as f64 * 0.01).collect();
+    let coeffs: Vec<f64> = (0..9).map(|i| (i as f64 - 4.0) / 60.0).collect();
+    let mut out = vec![0.0; n];
+    let mut conv_out = vec![0.0; n + 1 - coeffs.len()];
+
+    let mut results: Vec<KernelResult> = Vec::new();
+    macro_rules! bench_unary {
+        ($name:literal, $f:path, $input:expr, $libm:expr) => {{
+            let scalar = melems(n, reps, || $f(Tier::Scalar, $input, &mut out));
+            let simd = melems(n, reps, || $f(active, $input, &mut out));
+            results.push(KernelResult {
+                name: $name,
+                scalar_melems: scalar,
+                simd_melems: simd,
+                libm_melems: $libm,
+            });
+        }};
+    }
+
+    let libm_exp = melems(n, reps, || {
+        for (o, &x) in out.iter_mut().zip(&xs) {
+            *o = x.exp();
+        }
+    });
+    let libm_ln = melems(n, reps, || {
+        for (o, &x) in out.iter_mut().zip(&pos) {
+            *o = x.ln();
+        }
+    });
+    bench_unary!("exp", simd::exp_into_with, &xs, Some(libm_exp));
+    bench_unary!("ln", simd::ln_into_with, &pos, Some(libm_ln));
+    bench_unary!("log10", simd::log10_into_with, &pos, None);
+    bench_unary!("erf", simd::erf_into_with, &xs, None);
+
+    for (name, mean, std) in [("gaussian_pdf", 0.8, 0.6), ("gaussian_cdf", 0.8, 0.6)] {
+        let f: fn(Tier, &[f64], f64, f64, &mut [f64]) = if name == "gaussian_pdf" {
+            simd::gaussian_pdf_into_with
+        } else {
+            simd::gaussian_cdf_into_with
+        };
+        let scalar = melems(n, reps, || f(Tier::Scalar, &xs, mean, std, &mut out));
+        let simd_r = melems(n, reps, || f(active, &xs, mean, std, &mut out));
+        results.push(KernelResult {
+            name,
+            scalar_melems: scalar,
+            simd_melems: simd_r,
+            libm_melems: None,
+        });
+    }
+
+    let scalar = melems(n, reps, || {
+        simd::convolve_scaled_into_with(Tier::Scalar, &xs, &coeffs, 1.0, 2.5, &mut conv_out);
+    });
+    let simd_r = melems(n, reps, || {
+        simd::convolve_scaled_into_with(active, &xs, &coeffs, 1.0, 2.5, &mut conv_out);
+    });
+    results.push(KernelResult {
+        name: "savgol_convolve",
+        scalar_melems: scalar,
+        simd_melems: simd_r,
+        libm_melems: None,
+    });
+
+    let half = n / 2;
+    let (a, b) = xs.split_at(half);
+    let mut sub_out = vec![0.0; half];
+    let scalar = melems(half, reps, || {
+        simd::sub_div_into_with(Tier::Scalar, a, &b[..half], 0.05, &mut sub_out);
+    });
+    let simd_r = melems(half, reps, || {
+        simd::sub_div_into_with(active, a, &b[..half], 0.05, &mut sub_out);
+    });
+    results.push(KernelResult {
+        name: "sub_div",
+        scalar_melems: scalar,
+        simd_melems: simd_r,
+        libm_melems: None,
+    });
+
+    for r in &results {
+        eprintln!(
+            "{:16} scalar {:8.1} Melem/s  {} {:8.1} Melem/s  ({:.2}x{})",
+            r.name,
+            r.scalar_melems,
+            active.name(),
+            r.simd_melems,
+            r.speedup(),
+            r.libm_melems
+                .map(|l| format!(", libm {l:.1}"))
+                .unwrap_or_default()
+        );
+    }
+
+    if guard {
+        run_guard(active, &results);
+        return;
+    }
+
+    let mut report = BenchReport::new("kernels: simd batch throughput vs scalar fallback");
+    report.field_str("active_tier", active.name());
+    report.field_raw(
+        "available_tiers",
+        &format!(
+            "[{}]",
+            simd::available_tiers()
+                .iter()
+                .map(|t| format!("\"{}\"", t.name()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    );
+    report.field_raw("elements", &n.to_string());
+    report.field_raw("inner_reps", &reps.to_string());
+    report.field_str("unit", "million elements per second");
+    let mut kernels = String::from("{");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { ", " } else { "" };
+        let libm = r
+            .libm_melems
+            .map(|l| format!(", \"libm_melems_per_s\": {l:.1}"))
+            .unwrap_or_default();
+        let _ = write!(
+            kernels,
+            "\"{}\": {{\"scalar_melems_per_s\": {:.1}, \"simd_melems_per_s\": {:.1}, \
+             \"speedup_simd_over_scalar\": {:.2}{libm}}}{comma}",
+            r.name,
+            r.scalar_melems,
+            r.simd_melems,
+            r.speedup()
+        );
+    }
+    kernels.push('}');
+    report.field_raw("kernels", &kernels);
+    report.write(out_path.as_deref().expect("record mode has a path"));
+}
+
+/// The CI gate: every guarded kernel's measured speedup must clear its
+/// pinned floor. Scalar-only CPUs have nothing to guard.
+fn run_guard(active: Tier, results: &[KernelResult]) {
+    if active == Tier::Scalar {
+        println!("kernel guard: dispatched tier is scalar on this CPU; nothing to guard");
+        return;
+    }
+    let mut failures = Vec::new();
+    for (name, floor) in GUARD_MIN_SPEEDUP {
+        let r = results
+            .iter()
+            .find(|r| r.name == *name)
+            .expect("guarded kernel is measured");
+        let speedup = r.speedup();
+        let verdict = if speedup >= *floor { "ok" } else { "REGRESSED" };
+        println!("kernel guard: {name:16} {speedup:5.2}x (floor {floor:.2}x) {verdict}");
+        if speedup < *floor {
+            failures.push(format!("{name}: {speedup:.2}x < {floor:.2}x"));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "kernel guard PASS: {} kernel(s) at or above their pinned speedup floors",
+            GUARD_MIN_SPEEDUP.len()
+        );
+    } else {
+        eprintln!(
+            "kernel guard FAIL: simd throughput regressed below the pinned \
+             fraction of the recorded baseline:\n  {}",
+            failures.join("\n  ")
+        );
+        std::process::exit(1);
+    }
+}

@@ -61,6 +61,21 @@ USAGE:
       payload decode, footer). Exits non-zero on any corruption;
       --report writes the full per-chunk report as JSON.
 
+  mtd-traffic query --in FILE [--select METRIC] [--agg LIST]
+                    [--group-by KEY] [--histogram BINS] [--out FILE]
+      Streaming statistics over an exported binary dataset (one pass,
+      bounded memory). METRIC: volume (default) | sessions — one value
+      per stored (service, group, day) cell — or minute-volume |
+      minute-sessions — one value per (BS, minute). LIST: comma-separated
+      count, sum, mean, min, max, pN (percentile, e.g. p50,p99.9);
+      default count,sum,mean,min,max. KEY: none (default), day, plus
+      service | group | region | rat | decile for cell metrics or bs for
+      minute metrics. --histogram prints an ASCII histogram per group.
+      Percentiles and histograms buffer the selected values in memory;
+      the other aggregations stream. Example:
+        mtd-traffic query --in ds.bin --select sessions \\
+                          --group-by service --agg count,sum,p95
+
   mtd-traffic campaign run    [--n-bs N] [--days N] [--seed N] [--scale X]
                               [--shards K] --dir DIR [--out FILE]
                               [--kill-after C]
@@ -148,6 +163,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("simulate") => simulate(&argv[1..]),
         Some("fit") => fit(&argv[1..]),
         Some("dataset") => dataset_cmd(&argv[1..]),
+        Some("query") => crate::query::query_cmd(&argv[1..]),
         Some("campaign") => campaign_cmd(&argv[1..]),
         Some("validate") => validate_cmd(&argv[1..]),
         Some("selftest") => selftest_cmd(&argv[1..]),
@@ -161,7 +177,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 }
 
 /// Parses a subcommand's own flags plus the common telemetry flags.
-fn parse_flags(argv: &[String], valued: &[&str]) -> Result<Flags, String> {
+pub(crate) fn parse_flags(argv: &[String], valued: &[&str]) -> Result<Flags, String> {
     parse_flags_with_switches(argv, valued, &[])
 }
 
@@ -181,7 +197,7 @@ fn parse_flags_with_switches(
 /// Applies `--threads` to the process-wide pool sizing and returns the
 /// effective worker count. Precedence: the flag beats `MTD_THREADS`,
 /// which beats the detected core count (see [`mtd_par::threads`]).
-fn threads_init(flags: &Flags) -> Result<usize, String> {
+pub(crate) fn threads_init(flags: &Flags) -> Result<usize, String> {
     match flags.opt("threads") {
         Some(_) => {
             let n: usize = flags.num_or("threads", 1usize)?;
@@ -210,7 +226,7 @@ enum TelemetryDest {
 /// The per-command telemetry runtime: the final-dump destination plus the
 /// optional live surfaces (`--heartbeat`, `--metrics-interval`). Built by
 /// [`telemetry_init`], torn down by [`telemetry_finish`].
-struct RunTelemetry {
+pub(crate) struct RunTelemetry {
     dest: TelemetryDest,
     heartbeat: Option<mtd_telemetry::heartbeat::Heartbeat>,
     metrics: Option<mtd_telemetry::export::MetricsStream>,
@@ -219,7 +235,7 @@ struct RunTelemetry {
 /// Applies `--quiet`, the telemetry flags (or `MTD_TELEMETRY`) and the
 /// live surfaces, clears any previously recorded data so the dump covers
 /// this run only, and labels the heartbeat with the subcommand name.
-fn telemetry_init(flags: &Flags, stage: &str) -> Result<RunTelemetry, String> {
+pub(crate) fn telemetry_init(flags: &Flags, stage: &str) -> Result<RunTelemetry, String> {
     mtd_telemetry::set_quiet(flags.is_set("quiet"));
     mtd_telemetry::heartbeat::set_stage(stage);
     let dest = if let Some(path) = flags.opt("telemetry") {
@@ -283,7 +299,7 @@ fn telemetry_init(flags: &Flags, stage: &str) -> Result<RunTelemetry, String> {
 
 /// Stops the live surfaces, exports collected telemetry to its
 /// destination and disables collection.
-fn telemetry_finish(rt: RunTelemetry) -> Result<(), String> {
+pub(crate) fn telemetry_finish(rt: RunTelemetry) -> Result<(), String> {
     if let Some(hb) = rt.heartbeat {
         hb.finish();
     }
@@ -332,7 +348,7 @@ fn load_registry(flags: &Flags) -> Result<ModelRegistry, String> {
 }
 
 /// Writes to a file or stdout.
-fn sink(path: Option<&str>) -> Result<Box<dyn Write>, String> {
+pub(crate) fn sink(path: Option<&str>) -> Result<Box<dyn Write>, String> {
     match path {
         None => Ok(Box::new(std::io::stdout().lock())),
         Some(p) => Ok(Box::new(std::io::BufWriter::new(
@@ -1417,6 +1433,120 @@ mod tests {
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&report).ok();
+    }
+
+    #[test]
+    fn query_streams_stats_from_exported_dataset() {
+        let dir = temp_dir("mtd_cli_test_query");
+        let path = dir.join("ds.bin");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&export_args("binary", &path_s)).unwrap();
+
+        // Grouped cell stats with a percentile column.
+        let out = dir.join("by_service.txt");
+        let out_s = out.to_str().unwrap().to_string();
+        run(&argv(&[
+            "query",
+            "--in",
+            &path_s,
+            "--select",
+            "sessions",
+            "--group-by",
+            "service",
+            "--agg",
+            "count,sum,mean,p50,max",
+            "--out",
+            &out_s,
+            "--quiet",
+        ]))
+        .unwrap();
+        let table = std::fs::read_to_string(&out).unwrap();
+        let mut lines = table.lines();
+        let header = lines.next().unwrap();
+        for col in ["count", "sum", "mean", "p50", "max"] {
+            assert!(header.contains(col), "{header}");
+        }
+        // One row per service that saw traffic; the paper catalog has 15.
+        assert!(lines.clone().count() >= 10, "{table}");
+        assert!(table.contains("Netflix"), "{table}");
+
+        // The streamed volume sum must match the strict loader's total.
+        let query_total = |select: &str, agg: &str| -> f64 {
+            let out = dir.join("total.txt");
+            let out_s = out.to_str().unwrap().to_string();
+            run(&argv(&[
+                "query", "--in", &path_s, "--select", select, "--agg", agg, "--out", &out_s,
+                "--quiet",
+            ]))
+            .unwrap();
+            let text = std::fs::read_to_string(&out).unwrap();
+            let row = text.lines().nth(1).expect("one 'all' row");
+            row.split_whitespace().last().unwrap().parse().unwrap()
+        };
+        let dataset = store::load_binary(Path::new(&path_s)).unwrap();
+        let all = SliceFilter::all();
+        let want: f64 = (0..dataset.n_services() as u16)
+            .map(|s| dataset.traffic(s, &all))
+            .sum();
+        let got = query_total("volume", "sum");
+        assert!(
+            (got - want).abs() <= 1e-6 * want.abs(),
+            "query sum {got} vs dataset total {want}"
+        );
+        // Minute rows cover the same campaign: their volume sum agrees
+        // with the cell totals up to the f32 minute-row precision.
+        let got_minutes = query_total("minute-volume", "sum");
+        assert!(
+            (got_minutes - want).abs() <= 1e-3 * want.abs(),
+            "minute sum {got_minutes} vs dataset total {want}"
+        );
+
+        // Histogram mode renders one block per group with bar lines.
+        let hist = dir.join("hist.txt");
+        let hist_s = hist.to_str().unwrap().to_string();
+        run(&argv(&[
+            "query",
+            "--in",
+            &path_s,
+            "--select",
+            "minute-sessions",
+            "--group-by",
+            "bs",
+            "--agg",
+            "count,max",
+            "--histogram",
+            "8",
+            "--out",
+            &hist_s,
+            "--quiet",
+        ]))
+        .unwrap();
+        let hist_text = std::fs::read_to_string(&hist).unwrap();
+        assert!(hist_text.contains("bs 000000:"), "{hist_text}");
+        assert!(hist_text.matches('[').count() >= 8, "{hist_text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_rejects_bad_usage() {
+        assert!(run(&argv(&["query", "--quiet"])).is_err()); // no --in
+        let dir = temp_dir("mtd_cli_test_query_usage");
+        let path = dir.join("ds.bin");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&export_args("binary", &path_s)).unwrap();
+        let bad = |extra: &[&str]| {
+            let mut a = argv(&["query", "--in", &path_s, "--quiet"]);
+            a.extend(argv(extra));
+            assert!(run(&a).is_err(), "{extra:?} should be rejected");
+        };
+        bad(&["--select", "bytes"]);
+        bad(&["--agg", "median"]);
+        bad(&["--agg", "p0"]);
+        bad(&["--group-by", "bs"]); // bs only applies to minute metrics
+        bad(&["--select", "minute-volume", "--group-by", "service"]);
+        bad(&["--histogram", "0"]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 mod args;
 mod commands;
+mod query;
 
 use std::process::ExitCode;
 

@@ -20,10 +20,16 @@ use serde::{Deserialize, Serialize};
 pub const PARETO_SHAPE: f64 = 1.765;
 
 /// Draws a standard normal variate (shared helper for model sampling).
+///
+/// Inverse-transform draw straight through `std_normal_quantile`, skipping
+/// the per-call `Gaussian::new(0.0, 1.0)` construction/validation the old
+/// path paid on every variate. Bit-identical: the unit Gaussian quantile is
+/// `0.0 + 1.0·Φ⁻¹(u)`, and both those ops are exact for every reachable
+/// `Φ⁻¹(u)` (Acklam's refined central branch cannot return `−0.0`).
 pub fn sample_std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    Gaussian::new(0.0, 1.0)
-        .expect("valid unit gaussian")
-        .sample(rng)
+    // Same u clamping as `Distribution1D::sample`.
+    let u: f64 = rng.gen::<f64>().max(1e-16);
+    mtd_math::distributions::std_normal_quantile(u.min(1.0 - 1e-16))
 }
 
 /// Fitted bimodal arrival model of one BS load class.

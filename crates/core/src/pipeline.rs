@@ -65,7 +65,9 @@ pub fn fit_registry_pooled(
         // arrival decile fit below.
         mtd_telemetry::gauge_set("progress.total_units", (candidates.len() + 10) as f64);
     }
-    let fitted = pool.par_map_indexed(candidates.len(), |i| {
+    // Contiguous grains amortize job scheduling and keep each worker's
+    // thread-local FitArena warm across consecutive services.
+    let fitted = pool.par_map_chunked(candidates.len(), pool.auto_grain(candidates.len()), |i| {
         let (s, sessions) = candidates[i];
         let model = fit_service(dataset, s, sessions, total_sessions, volume_config);
         if mtd_telemetry::enabled() {

@@ -22,7 +22,7 @@ use mtd_math::distributions::{
     Distribution1D, Gaussian, LogNormal10, Pareto, TruncatedGaussian, TruncatedPareto,
 };
 use mtd_math::emd::emd_same_grid;
-use mtd_math::gof::{emd_to_quantile, kolmogorov_sf, ks_statistic_sorted};
+use mtd_math::gof::{emd_to_quantile, kolmogorov_sf, ks_statistic_from_cdf, ks_statistic_sorted};
 use mtd_math::histogram::{LogGrid, LogHistogram};
 use mtd_math::rng::{stream_id, stream_rng};
 use mtd_math::stats::percentile_sorted;
@@ -193,18 +193,30 @@ fn mean_check<R: Rng + ?Sized>(
 fn ks_check(name: &str, sorted: &[f64], slack: f64, cdf: impl Fn(f64) -> f64) -> SamplingCheck {
     let n = sorted.len();
     match ks_statistic_sorted(sorted, cdf) {
-        Ok(d) => {
-            let sqrt_n = (n as f64).sqrt();
-            let p = kolmogorov_sf((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
-            check(
-                name.to_string(),
-                d,
-                ks_threshold(n) + slack,
-                format!("KS D = {d:.6} over {n} draws (p = {p:.3e})"),
-            )
-        }
+        Ok(d) => ks_check_from_statistic(name, d, n, slack),
         Err(e) => check(name.to_string(), f64::NAN, 0.0, format!("error: {e}")),
     }
+}
+
+/// KS check from CDF values precomputed at the sorted sample points —
+/// the SIMD-batched twin of [`ks_check`].
+fn ks_check_values(name: &str, cdf_values: &[f64], slack: f64) -> SamplingCheck {
+    let n = cdf_values.len();
+    match ks_statistic_from_cdf(cdf_values) {
+        Ok(d) => ks_check_from_statistic(name, d, n, slack),
+        Err(e) => check(name.to_string(), f64::NAN, 0.0, format!("error: {e}")),
+    }
+}
+
+fn ks_check_from_statistic(name: &str, d: f64, n: usize, slack: f64) -> SamplingCheck {
+    let sqrt_n = (n as f64).sqrt();
+    let p = kolmogorov_sf((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+    check(
+        name.to_string(),
+        d,
+        ks_threshold(n) + slack,
+        format!("KS D = {d:.6} over {n} draws (p = {p:.3e})"),
+    )
 }
 
 /// Runs the full battery against a registry's samplers.
@@ -415,24 +427,27 @@ fn service_checks(
         let name = format!("service/{}/volume_ks", model.name);
         let mut rng = stream_rng(seed, stream_id(&name));
         let vs: Vec<f64> = (0..n_svc).map(|_| model.sample_volume(&mut rng)).collect();
-        let mut us: Vec<f64> = vs.iter().map(|v| v.log10()).collect();
+        let mut us = vec![0.0; vs.len()];
+        mtd_math::simd::log10_into(&vs, &mut us);
         us.sort_by(f64::total_cmp);
 
         // The sampler censors at the support: mass beyond either bound
         // collapses onto it, so the reference CDF must carry the same
         // atoms. The fitted support is the 0.05%/99.95% quantile pair, so
         // the atoms are ~5e-4 each; the slack covers rougher fits.
+        // The mixture CDF is evaluated through the SIMD batch kernel with
+        // the censoring atoms applied per element afterwards.
         let (lo, hi) = model.effective_support_log10();
-        let d = ks_check(&name, &us, 0.005, |u| {
+        let mut cdf_values = Vec::new();
+        model.cdf_log10_batch(&us, &mut cdf_values);
+        for (f, &u) in cdf_values.iter_mut().zip(&us) {
             if u < lo {
-                0.0
+                *f = 0.0;
             } else if u >= hi {
-                1.0
-            } else {
-                model.cdf_log10(u)
+                *f = 1.0;
             }
-        });
-        checks.push(d);
+        }
+        checks.push(ks_check_values(&name, &cdf_values, 0.005));
 
         let name = format!("service/{}/volume_emd", model.name);
         let grid = LogGrid::new(lo - 0.25, hi + 0.25, 120)?;

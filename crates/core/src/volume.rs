@@ -72,10 +72,63 @@ pub struct FitDiagnostics {
     pub intervals: Vec<(usize, usize, f64)>,
 }
 
+/// Reusable per-worker buffers for the §5.2 fit.
+///
+/// One mixture fit fills four grid-sized vectors (grid centers, main
+/// density, residual, derivative), an interval list, and a Savitzky–Golay
+/// projector. Registry fits repeat that once per service on a fixed grid,
+/// so a per-worker arena turns those per-fit allocations into one-time
+/// capacity. Every buffer is cleared or resized before use and the filter
+/// cache is keyed by its half-window, so reuse is bit-identical to fresh
+/// allocation (see `arena_reuse_is_bit_identical_to_fresh_allocation`).
+#[derive(Debug, Default)]
+pub struct FitArena {
+    centers: Vec<f64>,
+    main_density: Vec<f64>,
+    residual: Vec<f64>,
+    derivative: Vec<f64>,
+    intervals: Vec<(usize, usize, f64)>,
+    savgol: Option<(usize, SavitzkyGolay)>,
+}
+
+impl FitArena {
+    /// Creates an empty arena; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> FitArena {
+        FitArena::default()
+    }
+
+    /// Ensures the cached first-order filter matches `half_window`; the
+    /// projector depends on nothing else, so it is rebuilt only when the
+    /// window changes.
+    fn ensure_savgol(&mut self, half_window: usize) -> Result<()> {
+        match &self.savgol {
+            Some((hw, _)) if *hw == half_window => {}
+            _ => self.savgol = Some((half_window, SavitzkyGolay::new(half_window, 1)?)),
+        }
+        Ok(())
+    }
+}
+
+thread_local! {
+    /// Per-worker arena behind [`fit_volume_mixture`]: registry fits run
+    /// one service per pool worker, so a thread-local gives each worker
+    /// its own reusable buffers without any signature changes.
+    static FIT_ARENA: std::cell::RefCell<FitArena> = std::cell::RefCell::new(FitArena::new());
+}
+
 /// Fits the log-normal mixture to a measured volume PDF.
 pub fn fit_volume_mixture(pdf: &BinnedPdf, config: &VolumeFitConfig) -> Result<VolumeMixtureFit> {
-    let (fit, _) = fit_volume_mixture_diagnostic(pdf, config)?;
-    Ok(fit)
+    FIT_ARENA.with(|arena| fit_volume_mixture_with(pdf, config, &mut arena.borrow_mut()))
+}
+
+/// [`fit_volume_mixture`] with an explicit caller-owned arena.
+pub fn fit_volume_mixture_with(
+    pdf: &BinnedPdf,
+    config: &VolumeFitConfig,
+    arena: &mut FitArena,
+) -> Result<VolumeMixtureFit> {
+    fit_mixture_core(pdf, config, arena)
 }
 
 /// Fitting entry point that also returns the per-step diagnostics.
@@ -83,32 +136,62 @@ pub fn fit_volume_mixture_diagnostic(
     pdf: &BinnedPdf,
     config: &VolumeFitConfig,
 ) -> Result<(VolumeMixtureFit, FitDiagnostics)> {
+    // A fresh arena whose buffers are moved out into the diagnostics —
+    // the diagnostic path hands ownership to the caller, so there is
+    // nothing to reuse.
+    let mut arena = FitArena::new();
+    let fit = fit_mixture_core(pdf, config, &mut arena)?;
+    Ok((
+        fit,
+        FitDiagnostics {
+            main_density: std::mem::take(&mut arena.main_density),
+            residual: std::mem::take(&mut arena.residual),
+            derivative: std::mem::take(&mut arena.derivative),
+            intervals: std::mem::take(&mut arena.intervals),
+        },
+    ))
+}
+
+/// The three §5.2 steps, working entirely in `arena` buffers.
+fn fit_mixture_core(
+    pdf: &BinnedPdf,
+    config: &VolumeFitConfig,
+    arena: &mut FitArena,
+) -> Result<VolumeMixtureFit> {
     let grid = *pdf.grid();
     let step = grid.bin_width();
 
     // Step 1: main log-normal and positive residual. The batch kernel
     // evaluates the whole grid in one call (bit-identical to per-bin).
     let main = fit_lognormal10_from_pdf(pdf)?;
-    let mut main_density = Vec::new();
-    main.pdf_log10_batch(&grid.centers_log10(), &mut main_density);
-    let residual = pdf.positive_residual(&main_density)?;
+    arena.centers.clear();
+    arena
+        .centers
+        .extend((0..grid.bins()).map(|i| grid.center_log10(i)));
+    main.pdf_log10_batch(&arena.centers, &mut arena.main_density);
+    pdf.positive_residual_into(&arena.main_density, &mut arena.residual)?;
 
-    // Step 2: smoothed first derivative and interval detection.
-    let sg = SavitzkyGolay::new(config.savgol_half_window, 1)?;
-    let mut derivative = Vec::new();
-    sg.first_derivative_into(&residual, step, &mut derivative)?;
+    // Step 2: smoothed first derivative and interval detection. The
+    // filter is ensured first so the call below only takes disjoint
+    // borrows of `savgol`, `residual`, and `derivative`.
+    arena.ensure_savgol(config.savgol_half_window)?;
+    let sg = &arena.savgol.as_ref().expect("just ensured").1;
+    sg.first_derivative_into(&arena.residual, step, &mut arena.derivative)?;
+    let residual = &arena.residual;
+    let derivative = &arena.derivative;
 
-    let mut intervals: Vec<(usize, usize, f64)> = Vec::new();
+    let intervals = &mut arena.intervals;
+    intervals.clear();
     let mut start: Option<usize> = None;
     for (i, d) in derivative.iter().enumerate() {
         if *d > config.derivative_threshold {
             start.get_or_insert(i);
         } else if let Some(s) = start.take() {
-            push_interval(&mut intervals, &residual, step, s, i);
+            push_interval(intervals, residual, step, s, i);
         }
     }
     if let Some(s) = start {
-        push_interval(&mut intervals, &residual, step, s, derivative.len());
+        push_interval(intervals, residual, step, s, derivative.len());
     }
     // Rank by residual mass.
     intervals.sort_by(|a, b| b.2.total_cmp(&a.2));
@@ -159,20 +242,12 @@ pub fn fit_volume_mixture_diagnostic(
     let reconstructed = model.to_binned_pdf(grid)?;
     let emd = emd_same_grid(&reconstructed, pdf)?;
 
-    Ok((
-        VolumeMixtureFit {
-            mu: main.mu(),
-            sigma: main.sigma(),
-            peaks,
-            emd,
-        },
-        FitDiagnostics {
-            main_density,
-            residual,
-            derivative,
-            intervals,
-        },
-    ))
+    Ok(VolumeMixtureFit {
+        mu: main.mu(),
+        sigma: main.sigma(),
+        peaks,
+        emd,
+    })
 }
 
 fn push_interval(
@@ -301,6 +376,36 @@ mod tests {
         assert!(!diag.intervals.is_empty());
         // Residual is non-negative by construction.
         assert!(diag.residual.iter().all(|r| *r >= 0.0));
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_to_fresh_allocation() {
+        // Alternate between two grids of different sizes so every buffer
+        // shrinks and regrows across reuses; stale contents or capacities
+        // must never leak into the fit.
+        let big = synthetic_pdf(60_000, 31);
+        let truth = LogNormal10::new(0.4, 0.5).unwrap();
+        let small = BinnedPdf::from_fn(LogGrid::new(-2.0, 3.0, 140).unwrap(), |u| {
+            truth.pdf_log10(u)
+        })
+        .unwrap();
+        let cfg = VolumeFitConfig::default();
+        let mut arena = FitArena::new();
+        for _ in 0..3 {
+            for pdf in [&big, &small] {
+                let reused = fit_volume_mixture_with(pdf, &cfg, &mut arena).unwrap();
+                let fresh = fit_volume_mixture_with(pdf, &cfg, &mut FitArena::new()).unwrap();
+                assert_eq!(reused.mu.to_bits(), fresh.mu.to_bits());
+                assert_eq!(reused.sigma.to_bits(), fresh.sigma.to_bits());
+                assert_eq!(reused.emd.to_bits(), fresh.emd.to_bits());
+                assert_eq!(reused.peaks.len(), fresh.peaks.len());
+                for (a, b) in reused.peaks.iter().zip(&fresh.peaks) {
+                    assert_eq!(a.k.to_bits(), b.k.to_bits());
+                    assert_eq!(a.mu.to_bits(), b.mu.to_bits());
+                    assert_eq!(a.sigma.to_bits(), b.sigma.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

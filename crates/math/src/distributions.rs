@@ -294,15 +294,14 @@ impl LogNormal10 {
 
     /// Bulk [`LogNormal10::pdf_log10`] over a slice of log-axis points,
     /// written into `out` (cleared and resized). One call per mixture
-    /// component evaluates a whole histogram grid without per-bin call
-    /// overhead; each output is the exact expression of the scalar path,
-    /// so the results are bit-identical.
+    /// component evaluates a whole histogram grid through the
+    /// runtime-dispatched SIMD kernel ([`crate::simd::gaussian_pdf_into`]);
+    /// results match the scalar path within the module's pinned ULP bound
+    /// and are bit-identical across SIMD tiers and thread counts.
     pub fn pdf_log10_batch(&self, us: &[f64], out: &mut Vec<f64>) {
         out.clear();
-        out.extend(
-            us.iter()
-                .map(|&u| std_normal_pdf((u - self.mu) / self.sigma) / self.sigma),
-        );
+        out.resize(us.len(), 0.0);
+        crate::simd::gaussian_pdf_into(us, self.mu, self.sigma, out);
     }
 
     /// Median `10^μ`.
@@ -368,6 +367,13 @@ pub struct TruncatedGaussian {
     lo: f64,
     /// Cached `Φ((lo − location)/std)` — the truncated-away mass.
     p_lo: f64,
+    /// Cached `1 − p_lo` — the surviving mass. Hoisting the erf-derived
+    /// normalizers out of [`Distribution1D::quantile`] keeps the per-draw
+    /// sampling path free of redundant arithmetic (the draw itself is one
+    /// `std_normal_quantile` call); bit-identical to recomputing.
+    mass: f64,
+    /// Cached `std · (1 − p_lo)` — the pdf normalizer.
+    pdf_norm: f64,
 }
 
 impl TruncatedGaussian {
@@ -386,11 +392,14 @@ impl TruncatedGaussian {
                 "TruncatedGaussian: truncation removes all mass",
             ));
         }
+        let mass = 1.0 - p_lo;
         Ok(TruncatedGaussian {
             location,
             std,
             lo,
             p_lo,
+            mass,
+            pdf_norm: std * mass,
         })
     }
 
@@ -457,7 +466,7 @@ impl Distribution1D for TruncatedGaussian {
         if x < self.lo {
             0.0
         } else {
-            std_normal_pdf((x - self.location) / self.std) / (self.std * (1.0 - self.p_lo))
+            std_normal_pdf((x - self.location) / self.std) / self.pdf_norm
         }
     }
     fn cdf(&self, x: f64) -> f64 {
@@ -465,11 +474,11 @@ impl Distribution1D for TruncatedGaussian {
             0.0
         } else {
             let raw = std_normal_cdf((x - self.location) / self.std);
-            ((raw - self.p_lo) / (1.0 - self.p_lo)).clamp(0.0, 1.0)
+            ((raw - self.p_lo) / self.mass).clamp(0.0, 1.0)
         }
     }
     fn quantile(&self, p: f64) -> f64 {
-        let q = (self.p_lo + p * (1.0 - self.p_lo)).clamp(1e-300, 1.0 - 1e-16);
+        let q = (self.p_lo + p * self.mass).clamp(1e-300, 1.0 - 1e-16);
         (self.location + self.std * std_normal_quantile(q)).max(self.lo)
     }
     fn mean(&self) -> f64 {
@@ -744,13 +753,22 @@ mod tests {
     }
 
     #[test]
-    fn lognormal10_batch_pdf_matches_scalar_bitwise() {
+    fn lognormal10_batch_pdf_matches_scalar_within_ulp_policy() {
         let ln = LogNormal10::new(1.6, 0.4).unwrap();
         let us: Vec<f64> = (-40..=60).map(|i| f64::from(i) * 0.1).collect();
         let mut out = vec![7.0; 4]; // stale contents must be discarded
         ln.pdf_log10_batch(&us, &mut out);
-        let scalar: Vec<f64> = us.iter().map(|&u| ln.pdf_log10(u)).collect();
-        assert_eq!(out, scalar);
+        assert_eq!(out.len(), us.len());
+        // The batch kernel uses exp_compat instead of libm exp; the simd
+        // module pins the deviation at ≤8 ULP (abs floor 1e-300).
+        for (&u, &got) in us.iter().zip(&out) {
+            let want = ln.pdf_log10(u);
+            assert!(
+                crate::simd::ulp_within(got, want, 8, 1e-300),
+                "pdf_log10({u}): {got:e} vs scalar {want:e} ({} ulp)",
+                crate::simd::ulp_distance(got, want)
+            );
+        }
     }
 
     #[test]

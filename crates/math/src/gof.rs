@@ -41,6 +41,29 @@ pub fn ks_statistic_sorted(sorted: &[f64], cdf: impl Fn(f64) -> f64) -> Result<f
     Ok(d)
 }
 
+/// KS distance of an **ascending-sorted** sample against precomputed CDF
+/// values `cdf_values[i] = F(sorted[i])`.
+///
+/// Same validation and fold order as [`ks_statistic_sorted`], so the two
+/// agree bit-for-bit on identical CDF values; this variant lets callers
+/// evaluate the model CDF through a SIMD batch kernel first.
+pub fn ks_statistic_from_cdf(cdf_values: &[f64]) -> Result<f64> {
+    if cdf_values.is_empty() {
+        return Err(MathError::EmptyInput("ks_statistic_from_cdf"));
+    }
+    let n = cdf_values.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &f) in cdf_values.iter().enumerate() {
+        if !f.is_finite() {
+            return Err(MathError::InvalidParameter("ks: CDF returned non-finite"));
+        }
+        let below = f - i as f64 / n;
+        let above = (i + 1) as f64 / n - f;
+        d = d.max(below).max(above);
+    }
+    Ok(d)
+}
+
 /// One-sample KS test of `samples` against the continuous CDF `cdf`
 /// (sorts a copy; see [`ks_statistic_sorted`] to skip the sort).
 pub fn ks_test(samples: &[f64], cdf: impl Fn(f64) -> f64) -> Result<KsTest> {
@@ -95,6 +118,33 @@ pub fn emd_to_quantile(samples: &[f64], quantile: impl Fn(f64) -> f64) -> Result
     let mut acc = 0.0;
     for (i, &x) in sorted.iter().enumerate() {
         let q = quantile((i as f64 + 0.5) / n);
+        if !q.is_finite() {
+            return Err(MathError::InvalidParameter(
+                "emd: quantile returned non-finite",
+            ));
+        }
+        acc += (x - q).abs();
+    }
+    Ok(acc / n)
+}
+
+/// [`emd_to_quantile`] for an **ascending-sorted** sample with precomputed
+/// quantile values `quantile_values[i] = Q((i+½)/n)`.
+///
+/// Same validation and accumulation order as the closure variant, so the
+/// two agree bit-for-bit on identical quantile values.
+pub fn emd_to_quantile_values(sorted: &[f64], quantile_values: &[f64]) -> Result<f64> {
+    if sorted.is_empty() {
+        return Err(MathError::EmptyInput("emd_to_quantile_values"));
+    }
+    if sorted.len() != quantile_values.len() {
+        return Err(MathError::InvalidParameter(
+            "emd: sample/quantile length mismatch",
+        ));
+    }
+    let n = sorted.len() as f64;
+    let mut acc = 0.0;
+    for (&x, &q) in sorted.iter().zip(quantile_values) {
         if !q.is_finite() {
             return Err(MathError::InvalidParameter(
                 "emd: quantile returned non-finite",
@@ -175,5 +225,34 @@ mod tests {
         assert!(ks_statistic_sorted(&[], |_| 0.5).is_err());
         assert!(ks_test(&[], |_| 0.5).is_err());
         assert!(emd_to_quantile(&[], |_| 0.0).is_err());
+        assert!(ks_statistic_from_cdf(&[]).is_err());
+        assert!(emd_to_quantile_values(&[], &[]).is_err());
+        assert!(emd_to_quantile_values(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn precomputed_value_variants_match_closure_variants_bitwise() {
+        let (g, xs) = gaussian_sample(5_000, 7);
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+
+        let cdf_values: Vec<f64> = sorted.iter().map(|&x| g.cdf(x)).collect();
+        let from_closure = ks_statistic_sorted(&sorted, |x| g.cdf(x)).unwrap();
+        let from_values = ks_statistic_from_cdf(&cdf_values).unwrap();
+        assert_eq!(from_values.to_bits(), from_closure.to_bits());
+
+        let n = sorted.len() as f64;
+        let q_values: Vec<f64> = (0..sorted.len())
+            .map(|i| g.quantile((i as f64 + 0.5) / n))
+            .collect();
+        let from_closure = emd_to_quantile(&xs, |p| g.quantile(p)).unwrap();
+        let from_values = emd_to_quantile_values(&sorted, &q_values).unwrap();
+        assert_eq!(from_values.to_bits(), from_closure.to_bits());
+    }
+
+    #[test]
+    fn non_finite_precomputed_values_error() {
+        assert!(ks_statistic_from_cdf(&[0.5, f64::NAN]).is_err());
+        assert!(emd_to_quantile_values(&[1.0, 2.0], &[0.5, f64::INFINITY]).is_err());
     }
 }

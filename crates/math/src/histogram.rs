@@ -426,18 +426,29 @@ impl BinnedPdf {
     /// Residual `max(self − other, 0)` as raw (non-normalized) density
     /// values — step 1 of the §5.2 mixture-modeling algorithm.
     pub fn positive_residual(&self, other: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.positive_residual_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`BinnedPdf::positive_residual`] into a caller-owned buffer
+    /// (cleared and resized), avoiding the per-fit allocation in batch
+    /// fitting loops.
+    pub fn positive_residual_into(&self, other: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if other.len() != self.density.len() {
             return Err(MathError::DimensionMismatch {
                 expected: self.density.len(),
                 got: other.len(),
             });
         }
-        Ok(self
-            .density
-            .iter()
-            .zip(other)
-            .map(|(a, b)| (a - b).max(0.0))
-            .collect())
+        out.clear();
+        out.extend(
+            self.density
+                .iter()
+                .zip(other)
+                .map(|(a, b)| (a - b).max(0.0)),
+        );
+        Ok(())
     }
 }
 

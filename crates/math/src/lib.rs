@@ -38,6 +38,7 @@ pub mod linalg;
 pub mod regression;
 pub mod rng;
 pub mod savgol;
+pub mod simd;
 pub mod stats;
 pub mod tail;
 

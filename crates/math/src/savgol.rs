@@ -134,34 +134,34 @@ impl SavitzkyGolay {
         let scale = step.powi(deriv as i32);
         out.clear();
         out.resize(n, 0.0);
-        #[allow(clippy::needless_range_loop)] // window anchor needs the index
-        for i in 0..n {
-            // Window anchor: clamp so the window stays inside the signal;
-            // `e` is the evaluation offset from the window center.
+        // Edge samples (evaluation offset e ≠ 0) reuse the first/last full
+        // window with the evaluation point shifted.
+        #[allow(clippy::needless_range_loop)] // k indexes two parallel tables
+        for i in (0..m).chain(n - m..n) {
             let anchor = i.clamp(m, n - 1 - m);
             let window = &ys[anchor - m..=anchor + m];
-            let value = if i == anchor {
-                let coef: f64 = self.projector[deriv]
+            let e = i as f64 - anchor as f64;
+            let mut value = 0.0;
+            for k in deriv..=self.order {
+                let coef: f64 = self.projector[k]
                     .iter()
                     .zip(window)
                     .map(|(c, y)| c * y)
                     .sum();
-                coef * facs[deriv]
-            } else {
-                let e = i as f64 - anchor as f64;
-                let mut value = 0.0;
-                for k in deriv..=self.order {
-                    let coef: f64 = self.projector[k]
-                        .iter()
-                        .zip(window)
-                        .map(|(c, y)| c * y)
-                        .sum();
-                    value += coef * facs[k] * e.powi((k - deriv) as i32);
-                }
-                value
-            };
+                value += coef * facs[k] * e.powi((k - deriv) as i32);
+            }
             out[i] = value / scale;
         }
+        // Interior samples collapse to one sliding dot product; the SIMD
+        // kernel accumulates each output in the scalar summation order, so
+        // the result stays bit-exact on every tier.
+        crate::simd::convolve_scaled_into(
+            ys,
+            &self.projector[deriv],
+            facs[deriv],
+            scale,
+            &mut out[m..n - m],
+        );
         Ok(())
     }
 }

@@ -1,0 +1,270 @@
+//! Property tests for the SIMD batch-kernel layer (`mtd_math::simd`).
+//!
+//! Three contracts, each exercised over arbitrary inputs:
+//!
+//! 1. **Tier equivalence** — every available tier (Scalar/SSE2/AVX2)
+//!    produces bit-identical output for every kernel, at every length
+//!    (including ragged tails).
+//! 2. **ULP policy** — the transcendental kernels stay within the pinned
+//!    ULP bound of the libm-based scalar reference (see the policy table
+//!    in `simd.rs`); the convolution/difference kernels are bit-exact.
+//! 3. **Thread invariance** — batch kernels running concurrently on 1–8
+//!    threads return exactly the single-threaded answer (no hidden
+//!    mutable state behind dispatch).
+//!
+//! Strategies stick to the `vec`/range/`prop_map` subset shared by real
+//! proptest and the offline stub (see CONTRIBUTING.md).
+
+use mtd_math::distributions::{erf, Distribution1D, Gaussian};
+use mtd_math::simd;
+use proptest::prelude::*;
+
+/// Finite inputs spanning the interesting exp/erf domain, with edge
+/// values (±0, ±∞, NaN, flush boundaries) salted in, and lengths that
+/// hit every remainder class of the 2- and 4-lane kernels.
+fn xs_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u32..12, -750.0..750.0f64), 0..67).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(sel, x)| match sel {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                5 => 709.78,
+                6 => -745.0,
+                7 => x / 100.0,
+                _ => x,
+            })
+            .collect()
+    })
+}
+
+/// Positive inputs for ln/log10 over ~600 decades, plus edges.
+fn pos_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u32..10, -300.0..300.0f64), 0..67).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(sel, e)| match sel {
+                0 => f64::MIN_POSITIVE,
+                1 => 1.0,
+                2 => f64::INFINITY,
+                3 => 1.0 + e / 1000.0,
+                _ => 10f64.powf(e),
+            })
+            .collect()
+    })
+}
+
+fn assert_bits_eq(tier: simd::Tier, name: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{name}[{i}] on {tier:?}: {g:e} vs {w:e} (bits {:#x} vs {:#x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_tier_is_bit_identical_on_exp_erf_gaussian(xs in xs_strategy()) {
+        let n = xs.len();
+        let mut reference = vec![0.0; n];
+        let mut out = vec![0.0; n];
+        let tiers = simd::available_tiers();
+
+        simd::exp_into_with(simd::Tier::Scalar, &xs, &mut reference);
+        for &tier in &tiers {
+            simd::exp_into_with(tier, &xs, &mut out);
+            assert_bits_eq(tier, "exp", &out, &reference);
+        }
+
+        simd::erf_into_with(simd::Tier::Scalar, &xs, &mut reference);
+        for &tier in &tiers {
+            simd::erf_into_with(tier, &xs, &mut out);
+            assert_bits_eq(tier, "erf", &out, &reference);
+        }
+
+        simd::gaussian_pdf_into_with(simd::Tier::Scalar, &xs, 0.3, 1.7, &mut reference);
+        for &tier in &tiers {
+            simd::gaussian_pdf_into_with(tier, &xs, 0.3, 1.7, &mut out);
+            assert_bits_eq(tier, "gaussian_pdf", &out, &reference);
+        }
+
+        simd::gaussian_cdf_into_with(simd::Tier::Scalar, &xs, -0.9, 0.4, &mut reference);
+        for &tier in &tiers {
+            simd::gaussian_cdf_into_with(tier, &xs, -0.9, 0.4, &mut out);
+            assert_bits_eq(tier, "gaussian_cdf", &out, &reference);
+        }
+    }
+
+    #[test]
+    fn every_tier_is_bit_identical_on_ln_log10(xs in pos_strategy()) {
+        let n = xs.len();
+        let mut reference = vec![0.0; n];
+        let mut out = vec![0.0; n];
+        for (name, f) in [
+            ("ln", simd::ln_into_with as fn(simd::Tier, &[f64], &mut [f64])),
+            ("log10", simd::log10_into_with),
+        ] {
+            f(simd::Tier::Scalar, &xs, &mut reference);
+            for tier in simd::available_tiers() {
+                f(tier, &xs, &mut out);
+                assert_bits_eq(tier, name, &out, &reference);
+            }
+        }
+    }
+
+    #[test]
+    fn exp_tracks_libm_within_policy(xs in proptest::collection::vec(-750.0..750.0f64, 1..64)) {
+        let mut out = vec![0.0; xs.len()];
+        simd::exp_into(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            if x > 709.43 {
+                // Documented flush window (709.43, 709.78]: compat returns
+                // ∞ where libm still produces ~1.27e308 (see the policy
+                // table in `simd.rs`). The negative window is covered by
+                // the 1e-305 absolute floor.
+                prop_assert!(got == f64::INFINITY);
+                continue;
+            }
+            prop_assert!(
+                simd::ulp_within(got, x.exp(), 8, 1e-305),
+                "exp({x:e}): {got:e} vs libm {:e} ({} ulp)",
+                x.exp(),
+                simd::ulp_distance(got, x.exp())
+            );
+        }
+    }
+
+    #[test]
+    fn ln_tracks_libm_within_policy(xs in pos_strategy()) {
+        let mut out = vec![0.0; xs.len()];
+        simd::ln_into(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            prop_assert!(
+                simd::ulp_within(got, x.ln(), 8, 1e-300),
+                "ln({x:e}): {got:e} vs libm {:e} ({} ulp)",
+                x.ln(),
+                simd::ulp_distance(got, x.ln())
+            );
+        }
+    }
+
+    #[test]
+    fn erf_tracks_scalar_reference_within_policy(
+        xs in proptest::collection::vec(-6.0..6.0f64, 1..64)
+    ) {
+        let mut out = vec![0.0; xs.len()];
+        simd::erf_into(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            let want = erf(x);
+            prop_assert!(
+                simd::ulp_within(got, want, 8, 1e-12),
+                "erf({x}): {got:e} vs reference {want:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_cdf_tracks_distribution_within_policy(
+        xs in proptest::collection::vec(-40.0..40.0f64, 1..64),
+        mean in -3.0..3.0f64,
+        std in 0.1..5.0f64,
+    ) {
+        let g = Gaussian::new(mean, std).unwrap();
+        let mut out = vec![0.0; xs.len()];
+        simd::gaussian_cdf_into(&xs, mean, std, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            let want = g.cdf(x);
+            prop_assert!(
+                simd::ulp_within(got, want, 8, 1e-12),
+                "cdf({x}; {mean}, {std}): {got:e} vs {want:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn convolve_and_sub_div_are_bit_exact(
+        ys in proptest::collection::vec(-1e6..1e6f64, 8..80),
+        coeffs in proptest::collection::vec(-10.0..10.0f64, 1..8),
+        fac in -4.0..4.0f64,
+        scale_mag in 0.25..4.0f64,
+        h_mag in 0.01..10.0f64,
+        flip in 0u32..4,
+    ) {
+        prop_assume!(ys.len() >= coeffs.len());
+        let scale = if flip & 1 == 0 { scale_mag } else { -scale_mag };
+        let h = if flip & 2 == 0 { h_mag } else { -h_mag };
+
+        let m = ys.len() + 1 - coeffs.len();
+        let mut out = vec![0.0; m];
+        let mut want = vec![0.0; m];
+        for (i, w) in want.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, c) in coeffs.iter().enumerate() {
+                acc += c * ys[i + k];
+            }
+            *w = acc * fac / scale;
+        }
+        for tier in simd::available_tiers() {
+            simd::convolve_scaled_into_with(tier, &ys, &coeffs, fac, scale, &mut out);
+            assert_bits_eq(tier, "convolve", &out, &want);
+        }
+
+        let a = &ys[..ys.len() / 2];
+        let b = &ys[ys.len() / 2..ys.len() / 2 * 2];
+        let mut out = vec![0.0; a.len()];
+        let want: Vec<f64> = a.iter().zip(b).map(|(x, y)| (x - y) / h).collect();
+        for tier in simd::available_tiers() {
+            simd::sub_div_into_with(tier, a, b, h, &mut out);
+            assert_bits_eq(tier, "sub_div", &out, &want);
+        }
+    }
+}
+
+/// Batch kernels run from 1–8 concurrent threads return exactly the
+/// single-threaded answer: tier dispatch is a pure function of the cached
+/// CPU probe, with no per-thread or mutable global state.
+#[test]
+fn kernels_are_thread_invariant_from_1_to_8_threads() {
+    let xs: Vec<f64> = (0..4097).map(|i| (i as f64) * 0.37 - 758.0).collect();
+    let mut expect = vec![0.0; xs.len()];
+    simd::exp_into(&xs, &mut expect);
+
+    for threads in 1..=8usize {
+        let results: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = vec![0.0; xs.len()];
+                        for _ in 0..8 {
+                            simd::exp_into(&xs, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for out in results {
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+}
+
+/// The dispatched tier must be one this CPU reports as available.
+#[test]
+fn dispatched_tier_is_available() {
+    assert!(simd::available_tiers().contains(&simd::active_tier()));
+}

@@ -19,7 +19,7 @@ use crate::ids::{BsId, SessionId, UeId};
 use crate::mobility::MobilityModel;
 use crate::probes::{GatewayProbe, RanProbe, SignalingEvent, SignalingKind};
 use crate::services::ServiceCatalog;
-use crate::session::{fragment_session, FiveTuple, SessionObservation, SessionSpec};
+use crate::session::{fragment_session_into, FiveTuple, SessionObservation, SessionSpec};
 use crate::time::{SimTime, MINUTES_PER_DAY};
 use mtd_math::rng::{stream_id, stream_rng};
 use rand::Rng;
@@ -57,6 +57,17 @@ impl RunStats {
         self.transient_observations += other.transient_observations;
         self.total_volume_mb += other.total_volume_mb;
     }
+}
+
+/// Reusable per-station buffers for the session hot loop: the attachment
+/// plan and fragment list are rebuilt for every session, so reusing one
+/// pair of buffers per station removes the two dominant allocations per
+/// session. Purely a capacity cache — every producer clears its buffer
+/// before writing, so contents never leak between sessions.
+#[derive(Default)]
+struct SimScratch {
+    plan: Vec<(BsId, f64)>,
+    frags: Vec<SessionObservation>,
 }
 
 /// Feeds a completed run's aggregate counters to the telemetry registry
@@ -241,6 +252,7 @@ impl<'a> Engine<'a> {
         let _prof = mtd_telemetry::prof::scope("sim.station");
         let arrivals =
             ArrivalProcess::for_load_quantile(station.load_quantile, self.config.arrival_scale);
+        let mut scratch = SimScratch::default();
         for day in 0..self.config.days {
             let day_sessions = stats.sessions;
             let stream = station.id.rng_stream(day);
@@ -259,6 +271,7 @@ impl<'a> Engine<'a> {
                         &mut rng,
                         sink,
                         stats,
+                        &mut scratch,
                     );
                 }
             }
@@ -298,6 +311,7 @@ impl<'a> Engine<'a> {
         rng: &mut R,
         sink: &mut S,
         stats: &mut RunStats,
+        scratch: &mut SimScratch,
     ) {
         let service = self.catalog.sample_service(rng);
         let profile = self.catalog.service(service);
@@ -312,9 +326,9 @@ impl<'a> Engine<'a> {
             profile.sample_proto(rng),
             rng,
         );
-        let plan = self
-            .mobility
-            .attachment_plan(self.topology, bs, duration_s, rng);
+        self.mobility
+            .attachment_plan_into(self.topology, bs, duration_s, rng, &mut scratch.plan);
+        let plan = &scratch.plan;
         let spec = SessionSpec {
             id,
             ue,
@@ -325,11 +339,11 @@ impl<'a> Engine<'a> {
             five_tuple,
         };
 
-        sink.on_session(&spec, &plan);
+        sink.on_session(&spec, plan);
 
         // Signaling: one attach per visited BS, one final detach.
         let mut t = start;
-        for (seg_bs, dwell) in &plan {
+        for (seg_bs, dwell) in plan {
             sink.on_signaling(&SignalingEvent {
                 ue,
                 time: t,
@@ -344,11 +358,17 @@ impl<'a> Engine<'a> {
         });
 
         stats.sessions += 1;
-        for obs in fragment_session(&spec, &plan, |b| self.topology.station(b).rat) {
+        fragment_session_into(
+            &spec,
+            plan,
+            |b| self.topology.station(b).rat,
+            &mut scratch.frags,
+        );
+        for obs in &scratch.frags {
             stats.observations += 1;
             stats.transient_observations += u64::from(obs.transient);
             stats.total_volume_mb += obs.volume_mb;
-            sink.on_observation(&obs);
+            sink.on_observation(obs);
         }
     }
 }

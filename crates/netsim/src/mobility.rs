@@ -66,14 +66,32 @@ impl MobilityModel {
         duration_s: f64,
         rng: &mut R,
     ) -> Vec<(BsId, f64)> {
+        let mut plan = Vec::new();
+        self.attachment_plan_into(topology, start_bs, duration_s, rng, &mut plan);
+        plan
+    }
+
+    /// [`MobilityModel::attachment_plan`] into a caller-owned buffer
+    /// (cleared first), avoiding the per-session allocation in the engine
+    /// hot loop. Draws the exact same RNG sequence as the allocating
+    /// variant, so both produce bit-identical plans from a shared stream.
+    pub fn attachment_plan_into<R: Rng + ?Sized>(
+        &self,
+        topology: &Topology,
+        start_bs: BsId,
+        duration_s: f64,
+        rng: &mut R,
+        plan: &mut Vec<(BsId, f64)>,
+    ) {
         debug_assert!(duration_s > 0.0);
+        plan.clear();
         if self.p_mobile <= 0.0 || rng.gen::<f64>() >= self.p_mobile {
-            return vec![(start_bs, duration_s)];
+            plan.push((start_bs, duration_s));
+            return;
         }
         let dwell = Exponential::new(1.0 / self.mean_dwell_s).expect("valid rate");
         let trip = Exponential::new(1.0 / self.mean_trip_s).expect("valid rate");
         let mut trip_remaining = trip.sample(rng);
-        let mut plan = Vec::new();
         let mut remaining = duration_s;
         let mut bs = start_bs;
         while remaining > 0.0 && plan.len() < MAX_SEGMENTS {
@@ -102,7 +120,6 @@ impl MobilityModel {
             }
             bs = neighbors[rng.gen_range(0..neighbors.len())];
         }
-        plan
     }
 }
 

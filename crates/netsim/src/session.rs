@@ -112,12 +112,26 @@ pub fn fragment_session(
     plan: &[(BsId, f64)],
     rat_of: impl Fn(BsId) -> Rat,
 ) -> Vec<SessionObservation> {
+    let mut out = Vec::new();
+    fragment_session_into(spec, plan, rat_of, &mut out);
+    out
+}
+
+/// [`fragment_session`] into a caller-owned buffer (cleared first),
+/// avoiding the per-session allocation in the engine hot loop.
+pub fn fragment_session_into(
+    spec: &SessionSpec,
+    plan: &[(BsId, f64)],
+    rat_of: impl Fn(BsId) -> Rat,
+    out: &mut Vec<SessionObservation>,
+) {
+    out.clear();
     let total: f64 = plan.iter().map(|(_, d)| d).sum();
     if total <= 0.0 || plan.is_empty() {
-        return Vec::new();
+        return;
     }
     let transient = plan.len() > 1;
-    let mut out = Vec::with_capacity(plan.len());
+    out.reserve(plan.len());
     let mut elapsed = 0.0;
     for (i, (bs, dwell)) in plan.iter().enumerate() {
         let share = dwell / total;
@@ -134,7 +148,6 @@ pub fn fragment_session(
         });
         elapsed += dwell;
     }
-    out
 }
 
 #[cfg(test)]
