@@ -172,14 +172,25 @@ pub fn run(config: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
 /// configuration must match the manifest's bit-exact echo, and every
 /// spill the manifest claims complete must verify against its digest.
 pub fn resume(config: &CampaignConfig) -> Result<CampaignReport, CampaignError> {
-    let manifest = Manifest::load(&config.manifest_path())?;
+    let mut manifest = Manifest::load(&config.manifest_path())?;
     if let Some(reason) = manifest.config_mismatch(&config.scenario, config.effective_shards()) {
         return Err(CampaignError::ConfigMismatch { reason });
     }
     // Never trust durable state blindly: re-verify completed pass-2
-    // spills before building on them.
+    // spills before building on them. One special case first: a
+    // zero-length spill means the process died between creating the
+    // file and writing it (the manifest update races the same window),
+    // so treat that shard — and everything after it — as not done and
+    // let `advance` re-simulate it deterministically, instead of
+    // refusing forever or assembling an empty shard.
     for s in 0..manifest.pass2_done {
-        let digest = spill::verify(&config.spill_path(s), s)?;
+        let path = config.spill_path(s);
+        if std::fs::metadata(&path).map(|m| m.len()).ok() == Some(0) {
+            manifest.pass2_done = s;
+            manifest.spill_digests.truncate(s as usize);
+            break;
+        }
+        let digest = spill::verify(&path, s)?;
         if digest != manifest.spill_digests[s as usize] {
             return Err(CampaignError::SpillCorrupt {
                 shard: s,

@@ -226,6 +226,35 @@ fn corrupt_or_missing_spills_are_refused_with_shard_attribution() {
 }
 
 #[test]
+fn zero_length_spill_is_treated_as_incomplete_not_assembled_empty() {
+    let _g = fault_lock();
+    let expected_manifest = golden_manifest().clone();
+    let mut config = campaign_config("zero-length-spill");
+    // Stop right after pass-2 shard 1's spill is durable: spills 0 and 1
+    // exist, the manifest says pass2_done = 2.
+    config.kill_after = Some(u64::from(SHARDS) + 1);
+    let killed = run(&config);
+    assert!(
+        matches!(killed, Err(CampaignError::Killed { .. })),
+        "{killed:?}"
+    );
+    config.kill_after = None;
+
+    // A kill between creating and writing the spill leaves a zero-length
+    // file — truncate shard 1 to reproduce that window.
+    std::fs::write(config.spill_path(1), b"").unwrap();
+
+    // Resume must treat the shard as not-done and re-simulate it, not
+    // refuse forever (SpillCorrupt) or assemble an empty shard.
+    resume(&config).expect("resume past the zero-length spill");
+    let bytes = std::fs::read(&config.out).unwrap();
+    assert_eq!(bytes, *golden(), "bytes after zero-length spill recovery");
+    let manifest = Manifest::load(&config.manifest_path()).unwrap();
+    assert_eq!(manifest, expected_manifest, "manifest after recovery");
+    std::fs::remove_dir_all(&config.dir).ok();
+}
+
+#[test]
 fn resume_refuses_a_drifted_configuration() {
     let _g = fault_lock();
     let mut config = campaign_config("config-drift");

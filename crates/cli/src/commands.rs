@@ -71,7 +71,8 @@ USAGE:
       default count,sum,mean,min,max. KEY: none (default), day, plus
       service | group | region | rat | decile for cell metrics or bs for
       minute metrics. --histogram prints an ASCII histogram per group.
-      Percentiles and histograms buffer the selected values in memory;
+      Percentiles and histograms buffer the selected values in memory,
+      capped at --max-buffered N values (default 16777216, 0 = no cap);
       the other aggregations stream. Example:
         mtd-traffic query --in ds.bin --select sessions \\
                           --group-by service --agg count,sum,p95
@@ -91,6 +92,31 @@ USAGE:
       never recomputed. `status` prints manifest progress.
       Defaults: 30 BSs, 3 days, seed 51966, scale 0.1, 8 shards,
       DIR/store.mtdstore.
+
+  mtd-traffic serve [--registry FILE | --from FILE] [--addr HOST:PORT]
+                    [--workers N] [--max-pending N] [--max-sessions N]
+                    [--max-line-bytes N] [--io-timeout SECS]
+      Serve the registry's session models over TCP (line-delimited JSON,
+      DESIGN.md \u{a7}15): ops ping, stats, params, sample, shutdown. A
+      seeded sample request is answered byte-identically regardless of
+      worker count or request interleaving. Backpressure: at most
+      --max-pending queued connections (excess get an `overloaded` error
+      frame), sample windows over --max-sessions sessions are refused,
+      request lines over --max-line-bytes are refused, idle connections
+      time out after --io-timeout. Runs until `{\"op\":\"shutdown\"}`.
+      Defaults: released models, 127.0.0.1:7979, workers = threads.
+
+  mtd-traffic serve-bench [--addr HOST:PORT | --registry FILE | --from FILE]
+                          [--requests N] [--concurrency N] [--decile 0..9]
+                          [--minute M] [--minutes W] [--seed N] [--out FILE]
+                          [--shutdown]
+      Load-test a serve daemon with concurrent seeded sample requests and
+      report sessions/sec plus p50/p99 latency as a benchmark JSON
+      (--out FILE, stdout otherwise). Without --addr, spawns an
+      in-process daemon on a loopback port. Also replays one seeded
+      request on two fresh connections and reports deterministic_replay.
+      --shutdown sends a shutdown op when done. Defaults: 200 requests,
+      concurrency 8, decile 9, minute 540, 5-minute window.
 
   mtd-traffic validate [--registry FILE] [--n-bs N] [--days N] [--seed N]
                        [--scale X]
@@ -165,6 +191,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("dataset") => dataset_cmd(&argv[1..]),
         Some("query") => crate::query::query_cmd(&argv[1..]),
         Some("campaign") => campaign_cmd(&argv[1..]),
+        Some("serve") => crate::serve::serve_cmd(&argv[1..]),
+        Some("serve-bench") => crate::serve::serve_bench_cmd(&argv[1..]),
         Some("validate") => validate_cmd(&argv[1..]),
         Some("selftest") => selftest_cmd(&argv[1..]),
         Some("profile") => profile_cmd(&argv[1..]),
@@ -182,7 +210,7 @@ pub(crate) fn parse_flags(argv: &[String], valued: &[&str]) -> Result<Flags, Str
 }
 
 /// [`parse_flags`] for subcommands with their own boolean switches.
-fn parse_flags_with_switches(
+pub(crate) fn parse_flags_with_switches(
     argv: &[String],
     valued: &[&str],
     switches: &[&str],
@@ -209,7 +237,11 @@ pub(crate) fn threads_init(flags: &Flags) -> Result<usize, String> {
         }
         None => {
             // Clear any override from a previous in-process run so the
-            // environment/detection fallback applies.
+            // environment/detection fallback applies. Unlike library
+            // callers (which warn and fall back), the CLI treats a
+            // malformed MTD_THREADS as a hard error: the user asked for
+            // a specific worker count and did not get it.
+            mtd_par::env_threads()?;
             mtd_par::set_threads(0);
             Ok(mtd_par::threads())
         }
@@ -538,7 +570,7 @@ fn simulate(argv: &[String]) -> Result<(), String> {
 
 /// Fits a registry from a previously exported dataset file. Binary files
 /// are streamed chunk-by-chunk; JSON files are loaded whole.
-fn fit_from_file(path: &str) -> Result<ModelRegistry, String> {
+pub(crate) fn fit_from_file(path: &str) -> Result<ModelRegistry, String> {
     let format = store::detect_format(Path::new(path)).map_err(|e| e.to_string())?;
     match format {
         Format::Binary => {

@@ -14,6 +14,7 @@
 mod args;
 mod commands;
 mod query;
+mod serve;
 
 use std::process::ExitCode;
 

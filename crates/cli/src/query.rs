@@ -212,19 +212,18 @@ impl Acc {
 }
 
 /// Linear-interpolation percentile (the numpy/dsq convention) over a
-/// sorted slice. `p` in (0, 100].
+/// sorted slice, `p` in (0, 100]. Delegates to the workspace-wide
+/// [`mtd_math::stats::percentile_sorted`] (which takes a fraction), so
+/// query output matches every other percentile in the repo; empty
+/// groups render as NaN rather than erroring the whole table, p→0⁺
+/// converges on the group minimum, and single-element groups return
+/// that element for every p.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
-    match sorted.len() {
-        0 => f64::NAN,
-        1 => sorted[0],
-        n => {
-            let rank = (p / 100.0) * (n - 1) as f64;
-            let lo = rank.floor() as usize;
-            let hi = rank.ceil() as usize;
-            let frac = rank - lo as f64;
-            sorted[lo] + (sorted[hi.min(n - 1)] - sorted[lo]) * frac
-        }
+    if sorted.is_empty() {
+        return f64::NAN;
     }
+    let frac = (p / 100.0).clamp(0.0, 1.0);
+    mtd_math::stats::percentile_sorted(sorted, frac).unwrap_or(f64::NAN)
 }
 
 /// Labels sort lexicographically, so numeric keys are zero-padded to keep
@@ -261,18 +260,50 @@ fn group_label(key: GroupBy, meta: &MetaSection, service: u16, group: u16, day: 
     }
 }
 
+/// Default cap on buffered values across all groups: 16 Mi f64 values
+/// (128 MiB). Percentile/histogram aggregates are the one non-streaming
+/// path in `query`; without a bound, a paper-scale store exhausts
+/// memory before the first row prints.
+const DEFAULT_MAX_BUFFERED: u64 = 16_777_216;
+
 /// The parsed query: what to select, how to bucket it, what to print.
 struct Query {
     metric: Metric,
     group_by: GroupBy,
     aggs: Vec<Agg>,
     histogram: Option<usize>,
+    /// Cap on total buffered values across all groups; 0 = unlimited.
+    max_buffered: u64,
 }
 
 impl Query {
     fn keep_values(&self) -> bool {
         self.histogram.is_some() || self.aggs.iter().any(|a| matches!(a, Agg::Pct(_)))
     }
+}
+
+/// Pushes one selected value, enforcing the buffering cap when the query
+/// needs values kept (percentiles/histograms).
+fn push_value(
+    groups: &mut BTreeMap<String, Acc>,
+    label: String,
+    v: f64,
+    keep: bool,
+    buffered: &mut u64,
+    max_buffered: u64,
+) -> Result<(), String> {
+    if keep {
+        *buffered += 1;
+        if max_buffered > 0 && *buffered > max_buffered {
+            return Err(format!(
+                "percentile/histogram aggregates would buffer more than {max_buffered} values; \
+                 raise the cap with --max-buffered N, pass --max-buffered 0 to lift it, \
+                 or use only streaming aggregates (count/sum/mean/min/max)"
+            ));
+        }
+    }
+    groups.entry(label).or_default().push(v, keep);
+    Ok(())
 }
 
 /// Runs the streaming pass: one accumulator per group label.
@@ -287,6 +318,7 @@ fn aggregate(
     let minutes_per_day = 1440u32;
     let keep = query.keep_values();
     let mut groups: BTreeMap<String, Acc> = BTreeMap::new();
+    let mut buffered = 0u64;
     while let Some(chunk) = stream.next_chunk() {
         let chunk = chunk.map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         match chunk {
@@ -298,7 +330,14 @@ fn aggregate(
                         _ => unreachable!("cell-level metrics only"),
                     };
                     let label = group_label(query.group_by, &meta, *service, *group, *day);
-                    groups.entry(label).or_default().push(v, keep);
+                    push_value(
+                        &mut groups,
+                        label,
+                        v,
+                        keep,
+                        &mut buffered,
+                        query.max_buffered,
+                    )?;
                 }
             }
             StreamedChunk::Minutes(block) if !query.metric.is_cell_level() => {
@@ -317,7 +356,14 @@ fn aggregate(
                             GroupBy::Day => format!("day {:04}", m as u32 / minutes_per_day),
                             _ => unreachable!("rejected at parse time"),
                         };
-                        groups.entry(label).or_default().push(v, keep);
+                        push_value(
+                            &mut groups,
+                            label,
+                            v,
+                            keep,
+                            &mut buffered,
+                            query.max_buffered,
+                        )?;
                     }
                 }
             }
@@ -401,7 +447,15 @@ fn print_histograms(
 pub fn query_cmd(argv: &[String]) -> Result<(), String> {
     let flags = crate::commands::parse_flags(
         argv,
-        &["in", "select", "agg", "group-by", "histogram", "out"],
+        &[
+            "in",
+            "select",
+            "agg",
+            "group-by",
+            "histogram",
+            "max-buffered",
+            "out",
+        ],
     )?;
     let tdest = crate::commands::telemetry_init(&flags, "query")?;
     crate::commands::threads_init(&flags)?;
@@ -428,11 +482,13 @@ pub fn query_cmd(argv: &[String]) -> Result<(), String> {
             Some(bins)
         }
     };
+    let max_buffered: u64 = flags.num_or("max-buffered", DEFAULT_MAX_BUFFERED)?;
     let query = Query {
         metric,
         group_by,
         aggs,
         histogram,
+        max_buffered,
     };
 
     let (mut groups, report) = aggregate(Path::new(input), &query)?;
@@ -476,6 +532,22 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases_near_zero_and_singletons() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        // p→0⁺ converges on the minimum and never undershoots it.
+        let tiny = percentile(&v, 1e-9);
+        assert!(tiny >= 1.0 && (tiny - 1.0).abs() < 1e-9, "got {tiny}");
+        // Single-element groups return the element for every p.
+        for p in [1e-9, 0.1, 50.0, 99.999, 100.0] {
+            assert_eq!(percentile(&[7.0], p), 7.0);
+        }
+        // Out-of-range p (unreachable via Agg::parse, defensive) clamps
+        // instead of panicking or indexing out of bounds.
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 150.0), 4.0);
+    }
+
+    #[test]
     fn acc_tracks_streaming_stats() {
         let mut acc = Acc::default();
         for v in [3.0, -1.0, 5.0, 2.0] {
@@ -497,6 +569,77 @@ mod tests {
         assert!(Agg::parse("p0").is_err());
         assert!(Agg::parse("p101").is_err());
         assert!(Agg::parse("median").is_err());
+    }
+
+    #[test]
+    fn max_buffered_caps_percentile_memory() {
+        fn argv(s: &[&str]) -> Vec<String> {
+            s.iter().map(ToString::to_string).collect()
+        }
+        let dir = std::env::temp_dir().join("mtd_cli_test_query_cap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = dir.join("ds.bin");
+        let ds_s = ds.to_str().unwrap().to_string();
+        let out_s = dir.join("table.txt").to_str().unwrap().to_string();
+        crate::commands::run(&argv(&[
+            "dataset", "export", "--n-bs", "4", "--days", "1", "--scale", "0.02", "--out", &ds_s,
+            "--quiet",
+        ]))
+        .unwrap();
+
+        // A percentile with a 1-value cap fails with the structured error.
+        let err = crate::commands::run(&argv(&[
+            "query",
+            "--in",
+            &ds_s,
+            "--agg",
+            "p50",
+            "--max-buffered",
+            "1",
+            "--out",
+            &out_s,
+            "--quiet",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.contains("--max-buffered"),
+            "error names the flag: {err}"
+        );
+        assert!(
+            err.contains("streaming aggregates"),
+            "error offers the alternative: {err}"
+        );
+
+        // Streaming aggregates never buffer, so the cap does not bite.
+        crate::commands::run(&argv(&[
+            "query",
+            "--in",
+            &ds_s,
+            "--agg",
+            "count,sum,mean,min,max",
+            "--max-buffered",
+            "1",
+            "--out",
+            &out_s,
+            "--quiet",
+        ]))
+        .unwrap();
+
+        // --max-buffered 0 lifts the cap.
+        crate::commands::run(&argv(&[
+            "query",
+            "--in",
+            &ds_s,
+            "--agg",
+            "p50,p99",
+            "--max-buffered",
+            "0",
+            "--out",
+            &out_s,
+            "--quiet",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&ds).ok();
     }
 
     #[test]

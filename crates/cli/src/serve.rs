@@ -1,0 +1,327 @@
+//! `mtd-traffic serve` / `serve-bench` — the model-serving daemon and
+//! its self-contained load generator.
+//!
+//! `serve` compiles a fitted registry into a [`mtd_core::ServingPlan`]
+//! and answers line-delimited-JSON requests over TCP until a client
+//! sends `{"op":"shutdown"}` (protocol: DESIGN.md §15). `serve-bench`
+//! drives a daemon — an external one via `--addr`, or an in-process one
+//! it spawns itself — with concurrent seeded `sample` requests,
+//! verifies deterministic replay, and publishes sessions/sec plus
+//! p50/p99 latency on the shared `BenchReport` writer.
+
+use crate::args::Flags;
+use crate::commands::{parse_flags, telemetry_finish, telemetry_init, threads_init};
+use mtd_bench::BenchReport;
+use mtd_core::{ModelRegistry, ServingPlan};
+use mtd_serve::{ServeConfig, ServerHandle};
+use mtd_telemetry::progress;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Instant;
+
+/// Resolves the registry the daemon serves: `--from` fits from an
+/// exported dataset (binary MTDSTORE streamed, JSON loaded whole),
+/// `--registry` loads a fitted registry JSON, neither uses the released
+/// §5.4 models.
+fn registry_from_flags(flags: &Flags) -> Result<ModelRegistry, String> {
+    match (flags.opt("from"), flags.opt("registry")) {
+        (Some(_), Some(_)) => Err("pass either --from or --registry, not both".into()),
+        (Some(path), None) => crate::commands::fit_from_file(path),
+        (None, Some(path)) => ModelRegistry::load(Path::new(path))
+            .map_err(|e| format!("cannot load registry {path}: {e}")),
+        (None, None) => Ok(ModelRegistry::released()),
+    }
+}
+
+fn serve_config_from_flags(flags: &Flags, workers_default: usize) -> Result<ServeConfig, String> {
+    let defaults = ServeConfig::default();
+    Ok(ServeConfig {
+        addr: flags.opt("addr").unwrap_or("127.0.0.1:7979").to_string(),
+        workers: flags.num_or("workers", workers_default)?,
+        max_pending: flags.num_or("max-pending", defaults.max_pending)?,
+        max_sessions: flags.num_or("max-sessions", defaults.max_sessions)?,
+        max_line_bytes: flags.num_or("max-line-bytes", defaults.max_line_bytes)?,
+        io_timeout_s: flags.num_or("io-timeout", defaults.io_timeout_s)?,
+    })
+}
+
+pub(crate) fn serve_cmd(argv: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        argv,
+        &[
+            "registry",
+            "from",
+            "addr",
+            "workers",
+            "max-pending",
+            "max-sessions",
+            "max-line-bytes",
+            "io-timeout",
+        ],
+    )?;
+    let tdest = telemetry_init(&flags, "serve")?;
+    let threads = threads_init(&flags)?;
+    let config = serve_config_from_flags(&flags, threads)?;
+    let registry = registry_from_flags(&flags)?;
+    let plan = ServingPlan::compile(registry).map_err(|e| e.to_string())?;
+    progress!(
+        "cli",
+        "compiled serving plan: {} services, {} deciles",
+        plan.registry().services.len(),
+        plan.n_deciles()
+    );
+    let workers = config.workers;
+    let handle = mtd_serve::start(plan, config).map_err(|e| format!("cannot bind: {e}"))?;
+    // Readiness line on stdout: scripts poll for it (or for the port).
+    println!("serving on {} ({} workers)", handle.addr(), workers);
+    std::io::stdout().flush().ok();
+    let stats = handle.wait();
+    progress!(
+        "cli",
+        "serve done: {} requests, {} errors, {} rejected, {} sessions",
+        stats.requests,
+        stats.errors,
+        stats.rejected,
+        stats.sessions
+    );
+    telemetry_finish(tdest)
+}
+
+/// One benchmark client: sends its share of seeded sample requests over
+/// a single connection, recording per-request latency and session
+/// counts.
+struct ClientResult {
+    latencies_s: Vec<f64>,
+    sessions: u64,
+    errors: u64,
+}
+
+fn bench_client(
+    addr: std::net::SocketAddr,
+    request_indices: std::ops::Range<u64>,
+    base_seed: u64,
+    decile: u64,
+    minute: u64,
+    minutes: u64,
+    timeout: std::time::Duration,
+) -> Result<ClientResult, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(timeout)).ok();
+    stream.set_write_timeout(Some(timeout)).ok();
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut result = ClientResult {
+        latencies_s: Vec::with_capacity(request_indices.clone().count()),
+        sessions: 0,
+        errors: 0,
+    };
+    let mut line = String::new();
+    for i in request_indices {
+        let request = format!(
+            "{{\"op\":\"sample\",\"decile\":{decile},\"minute\":{minute},\
+             \"minutes\":{minutes},\"seed\":{}}}\n",
+            base_seed.wrapping_add(i)
+        );
+        let t0 = Instant::now();
+        writer
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        line.clear();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        result.latencies_s.push(t0.elapsed().as_secs_f64());
+        if line.starts_with("{\"ok\":true") {
+            result.sessions += extract_count(&line).unwrap_or(0);
+        } else {
+            result.errors += 1;
+        }
+    }
+    Ok(result)
+}
+
+/// Pulls the `"count":N` field out of a sample response without paying
+/// for a full parse of the session array.
+fn extract_count(frame: &str) -> Option<u64> {
+    let rest = &frame[frame.find("\"count\":")? + "\"count\":".len()..];
+    let end = rest.find(|c: char| !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
+}
+
+/// Sends one request on a fresh connection and returns the raw frame.
+fn one_shot(addr: std::net::SocketAddr, request: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .ok();
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| e.to_string())?;
+    Ok(line.trim_end().to_string())
+}
+
+pub(crate) fn serve_bench_cmd(argv: &[String]) -> Result<(), String> {
+    let flags = crate::commands::parse_flags_with_switches(
+        argv,
+        &[
+            "addr",
+            "registry",
+            "from",
+            "requests",
+            "concurrency",
+            "decile",
+            "minute",
+            "minutes",
+            "seed",
+            "workers",
+            "out",
+        ],
+        &["shutdown"],
+    )?;
+    let tdest = telemetry_init(&flags, "serve-bench")?;
+    threads_init(&flags)?;
+    let requests: u64 = flags.num_or("requests", 200u64)?;
+    let concurrency: usize = flags.num_or("concurrency", 8usize)?;
+    if requests == 0 || concurrency == 0 {
+        return Err("--requests and --concurrency must be >= 1".into());
+    }
+    let decile: u64 = flags.num_or("decile", 9u64)?;
+    let minute: u64 = flags.num_or("minute", 540u64)?;
+    let minutes: u64 = flags.num_or("minutes", 5u64)?;
+    if decile > 9 || minute >= 1440 || minutes == 0 || minute + minutes > 1440 {
+        return Err("window must satisfy decile<=9, minute+minutes<=1440".into());
+    }
+    let base_seed: u64 = flags.num_or("seed", 0xBE_EFu64)?;
+
+    // External daemon via --addr, else a self-contained in-process one.
+    let (addr, local): (std::net::SocketAddr, Option<ServerHandle>) = match flags.opt("addr") {
+        Some(addr) => (
+            addr.parse()
+                .map_err(|e| format!("bad --addr {addr}: {e}"))?,
+            None,
+        ),
+        None => {
+            let registry = registry_from_flags(&flags)?;
+            let plan = ServingPlan::compile(registry).map_err(|e| e.to_string())?;
+            let handle = mtd_serve::start(
+                plan,
+                ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    workers: flags.num_or("workers", concurrency)?,
+                    ..ServeConfig::default()
+                },
+            )
+            .map_err(|e| format!("cannot bind: {e}"))?;
+            (handle.addr(), Some(handle))
+        }
+    };
+
+    // Deterministic-replay probe: the same seeded request on two fresh
+    // connections must come back byte-identical.
+    let probe = format!(
+        "{{\"op\":\"sample\",\"decile\":{decile},\"minute\":{minute},\
+         \"minutes\":{minutes},\"seed\":{base_seed}}}"
+    );
+    let replay_a = one_shot(addr, &probe)?;
+    let replay_b = one_shot(addr, &probe)?;
+    let deterministic = replay_a == replay_b && replay_a.starts_with("{\"ok\":true");
+
+    progress!(
+        "cli",
+        "serve-bench: {requests} requests x {minutes} min window, \
+         concurrency {concurrency}, against {addr}"
+    );
+    let timeout = std::time::Duration::from_secs(60);
+    let results: std::sync::Mutex<Vec<Result<ClientResult, String>>> =
+        std::sync::Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    mtd_par::Pool::new(concurrency).scope(|scope| {
+        for c in 0..concurrency as u64 {
+            let results = &results;
+            // Split the request ids contiguously across clients.
+            let per = requests / concurrency as u64;
+            let extra = requests % concurrency as u64;
+            let start = c * per + c.min(extra);
+            let end = start + per + u64::from(c < extra);
+            scope.spawn(move || {
+                let r = bench_client(
+                    addr,
+                    start..end,
+                    base_seed,
+                    decile,
+                    minute,
+                    minutes,
+                    timeout,
+                );
+                results.lock().unwrap_or_else(|e| e.into_inner()).push(r);
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(requests as usize);
+    let mut sessions: u64 = 0;
+    let mut errors: u64 = 0;
+    for r in results.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        let r = r?;
+        latencies.extend_from_slice(&r.latencies_s);
+        sessions += r.sessions;
+        errors += r.errors;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| {
+        mtd_math::stats::percentile_sorted(&latencies, p).map_err(|e| format!("percentile: {e}"))
+    };
+    let p50_ms = pct(0.5)? * 1e3;
+    let p99_ms = pct(0.99)? * 1e3;
+
+    if flags.is_set("shutdown") {
+        let _ = one_shot(addr, "{\"op\":\"shutdown\"}");
+    }
+    if let Some(handle) = local {
+        handle.join();
+    }
+
+    let mut report = BenchReport::new("serve");
+    report.field_raw("requests", &requests.to_string());
+    report.field_raw("concurrency", &concurrency.to_string());
+    report.field_raw("decile", &decile.to_string());
+    report.field_raw("minute", &minute.to_string());
+    report.field_raw("window_minutes", &minutes.to_string());
+    report.field_raw("total_sessions", &sessions.to_string());
+    report.field_raw("request_errors", &errors.to_string());
+    report.field_seconds("elapsed_seconds", elapsed);
+    report.field_raw(
+        "requests_per_sec",
+        &format!("{:.1}", requests as f64 / elapsed),
+    );
+    report.field_raw(
+        "sessions_per_sec",
+        &format!("{:.1}", sessions as f64 / elapsed),
+    );
+    report.field_raw("p50_ms", &format!("{p50_ms:.3}"));
+    report.field_raw("p99_ms", &format!("{p99_ms:.3}"));
+    report.field_raw(
+        "deterministic_replay",
+        if deterministic { "true" } else { "false" },
+    );
+    match flags.opt("out") {
+        Some(path) => report.write(path),
+        None => print!("{}", report.to_json()),
+    }
+    if !deterministic {
+        return Err("seeded replay was NOT byte-identical (see the frames above)".into());
+    }
+    if errors > 0 {
+        return Err(format!(
+            "{errors} of {requests} requests returned error frames"
+        ));
+    }
+    telemetry_finish(tdest)
+}

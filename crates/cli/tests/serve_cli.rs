@@ -1,0 +1,173 @@
+//! End-to-end tests for `mtd-traffic serve` / `serve-bench` driving the
+//! real binary as a subprocess, with the registry fitted from a small
+//! exported dataset (`--from`) so everything works offline.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mtd-traffic"))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtd-serve-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Exports a small binary dataset the daemon can `--from`-fit.
+fn small_store(dir: &std::path::Path) -> std::path::PathBuf {
+    let store = dir.join("store.mtdstore");
+    let out = bin()
+        .args([
+            "dataset", "export", "--n-bs", "2", "--days", "1", "--scale", "0.05", "--quiet",
+            "--out",
+        ])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "export failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    store
+}
+
+/// Kills the child on drop so a failing assertion can't leak a daemon.
+struct Daemon(Child);
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn request(addr: &str, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response).unwrap();
+    response.trim_end().to_string()
+}
+
+#[test]
+fn serve_daemon_answers_requests_and_honors_protocol_shutdown() {
+    let dir = temp_dir("daemon");
+    let store = small_store(&dir);
+    let mut child = bin()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--quiet",
+            "--from",
+        ])
+        .arg(&store)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    // The daemon announces its bound address on stdout before serving.
+    let stdout = child.stdout.take().unwrap();
+    let mut daemon = Daemon(child);
+    let mut reader = BufReader::new(stdout);
+    let mut ready = String::new();
+    reader.read_line(&mut ready).unwrap();
+    let addr = ready
+        .strip_prefix("serving on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected readiness line: {ready:?}"))
+        .to_string();
+
+    let pong = request(&addr, "{\"op\":\"ping\",\"id\":7}");
+    assert_eq!(pong, "{\"ok\":true,\"id\":7,\"op\":\"ping\"}");
+
+    let sample = "{\"op\":\"sample\",\"decile\":9,\"minute\":540,\"minutes\":2,\"seed\":11}";
+    let a = request(&addr, sample);
+    let b = request(&addr, sample);
+    assert!(a.starts_with("{\"ok\":true"), "sample failed: {a}");
+    assert_eq!(a, b, "seeded sample was not replayed byte-identically");
+
+    let bye = request(&addr, "{\"op\":\"shutdown\"}");
+    assert!(bye.starts_with("{\"ok\":true"), "shutdown refused: {bye}");
+    let status = daemon.0.wait().unwrap();
+    assert!(status.success(), "daemon exited non-zero after shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_bench_reports_a_deterministic_replay_and_writes_the_report() {
+    let dir = temp_dir("bench");
+    let store = small_store(&dir);
+    let report = dir.join("BENCH_serve.json");
+    let out = bin()
+        .args([
+            "serve-bench",
+            "--requests",
+            "24",
+            "--concurrency",
+            "3",
+            "--minutes",
+            "1",
+            "--quiet",
+        ])
+        .arg("--from")
+        .arg(&store)
+        .arg("--out")
+        .arg(&report)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "serve-bench failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut json = String::new();
+    std::fs::File::open(&report)
+        .unwrap()
+        .read_to_string(&mut json)
+        .unwrap();
+    for key in [
+        "\"bench\": \"serve\"",
+        "\"requests\": 24",
+        "\"concurrency\": 3",
+        "\"sessions_per_sec\":",
+        "\"p50_ms\":",
+        "\"p99_ms\":",
+        "\"deterministic_replay\": true",
+        "\"request_errors\": 0",
+        "\"machine\":",
+    ] {
+        assert!(json.contains(key), "report missing {key}:\n{json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_conflicting_model_sources() {
+    let out = bin()
+        .args([
+            "serve",
+            "--from",
+            "a.mtdstore",
+            "--registry",
+            "b.json",
+            "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("either --from or --registry"),
+        "wrong error: {stderr}"
+    );
+}

@@ -1,0 +1,85 @@
+//! MTD_THREADS environment handling through the CLI dispatcher.
+//!
+//! The CLI treats a malformed `MTD_THREADS` as a hard error (the user
+//! asked for a specific worker count and did not get it), while library
+//! callers warn and fall back to the detected core count. These tests
+//! pin the CLI half by running the real binary in a subprocess, so the
+//! environment mutation cannot race other in-process tests.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mtd-traffic"))
+}
+
+fn export_args(out: &std::path::Path) -> Vec<String> {
+    [
+        "dataset", "export", "--n-bs", "1", "--days", "1", "--scale", "0.05", "--quiet", "--out",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .chain([out.display().to_string()])
+    .collect()
+}
+
+fn temp_out(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtd-threads-env-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("tiny.mtd")
+}
+
+#[test]
+fn invalid_mtd_threads_is_a_hard_error_from_the_cli() {
+    for bad in ["abc", "0"] {
+        let out = temp_out("invalid");
+        let result = bin()
+            .args(export_args(&out))
+            .env("MTD_THREADS", bad)
+            .output()
+            .expect("run mtd-traffic");
+        assert!(
+            !result.status.success(),
+            "MTD_THREADS={bad} must fail the CLI, got: {result:?}"
+        );
+        let stderr = String::from_utf8_lossy(&result.stderr);
+        assert!(
+            stderr.contains("invalid MTD_THREADS"),
+            "stderr should explain the bad value, got: {stderr}"
+        );
+        assert!(!out.exists(), "command must fail before writing output");
+    }
+}
+
+#[test]
+fn valid_mtd_threads_is_accepted() {
+    let out = temp_out("valid");
+    let result = bin()
+        .args(export_args(&out))
+        .env("MTD_THREADS", "2")
+        .output()
+        .expect("run mtd-traffic");
+    assert!(
+        result.status.success(),
+        "MTD_THREADS=2 must be accepted, got: {result:?}"
+    );
+    assert!(out.exists());
+}
+
+#[test]
+fn explicit_threads_flag_beats_a_broken_environment() {
+    // --threads sets the override before the env is ever consulted, but
+    // the dispatcher still validates the environment on the flagless
+    // path only — with the flag present a broken env must not matter.
+    let out = temp_out("flag-beats-env");
+    let result = bin()
+        .args(export_args(&out))
+        .arg("--threads")
+        .arg("2")
+        .env("MTD_THREADS", "abc")
+        .output()
+        .expect("run mtd-traffic");
+    assert!(
+        result.status.success(),
+        "--threads 2 must win over MTD_THREADS=abc, got: {result:?}"
+    );
+}

@@ -7,9 +7,9 @@
 //! its duration via the inverse power law `v⁻¹`, and its throughput as
 //! the ratio. Both §6 use cases consume this stream.
 
-use crate::arrival::{ArrivalSampler, ServiceBreakdown};
+use crate::plan::ServingPlan;
 use crate::registry::ModelRegistry;
-use mtd_math::{MathError, Result};
+use mtd_math::Result;
 use rand::Rng;
 
 /// One generated session.
@@ -28,12 +28,14 @@ pub struct GeneratedSession {
 }
 
 /// Generates model-driven session traffic for one BS.
+///
+/// A thin borrow-friendly wrapper over [`ServingPlan`]: construction
+/// compiles a plan from a clone of the registry (cheap — parameters,
+/// not data), and sampling delegates draw-for-draw, so generator and
+/// plan emit identical streams from identical seeds.
 pub struct SessionGenerator<'a> {
     registry: &'a ModelRegistry,
-    breakdown: ServiceBreakdown,
-    /// Per-decile calibrated count samplers (truncation bisections are
-    /// solved once here, not once per minute).
-    samplers: Vec<ArrivalSampler>,
+    plan: ServingPlan,
 }
 
 impl<'a> SessionGenerator<'a> {
@@ -41,20 +43,9 @@ impl<'a> SessionGenerator<'a> {
     /// registry carries no arrival models (tolerant store loads can
     /// produce such registries) or no usable service shares.
     pub fn new(registry: &'a ModelRegistry) -> Result<SessionGenerator<'a>> {
-        if registry.arrivals.is_empty() {
-            return Err(MathError::EmptyInput(
-                "SessionGenerator requires at least one arrival model",
-            ));
-        }
         Ok(SessionGenerator {
             registry,
-            breakdown: registry.breakdown()?,
-            samplers: registry
-                .arrivals
-                .per_decile
-                .iter()
-                .map(|m| m.sampler())
-                .collect(),
+            plan: ServingPlan::compile(registry.clone())?,
         })
     }
 
@@ -73,46 +64,27 @@ impl<'a> SessionGenerator<'a> {
         minute_of_day: u32,
         rng: &mut R,
     ) -> Vec<GeneratedSession> {
-        let peak = mtd_netsim::time::is_peak_minute(minute_of_day);
-        let sampler = &self.samplers[usize::from(decile).min(self.samplers.len() - 1)];
-        let n = sampler.sample_count(peak, rng);
-        let base_s = f64::from(minute_of_day) * 60.0;
-        (0..n)
-            .map(|_| {
-                let service = self.breakdown.sample(rng);
-                let model = &self.registry.services[service as usize];
-                let (volume_mb, duration_s, throughput_mbps) = model.sample_session(rng);
-                GeneratedSession {
-                    start_s: base_s + rng.gen::<f64>() * 60.0,
-                    service,
-                    volume_mb,
-                    duration_s,
-                    throughput_mbps,
-                }
-            })
-            .collect()
+        self.plan.generate_minute(decile, minute_of_day, rng)
     }
 
     /// Generates one full day of sessions at a BS of the given decile,
     /// ordered by start time.
     pub fn generate_day<R: Rng + ?Sized>(&self, decile: u8, rng: &mut R) -> Vec<GeneratedSession> {
-        let mut out = Vec::new();
-        for minute in 0..mtd_netsim::time::MINUTES_PER_DAY {
-            out.extend(self.generate_minute(decile, minute, rng));
-        }
-        out
+        self.plan.generate_day(decile, rng)
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::arrival::{ArrivalModel, ArrivalModelSet, PARETO_SHAPE};
     use crate::model::{ModelQuality, PeakComponent, ServiceModel};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    fn registry() -> ModelRegistry {
+    /// A small two-service, ten-decile registry, shared with the plan
+    /// tests (and anything else needing a serde-free fixture).
+    pub(crate) fn registry() -> ModelRegistry {
         ModelRegistry {
             services: vec![
                 ServiceModel {

@@ -31,6 +31,7 @@ pub mod duration;
 pub mod generator;
 pub mod model;
 pub mod pipeline;
+pub mod plan;
 pub mod registry;
 pub mod throughput;
 pub mod validation;
@@ -48,4 +49,5 @@ pub(crate) fn json_runtime_available() -> bool {
 pub use arrival::{ArrivalModel, ArrivalModelSet, ServiceBreakdown};
 pub use generator::{GeneratedSession, SessionGenerator};
 pub use model::{ModelQuality, PeakComponent, ServiceModel};
+pub use plan::ServingPlan;
 pub use registry::ModelRegistry;

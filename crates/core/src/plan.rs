@@ -1,0 +1,168 @@
+//! Registry → serving-plan compilation.
+//!
+//! A [`ServingPlan`] is a fitted [`ModelRegistry`] compiled into the
+//! immutable, shareable form a server samples from: the service
+//! breakdown is normalized once, and the per-decile arrival truncation
+//! bisections are solved once — not once per request. The plan owns its
+//! registry, so it can be compiled at daemon startup and shared by
+//! reference across request-handling workers for the life of the
+//! process ([`ServingPlan`] is `Sync`: sampling takes `&self` and the
+//! caller's RNG).
+//!
+//! Determinism contract: `generate_minute`/`generate_day` draw from the
+//! caller's RNG in a fixed order, so (plan, seed) fully determines the
+//! sampled stream — the property the serve protocol's seeded replays
+//! and the campaign's shard re-simulation both build on.
+
+use crate::arrival::{ArrivalSampler, ServiceBreakdown};
+use crate::generator::GeneratedSession;
+use crate::registry::ModelRegistry;
+use mtd_math::{MathError, Result};
+use rand::Rng;
+
+/// A compiled, immutable sampling plan over a fitted registry.
+pub struct ServingPlan {
+    registry: ModelRegistry,
+    breakdown: ServiceBreakdown,
+    /// Per-decile calibrated count samplers (truncation bisections are
+    /// solved once here, not once per minute).
+    samplers: Vec<ArrivalSampler>,
+}
+
+impl ServingPlan {
+    /// Compiles a registry into a serving plan. Errors when the registry
+    /// carries no arrival models (tolerant store loads can produce such
+    /// registries) or no usable service shares.
+    pub fn compile(registry: ModelRegistry) -> Result<ServingPlan> {
+        if registry.arrivals.is_empty() {
+            return Err(MathError::EmptyInput(
+                "ServingPlan requires at least one arrival model",
+            ));
+        }
+        let breakdown = registry.breakdown()?;
+        let samplers = registry
+            .arrivals
+            .per_decile
+            .iter()
+            .map(|m| m.sampler())
+            .collect();
+        Ok(ServingPlan {
+            registry,
+            breakdown,
+            samplers,
+        })
+    }
+
+    /// The registry this plan was compiled from.
+    #[must_use]
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Number of load deciles the plan can sample (requests with a
+    /// larger decile clamp to the last one, matching the generator).
+    #[must_use]
+    pub fn n_deciles(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// Generates the sessions arriving in one minute at a BS of the
+    /// given load decile. `minute_of_day` selects the §5.1 regime (peak
+    /// vs off-peak).
+    pub fn generate_minute<R: Rng + ?Sized>(
+        &self,
+        decile: u8,
+        minute_of_day: u32,
+        rng: &mut R,
+    ) -> Vec<GeneratedSession> {
+        let peak = mtd_netsim::time::is_peak_minute(minute_of_day);
+        let sampler = &self.samplers[usize::from(decile).min(self.samplers.len() - 1)];
+        let n = sampler.sample_count(peak, rng);
+        let base_s = f64::from(minute_of_day) * 60.0;
+        (0..n)
+            .map(|_| {
+                let service = self.breakdown.sample(rng);
+                let model = &self.registry.services[service as usize];
+                let (volume_mb, duration_s, throughput_mbps) = model.sample_session(rng);
+                GeneratedSession {
+                    start_s: base_s + rng.gen::<f64>() * 60.0,
+                    service,
+                    volume_mb,
+                    duration_s,
+                    throughput_mbps,
+                }
+            })
+            .collect()
+    }
+
+    /// Generates one full day of sessions at a BS of the given decile,
+    /// ordered by start time.
+    pub fn generate_day<R: Rng + ?Sized>(&self, decile: u8, rng: &mut R) -> Vec<GeneratedSession> {
+        let mut out = Vec::new();
+        for minute in 0..mtd_netsim::time::MINUTES_PER_DAY {
+            out.extend(self.generate_minute(decile, minute, rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SessionGenerator;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plan_matches_the_generator_draw_for_draw() {
+        // The generator delegates to an identical plan, so the two must
+        // produce the same stream from the same seed — the determinism
+        // contract the serve protocol depends on.
+        let registry = crate::generator::tests::registry();
+        let plan = ServingPlan::compile(registry.clone()).unwrap();
+        let gen = SessionGenerator::new(&registry).unwrap();
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        assert_eq!(
+            plan.generate_minute(5, 12 * 60, &mut a),
+            gen.generate_minute(5, 12 * 60, &mut b)
+        );
+        assert_eq!(plan.generate_day(3, &mut a), gen.generate_day(3, &mut b));
+    }
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        let plan = ServingPlan::compile(crate::generator::tests::registry()).unwrap();
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(
+            plan.generate_minute(9, 600, &mut a),
+            plan.generate_minute(9, 600, &mut b)
+        );
+        let mut c = SmallRng::seed_from_u64(8);
+        // A different seed virtually always differs (count or draws).
+        assert_ne!(
+            plan.generate_minute(9, 600, &mut a),
+            plan.generate_minute(9, 600, &mut c)
+        );
+    }
+
+    #[test]
+    fn empty_arrivals_are_rejected_at_compile_time() {
+        let mut registry = crate::generator::tests::registry();
+        registry.arrivals.per_decile.clear();
+        assert!(ServingPlan::compile(registry).is_err());
+    }
+
+    #[test]
+    fn deciles_clamp_to_the_last_sampler() {
+        let plan = ServingPlan::compile(crate::generator::tests::registry()).unwrap();
+        assert_eq!(plan.n_deciles(), 10);
+        let mut a = SmallRng::seed_from_u64(11);
+        let mut b = SmallRng::seed_from_u64(11);
+        assert_eq!(
+            plan.generate_minute(9, 700, &mut a),
+            plan.generate_minute(200, 700, &mut b)
+        );
+    }
+}

@@ -389,7 +389,7 @@ mod tests {
 
     /// A deterministic pseudo-random stream of observations.
     fn stream(n: usize, n_bs: u32) -> Vec<SessionObservation> {
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
         let mut next = move || {
             state = state
                 .wrapping_mul(6_364_136_223_846_793_005)

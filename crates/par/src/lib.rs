@@ -49,20 +49,56 @@ pub fn set_threads(n: usize) {
     OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// Strictly parses the `MTD_THREADS` environment variable.
+///
+/// Returns `Ok(None)` when the variable is unset or empty, `Ok(Some(n))`
+/// for a positive integer, and `Err` for anything else (`abc`, `0`,
+/// `-3`, …). The CLI dispatcher turns that `Err` into a hard error;
+/// library callers going through [`threads`] get a one-time warning and
+/// the detected-core fallback instead, so an embedding application never
+/// aborts on a bad environment it may not control.
+pub fn env_threads() -> Result<Option<usize>, String> {
+    let Ok(v) = std::env::var("MTD_THREADS") else {
+        return Ok(None);
+    };
+    let trimmed = v.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        Ok(_) => Err(format!(
+            "invalid MTD_THREADS value `{v}`: must be a positive worker count \
+             (unset the variable to use the detected core count)"
+        )),
+        Err(_) => Err(format!(
+            "invalid MTD_THREADS value `{v}`: not a positive integer \
+             (unset the variable to use the detected core count)"
+        )),
+    }
+}
+
 /// Resolves the process-wide worker count: [`set_threads`] override,
 /// then the `MTD_THREADS` environment variable, then
 /// [`std::thread::available_parallelism`] (1 if even that fails).
+///
+/// An invalid `MTD_THREADS` value is warned about once (respecting the
+/// telemetry quiet flag) and falls through to detection; callers that
+/// should fail hard instead — the CLI — check [`env_threads`] first.
 #[must_use]
 pub fn threads() -> usize {
     let over = OVERRIDE.load(Ordering::Relaxed);
     if over > 0 {
         return over;
     }
-    if let Ok(v) = std::env::var("MTD_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+    match env_threads() {
+        Ok(Some(n)) => return n,
+        Ok(None) => {}
+        Err(reason) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                mtd_telemetry::progress!("par", "WARNING: {reason}; using detected core count");
+            });
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -79,6 +115,10 @@ pub fn pool() -> Pool {
 mod tests {
     use super::*;
 
+    /// Serializes tests that mutate the `MTD_THREADS` environment
+    /// variable (process-global, like the override).
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn override_beats_env_and_detection() {
         // Serialize against other tests touching the global override.
@@ -87,5 +127,32 @@ mod tests {
         assert_eq!(pool().threads(), 3);
         set_threads(0);
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn env_threads_parses_strictly() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("MTD_THREADS", "4");
+        assert_eq!(env_threads(), Ok(Some(4)));
+        std::env::set_var("MTD_THREADS", "  8  ");
+        assert_eq!(env_threads(), Ok(Some(8)));
+        for bad in ["abc", "0", "-3", "1.5", "4 workers"] {
+            std::env::set_var("MTD_THREADS", bad);
+            let err = env_threads().unwrap_err();
+            assert!(err.contains(bad), "error should name the value: {err}");
+        }
+        std::env::set_var("MTD_THREADS", "  ");
+        assert_eq!(env_threads(), Ok(None));
+        std::env::remove_var("MTD_THREADS");
+        assert_eq!(env_threads(), Ok(None));
+    }
+
+    #[test]
+    fn invalid_env_falls_back_to_detection_in_library_path() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("MTD_THREADS", "not-a-number");
+        // Library callers must keep working: warn (once) and detect.
+        assert!(threads() >= 1);
+        std::env::remove_var("MTD_THREADS");
     }
 }

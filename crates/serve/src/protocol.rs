@@ -1,0 +1,407 @@
+//! Request parsing and response rendering for the serve wire protocol.
+//!
+//! One request per line, one response per line (`\n`-delimited JSON),
+//! documented in DESIGN.md §15. Responses are rendered with a fixed
+//! field order and Rust's shortest-round-trip float formatting, so a
+//! seeded `sample` response is byte-identical across runs, platforms,
+//! and worker counts — the determinism contract clients can diff
+//! against.
+
+use crate::json::{num, quote, Json};
+use mtd_core::ServingPlan;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Machine-readable error codes carried in error frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed JSON, unknown op, or invalid parameters.
+    BadRequest,
+    /// The request would exceed a configured size bound.
+    TooLarge,
+    /// The accept queue is full; retry later.
+    Overloaded,
+    /// The daemon is draining after a shutdown request.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A parsed request frame: the operation plus the echoed-back id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Client correlation id, echoed verbatim (any JSON scalar).
+    pub id: Option<String>,
+    pub request: Request,
+}
+
+/// The operations the daemon answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Ping,
+    Stats,
+    Params,
+    Sample(SampleRequest),
+    Shutdown,
+}
+
+/// Parameters of a `sample` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRequest {
+    /// BS load decile, 0..=9.
+    pub decile: u8,
+    /// First minute of the window, 0..1440.
+    pub minute: u32,
+    /// Window length in minutes; `minute + minutes <= 1440`.
+    pub minutes: u32,
+    /// Explicit seed ⇒ byte-identical replay. `None` ⇒ the server
+    /// assigns a fresh seed (echoed in the response).
+    pub seed: Option<u64>,
+    /// Restrict the response to one service by name. The filter is
+    /// applied *after* generation, so it never changes the draw
+    /// sequence: the same seed yields the same underlying stream
+    /// whether or not a filter is present.
+    pub service: Option<String>,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<RequestFrame, (ErrorCode, String)> {
+    let bad = |m: String| (ErrorCode::BadRequest, m);
+    let v = Json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(bad("request must be a JSON object".into()));
+    }
+    let id = match v.get("id") {
+        None => None,
+        Some(j @ (Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_))) => Some(j.render()),
+        Some(_) => return Err(bad("id must be a JSON scalar".into())),
+    };
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string field `op`".into()))?;
+    let request = match op {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "params" => Request::Params,
+        "shutdown" => Request::Shutdown,
+        "sample" => {
+            let decile = match v.get("decile") {
+                Some(j) => j
+                    .as_u64()
+                    .filter(|&d| d <= 9)
+                    .ok_or_else(|| bad("decile must be an integer in 0..=9".into()))?
+                    as u8,
+                None => return Err(bad("sample needs a `decile` field".into())),
+            };
+            let minute = match v.get("minute") {
+                Some(j) => j
+                    .as_u64()
+                    .filter(|&m| m < 1440)
+                    .ok_or_else(|| bad("minute must be an integer in 0..1440".into()))?
+                    as u32,
+                None => 0,
+            };
+            let minutes = match v.get("minutes") {
+                Some(j) => j
+                    .as_u64()
+                    .filter(|&m| m >= 1)
+                    .ok_or_else(|| bad("minutes must be a positive integer".into()))?
+                    as u32,
+                None => 1,
+            };
+            if u64::from(minute) + u64::from(minutes) > 1440 {
+                return Err(bad(format!(
+                    "window [{minute}, {minute}+{minutes}) runs past minute 1440"
+                )));
+            }
+            let seed = match v.get("seed") {
+                Some(j) => Some(
+                    j.as_u64()
+                        .ok_or_else(|| bad("seed must be a non-negative integer".into()))?,
+                ),
+                None => None,
+            };
+            let service = match v.get("service") {
+                Some(j) => Some(
+                    j.as_str()
+                        .ok_or_else(|| bad("service must be a string".into()))?
+                        .to_string(),
+                ),
+                None => None,
+            };
+            Request::Sample(SampleRequest {
+                decile,
+                minute,
+                minutes,
+                seed,
+                service,
+            })
+        }
+        other => return Err(bad(format!("unknown op `{other}`"))),
+    };
+    Ok(RequestFrame { id, request })
+}
+
+/// Renders the `"id":...,` fragment (empty when the request had none).
+fn id_field(id: Option<&str>) -> String {
+    id.map(|i| format!("\"id\":{i},")).unwrap_or_default()
+}
+
+/// Renders an error frame.
+#[must_use]
+pub fn error_frame(id: Option<&str>, code: ErrorCode, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,{}\"error\":{{\"code\":{},\"message\":{}}}}}",
+        id_field(id),
+        quote(code.as_str()),
+        quote(message)
+    )
+}
+
+#[must_use]
+pub fn render_ping(id: Option<&str>) -> String {
+    format!("{{\"ok\":true,{}\"op\":\"ping\"}}", id_field(id))
+}
+
+#[must_use]
+pub fn render_shutdown(id: Option<&str>) -> String {
+    format!("{{\"ok\":true,{}\"op\":\"shutdown\"}}", id_field(id))
+}
+
+/// Registry-level statistics: service names, shares, decile count.
+#[must_use]
+pub fn render_stats(plan: &ServingPlan, id: Option<&str>) -> String {
+    let registry = plan.registry();
+    let names: Vec<String> = registry.services.iter().map(|s| quote(&s.name)).collect();
+    let shares: Vec<String> = registry
+        .services
+        .iter()
+        .map(|s| num(s.session_share))
+        .collect();
+    format!(
+        "{{\"ok\":true,{}\"op\":\"stats\",\"services\":{},\"deciles\":{},\
+         \"names\":[{}],\"session_shares\":[{}]}}",
+        id_field(id),
+        registry.services.len(),
+        plan.n_deciles(),
+        names.join(","),
+        shares.join(",")
+    )
+}
+
+/// The released per-service parameter tuples (§5.4) plus the per-decile
+/// arrival models.
+#[must_use]
+pub fn render_params(plan: &ServingPlan, id: Option<&str>) -> String {
+    let registry = plan.registry();
+    let services: Vec<String> = registry
+        .services
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let peaks: Vec<String> = s
+                .peaks
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"k\":{},\"mu\":{},\"sigma\":{}}}",
+                        num(p.k),
+                        num(p.mu),
+                        num(p.sigma)
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"index\":{i},\"name\":{},\"mu\":{},\"sigma\":{},\"peaks\":[{}],\
+                 \"alpha\":{},\"beta\":{},\"session_share\":{}}}",
+                quote(&s.name),
+                num(s.mu),
+                num(s.sigma),
+                peaks.join(","),
+                num(s.alpha),
+                num(s.beta),
+                num(s.session_share)
+            )
+        })
+        .collect();
+    let arrivals: Vec<String> = registry
+        .arrivals
+        .per_decile
+        .iter()
+        .enumerate()
+        .map(|(d, a)| {
+            format!(
+                "{{\"decile\":{d},\"peak_mu\":{},\"peak_sigma\":{},\
+                 \"pareto_shape\":{},\"pareto_scale\":{}}}",
+                num(a.peak_mu),
+                num(a.peak_sigma),
+                num(a.pareto_shape),
+                num(a.pareto_scale)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"ok\":true,{}\"op\":\"params\",\"services\":[{}],\"arrivals\":[{}]}}",
+        id_field(id),
+        services.join(","),
+        arrivals.join(",")
+    )
+}
+
+/// Renders a `sample` response, generating the window with the given
+/// seed. `max_sessions` bounds the response (0 = unlimited); exceeding
+/// it is a `too_large` error, not a truncated stream.
+pub fn render_sample(
+    plan: &ServingPlan,
+    id: Option<&str>,
+    req: &SampleRequest,
+    seed: u64,
+    max_sessions: u64,
+) -> Result<(String, u64), (ErrorCode, String)> {
+    let service_filter = match &req.service {
+        None => None,
+        Some(name) => Some(
+            plan.registry()
+                .services
+                .iter()
+                .position(|s| s.name == *name)
+                .map(|i| i as u16)
+                .ok_or_else(|| {
+                    (
+                        ErrorCode::BadRequest,
+                        format!("unknown service `{name}` (see the stats op for names)"),
+                    )
+                })?,
+        ),
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut body = String::new();
+    let mut generated: u64 = 0;
+    let mut kept: u64 = 0;
+    for minute in req.minute..req.minute + req.minutes {
+        for s in plan.generate_minute(req.decile, minute, &mut rng) {
+            generated += 1;
+            if max_sessions > 0 && generated > max_sessions {
+                return Err((
+                    ErrorCode::TooLarge,
+                    format!(
+                        "window generates more than {max_sessions} sessions; \
+                         request a shorter window or raise --max-sessions"
+                    ),
+                ));
+            }
+            if service_filter.is_some_and(|f| f != s.service) {
+                continue;
+            }
+            if kept > 0 {
+                body.push(',');
+            }
+            kept += 1;
+            body.push_str(&format!(
+                "{{\"start_s\":{},\"service\":{},\"volume_mb\":{},\
+                 \"duration_s\":{},\"throughput_mbps\":{}}}",
+                num(s.start_s),
+                s.service,
+                num(s.volume_mb),
+                num(s.duration_s),
+                num(s.throughput_mbps)
+            ));
+        }
+    }
+    let frame = format!(
+        "{{\"ok\":true,{}\"op\":\"sample\",\"seed\":{seed},\"decile\":{},\
+         \"minute\":{},\"minutes\":{},\"count\":{kept},\"sessions\":[{body}]}}",
+        id_field(id),
+        req.decile,
+        req.minute,
+        req.minutes
+    );
+    Ok((frame, generated))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op_and_echoes_ids() {
+        assert_eq!(
+            parse_request(r#"{"op":"ping"}"#).unwrap().request,
+            Request::Ping
+        );
+        let f = parse_request(r#"{"id":7,"op":"stats"}"#).unwrap();
+        assert_eq!(f.id.as_deref(), Some("7"));
+        let f = parse_request(r#"{"id":"abc","op":"shutdown"}"#).unwrap();
+        assert_eq!(f.id.as_deref(), Some("\"abc\""));
+        let f = parse_request(
+            r#"{"op":"sample","decile":3,"minute":600,"minutes":2,"seed":42,"service":"Web"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            f.request,
+            Request::Sample(SampleRequest {
+                decile: 3,
+                minute: 600,
+                minutes: 2,
+                seed: Some(42),
+                service: Some("Web".into()),
+            })
+        );
+    }
+
+    #[test]
+    fn sample_defaults_and_bounds() {
+        let f = parse_request(r#"{"op":"sample","decile":0}"#).unwrap();
+        assert_eq!(
+            f.request,
+            Request::Sample(SampleRequest {
+                decile: 0,
+                minute: 0,
+                minutes: 1,
+                seed: None,
+                service: None,
+            })
+        );
+        for bad in [
+            r#"{"op":"sample"}"#,
+            r#"{"op":"sample","decile":10}"#,
+            r#"{"op":"sample","decile":1,"minute":1440}"#,
+            r#"{"op":"sample","decile":1,"minutes":0}"#,
+            r#"{"op":"sample","decile":1,"minute":1439,"minutes":2}"#,
+            r#"{"op":"sample","decile":1,"seed":-1}"#,
+            r#"{"op":"sample","decile":1,"seed":1.5}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"[1,2]"#,
+            r#"{"op":"ping","id":[1]}"#,
+            "not json",
+        ] {
+            let err = parse_request(bad);
+            assert!(
+                matches!(err, Err((ErrorCode::BadRequest, _))),
+                "{bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_frames_are_structured() {
+        let frame = error_frame(Some("9"), ErrorCode::Overloaded, "queue full");
+        assert_eq!(
+            frame,
+            r#"{"ok":false,"id":9,"error":{"code":"overloaded","message":"queue full"}}"#
+        );
+        // Frames are themselves valid JSON.
+        assert!(crate::json::Json::parse(&frame).is_ok());
+    }
+}

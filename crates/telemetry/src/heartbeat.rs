@@ -76,16 +76,46 @@ pub fn stage() -> String {
 /// rate is established: before any progress, when total is unknown, or
 /// when the rate is zero/negative (the zero-rate guard — an ETA of
 /// infinity is reported as "no ETA", never as a huge number).
+///
+/// Stages have independent rates (a simulate stage chewing BS-minutes
+/// says nothing about how fast fitting converges), so the anchor is
+/// per-stage: [`EtaEstimator::update_for_stage`] drops the anchor
+/// whenever the stage label changes and re-anchors at the new stage's
+/// first observation. The plain [`EtaEstimator::update`] is the
+/// stage-agnostic core.
 #[derive(Debug, Default)]
 pub struct EtaEstimator {
-    /// `(time, done)` at the first observation.
+    /// `(time, done)` at the first observation of the current stage.
     origin: Option<(f64, f64)>,
+    /// Stage the anchor belongs to; a change clears the anchor.
+    stage: Option<String>,
 }
 
 impl EtaEstimator {
     #[must_use]
     pub const fn new() -> EtaEstimator {
-        EtaEstimator { origin: None }
+        EtaEstimator {
+            origin: None,
+            stage: None,
+        }
+    }
+
+    /// [`update`](EtaEstimator::update), but re-anchored whenever
+    /// `stage` differs from the previous call's stage — the fix for a
+    /// slow stage inheriting the previous stage's rate and reporting a
+    /// wildly wrong ETA.
+    pub fn update_for_stage(
+        &mut self,
+        stage: &str,
+        now_s: f64,
+        done: f64,
+        total: f64,
+    ) -> Option<f64> {
+        if self.stage.as_deref() != Some(stage) {
+            self.stage = Some(stage.to_string());
+            self.origin = None;
+        }
+        self.update(now_s, done, total)
     }
 
     pub fn update(&mut self, now_s: f64, done: f64, total: f64) -> Option<f64> {
@@ -158,9 +188,11 @@ impl HeartbeatState {
             }
             _ => None,
         };
+        let stage = stage();
+        let eta_s = self.eta.update_for_stage(&stage, now_s, done, total);
         Tick {
             elapsed_s: now_s,
-            stage: stage(),
+            stage,
             done,
             total,
             sessions_per_s,
@@ -168,7 +200,7 @@ impl HeartbeatState {
             shards,
             live_bytes: crate::alloc::stats().live_bytes,
             peak_rss_bytes: crate::alloc::peak_rss_bytes(),
-            eta_s: self.eta.update(now_s, done, total),
+            eta_s,
         }
     }
 }
@@ -297,6 +329,11 @@ impl Drop for Heartbeat {
 mod tests {
     use super::*;
 
+    /// Serializes tests that depend on the process-global stage label —
+    /// ETA anchoring is stage-sensitive, so a concurrent `set_stage`
+    /// from another test would re-anchor mid-assertion.
+    static STAGE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
     /// Deterministic test clock: shared mutable seconds.
     struct FakeClock(std::cell::Cell<f64>);
 
@@ -355,7 +392,75 @@ mod tests {
     }
 
     #[test]
+    fn eta_re_anchors_on_stage_change() {
+        let clock = FakeClock::new();
+        let mut eta = EtaEstimator::new();
+        // simulate stage: 10 units/s toward 1000.
+        assert_eq!(
+            eta.update_for_stage("simulate", clock.advance(0.0), 0.0, 1000.0),
+            None
+        );
+        let est = eta
+            .update_for_stage("simulate", clock.advance(10.0), 100.0, 1000.0)
+            .unwrap();
+        assert!((est - 90.0).abs() < 1e-9, "simulate est {est}");
+        // fit stage begins: fresh anchor, so no rate yet.
+        assert_eq!(
+            eta.update_for_stage("fit", clock.advance(0.0), 0.0, 100.0),
+            None
+        );
+        // 10 fit units in 10 s: the ETA must come from the fit rate
+        // alone (90 s), not the stale simulate anchor (which would
+        // stretch elapsed to 20 s and claim 180 s).
+        let est = eta
+            .update_for_stage("fit", clock.advance(10.0), 10.0, 100.0)
+            .unwrap();
+        assert!((est - 90.0).abs() < 1e-9, "fit est {est}");
+        // Staying in the same stage keeps the anchor.
+        let est = eta
+            .update_for_stage("fit", clock.advance(10.0), 20.0, 100.0)
+            .unwrap();
+        assert!((est - 80.0).abs() < 1e-9, "fit est {est}");
+    }
+
+    #[test]
+    fn tick_eta_re_anchors_when_the_global_stage_changes() {
+        let _guard = STAGE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let key = |name: &'static str| crate::registry::Key { name, label: None };
+        let clock = FakeClock::new();
+        let mut state = HeartbeatState::new();
+        let mut snap = Snapshot::default();
+        snap.gauges.insert(key("progress.total_units"), 1000.0);
+        snap.counters.insert(key("progress.done_units"), 0);
+
+        set_stage("hb.test.sim");
+        assert_eq!(state.tick(clock.advance(1.0), &snap).eta_s, None);
+        snap.counters.insert(key("progress.done_units"), 100);
+        let tick = state.tick(clock.advance(10.0), &snap);
+        // 100 units in 10 s -> 900 remaining at 10/s = 90 s.
+        assert!((tick.eta_s.unwrap() - 90.0).abs() < 1e-9);
+
+        // Stage flips: the next observation anchors the new stage.
+        set_stage("hb.test.fit");
+        assert_eq!(
+            state.tick(clock.advance(0.5), &snap).eta_s,
+            None,
+            "fresh anchor after stage change"
+        );
+        snap.counters.insert(key("progress.done_units"), 110);
+        let tick = state.tick(clock.advance(10.0), &snap);
+        // 10 units in the 10 s since the fit anchor -> 890 s, not the
+        // ~166 s the stale simulate rate would have produced.
+        assert!(
+            (tick.eta_s.unwrap() - 890.0).abs() < 1e-9,
+            "eta {:?}",
+            tick.eta_s
+        );
+    }
+
+    #[test]
     fn heartbeat_state_computes_rates_from_counter_deltas() {
+        let _guard = STAGE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let key = |name: &'static str| crate::registry::Key { name, label: None };
         let mut snap = Snapshot::default();
         snap.counters.extend([
@@ -449,7 +554,8 @@ mod tests {
 
     #[test]
     fn stage_defaults_to_run_and_tracks_updates() {
-        // Note: stage is process-global; use a unique label and restore.
+        let _guard = STAGE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Note: stage is process-global; use a unique label.
         set_stage("heartbeat.test.stage");
         assert_eq!(stage(), "heartbeat.test.stage");
     }
