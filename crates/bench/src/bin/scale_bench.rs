@@ -60,6 +60,7 @@ fn run_campaign(label: &'static str, n_bs: usize, days: u32, shards: u32) -> Cam
         out: dir.join("store.mtdstore"),
         dir,
         kill_after: None,
+        refit_window: None,
     };
     eprintln!("campaign {label}: {n_bs} BS x {days} days in {shards} shards ...");
     let start = Instant::now();

@@ -22,8 +22,11 @@ use std::path::Path;
 
 /// Manifest file magic.
 pub const MAGIC: [u8; 8] = *b"MTDMANIF";
-/// Manifest format version.
-pub const VERSION: u32 = 1;
+/// Manifest format version. v2 added the stress-scenario echo
+/// (burst/drift/control-plane fields); v1 manifests predate stress
+/// scenarios and are rejected as unsupported rather than silently
+/// assumed quiescent.
+pub const VERSION: u32 = 2;
 
 /// Durable campaign progress. See the module docs for the contract.
 #[derive(Debug, Clone, PartialEq)]
@@ -189,6 +192,11 @@ fn put_scenario(w: &mut ByteWriter, s: &ScenarioConfig) {
     for bits in scenario_f64_bits(s) {
         w.put_u64(bits);
     }
+    w.put_u32(s.stress.drift_window_days);
+    w.put_u8(u8::from(s.stress.control_plane));
+    for bits in stress_f64_bits(s) {
+        w.put_u64(bits);
+    }
 }
 
 fn scenario_f64_bits(s: &ScenarioConfig) -> [u64; 6] {
@@ -202,9 +210,28 @@ fn scenario_f64_bits(s: &ScenarioConfig) -> [u64; 6] {
     ]
 }
 
+fn stress_f64_bits(s: &ScenarioConfig) -> [u64; 5] {
+    [
+        s.stress.burst_prob.to_bits(),
+        s.stress.burst_tail_index.to_bits(),
+        s.stress.burst_coupling.to_bits(),
+        s.stress.drift_mu_per_window.to_bits(),
+        s.stress.drift_sigma_per_window.to_bits(),
+    ]
+}
+
 /// Everything that defines the campaign's output, as comparable bits.
-fn scenario_bits(s: &ScenarioConfig) -> (u64, u32, u64, [u64; 6]) {
-    (s.n_bs as u64, s.days, s.seed, scenario_f64_bits(s))
+#[allow(clippy::type_complexity)]
+fn scenario_bits(s: &ScenarioConfig) -> (u64, u32, u64, [u64; 6], u32, bool, [u64; 5]) {
+    (
+        s.n_bs as u64,
+        s.days,
+        s.seed,
+        scenario_f64_bits(s),
+        s.stress.drift_window_days,
+        s.stress.control_plane,
+        stress_f64_bits(s),
+    )
 }
 
 fn get_scenario(r: &mut ByteReader) -> FormatResult<ScenarioConfig> {
@@ -217,6 +244,13 @@ fn get_scenario(r: &mut ByteReader) -> FormatResult<ScenarioConfig> {
     let mean_trip_s = f64::from_bits(r.get_u64()?);
     let classifier_error_rate = f64::from_bits(r.get_u64()?);
     let timeout_split_prob = f64::from_bits(r.get_u64()?);
+    let drift_window_days = r.get_u32()?;
+    let control_plane = r.get_u8()? != 0;
+    let burst_prob = f64::from_bits(r.get_u64()?);
+    let burst_tail_index = f64::from_bits(r.get_u64()?);
+    let burst_coupling = f64::from_bits(r.get_u64()?);
+    let drift_mu_per_window = f64::from_bits(r.get_u64()?);
+    let drift_sigma_per_window = f64::from_bits(r.get_u64()?);
     Ok(ScenarioConfig {
         n_bs,
         days,
@@ -227,6 +261,15 @@ fn get_scenario(r: &mut ByteReader) -> FormatResult<ScenarioConfig> {
         mean_trip_s,
         classifier_error_rate,
         timeout_split_prob,
+        stress: mtd_netsim::StressConfig {
+            burst_prob,
+            burst_tail_index,
+            burst_coupling,
+            drift_mu_per_window,
+            drift_sigma_per_window,
+            drift_window_days,
+            control_plane,
+        },
     })
 }
 
@@ -364,6 +407,15 @@ mod tests {
         let mut drifted = m.scenario.clone();
         drifted.seed ^= 1;
         assert!(m.config_mismatch(&drifted, 3).is_some());
+        // Stress fields are part of the campaign identity too: resuming
+        // a quiescent campaign as a stressed one must be a structured
+        // mismatch, not a silently different dataset.
+        let mut stressed = m.scenario.clone();
+        stressed.stress.burst_prob = 0.5;
+        assert!(m.config_mismatch(&stressed, 3).is_some());
+        let mut cp = m.scenario.clone();
+        cp.stress.control_plane = true;
+        assert!(m.config_mismatch(&cp, 3).is_some());
     }
 
     #[test]

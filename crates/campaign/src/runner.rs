@@ -20,15 +20,16 @@
 use crate::manifest::Manifest;
 use crate::spill::{self, SpillCursor};
 use crate::{fnv64, CampaignError, Fnv64};
-use mtd_dataset::accum::{ExactCell, MinuteRowQ, ShardAccumulator, VolumeTotalsQ};
+use mtd_dataset::accum::{ExactCell, MinuteRowQ, ShardAccumulator, SignalRowQ, VolumeTotalsQ};
 use mtd_dataset::chunk::SectionKind;
 use mtd_dataset::dataset::{group_table, CellKey};
 use mtd_dataset::decile::assign_deciles;
 use mtd_dataset::record::CellStats;
 use mtd_dataset::record::{duration_grid, volume_grid};
 use mtd_dataset::store::{
-    encode_cells_chunk, encode_deciles_fields, encode_meta_fields, encode_minutes_rows,
-    StoreWriter, CELLS_PER_CHUNK, MINUTE_ROWS_PER_CHUNK,
+    dataset_format_version, encode_cells_chunk, encode_deciles_fields, encode_meta_fields,
+    encode_minutes_rows, encode_signaling_rows, StoreWriter, CELLS_PER_CHUNK,
+    MINUTE_ROWS_PER_CHUNK,
 };
 use mtd_netsim::engine::Engine;
 use mtd_netsim::geo::Topology;
@@ -58,6 +59,11 @@ pub struct CampaignConfig {
     /// right after this checkpoint becomes durable. The CI smoke job and
     /// the CLI use this; the test battery uses the fault site.
     pub kill_after: Option<u64>,
+    /// Windowed re-fitting period in days (`--refit-window`). Consumed
+    /// by the CLI layer after the store is assembled — it never changes
+    /// the campaign's bytes, so it is deliberately NOT part of the
+    /// manifest's config-identity echo.
+    pub refit_window: Option<u32>,
 }
 
 impl CampaignConfig {
@@ -290,6 +296,9 @@ fn advance(
         let _span = mtd_telemetry::span!("campaign.pass2_shard");
         let (first, len) = shard_range(n_bs, k, s);
         let mut sink = ShardAccumulator::new(vg, dg, group_of_bs.clone(), scenario.days);
+        if scenario.stress.control_plane {
+            sink.enable_signaling();
+        }
         engine.run_shard(&mut sink, first, len, config.threads);
         let bytes = spill::encode(&sink, vg.bins(), dg.bins());
         mtd_dataset::write_atomic(&config.spill_path(s), &bytes)?;
@@ -385,7 +394,12 @@ fn assemble(
         .map(|(key, cell)| (key, cell.to_cell_stats(&vg)))
         .collect();
 
-    let mut writer = StoreWriter::create(&config.out)?;
+    // Control-plane campaigns assemble a v2 store (extra Signaling
+    // section); everything else keeps writing v1 bytes — same contract
+    // as the monolithic `encode_binary`.
+    let has_signaling = scenario.stress.control_plane;
+    let mut writer =
+        StoreWriter::create_versioned(&config.out, dataset_format_version(has_signaling))?;
     writer.append(
         SectionKind::Meta,
         &encode_meta_fields(&vg, &dg, scenario.days, &service_names, groups, group_of_bs),
@@ -452,6 +466,70 @@ fn assemble(
                 shard: 0,
                 reason: "spill rows beyond the scenario's BS range".to_string(),
             });
+        }
+    }
+
+    // Signaling blocks: the same merge-join over the v2 spill tail.
+    // Runs only for control-plane campaigns; quiescent spills are v1
+    // and report zero signaling rows.
+    if has_signaling {
+        let mut first = 0usize;
+        while first < n_bs {
+            let rows_in_block = MINUTE_ROWS_PER_CHUNK.min(n_bs - first);
+            let mut block: Vec<Option<SignalRowQ>> = vec![None; rows_in_block];
+            for cursor in &mut cursors {
+                while let Some(bs) = cursor.peek_signaling_bs()? {
+                    let bs = bs as usize;
+                    if bs >= first + rows_in_block {
+                        break;
+                    }
+                    if bs < first {
+                        return Err(CampaignError::SpillCorrupt {
+                            shard: 0,
+                            reason: format!("signaling row for BS {bs} seen after block {first}"),
+                        });
+                    }
+                    let (_, row) = cursor.next_signaling_row()?.expect("peeked row present");
+                    match &mut block[bs - first] {
+                        Some(acc) => acc.merge(&row),
+                        slot => *slot = Some(row),
+                    }
+                }
+            }
+            let zero = vec![0u32; row_len];
+            let dense: Vec<SignalRowQ> = block
+                .into_iter()
+                .map(|slot| {
+                    slot.unwrap_or_else(|| SignalRowQ {
+                        attach: zero.clone(),
+                        handover: zero.clone(),
+                        paging: zero.clone(),
+                    })
+                })
+                .collect();
+            let refs: Vec<(&[u32], &[u32], &[u32])> = dense
+                .iter()
+                .map(|r| {
+                    (
+                        r.attach.as_slice(),
+                        r.handover.as_slice(),
+                        r.paging.as_slice(),
+                    )
+                })
+                .collect();
+            writer.append(
+                SectionKind::Signaling,
+                &encode_signaling_rows(first as u32, row_len, &refs),
+            )?;
+            first += rows_in_block;
+        }
+        for cursor in &mut cursors {
+            if cursor.peek_signaling_bs()?.is_some() {
+                return Err(CampaignError::SpillCorrupt {
+                    shard: 0,
+                    reason: "signaling rows beyond the scenario's BS range".to_string(),
+                });
+            }
         }
     }
 

@@ -9,12 +9,19 @@
 //! Layout (all little-endian, built on `mtd_dataset::format`):
 //!
 //! ```text
-//! magic "MTDSPILL" | version u32
+//! magic "MTDSPILL" | version u32 (1 without signaling, 2 with)
 //! header block:  u32 len | vbins, dbins, row_len, n_cells, n_rows (u32 each)
+//!                          + n_sig_rows u32            (v2 only)
 //! cells block:   u32 len | n_cells × cell record (sparse vectors)
 //! n_rows ×       u32 len | bs u32, sparse counts, sparse vol_q   (bs ascending)
+//! n_sig_rows ×   u32 len | bs u32, sparse attach, sparse handover,
+//!                          sparse paging                (v2 only, bs ascending)
 //! crc32 of all preceding bytes
 //! ```
+//!
+//! Shards without a signaling plane keep writing byte-identical v1
+//! images; the version only advances for data that v1 readers could not
+//! represent.
 //!
 //! Rows are individually length-prefixed and sorted by BS id so the
 //! assembler can stream a spill through [`SpillCursor`] — one row
@@ -24,7 +31,7 @@
 
 use crate::manifest::{get_i128, put_i128};
 use crate::{CampaignError, Fnv64};
-use mtd_dataset::accum::{ExactCell, MinuteRowQ, ShardAccumulator};
+use mtd_dataset::accum::{ExactCell, MinuteRowQ, ShardAccumulator, SignalRowQ};
 use mtd_dataset::dataset::CellKey;
 use mtd_dataset::format::{crc32, ByteReader, ByteWriter, Crc32, FormatError, FormatResult};
 use std::collections::BTreeMap;
@@ -33,16 +40,24 @@ use std::path::Path;
 
 /// Spill file magic.
 pub const MAGIC: [u8; 8] = *b"MTDSPILL";
-/// Spill format version.
+/// Spill format version for shards without a signaling plane.
 pub const VERSION: u32 = 1;
+/// Spill format version for shards carrying signaling rows.
+pub const SIGNALING_VERSION: u32 = 2;
 
 /// Encodes a shard accumulator into a complete spill file image
-/// (including the trailing CRC).
+/// (including the trailing CRC). Accumulators with signaling enabled
+/// encode as v2; everything else stays byte-identical v1.
 #[must_use]
 pub fn encode(acc: &ShardAccumulator, vbins: usize, dbins: usize) -> Vec<u8> {
+    let version = if acc.signaling.is_some() {
+        SIGNALING_VERSION
+    } else {
+        VERSION
+    };
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
 
     let mut header = ByteWriter::new();
     header.put_u32(vbins as u32);
@@ -50,6 +65,9 @@ pub fn encode(acc: &ShardAccumulator, vbins: usize, dbins: usize) -> Vec<u8> {
     header.put_u32(acc.row_len() as u32);
     header.put_u32(acc.cells.len() as u32);
     header.put_u32(acc.minutes.len() as u32);
+    if let Some(sig) = &acc.signaling {
+        header.put_u32(sig.len() as u32);
+    }
     put_block(&mut out, header.into_bytes());
 
     let mut cells = ByteWriter::new();
@@ -64,6 +82,17 @@ pub fn encode(acc: &ShardAccumulator, vbins: usize, dbins: usize) -> Vec<u8> {
         put_sparse_u32(&mut w, &row.counts);
         put_sparse_i64(&mut w, &row.vol_q);
         put_block(&mut out, w.into_bytes());
+    }
+
+    if let Some(sig) = &acc.signaling {
+        for (bs, row) in sig {
+            let mut w = ByteWriter::new();
+            w.put_u32(*bs);
+            put_sparse_u32(&mut w, &row.attach);
+            put_sparse_u32(&mut w, &row.handover);
+            put_sparse_u32(&mut w, &row.paging);
+            put_block(&mut out, w.into_bytes());
+        }
     }
 
     let crc = crc32(&out);
@@ -258,6 +287,8 @@ pub struct SpillHeader {
     pub n_cells: usize,
     /// Minute-row count.
     pub n_rows: usize,
+    /// Signaling-row count (always 0 in v1 spills).
+    pub n_sig_rows: usize,
 }
 
 /// A sequential reader over one spill file: decodes the cells block
@@ -273,6 +304,11 @@ pub struct SpillCursor {
     last_bs: Option<u32>,
     /// Next row, pre-read so callers can order cursors by `peek_bs`.
     buffered: Option<(u32, MinuteRowQ)>,
+    sig_rows_read: usize,
+    last_sig_bs: Option<u32>,
+    /// Next signaling row; only filled once the minute rows are drained
+    /// (signaling blocks sit after the minute rows in the file).
+    buffered_sig: Option<(u32, SignalRowQ)>,
 }
 
 impl SpillCursor {
@@ -297,20 +333,29 @@ impl SpillCursor {
             return Err(corrupt("bad magic".to_string()));
         }
         let version = u32::from_le_bytes(magic[8..12].try_into().expect("4 bytes"));
-        if version != VERSION {
+        if version != VERSION && version != SIGNALING_VERSION {
             return Err(corrupt(format!("unsupported version {version}")));
         }
 
         let header_block = read_block(&mut reader, shard)?;
         let mut r = ByteReader::new(&header_block);
         let header = (|| -> FormatResult<SpillHeader> {
-            Ok(SpillHeader {
+            let header = SpillHeader {
                 vbins: r.get_u32()? as usize,
                 dbins: r.get_u32()? as usize,
                 row_len: r.get_u32()? as usize,
                 n_cells: r.get_u32()? as usize,
                 n_rows: r.get_u32()? as usize,
-            })
+                n_sig_rows: if version == SIGNALING_VERSION {
+                    r.get_u32()? as usize
+                } else {
+                    0
+                },
+            };
+            if !r.is_exhausted() {
+                return Err(FormatError("trailing bytes in spill header"));
+            }
+            Ok(header)
         })()
         .map_err(|e| corrupt(e.to_string()))?;
 
@@ -333,6 +378,9 @@ impl SpillCursor {
             rows_read: 0,
             last_bs: None,
             buffered: None,
+            sig_rows_read: 0,
+            last_sig_bs: None,
+            buffered_sig: None,
         };
         cursor.fill()?;
         Ok((cursor, cells))
@@ -385,6 +433,57 @@ impl SpillCursor {
         self.last_bs = Some(row.0);
         self.rows_read += 1;
         self.buffered = Some(row);
+        Ok(())
+    }
+
+    /// BS id of the next signaling row, if any. Only valid once the
+    /// minute rows are drained.
+    pub fn peek_signaling_bs(&mut self) -> Result<Option<u32>, CampaignError> {
+        self.fill_sig()?;
+        Ok(self.buffered_sig.as_ref().map(|(bs, _)| *bs))
+    }
+
+    /// Takes the next signaling row (ascending BS order).
+    pub fn next_signaling_row(&mut self) -> Result<Option<(u32, SignalRowQ)>, CampaignError> {
+        self.fill_sig()?;
+        Ok(self.buffered_sig.take())
+    }
+
+    fn fill_sig(&mut self) -> Result<(), CampaignError> {
+        if self.buffered_sig.is_some() || self.sig_rows_read >= self.header.n_sig_rows {
+            return Ok(());
+        }
+        debug_assert!(
+            self.buffered.is_none() && self.rows_read >= self.header.n_rows,
+            "signaling rows requested before the minute rows were drained"
+        );
+        let corrupt = |shard: u32, reason: String| CampaignError::SpillCorrupt { shard, reason };
+        let block = read_block(&mut self.reader, self.shard)?;
+        let mut r = ByteReader::new(&block);
+        let row = (|| -> FormatResult<(u32, SignalRowQ)> {
+            let bs = r.get_u32()?;
+            let mut row = SignalRowQ {
+                attach: vec![0; self.header.row_len],
+                handover: vec![0; self.header.row_len],
+                paging: vec![0; self.header.row_len],
+            };
+            get_sparse_u32(&mut r, &mut row.attach)?;
+            get_sparse_u32(&mut r, &mut row.handover)?;
+            get_sparse_u32(&mut r, &mut row.paging)?;
+            Ok((bs, row))
+        })()
+        .map_err(|e| corrupt(self.shard, e.to_string()))?;
+        if let Some(prev) = self.last_sig_bs {
+            if row.0 <= prev {
+                return Err(corrupt(
+                    self.shard,
+                    "signaling rows out of order".to_string(),
+                ));
+            }
+        }
+        self.last_sig_bs = Some(row.0);
+        self.sig_rows_read += 1;
+        self.buffered_sig = Some(row);
         Ok(())
     }
 }
@@ -467,6 +566,11 @@ mod tests {
     fn roundtrip_is_lossless() {
         let acc = sample_acc();
         let (path, bytes) = write_spill(&acc);
+        // Signaling-free shards must keep emitting v1 images.
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            VERSION
+        );
 
         let digest = verify(&path, 0).unwrap();
         assert_eq!(digest, crate::fnv64(&bytes));
@@ -478,6 +582,57 @@ mod tests {
             minutes.insert(bs, row);
         }
         assert_eq!(minutes, acc.minutes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn signaling_spills_as_v2_and_roundtrips() {
+        use mtd_netsim::ids::UeId;
+        use mtd_netsim::probes::{SignalingEvent, SignalingKind};
+
+        let mut acc = sample_acc();
+        acc.enable_signaling();
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..300 {
+            let bs = BsId((next() % 5) as u32);
+            let kind = match next() % 3 {
+                0 => SignalingKind::Attach(bs),
+                1 => SignalingKind::Handover(bs),
+                _ => SignalingKind::Paging(bs),
+            };
+            let ev = SignalingEvent {
+                ue: UeId(1),
+                time: SimTime::new((next() % 2) as u32, (next() % 86_400) as f64),
+                kind,
+            };
+            acc.record_signaling(&ev);
+        }
+
+        let (path, bytes) = write_spill(&acc);
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            SIGNALING_VERSION
+        );
+        verify(&path, 0).unwrap();
+
+        let (mut cursor, cells) = SpillCursor::open(&path, 0).unwrap();
+        assert_eq!(cells, acc.cells);
+        let mut minutes = BTreeMap::new();
+        while let Some((bs, row)) = cursor.next_row().unwrap() {
+            minutes.insert(bs, row);
+        }
+        assert_eq!(minutes, acc.minutes);
+        let mut sig = BTreeMap::new();
+        while let Some((bs, row)) = cursor.next_signaling_row().unwrap() {
+            sig.insert(bs, row);
+        }
+        assert_eq!(Some(sig), acc.signaling);
         std::fs::remove_file(&path).ok();
     }
 

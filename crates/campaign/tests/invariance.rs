@@ -53,6 +53,7 @@ fn campaign_config(name: &str, shards: u32, threads: usize) -> CampaignConfig {
         out: dir.join("store.mtdstore"),
         dir,
         kill_after: None,
+        refit_window: None,
     }
 }
 

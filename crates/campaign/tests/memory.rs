@@ -40,6 +40,7 @@ fn campaign_peak_heap_stays_under_the_pinned_gate() {
         out: dir.join("store.mtdstore"),
         dir,
         kill_after: None,
+        refit_window: None,
     };
     let report = run(&config).expect("campaign completes");
     assert!(report.store_bytes > 0);

@@ -51,6 +51,7 @@ fn campaign_config(name: &str) -> CampaignConfig {
         out: dir.join("store.mtdstore"),
         dir,
         kill_after: None,
+        refit_window: None,
     }
 }
 

@@ -79,6 +79,7 @@ USAGE:
 
   mtd-traffic campaign run    [--n-bs N] [--days N] [--seed N] [--scale X]
                               [--shards K] --dir DIR [--out FILE]
+                              [--scenario NAME] [--refit-window W]
                               [--kill-after C]
   mtd-traffic campaign resume --dir DIR [--out FILE] [plus the run flags]
   mtd-traffic campaign status --dir DIR
@@ -90,6 +91,12 @@ USAGE:
       run (simulate one with --kill-after C, checkpoints 0..2K-1) is
       picked up by `resume` with the same flags; completed shards are
       never recomputed. `status` prints manifest progress.
+      --scenario starts from a pinned stress preset (bursts, drift,
+      control-plane; see DESIGN.md \u{a7}16) instead of the quiescent
+      defaults — explicit --n-bs/--days/--seed/--scale still override.
+      --refit-window W re-fits one registry per W-day window of the
+      assembled store after the run (the operational answer to
+      longitudinal drift) and prints the per-window fit summary.
       Defaults: 30 BSs, 3 days, seed 51966, scale 0.1, 8 shards,
       DIR/store.mtdstore.
 
@@ -130,6 +137,16 @@ USAGE:
       matching per decile, share recovery, session-tuple consistency).
       Deterministic: the same seed yields a byte-identical report.
       --report writes the full per-check report as JSON.
+
+  mtd-traffic validate --scenario bursts|drift|control-plane
+                       [--report FILE]
+      Run the pinned stress-regime breakage battery (DESIGN.md \u{a7}16):
+      build the named scenario from its pinned preset, fit it, and check
+      every degradation statistic (GoF deltas, windowed-refit recovery,
+      signaling conservation) against a two-sided pinned band — the
+      battery fails when the degradation *changes*, in either direction.
+      Byte-deterministic: two runs produce identical reports. --report
+      writes the full per-check report as JSON.
 
   mtd-traffic selftest [--seed N] [--plans N] [--faults SPEC]
                        [--report FILE] [--workdir DIR]
@@ -803,17 +820,36 @@ fn campaign_config_from_flags(
 ) -> Result<mtd_campaign::CampaignConfig, String> {
     let dir = flags.opt("dir").ok_or("campaign needs --dir DIR")?;
     let dir = std::path::PathBuf::from(dir);
+    // --scenario swaps the quiescent defaults for a pinned stress
+    // preset; explicit sizing flags still win either way.
+    let base = match flags.opt("scenario") {
+        Some(name) => stress_preset(name)?,
+        None => ScenarioConfig {
+            n_bs: 30,
+            days: 3,
+            seed: 0xCAFE,
+            arrival_scale: 0.1,
+            ..ScenarioConfig::default()
+        },
+    };
     let scenario = ScenarioConfig {
-        n_bs: flags.num_or("n-bs", 30usize)?,
-        days: flags.num_or("days", 3u32)?,
-        seed: flags.num_or("seed", 0xCAFEu64)?,
-        arrival_scale: flags.num_or("scale", 0.1f64)?,
-        ..ScenarioConfig::default()
+        n_bs: flags.num_or("n-bs", base.n_bs)?,
+        days: flags.num_or("days", base.days)?,
+        seed: flags.num_or("seed", base.seed)?,
+        arrival_scale: flags.num_or("scale", base.arrival_scale)?,
+        ..base
     };
     scenario.validate()?;
     let kill_after = match flags.opt("kill-after") {
         None => None,
         Some(_) => Some(flags.num_or("kill-after", 0u64)?),
+    };
+    let refit_window = match flags.opt("refit-window") {
+        None => None,
+        Some(_) => match flags.num_or("refit-window", 0u32)? {
+            0 => return Err("--refit-window must be at least one day".into()),
+            w => Some(w),
+        },
     };
     Ok(mtd_campaign::CampaignConfig {
         scenario,
@@ -825,6 +861,17 @@ fn campaign_config_from_flags(
         },
         dir,
         kill_after,
+        refit_window,
+    })
+}
+
+/// Resolves a pinned stress-scenario preset by name.
+fn stress_preset(name: &str) -> Result<ScenarioConfig, String> {
+    mtd_netsim::scenarios::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown scenario: {name} (expected one of {})",
+            mtd_netsim::scenarios::SCENARIO_NAMES.join(", ")
+        )
     })
 }
 
@@ -839,6 +886,8 @@ fn campaign_run(argv: &[String], is_resume: bool) -> Result<(), String> {
             "shards",
             "dir",
             "out",
+            "scenario",
+            "refit-window",
             "kill-after",
         ],
     )?;
@@ -888,6 +937,24 @@ fn campaign_run(argv: &[String], is_resume: bool) -> Result<(), String> {
         report.shards,
         report.bs_minutes()
     );
+    if let Some(window) = config.refit_window {
+        progress!("cli", "re-fitting one registry per {window}-day window ...");
+        let fits = mtd_core::refit::fit_registry_windowed(&config.out, window, &Default::default())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "windowed re-fit, {} window(s) of {} day(s):",
+            fits.len(),
+            window
+        );
+        for fit in &fits {
+            let n = fit.registry.services.len();
+            let mean_mu = fit.registry.services.iter().map(|m| m.mu).sum::<f64>() / n as f64;
+            println!(
+                "  days [{:>3}, {:>3})  services {:>2}  mean mu {:+.4}",
+                fit.day0, fit.day1, n, mean_mu
+            );
+        }
+    }
     telemetry_finish(tdest)
 }
 
@@ -911,6 +978,7 @@ fn validate_cmd(argv: &[String]) -> Result<(), String> {
             "seed",
             "scale",
             "gof-samples",
+            "scenario",
             "report",
         ],
         &["sampling"],
@@ -918,6 +986,9 @@ fn validate_cmd(argv: &[String]) -> Result<(), String> {
     let tdest = telemetry_init(&flags, "validate")?;
     threads_init(&flags)?;
     let _root = mtd_telemetry::prof::scope("cli.validate");
+    if let Some(name) = flags.opt("scenario") {
+        return validate_scenario(name, &flags, tdest);
+    }
     let registry = load_registry(&flags)?;
     if flags.is_set("sampling") {
         return validate_sampling(&registry, &flags, tdest);
@@ -965,6 +1036,48 @@ median EMD {:.3}, median KS {:.3}, worst mean ratio {:.2}",
         Ok(())
     } else {
         Err("registry fails validation thresholds".into())
+    }
+}
+
+/// `validate --scenario`: the pinned stress-regime breakage battery
+/// (heavy-tail bursts, longitudinal drift, control-plane coupling).
+fn validate_scenario(name: &str, flags: &Flags, tdest: RunTelemetry) -> Result<(), String> {
+    use mtd_core::validation::stress;
+    stress_preset(name)?; // reject unknown names with the roster
+    progress!("cli", "running the '{name}' stress breakage battery ...");
+    let report = stress::run_scenario(name).map_err(|e| e.to_string())?;
+    println!(
+        "{:36} {:>12} {:>24}  verdict",
+        "check", "statistic", "pinned band"
+    );
+    for c in &report.checks {
+        println!(
+            "{:36} {:>12.6} {:>24}  {}",
+            c.name,
+            c.statistic,
+            format!("[{}, {}]", c.lo, c.hi),
+            if c.passed { "ok" } else { "OUTSIDE BAND" }
+        );
+    }
+    if let Some(path) = flags.opt("report") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write report to {path}: {e}"))?;
+        progress!("cli", "wrote stress report to {path}");
+    }
+    telemetry_finish(tdest)?;
+    if report.passed() {
+        println!(
+            "PASS: '{name}' degradation matches its pinned bands (seed {})",
+            report.seed
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "stress battery failed: {} of {} checks outside their pinned bands \
+             (degradation changed — re-pin deliberately if intended)",
+            report.failures().count(),
+            report.checks.len()
+        ))
     }
 }
 

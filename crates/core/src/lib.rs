@@ -32,6 +32,7 @@ pub mod generator;
 pub mod model;
 pub mod pipeline;
 pub mod plan;
+pub mod refit;
 pub mod registry;
 pub mod throughput;
 pub mod validation;

@@ -8,6 +8,7 @@
 //! checks before trusting a registry on new data.
 
 pub mod sampling;
+pub mod stress;
 
 use crate::registry::ModelRegistry;
 use mtd_dataset::{Dataset, SliceFilter};

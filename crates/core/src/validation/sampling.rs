@@ -132,7 +132,7 @@ impl SamplingReport {
     }
 }
 
-fn json_num(x: f64) -> String {
+pub(crate) fn json_num(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.6e}")
     } else {
@@ -140,7 +140,7 @@ fn json_num(x: f64) -> String {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {

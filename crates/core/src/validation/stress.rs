@@ -1,0 +1,504 @@
+//! Stress-regime model-breakage battery — the `validate --scenario`
+//! path.
+//!
+//! Each pinned scenario (see `mtd_netsim::scenarios`) drives traffic
+//! the fitted model family was never trained on, then measures exactly
+//! how far the fits degrade: EMD/KS degradation ratios under heavy-tail
+//! bursts, windowed-refit recovery curves under longitudinal drift, and
+//! conservation identities plus store round-trip integrity for the
+//! control-plane coupling. Everything is seeded and derived from the
+//! pinned presets, so a report is **byte-deterministic**: two runs of
+//! the same binary produce identical JSON.
+//!
+//! The pass criterion is deliberately two-sided. Stress is *supposed*
+//! to degrade the fits; what CI must catch is the degradation
+//! **changing** — a silently better number is as suspicious as a worse
+//! one (it usually means the stress stopped being applied). Every
+//! check therefore carries a pinned `[lo, hi]` band from
+//! [`THRESHOLDS`], and the band table itself is digest-pinned by a unit
+//! test so a band cannot be quietly widened to absorb a regression.
+
+use super::validate;
+use crate::pipeline::fit_registry;
+use crate::refit::fit_registry_windowed_bytes;
+use crate::registry::ModelRegistry;
+use crate::validation::sampling::{json_num, json_str};
+use crate::volume::VolumeFitConfig;
+use mtd_dataset::{read_window_from_reader, Dataset, SliceFilter};
+use mtd_math::{MathError, Result};
+use mtd_netsim::geo::Topology;
+use mtd_netsim::services::ServiceCatalog;
+use mtd_netsim::{scenarios, ScenarioConfig, StressConfig};
+use std::fmt::Write as _;
+
+/// The pinned two-sided bands, one per check the battery emits.
+///
+/// Values were measured on the pinned presets and widened by a safety
+/// margin that covers cross-platform float noise but not behavioral
+/// change. The table's digest is pinned by
+/// `threshold_table_digest_is_pinned`: re-widening a band (the classic
+/// way a regression gets absorbed) fails that test until the new value
+/// is consciously re-pinned in review.
+pub const THRESHOLDS: &[(&str, f64, f64)] = &[
+    // Heavy-tail bursts: the Fréchet tail leaves the *median*-based
+    // GoF statistics nearly untouched (the log-normal mixture absorbs
+    // the body) and instead breaks the linear mean — exactly the
+    // failure mode a median-only battery would miss, so the bias
+    // degradation carries the breakage signal here.
+    ("bursts/baseline_median_emd", 0.05, 0.11),
+    ("bursts/stressed_median_emd", 0.05, 0.11),
+    ("bursts/emd_degradation", 0.85, 1.25),
+    ("bursts/ks_degradation", 0.6, 1.2),
+    ("bursts/traffic_inflation", 1.08, 1.35),
+    ("bursts/worst_mean_ratio", 1.9, 3.2),
+    ("bursts/mean_bias_degradation", 1.3, 3.0),
+    // Longitudinal drift: whole-horizon fits lag, windowed fits track.
+    ("drift/whole_median_emd", 0.03, 0.09),
+    ("drift/final_window_median_emd", 0.06, 0.13),
+    ("drift/whole_horizon_mu_lag", 0.25, 0.5),
+    ("drift/mu_shift_per_window", 0.18, 0.32),
+    ("drift/recovery_monotonicity", -2.0, 1e-9),
+    // Control-plane coupling: conservation identities + store identity.
+    ("control-plane/attach_paging_delta", 0.0, 0.0),
+    ("control-plane/attach_per_session", 0.5, 1.05),
+    ("control-plane/handover_share", 0.02, 1.5),
+    ("control-plane/events_per_bs_minute", 0.05, 5.0),
+    ("control-plane/roundtrip_identity", 0.0, 0.0),
+];
+
+/// FNV-1a over the threshold table — names and exact band bit patterns.
+#[must_use]
+pub fn thresholds_digest() -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (name, lo, hi) in THRESHOLDS {
+        eat(name.as_bytes());
+        eat(&lo.to_bits().to_le_bytes());
+        eat(&hi.to_bits().to_le_bytes());
+    }
+    h
+}
+
+fn band(name: &str) -> (f64, f64) {
+    THRESHOLDS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, lo, hi)| (*lo, *hi))
+        .unwrap_or_else(|| panic!("stress check {name} has no pinned band"))
+}
+
+/// One check's outcome: a statistic against its pinned two-sided band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressCheck {
+    /// Stable identifier, e.g. `bursts/emd_degradation`.
+    pub name: String,
+    /// Measured statistic.
+    pub statistic: f64,
+    /// Lower pinned bound (inclusive).
+    pub lo: f64,
+    /// Upper pinned bound (inclusive).
+    pub hi: f64,
+    /// Whether the statistic landed inside the band.
+    pub passed: bool,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+fn check(name: &str, statistic: f64, detail: String) -> StressCheck {
+    let (lo, hi) = band(name);
+    StressCheck {
+        passed: statistic.is_finite() && statistic >= lo && statistic <= hi,
+        name: name.to_string(),
+        statistic,
+        lo,
+        hi,
+        detail,
+    }
+}
+
+/// Full per-scenario breakage report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressReport {
+    /// Scenario name (`bursts`, `drift`, `control-plane`).
+    pub scenario: String,
+    /// The preset's seed (echoed for provenance).
+    pub seed: u64,
+    /// The checks, in battery order.
+    pub checks: Vec<StressCheck>,
+}
+
+impl StressReport {
+    /// Whether every check landed in its band.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// The failing checks.
+    pub fn failures(&self) -> impl Iterator<Item = &StressCheck> {
+        self.checks.iter().filter(|c| !c.passed)
+    }
+
+    /// Serializes the report as JSON — hand-rolled, fixed field order,
+    /// fixed-precision floats, so equal reports are equal bytes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"scenario\": {},\n  \"seed\": {},\n  \"thresholds_digest\": \"{:016x}\",\n  \"passed\": {},\n  \"checks\": [",
+            json_str(&self.scenario),
+            self.seed,
+            thresholds_digest(),
+            self.passed()
+        );
+        for (i, c) in self.checks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"name\": {}, \"statistic\": {}, \"lo\": {}, \"hi\": {}, \"passed\": {}, \"detail\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(&c.name),
+                json_num(c.statistic),
+                json_num(c.lo),
+                json_num(c.hi),
+                c.passed,
+                json_str(&c.detail)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn build_dataset(config: &ScenarioConfig) -> Dataset {
+    let topology = Topology::generate(config.n_bs, config.seed);
+    Dataset::build(config, &topology, &ServiceCatalog::paper())
+}
+
+fn total_traffic(ds: &Dataset) -> f64 {
+    let all = SliceFilter::all();
+    (0..ds.n_services() as u16)
+        .map(|s| ds.traffic(s, &all))
+        .sum()
+}
+
+fn total_sessions(ds: &Dataset) -> f64 {
+    let all = SliceFilter::all();
+    (0..ds.n_services() as u16)
+        .map(|s| ds.sessions(s, &all))
+        .sum()
+}
+
+/// Plain mean of fitted μ across services — the drift tracker the
+/// windowed-refit regressions use.
+fn mean_mu(r: &ModelRegistry) -> f64 {
+    r.services.iter().map(|m| m.mu).sum::<f64>() / r.services.len() as f64
+}
+
+/// Runs the breakage battery for one pinned scenario.
+pub fn run_scenario(name: &str) -> Result<StressReport> {
+    let _span = mtd_telemetry::span!("validate.stress");
+    let config =
+        scenarios::by_name(name).ok_or(MathError::EmptyInput("unknown stress scenario"))?;
+    let checks = match name {
+        "bursts" => bursts_checks(&config)?,
+        "drift" => drift_checks(&config)?,
+        "control-plane" => control_plane_checks(&config)?,
+        _ => unreachable!("by_name resolved an unhandled scenario"),
+    };
+    let failures = checks.iter().filter(|c| !c.passed).count() as u64;
+    mtd_telemetry::count("validate.stress.checks", checks.len() as u64);
+    mtd_telemetry::count("validate.stress.failures", failures);
+    Ok(StressReport {
+        scenario: name.to_string(),
+        seed: config.seed,
+        checks,
+    })
+}
+
+/// Heavy-tail bursts: fit the stressed campaign and its quiescent twin,
+/// and pin how much worse the stressed fit describes its own data.
+fn bursts_checks(config: &ScenarioConfig) -> Result<Vec<StressCheck>> {
+    let baseline_config = ScenarioConfig {
+        stress: StressConfig::default(),
+        ..config.clone()
+    };
+    let baseline = build_dataset(&baseline_config);
+    let stressed = build_dataset(config);
+
+    let base_fit = fit_registry(&baseline)?;
+    let stress_fit = fit_registry(&stressed)?;
+    let base_val = validate(&base_fit, &baseline)?;
+    let stress_val = validate(&stress_fit, &stressed)?;
+
+    let (b_emd, s_emd) = (base_val.median_emd(), stress_val.median_emd());
+    let (b_ks, s_ks) = (base_val.median_ks(), stress_val.median_ks());
+    let inflation = total_traffic(&stressed) / total_traffic(&baseline).max(1e-300);
+
+    Ok(vec![
+        check(
+            "bursts/baseline_median_emd",
+            b_emd,
+            "quiescent-twin fit quality anchor".into(),
+        ),
+        check(
+            "bursts/stressed_median_emd",
+            s_emd,
+            "log-normal mixture vs Fréchet-contaminated volumes".into(),
+        ),
+        check(
+            "bursts/emd_degradation",
+            s_emd / b_emd.max(1e-300),
+            format!("median EMD {s_emd:.4} stressed vs {b_emd:.4} baseline"),
+        ),
+        check(
+            "bursts/ks_degradation",
+            s_ks / b_ks.max(1e-300),
+            format!("median KS {s_ks:.4} stressed vs {b_ks:.4} baseline"),
+        ),
+        check(
+            "bursts/traffic_inflation",
+            inflation,
+            "total traffic ratio stressed/baseline (α = 1.1 tail)".into(),
+        ),
+        check(
+            "bursts/worst_mean_ratio",
+            stress_val.worst_mean_ratio(),
+            "worst per-service linear-mean bias of the stressed fit".into(),
+        ),
+        check(
+            "bursts/mean_bias_degradation",
+            stress_val.worst_mean_ratio() / base_val.worst_mean_ratio().max(1e-300),
+            format!(
+                "worst mean bias {:.4} stressed vs {:.4} baseline — the \
+                 tail's breakage signal",
+                stress_val.worst_mean_ratio(),
+                base_val.worst_mean_ratio()
+            ),
+        ),
+    ])
+}
+
+/// Longitudinal drift: the whole-horizon fit must lag the drift while
+/// windowed re-fits track it, with recovery error monotone in window
+/// size — the recovery-curve contract.
+fn drift_checks(config: &ScenarioConfig) -> Result<Vec<StressCheck>> {
+    let ds = build_dataset(config);
+    let bytes = mtd_dataset::store::encode_binary(&ds, 1);
+    let days = config.days;
+    let window = config.stress.drift_window_days;
+    let vcfg = VolumeFitConfig::default();
+    let map_err = |e: crate::pipeline::StreamFitError| match e {
+        crate::pipeline::StreamFitError::Math(m) => m,
+        crate::pipeline::StreamFitError::Store(_) => {
+            MathError::EmptyInput("drift battery: in-memory store failed to stream")
+        }
+    };
+
+    let whole = fit_registry(&ds)?;
+    let whole_val = validate(&whole, &ds)?;
+
+    // Per-drift-window fits: both the recovery target (the final
+    // window) and the μ staircase the drift injects.
+    let window_fits = fit_registry_windowed_bytes(&bytes, window, &vcfg).map_err(map_err)?;
+    let last = window_fits.last().expect("at least one window");
+    let (final_ds, _) = read_window_from_reader(std::io::Cursor::new(&bytes), last.day0, last.day1)
+        .map_err(|_| MathError::EmptyInput("drift battery: final window failed to read"))?;
+    let final_val = validate(&last.registry, &final_ds)?;
+
+    let shifts: Vec<f64> = window_fits
+        .windows(2)
+        .map(|p| mean_mu(&p[1].registry) - mean_mu(&p[0].registry))
+        .collect();
+    let mean_shift = shifts.iter().sum::<f64>() / shifts.len().max(1) as f64;
+
+    // Recovery curve: error of the *last* fitted window against the
+    // final-window truth, for window sizes horizon, 2·w, w. Smaller
+    // windows must recover better (monotone non-increasing error).
+    let truth = mean_mu(&last.registry);
+    let mut errors = Vec::new();
+    for w in [days, 2 * window, window] {
+        let fits = fit_registry_windowed_bytes(&bytes, w, &vcfg).map_err(map_err)?;
+        let err = (mean_mu(&fits.last().expect("window fit").registry) - truth).abs();
+        errors.push((w, err));
+    }
+    let monotone_violation = errors
+        .windows(2)
+        .map(|p| p[1].1 - p[0].1)
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    let whole_emd = whole_val.median_emd();
+    let final_emd = final_val.median_emd();
+    Ok(vec![
+        check(
+            "drift/whole_median_emd",
+            whole_emd,
+            "whole-horizon fit vs the full drifted campaign".into(),
+        ),
+        check(
+            "drift/final_window_median_emd",
+            final_emd,
+            "final-window re-fit vs the final window".into(),
+        ),
+        check(
+            "drift/whole_horizon_mu_lag",
+            errors[0].1,
+            format!(
+                "whole-horizon mean-μ lag behind the final window's truth \
+                 ({} windows of +{} drift averaged into one fit)",
+                window_fits.len(),
+                config.stress.drift_mu_per_window
+            ),
+        ),
+        check(
+            "drift/mu_shift_per_window",
+            mean_shift,
+            format!(
+                "mean fitted-μ staircase step across {} windows (injected {})",
+                window_fits.len(),
+                config.stress.drift_mu_per_window
+            ),
+        ),
+        check(
+            "drift/recovery_monotonicity",
+            monotone_violation,
+            format!("recovery errors by window size: {errors:?}"),
+        ),
+    ])
+}
+
+/// Control-plane coupling: conservation identities of the signaling
+/// choreography, plausible per-BS-minute load, and the v2 store
+/// round-trip identity.
+fn control_plane_checks(config: &ScenarioConfig) -> Result<Vec<StressCheck>> {
+    let ds = build_dataset(config);
+    let plane = ds.signaling().ok_or(MathError::EmptyInput(
+        "control-plane dataset lost its plane",
+    ))?;
+    let (attach, handover, paging) = plane.totals();
+    let sessions = total_sessions(&ds);
+    let bs_minutes = (ds.n_bs() as u64 * u64::from(ds.n_days()) * 1440) as f64;
+
+    // Round-trip identity through the v2 binary store.
+    let bytes = mtd_dataset::store::encode_binary(&ds, 1);
+    let roundtrip = match mtd_dataset::store::decode_binary(&bytes, 1) {
+        Ok(back) => {
+            let re = mtd_dataset::store::encode_binary(&back, 1);
+            f64::from(u8::from(re != bytes))
+        }
+        Err(_) => 1.0,
+    };
+
+    Ok(vec![
+        check(
+            "control-plane/attach_paging_delta",
+            (attach as f64 - paging as f64).abs(),
+            format!("attach {attach} vs paging {paging} (choreography pairs them)"),
+        ),
+        check(
+            "control-plane/attach_per_session",
+            attach as f64 / sessions.max(1.0),
+            format!("{attach} attaches over {sessions} sessions"),
+        ),
+        check(
+            "control-plane/handover_share",
+            handover as f64 / (attach as f64).max(1.0),
+            format!(
+                "{handover} handovers per {attach} attaches (p_mobile {})",
+                config.p_mobile
+            ),
+        ),
+        check(
+            "control-plane/events_per_bs_minute",
+            (attach + handover + paging) as f64 / bs_minutes,
+            "total signaling events per BS-minute".into(),
+        ),
+        check(
+            "control-plane/roundtrip_identity",
+            roundtrip,
+            "v2 store encode→decode→re-encode byte identity (0 = identical)".into(),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The mutation-proof pin: any edit to a band (or a renamed /
+    /// added / removed check) changes this digest, so absorbing a
+    /// regression by re-widening a threshold is a visible act — this
+    /// constant must be re-pinned in the same change, in review.
+    #[test]
+    fn threshold_table_digest_is_pinned() {
+        assert_eq!(
+            thresholds_digest(),
+            0xd61f_92e1_dcf0_fcb1,
+            "THRESHOLDS changed; re-pin this digest deliberately \
+             (current: {:#018x})",
+            thresholds_digest()
+        );
+    }
+
+    #[test]
+    fn threshold_table_is_wellformed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (name, lo, hi) in THRESHOLDS {
+            assert!(seen.insert(*name), "duplicate band for {name}");
+            assert!(lo.is_finite() && hi.is_finite(), "{name}: non-finite band");
+            assert!(lo <= hi, "{name}: inverted band [{lo}, {hi}]");
+            let scenario = name.split('/').next().unwrap();
+            assert!(
+                scenarios::SCENARIO_NAMES.contains(&scenario),
+                "{name}: unknown scenario prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        assert!(run_scenario("no-such-scenario").is_err());
+    }
+
+    #[test]
+    fn control_plane_scenario_passes_and_is_byte_deterministic() {
+        // The cheapest scenario doubles as the in-tree determinism
+        // check; the full three-scenario battery (run twice + cmp)
+        // lives in CI behind `validate --scenario`.
+        let a = run_scenario("control-plane").unwrap();
+        let failures: Vec<&StressCheck> = a.failures().collect();
+        assert!(a.passed(), "failures: {failures:#?}");
+        let b = run_scenario("control-plane").unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.checks.len(), 5);
+    }
+
+    #[test]
+    fn report_json_is_wellformed_and_carries_the_band() {
+        let report = StressReport {
+            scenario: "bursts".into(),
+            seed: 7,
+            checks: vec![check(
+                "bursts/emd_degradation",
+                2.0,
+                "detail \"quoted\"".into(),
+            )],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"scenario\": \"bursts\""));
+        assert!(json.contains("\"lo\": 8.500000e-1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"thresholds_digest\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no pinned band")]
+    fn unpinned_check_names_are_rejected() {
+        let _ = check("bursts/not-a-check", 0.0, String::new());
+    }
+}

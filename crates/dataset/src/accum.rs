@@ -23,10 +23,11 @@
 //! this module, so a sharded campaign and a monolithic build are the same
 //! pipeline by construction, not by coincidence.
 
-use crate::dataset::CellKey;
+use crate::dataset::{CellKey, SignalingPlane};
 use crate::record::CellStats;
 use mtd_math::histogram::{LogGrid, LogHistogram};
 use mtd_netsim::engine::EngineSink;
+use mtd_netsim::probes::{SignalingEvent, SignalingKind};
 use mtd_netsim::session::SessionObservation;
 use mtd_netsim::time::MINUTES_PER_DAY;
 use std::collections::BTreeMap;
@@ -240,6 +241,44 @@ impl MinuteRowQ {
     }
 }
 
+/// One BS's per-minute control-plane row: attach, handover, and paging
+/// event counts. Counts are plain `u32` adds — associative, so any
+/// shard partition merges to the monolithic result exactly, the same
+/// argument as [`MinuteRowQ`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalRowQ {
+    /// Attach events per campaign minute.
+    pub attach: Vec<u32>,
+    /// Handover-in events per campaign minute.
+    pub handover: Vec<u32>,
+    /// Paging events per campaign minute.
+    pub paging: Vec<u32>,
+}
+
+impl SignalRowQ {
+    fn new(row_len: usize) -> SignalRowQ {
+        SignalRowQ {
+            attach: vec![0; row_len],
+            handover: vec![0; row_len],
+            paging: vec![0; row_len],
+        }
+    }
+
+    /// Adds another row of the same length into this one.
+    pub fn merge(&mut self, other: &SignalRowQ) {
+        assert_eq!(self.attach.len(), other.attach.len());
+        for (a, b) in self.attach.iter_mut().zip(&other.attach) {
+            *a += b;
+        }
+        for (a, b) in self.handover.iter_mut().zip(&other.handover) {
+            *a += b;
+        }
+        for (a, b) in self.paging.iter_mut().zip(&other.paging) {
+            *a += b;
+        }
+    }
+}
+
 /// Pass-2 sink: accumulates cells and minute rows for (a shard of) a
 /// campaign in fixed point.
 ///
@@ -259,6 +298,11 @@ pub struct ShardAccumulator {
     pub cells: BTreeMap<CellKey, ExactCell>,
     /// Accumulated minute rows keyed by global BS id.
     pub minutes: BTreeMap<u32, MinuteRowQ>,
+    /// Accumulated control-plane rows keyed by global BS id. `None`
+    /// means signaling collection is disabled (the default), so
+    /// non-control-plane campaigns pay nothing and produce datasets
+    /// without the plane.
+    pub signaling: Option<BTreeMap<u32, SignalRowQ>>,
 }
 
 impl ShardAccumulator {
@@ -278,6 +322,49 @@ impl ShardAccumulator {
             row_len: (n_days * MINUTES_PER_DAY) as usize,
             cells: BTreeMap::new(),
             minutes: BTreeMap::new(),
+            signaling: None,
+        }
+    }
+
+    /// Turns on control-plane collection: subsequent signaling events
+    /// are accumulated into per-BS [`SignalRowQ`] rows and
+    /// [`Self::finalize_signaling`] returns `Some`.
+    pub fn enable_signaling(&mut self) {
+        if self.signaling.is_none() {
+            self.signaling = Some(BTreeMap::new());
+        }
+    }
+
+    /// Records one signaling event into the control plane (no-op unless
+    /// [`Self::enable_signaling`] was called). Events are attributed to
+    /// the BS carried by the event kind; `Detach` carries none and only
+    /// tears down UE state, so it is not counted. Events past the
+    /// campaign horizon are dropped, mirroring [`Self::record`].
+    pub fn record_signaling(&mut self, ev: &SignalingEvent) {
+        let Some(signaling) = &mut self.signaling else {
+            return;
+        };
+        let bs = match ev.kind {
+            SignalingKind::Attach(bs) | SignalingKind::Handover(bs) | SignalingKind::Paging(bs) => {
+                bs
+            }
+            SignalingKind::Detach => return,
+        };
+        let day = ev.time.day;
+        if day >= self.n_days {
+            mtd_telemetry::count("dataset.signaling.spilled", 1);
+            return;
+        }
+        let minute = (day * MINUTES_PER_DAY + ev.time.minute_of_day()) as usize;
+        let row_len = self.row_len;
+        let row = signaling
+            .entry(bs.0)
+            .or_insert_with(|| SignalRowQ::new(row_len));
+        match ev.kind {
+            SignalingKind::Attach(_) => row.attach[minute] += 1,
+            SignalingKind::Handover(_) => row.handover[minute] += 1,
+            SignalingKind::Paging(_) => row.paging[minute] += 1,
+            SignalingKind::Detach => unreachable!("filtered above"),
         }
     }
 
@@ -328,6 +415,17 @@ impl ShardAccumulator {
                 .or_insert_with(|| MinuteRowQ::new(row_len))
                 .merge(row);
         }
+        if let Some(other_sig) = &other.signaling {
+            self.enable_signaling();
+            let row_len = self.row_len;
+            let signaling = self.signaling.as_mut().expect("just enabled");
+            for (bs, row) in other_sig {
+                signaling
+                    .entry(*bs)
+                    .or_insert_with(|| SignalRowQ::new(row_len))
+                    .merge(row);
+            }
+        }
     }
 
     /// Finalizes the cells into their float [`CellStats`] form.
@@ -353,6 +451,21 @@ impl ShardAccumulator {
         (counts, volumes)
     }
 
+    /// Finalizes the control plane into dense per-BS rows for `n_bs`
+    /// stations (untouched BSs get zero rows). `None` when signaling
+    /// collection was never enabled.
+    #[must_use]
+    pub fn finalize_signaling(&self, n_bs: usize) -> Option<SignalingPlane> {
+        let signaling = self.signaling.as_ref()?;
+        let mut plane = SignalingPlane::zeroed(n_bs, self.row_len);
+        for (bs, row) in signaling {
+            plane.attach[*bs as usize] = row.attach.clone();
+            plane.handover[*bs as usize] = row.handover.clone();
+            plane.paging[*bs as usize] = row.paging.clone();
+        }
+        Some(plane)
+    }
+
     /// Minute-row length (`n_days × 1440`).
     #[must_use]
     pub fn row_len(&self) -> usize {
@@ -363,6 +476,10 @@ impl ShardAccumulator {
 impl EngineSink for ShardAccumulator {
     fn on_observation(&mut self, obs: &SessionObservation) {
         self.record(obs);
+    }
+
+    fn on_signaling(&mut self, ev: &SignalingEvent) {
+        self.record_signaling(ev);
     }
 }
 
@@ -483,6 +600,102 @@ mod tests {
         acc.record(&obs(0, 0, 2, 10.0, 1.0, 60.0)); // day 2 of a 2-day run
         assert!(acc.cells.is_empty());
         assert!(acc.minutes.is_empty());
+    }
+
+    fn sig(bs: u32, day: u32, secs: f64, which: u64) -> SignalingEvent {
+        use mtd_netsim::ids::UeId;
+        let kind = match which % 4 {
+            0 => SignalingKind::Attach(BsId(bs)),
+            1 => SignalingKind::Handover(BsId(bs)),
+            2 => SignalingKind::Paging(BsId(bs)),
+            _ => SignalingKind::Detach,
+        };
+        SignalingEvent {
+            ue: UeId(1),
+            time: SimTime::new(day, secs),
+            kind,
+        }
+    }
+
+    /// A deterministic pseudo-random stream of signaling events.
+    fn sig_stream(n: usize, n_bs: u32) -> Vec<SignalingEvent> {
+        let mut state = 0xFEED_FACE_CAFE_BEEF_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            state >> 33
+        };
+        (0..n)
+            .map(|_| {
+                let bs = (next() % u64::from(n_bs)) as u32;
+                let day = (next() % 3) as u32;
+                let secs = (next() % 86_400) as f64 + 0.25;
+                sig(bs, day, secs, next())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn signaling_merge_is_partition_invariant() {
+        let events = sig_stream(3_000, 8);
+        let groups = vec![0u16; 8];
+        let mut mono = ShardAccumulator::new(volume_grid(), duration_grid(), groups.clone(), 3);
+        mono.enable_signaling();
+        for ev in &events {
+            mono.record_signaling(ev);
+        }
+
+        for parts in [2usize, 3, 7] {
+            let chunk = events.len().div_ceil(parts);
+            let mut merged =
+                ShardAccumulator::new(volume_grid(), duration_grid(), groups.clone(), 3);
+            merged.enable_signaling();
+            let shards: Vec<ShardAccumulator> = events
+                .chunks(chunk)
+                .map(|c| {
+                    let mut acc =
+                        ShardAccumulator::new(volume_grid(), duration_grid(), groups.clone(), 3);
+                    acc.enable_signaling();
+                    for ev in c {
+                        acc.record_signaling(ev);
+                    }
+                    acc
+                })
+                .collect();
+            for shard in shards.iter().rev() {
+                merged.merge(shard);
+            }
+            assert_eq!(merged.signaling, mono.signaling, "parts={parts}");
+            assert_eq!(
+                merged.finalize_signaling(8),
+                mono.finalize_signaling(8),
+                "parts={parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn signaling_is_gated_and_drops_spill_and_detach() {
+        let mut acc = ShardAccumulator::new(volume_grid(), duration_grid(), vec![0, 0], 2);
+        // Disabled: events vanish and finalize stays None.
+        acc.record_signaling(&sig(0, 0, 5.0, 0));
+        assert!(acc.finalize_signaling(2).is_none());
+
+        acc.enable_signaling();
+        acc.record_signaling(&sig(0, 0, 65.0, 0)); // attach, minute 1
+        acc.record_signaling(&sig(1, 1, 5.0, 1)); // handover, day 1
+        acc.record_signaling(&sig(0, 0, 5.0, 2)); // paging, minute 0
+        acc.record_signaling(&sig(0, 0, 5.0, 3)); // detach: not counted
+        acc.record_signaling(&sig(0, 2, 5.0, 0)); // past horizon: dropped
+        let plane = acc.finalize_signaling(2).expect("enabled");
+        assert_eq!(plane.attach[0].iter().sum::<u32>(), 1);
+        assert_eq!(plane.attach[0][1], 1);
+        assert_eq!(plane.handover[1][1440], 1);
+        assert_eq!(plane.paging[0][0], 1);
+        assert_eq!(plane.handover[0].iter().sum::<u32>(), 0);
+        // Rows are dense with the full campaign length.
+        assert_eq!(plane.attach[1].len(), 2 * 1440);
     }
 
     #[test]

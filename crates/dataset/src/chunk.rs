@@ -29,6 +29,10 @@ pub enum SectionKind {
     Cells,
     /// A batch of per-BS minute series (arrival counts + volumes).
     Minutes,
+    /// A batch of per-BS control-plane minute series (attach / handover /
+    /// paging counts). Only valid in format v2+ files; v1 readers treat
+    /// the tag as unknown.
+    Signaling,
     /// End-of-file marker: chunk count + whole-file CRC.
     Footer,
 }
@@ -42,6 +46,7 @@ impl SectionKind {
             SectionKind::Deciles => 2,
             SectionKind::Cells => 3,
             SectionKind::Minutes => 4,
+            SectionKind::Signaling => 5,
             SectionKind::Footer => 0xFF,
         }
     }
@@ -54,6 +59,7 @@ impl SectionKind {
             2 => Some(SectionKind::Deciles),
             3 => Some(SectionKind::Cells),
             4 => Some(SectionKind::Minutes),
+            5 => Some(SectionKind::Signaling),
             0xFF => Some(SectionKind::Footer),
             _ => None,
         }
@@ -67,6 +73,7 @@ impl SectionKind {
             SectionKind::Deciles => "deciles",
             SectionKind::Cells => "cells",
             SectionKind::Minutes => "minutes",
+            SectionKind::Signaling => "signaling",
             SectionKind::Footer => "footer",
         }
     }
@@ -339,6 +346,7 @@ mod tests {
             SectionKind::Deciles,
             SectionKind::Cells,
             SectionKind::Minutes,
+            SectionKind::Signaling,
             SectionKind::Footer,
         ] {
             assert_eq!(SectionKind::from_tag(kind.tag()), Some(kind));

@@ -131,6 +131,73 @@ pub struct Dataset {
     /// the paper's Fig 1 taxonomy, used by the extension analysis.
     pub(crate) minute_volume_mb: Vec<Vec<f32>>,
     pub(crate) n_days: u32,
+    /// Per-BS, per-minute control-plane event counts — the second
+    /// traffic plane of the control-plane-coupling stress scenario.
+    /// `None` (the default) for every dataset built without
+    /// `stress.control_plane`, which keeps the binary store emitting
+    /// format v1 bytes for legacy datasets.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub(crate) signaling: Option<SignalingPlane>,
+}
+
+/// The control-plane traffic plane: per-BS, per-campaign-minute counts
+/// of attach, handover-in, and paging events, derived from session
+/// arrivals and mobility by the engine's signaling choreography. Rows
+/// have the same `n_days × 1440` length as the user-plane minute rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalingPlane {
+    /// Attach events per BS per minute.
+    pub attach: Vec<Vec<u32>>,
+    /// Handover-in events per BS per minute.
+    pub handover: Vec<Vec<u32>>,
+    /// Paging events per BS per minute.
+    pub paging: Vec<Vec<u32>>,
+}
+
+impl SignalingPlane {
+    /// An all-zero plane for `n_bs` stations and `row_len` minutes.
+    #[must_use]
+    pub fn zeroed(n_bs: usize, row_len: usize) -> SignalingPlane {
+        SignalingPlane {
+            attach: vec![vec![0; row_len]; n_bs],
+            handover: vec![vec![0; row_len]; n_bs],
+            paging: vec![vec![0; row_len]; n_bs],
+        }
+    }
+
+    /// Number of BS rows.
+    #[must_use]
+    pub fn n_bs(&self) -> usize {
+        self.attach.len()
+    }
+
+    /// Total events of each kind: `(attach, handover, paging)`.
+    #[must_use]
+    pub fn totals(&self) -> (u64, u64, u64) {
+        let sum = |rows: &Vec<Vec<u32>>| {
+            rows.iter()
+                .flat_map(|r| r.iter())
+                .map(|c| u64::from(*c))
+                .sum()
+        };
+        (sum(&self.attach), sum(&self.handover), sum(&self.paging))
+    }
+
+    /// Per-minute event total across all BSs and kinds for one minute
+    /// index range, used by the breakage battery's coupling checks.
+    #[must_use]
+    pub fn minute_totals(&self) -> Vec<u64> {
+        let row_len = self.attach.first().map_or(0, Vec::len);
+        let mut totals = vec![0u64; row_len];
+        for rows in [&self.attach, &self.handover, &self.paging] {
+            for row in rows {
+                for (t, c) in totals.iter_mut().zip(row) {
+                    *t += u64::from(*c);
+                }
+            }
+        }
+        totals
+    }
 }
 
 /// Cell key: (service, group index, day).
@@ -219,12 +286,16 @@ impl Dataset {
             group_of_bs.clone(),
             config.days,
         );
+        if config.stress.control_plane {
+            pass2.enable_signaling();
+        }
         {
             let _span = mtd_telemetry::span!("pass2_fill");
             engine.run_parallel(&mut pass2, threads);
         }
         let cells = pass2.finalize_cells();
         let (minute_counts, minute_volume_mb) = pass2.finalize_minutes(topology.len());
+        let signaling = pass2.finalize_signaling(topology.len());
         let dataset = Dataset {
             volume_grid: volume_grid(),
             duration_grid: duration_grid(),
@@ -237,6 +308,7 @@ impl Dataset {
             minute_counts,
             minute_volume_mb,
             n_days: config.days,
+            signaling,
         };
         mtd_telemetry::gauge_set("dataset.cells", dataset.cells.len() as f64);
         dataset
@@ -293,6 +365,19 @@ impl Dataset {
     #[must_use]
     pub fn n_days(&self) -> u32 {
         self.n_days
+    }
+
+    /// The control-plane traffic plane, when the dataset was built with
+    /// `stress.control_plane` enabled.
+    #[must_use]
+    pub fn signaling(&self) -> Option<&SignalingPlane> {
+        self.signaling.as_ref()
+    }
+
+    /// Attaches (or clears) the control-plane plane — used by the store
+    /// decoder and window slicer, which rebuild datasets field by field.
+    pub fn set_signaling(&mut self, plane: Option<SignalingPlane>) {
+        self.signaling = plane;
     }
 
     /// Service name by index.

@@ -203,7 +203,42 @@ pub(crate) fn dataset_to_json(ds: &Dataset) -> String {
         }
         out.push(']');
     }
-    let _ = write!(out, "],\"n_days\":{}}}", ds.n_days);
+    let _ = write!(out, "],\"n_days\":{}", ds.n_days);
+    // The signaling plane is emitted only when present, matching the
+    // serde derive (`skip_serializing_if`) so legacy datasets keep their
+    // exact historical JSON bytes.
+    if let Some(plane) = ds.signaling() {
+        out.push_str(",\"signaling\":{");
+        for (i, (key, rows)) in [
+            ("attach", &plane.attach),
+            ("handover", &plane.handover),
+            ("paging", &plane.paging),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{key}\":[");
+            for (r, row) in rows.iter().enumerate() {
+                if r > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (j, v) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{v}");
+                }
+                out.push(']');
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+    out.push('}');
     out
 }
 
@@ -674,6 +709,18 @@ pub(crate) fn dataset_from_json(text: &str) -> Result<Dataset, String> {
                 .collect::<PResult<Vec<f32>>>()
         })
         .collect::<PResult<Vec<_>>>()?;
+    // Optional: absent in every pre-control-plane document.
+    let signaling = match obj.iter().find(|(k, _)| k == "signaling") {
+        None | Some((_, Val::Null)) => None,
+        Some((_, v)) => {
+            let plane = as_obj(v, "signaling")?;
+            Some(crate::dataset::SignalingPlane {
+                attach: u32_matrix(get(plane, "attach")?, "signaling.attach")?,
+                handover: u32_matrix(get(plane, "handover")?, "signaling.handover")?,
+                paging: u32_matrix(get(plane, "paging")?, "signaling.paging")?,
+            })
+        }
+    };
 
     Ok(Dataset {
         volume_grid: grid_from(get(obj, "volume_grid")?, "volume_grid")?,
@@ -687,7 +734,20 @@ pub(crate) fn dataset_from_json(text: &str) -> Result<Dataset, String> {
         minute_counts,
         minute_volume_mb,
         n_days: as_int(get(obj, "n_days")?, "n_days")?,
+        signaling,
     })
+}
+
+fn u32_matrix(v: &Val<'_>, what: &str) -> PResult<Vec<Vec<u32>>> {
+    as_arr(v, what)?
+        .iter()
+        .map(|row| {
+            as_arr(row, what)?
+                .iter()
+                .map(|v| as_int(v, what))
+                .collect::<PResult<Vec<u32>>>()
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -33,11 +33,14 @@ pub mod record;
 pub mod shares;
 pub mod store;
 
-pub use accum::{ExactCell, MinuteRowQ, ShardAccumulator, VolumeTotalsQ};
-pub use dataset::{group_table, CellKey, CellMap, Dataset, GroupKey, SliceFilter};
+pub use accum::{ExactCell, MinuteRowQ, ShardAccumulator, SignalRowQ, VolumeTotalsQ};
+pub use dataset::{group_table, CellKey, CellMap, Dataset, GroupKey, SignalingPlane, SliceFilter};
 pub use record::{CellStats, PairPoint};
 pub use shares::SharesAccumulator;
+pub mod window;
+
 pub use store::{
-    write_atomic, DatasetAssembler, DatasetStream, StoreError, StoreReport, StoreWriter,
-    StreamedChunk,
+    write_atomic, DatasetAssembler, DatasetStream, SignalBlock, StoreError, StoreReport,
+    StoreWriter, StreamedChunk,
 };
+pub use window::{read_window, read_window_from_reader};

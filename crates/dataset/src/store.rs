@@ -29,7 +29,7 @@
 use crate::chunk::{
     footer_payload, parse_footer, write_frame, FrameError, FrameReader, SectionKind,
 };
-use crate::dataset::{CellKey, Dataset, GroupKey};
+use crate::dataset::{CellKey, Dataset, GroupKey, SignalingPlane};
 use crate::format::{ByteReader, ByteWriter, Crc32, FormatError, FORMAT_VERSION, MAGIC};
 use crate::record::CellStats;
 use mtd_math::histogram::{LogGrid, LogHistogram};
@@ -47,10 +47,16 @@ use std::time::Duration;
 /// reproduce [`encode_binary`]'s exact chunking.
 pub const CELLS_PER_CHUNK: usize = 256;
 /// Per-BS minute rows per Minutes chunk (same contract as
-/// [`CELLS_PER_CHUNK`]).
+/// [`CELLS_PER_CHUNK`]). Signaling chunks use the same batch size.
 pub const MINUTE_ROWS_PER_CHUNK: usize = 64;
 /// Fixed file header length: 8-byte magic + version + flags.
 pub const HEADER_LEN: usize = 16;
+/// Newest format version this build reads and writes. Version 1 is the
+/// original layout; version 2 adds optional Signaling chunks (tag 5)
+/// after the Minutes chunks. Datasets without a signaling plane still
+/// encode as version 1, byte for byte, so pre-control-plane files and
+/// their golden fixtures are untouched.
+pub const MAX_FORMAT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Errors and reports
@@ -722,6 +728,87 @@ fn decode_minutes_chunk(payload: &[u8], meta: &MetaSection) -> Result<MinuteBloc
     })
 }
 
+/// One decoded Signaling chunk (format v2+): control-plane rows for BSs
+/// `first_bs ..`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalBlock {
+    pub first_bs: u32,
+    pub attach: Vec<Vec<u32>>,
+    pub handover: Vec<Vec<u32>>,
+    pub paging: Vec<Vec<u32>>,
+}
+
+fn encode_signaling_chunk(plane: &SignalingPlane, first_bs: usize, rows: usize) -> Vec<u8> {
+    let row_len = plane.attach.first().map_or(0, Vec::len);
+    let refs: Vec<(&[u32], &[u32], &[u32])> = (first_bs..first_bs + rows)
+        .map(|bs| {
+            (
+                plane.attach[bs].as_slice(),
+                plane.handover[bs].as_slice(),
+                plane.paging[bs].as_slice(),
+            )
+        })
+        .collect();
+    encode_signaling_rows(first_bs as u32, row_len, &refs)
+}
+
+/// Encodes one Signaling chunk from explicit rows (see
+/// [`encode_meta_fields`]); each row is that BS's
+/// `(attach, handover, paging)` minute counts.
+#[must_use]
+pub fn encode_signaling_rows(
+    first_bs: u32,
+    row_len: usize,
+    rows: &[(&[u32], &[u32], &[u32])],
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(first_bs);
+    w.put_u32(rows.len() as u32);
+    w.put_u32(row_len as u32);
+    for (attach, handover, paging) in rows {
+        w.put_u32_vec(attach);
+        w.put_u32_vec(handover);
+        w.put_u32_vec(paging);
+    }
+    w.into_bytes()
+}
+
+fn decode_signaling_chunk(payload: &[u8], meta: &MetaSection) -> Result<SignalBlock, FormatError> {
+    let mut r = ByteReader::new(payload);
+    let first_bs = r.get_u32()?;
+    let rows = r.get_u32()? as usize;
+    let row_len = r.get_u32()? as usize;
+    if row_len != meta.minutes_per_row() {
+        return Err(FormatError("signaling row length disagrees with meta"));
+    }
+    if (first_bs as usize).saturating_add(rows) > meta.n_bs() {
+        return Err(FormatError("signaling rows out of BS range"));
+    }
+    let mut attach = Vec::with_capacity(rows);
+    let mut handover = Vec::with_capacity(rows);
+    let mut paging = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let a = r.get_u32_vec()?;
+        let h = r.get_u32_vec()?;
+        let p = r.get_u32_vec()?;
+        if a.len() != row_len || h.len() != row_len || p.len() != row_len {
+            return Err(FormatError("signaling row length mismatch"));
+        }
+        attach.push(a);
+        handover.push(h);
+        paging.push(p);
+    }
+    if !r.is_exhausted() {
+        return Err(FormatError("signaling chunk has trailing bytes"));
+    }
+    Ok(SignalBlock {
+        first_bs,
+        attach,
+        handover,
+        paging,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Parallel decode sizing
 // ---------------------------------------------------------------------------
@@ -755,6 +842,19 @@ enum EncodeJob<'a> {
     Deciles,
     Cells(Vec<(&'a CellKey, &'a CellStats)>),
     Minutes { first_bs: usize, rows: usize },
+    Signaling { first_bs: usize, rows: usize },
+}
+
+/// The header version a dataset encodes under: v1 unless it carries the
+/// (v2-only) signaling plane. Public so out-of-core writers (the
+/// campaign assembler) pick the same version as [`encode_binary`].
+#[must_use]
+pub fn dataset_format_version(has_signaling: bool) -> u32 {
+    if has_signaling {
+        MAX_FORMAT_VERSION
+    } else {
+        FORMAT_VERSION
+    }
 }
 
 /// Encodes a dataset into the complete binary file image.
@@ -782,17 +882,33 @@ pub fn encode_binary(ds: &Dataset, threads: usize) -> Vec<u8> {
         });
         first += rows;
     }
+    if let Some(plane) = ds.signaling() {
+        let mut first = 0;
+        while first < plane.n_bs() {
+            let rows = MINUTE_ROWS_PER_CHUNK.min(plane.n_bs() - first);
+            jobs.push(EncodeJob::Signaling {
+                first_bs: first,
+                rows,
+            });
+            first += rows;
+        }
+    }
 
     let payloads = mtd_par::Pool::new(threads).par_map_indexed(jobs.len(), |i| match &jobs[i] {
         EncodeJob::Meta => encode_meta(ds),
         EncodeJob::Deciles => encode_deciles(ds),
         EncodeJob::Cells(batch) => encode_cells_chunk(batch, vbins, dbins),
         EncodeJob::Minutes { first_bs, rows } => encode_minutes_chunk(ds, *first_bs, *rows),
+        EncodeJob::Signaling { first_bs, rows } => encode_signaling_chunk(
+            ds.signaling().expect("job only queued when present"),
+            *first_bs,
+            *rows,
+        ),
     });
 
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&dataset_format_version(ds.signaling().is_some()).to_le_bytes());
     out.extend_from_slice(&0u32.to_le_bytes()); // flags, reserved
     for (i, (job, payload)) in jobs.iter().zip(&payloads).enumerate() {
         let kind = match job {
@@ -800,6 +916,7 @@ pub fn encode_binary(ds: &Dataset, threads: usize) -> Vec<u8> {
             EncodeJob::Deciles => SectionKind::Deciles,
             EncodeJob::Cells(_) => SectionKind::Cells,
             EncodeJob::Minutes { .. } => SectionKind::Minutes,
+            EncodeJob::Signaling { .. } => SectionKind::Signaling,
         };
         write_frame(&mut out, kind, i as u32, payload);
     }
@@ -937,8 +1054,19 @@ pub struct StoreWriter {
 }
 
 impl StoreWriter {
-    /// Opens the temp file and writes the fixed header.
+    /// Opens the temp file and writes the fixed header (format v1 — the
+    /// version without a signaling plane).
     pub fn create(path: &Path) -> Result<StoreWriter, StoreError> {
+        Self::create_versioned(path, FORMAT_VERSION)
+    }
+
+    /// [`StoreWriter::create`] with an explicit header version; writers
+    /// that append Signaling frames must pass [`MAX_FORMAT_VERSION`].
+    pub fn create_versioned(path: &Path, version: u32) -> Result<StoreWriter, StoreError> {
+        assert!(
+            (1..=MAX_FORMAT_VERSION).contains(&version),
+            "unwritable format version {version}"
+        );
         let tmp = path.with_extension("tmp-partial");
         let file = with_retry(|| std::fs::File::create(&tmp)).map_err(|e| io_err(path, e))?;
         let mut writer = StoreWriter {
@@ -952,7 +1080,7 @@ impl StoreWriter {
         };
         let mut header = Vec::with_capacity(HEADER_LEN);
         header.extend_from_slice(&MAGIC);
-        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&version.to_le_bytes());
         header.extend_from_slice(&0u32.to_le_bytes()); // flags, reserved
         writer.write_checksummed(&header)?;
         Ok(writer)
@@ -1054,10 +1182,10 @@ fn check_header(bytes: &[u8]) -> Result<u32, StoreError> {
         return Err(StoreError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version == 0 || version > FORMAT_VERSION {
+    if version == 0 || version > MAX_FORMAT_VERSION {
         return Err(StoreError::UnsupportedVersion {
             found: version,
-            supported: FORMAT_VERSION,
+            supported: MAX_FORMAT_VERSION,
         });
     }
     Ok(version)
@@ -1068,6 +1196,7 @@ struct FrameScan {
     deciles: Option<DecileSection>,
     cell_payloads: Vec<(u32, u64, Vec<u8>)>,
     minute_payloads: Vec<(u32, u64, Vec<u8>)>,
+    signaling_payloads: Vec<(u32, u64, Vec<u8>)>,
     report: StoreReport,
 }
 
@@ -1077,7 +1206,7 @@ struct FrameScan {
 /// In strict mode the first problem is an error; in tolerant mode
 /// skippable problems are recorded in the report and reading continues.
 fn scan_frames(bytes: &[u8], strict: bool) -> Result<FrameScan, StoreError> {
-    check_header(bytes)?;
+    let version = check_header(bytes)?;
     let mut crc = Crc32::new();
     crc.update(&bytes[..HEADER_LEN]);
     let mut frames = FrameReader::new(&bytes[HEADER_LEN..], HEADER_LEN as u64, crc);
@@ -1087,7 +1216,8 @@ fn scan_frames(bytes: &[u8], strict: bool) -> Result<FrameScan, StoreError> {
         deciles: None,
         cell_payloads: Vec::new(),
         minute_payloads: Vec::new(),
-        report: StoreReport::new(&format!("binary-v{FORMAT_VERSION}")),
+        signaling_payloads: Vec::new(),
+        report: StoreReport::new(&format!("binary-v{version}")),
     };
     let mut footer_seen = false;
     let mut data_chunks = 0usize;
@@ -1219,6 +1349,16 @@ fn scan_frames(bytes: &[u8], strict: bool) -> Result<FrameScan, StoreError> {
                     scan.minute_payloads
                         .push((frame.index, frame.offset, frame.payload));
                 }
+                Some(SectionKind::Signaling) => {
+                    // The tag exists only in v2+; in a v1 file it is as
+                    // corrupt as any unknown byte.
+                    if version >= 2 {
+                        scan.signaling_payloads
+                            .push((frame.index, frame.offset, frame.payload));
+                    } else {
+                        failed = Some("signaling section in a v1 file".into());
+                    }
+                }
                 Some(SectionKind::Footer) => unreachable!("handled above"),
                 None => failed = Some(format!("unknown section tag {}", frame.kind_tag)),
             }
@@ -1290,13 +1430,17 @@ fn decode_inner(
 
     // Decode the fat sections in parallel; each job is independent. Small
     // files demote to sequential — fan-out costs more than it saves there.
-    let chunks = scan.cell_payloads.len() + scan.minute_payloads.len();
+    let chunks =
+        scan.cell_payloads.len() + scan.minute_payloads.len() + scan.signaling_payloads.len();
     let pool = mtd_par::Pool::new(effective_decode_threads(threads, bytes.len(), chunks));
     let cell_results = pool.par_map_indexed(scan.cell_payloads.len(), |i| {
         decode_cells_chunk(&scan.cell_payloads[i].2, &meta)
     });
     let minute_results = pool.par_map_indexed(scan.minute_payloads.len(), |i| {
         decode_minutes_chunk(&scan.minute_payloads[i].2, &meta)
+    });
+    let signaling_results = pool.par_map_indexed(scan.signaling_payloads.len(), |i| {
+        decode_signaling_chunk(&scan.signaling_payloads[i].2, &meta)
     });
 
     let mut asm = DatasetAssembler::new(meta, strict);
@@ -1338,6 +1482,11 @@ fn decode_inner(
     for (result, (index, offset, _)) in minute_results.into_iter().zip(&scan.minute_payloads) {
         let applied = result.map(|block| asm.add_minutes(block));
         fold(applied, "minutes", *index, *offset, &mut scan.report)?;
+    }
+    for (result, (index, offset, _)) in signaling_results.into_iter().zip(&scan.signaling_payloads)
+    {
+        let applied = result.map(|block| asm.add_signaling(block));
+        fold(applied, "signaling", *index, *offset, &mut scan.report)?;
     }
 
     Ok((asm.finish()?, scan.report))
@@ -1474,6 +1623,12 @@ pub fn verify_bytes(bytes: &[u8]) -> StoreReport {
                         mark_chunk_bad(&mut scan.report, *offset, &e.to_string());
                     }
                 }
+                for (_, offset, payload) in &scan.signaling_payloads {
+                    if let Err(e) = decode_signaling_chunk(payload, meta) {
+                        scan.report.corrupt_chunks += 1;
+                        mark_chunk_bad(&mut scan.report, *offset, &e.to_string());
+                    }
+                }
             } else if scan.report.fatal.is_none() {
                 scan.report.fatal = Some("required section missing: meta".into());
             }
@@ -1504,6 +1659,8 @@ pub enum StreamedChunk {
     Cells(Vec<((u16, u16, u32), CellStats)>),
     /// A batch of per-BS minute rows.
     Minutes(MinuteBlock),
+    /// A batch of per-BS control-plane rows (format v2+).
+    Signaling(SignalBlock),
 }
 
 /// Streams a binary dataset file chunk by chunk without materializing the
@@ -1514,6 +1671,7 @@ pub enum StreamedChunk {
 /// the running report); damaged required sections are fatal.
 pub struct DatasetStream<R: Read> {
     frames: FrameReader<R>,
+    version: u32,
     meta: MetaSection,
     report: StoreReport,
     data_chunks: usize,
@@ -1546,7 +1704,7 @@ impl<R: Read> DatasetStream<R> {
             io::ErrorKind::UnexpectedEof => StoreError::BadMagic,
             _ => io_err(err_path, e),
         })?;
-        check_header(&header)?;
+        let version = check_header(&header)?;
         let mut crc = Crc32::new();
         crc.update(&header);
         let mut frames = FrameReader::new(reader, HEADER_LEN as u64, crc);
@@ -1572,7 +1730,7 @@ impl<R: Read> DatasetStream<R> {
             offset: first.offset,
             reason: e.to_string(),
         })?;
-        let mut report = StoreReport::new(&format!("binary-v{FORMAT_VERSION}"));
+        let mut report = StoreReport::new(&format!("binary-v{version}"));
         report.total_chunks = 1;
         report.chunks.push(ChunkStatus {
             section: "meta".into(),
@@ -1584,6 +1742,7 @@ impl<R: Read> DatasetStream<R> {
         });
         Ok(DatasetStream {
             frames,
+            version,
             meta,
             report,
             data_chunks: 1,
@@ -1597,6 +1756,12 @@ impl<R: Read> DatasetStream<R> {
     #[must_use]
     pub fn meta(&self) -> &MetaSection {
         &self.meta
+    }
+
+    /// The file's header format version (1 or 2).
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The running integrity report; complete once [`Self::next_chunk`]
@@ -1667,6 +1832,12 @@ impl<R: Read> DatasetStream<R> {
                     Some(SectionKind::Minutes) => decode_minutes_chunk(&frame.payload, &self.meta)
                         .map(StreamedChunk::Minutes)
                         .map_err(|e| e.to_string()),
+                    Some(SectionKind::Signaling) if self.version >= 2 => {
+                        decode_signaling_chunk(&frame.payload, &self.meta)
+                            .map(StreamedChunk::Signaling)
+                            .map_err(|e| e.to_string())
+                    }
+                    Some(SectionKind::Signaling) => Err("signaling section in a v1 file".into()),
                     Some(SectionKind::Meta) => Err("duplicate meta section".into()),
                     Some(SectionKind::Footer) => unreachable!("handled above"),
                     None => Err(format!("unknown section tag {}", frame.kind_tag)),
@@ -1712,6 +1883,10 @@ pub struct DatasetAssembler {
     minute_counts: Vec<Vec<u32>>,
     minute_volume_mb: Vec<Vec<f32>>,
     covered: Vec<bool>,
+    /// Lazily allocated on the first Signaling chunk; a file with none
+    /// assembles into a plane-less (v1-equivalent) dataset.
+    signaling: Option<SignalingPlane>,
+    sig_covered: Vec<bool>,
 }
 
 impl DatasetAssembler {
@@ -1729,6 +1904,8 @@ impl DatasetAssembler {
             minute_counts: vec![vec![0u32; row_len]; n_bs],
             minute_volume_mb: vec![vec![0.0f32; row_len]; n_bs],
             covered: vec![false; n_bs],
+            signaling: None,
+            sig_covered: vec![false; n_bs],
         }
     }
 
@@ -1769,12 +1946,36 @@ impl DatasetAssembler {
         Ok(())
     }
 
+    fn add_signaling(&mut self, block: SignalBlock) -> Result<(), String> {
+        let plane = self.signaling.get_or_insert_with(|| {
+            SignalingPlane::zeroed(self.meta.n_bs(), self.meta.minutes_per_row())
+        });
+        for (row, ((a, h), p)) in block
+            .attach
+            .into_iter()
+            .zip(block.handover)
+            .zip(block.paging)
+            .enumerate()
+        {
+            let bs = block.first_bs as usize + row;
+            if self.sig_covered[bs] && self.strict {
+                return Err(format!("BS {bs} signaling covered twice"));
+            }
+            self.sig_covered[bs] = true;
+            plane.attach[bs] = a;
+            plane.handover[bs] = h;
+            plane.paging[bs] = p;
+        }
+        Ok(())
+    }
+
     /// Folds one streamed chunk into the dataset under construction.
     pub fn apply(&mut self, chunk: StreamedChunk) -> Result<(), StoreError> {
         match chunk {
             StreamedChunk::Deciles(d) => self.set_deciles(d),
             StreamedChunk::Cells(batch) => self.add_cells(batch),
             StreamedChunk::Minutes(block) => self.add_minutes(block),
+            StreamedChunk::Signaling(block) => self.add_signaling(block),
         }
         .map_err(StoreError::Inconsistent)
     }
@@ -1786,6 +1987,15 @@ impl DatasetAssembler {
             let missing = self.covered.iter().filter(|c| !**c).count();
             return Err(StoreError::Inconsistent(format!(
                 "{missing} BS minute rows missing"
+            )));
+        }
+        // A dataset either has a full signaling plane or none: partial
+        // coverage in strict mode is an inconsistency (in tolerant mode
+        // the uncovered rows stay zero, like minutes).
+        if self.strict && self.signaling.is_some() && !self.sig_covered.iter().all(|c| *c) {
+            let missing = self.sig_covered.iter().filter(|c| !**c).count();
+            return Err(StoreError::Inconsistent(format!(
+                "{missing} BS signaling rows missing"
             )));
         }
         Ok(Dataset {
@@ -1800,6 +2010,7 @@ impl DatasetAssembler {
             minute_counts: self.minute_counts,
             minute_volume_mb: self.minute_volume_mb,
             n_days: self.meta.n_days,
+            signaling: self.signaling,
         })
     }
 }
@@ -2069,6 +2280,7 @@ mod tests {
                 }
                 StreamedChunk::Cells(batch) => cells += batch.len(),
                 StreamedChunk::Minutes(block) => minutes += block.counts.len(),
+                StreamedChunk::Signaling(_) => panic!("v1 dataset has no signaling"),
             }
         }
         std::fs::remove_file(&path).ok();
@@ -2076,6 +2288,147 @@ mod tests {
         assert_eq!(cells, ds.cells.len());
         assert_eq!(minutes, ds.n_bs());
         assert!(stream.report().is_clean(), "{}", stream.report().to_json());
+    }
+
+    fn build_small_v2() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| {
+            let config = ScenarioConfig {
+                n_bs: 6,
+                days: 1,
+                arrival_scale: 0.1,
+                stress: mtd_netsim::StressConfig {
+                    control_plane: true,
+                    ..mtd_netsim::StressConfig::default()
+                },
+                ..ScenarioConfig::small_test()
+            };
+            let topology = Topology::generate(config.n_bs, config.seed);
+            let catalog = ServiceCatalog::paper();
+            Dataset::build(&config, &topology, &catalog)
+        })
+    }
+
+    #[test]
+    fn signaling_dataset_encodes_v2_and_roundtrips_exactly() {
+        let ds = build_small_v2();
+        assert!(ds.signaling().is_some());
+        let bytes = encode_binary(ds, 1);
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            MAX_FORMAT_VERSION
+        );
+        let back = decode_binary(&bytes, 1).unwrap();
+        assert_eq!(&back, ds);
+        assert_eq!(encode_binary(&back, 1), bytes);
+        // Streamed assembly reproduces the plane too.
+        let mut stream = DatasetStream::from_reader(io::Cursor::new(bytes.clone())).unwrap();
+        assert_eq!(stream.version(), MAX_FORMAT_VERSION);
+        let mut asm = DatasetAssembler::new(stream.meta().clone(), true);
+        while let Some(chunk) = stream.next_chunk() {
+            asm.apply(chunk.unwrap()).unwrap();
+        }
+        assert_eq!(&asm.finish().unwrap(), ds);
+        // The report labels the file with its own version.
+        assert_eq!(verify_bytes(&bytes).format, "binary-v2");
+        // Parallel encode stays byte-identical with the extra section.
+        for threads in [2, 7] {
+            assert_eq!(encode_binary(ds, threads), bytes, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn plane_less_datasets_still_write_v1_bytes() {
+        // The format-growth contract: a dataset without the new plane is
+        // byte-for-byte a v1 file (golden_format.rs pins this against a
+        // committed fixture; this pins the header + report label).
+        let ds = build_small();
+        assert!(ds.signaling().is_none());
+        let bytes = encode_binary(ds, 1);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        assert_eq!(verify_bytes(&bytes).format, "binary-v1");
+    }
+
+    #[test]
+    fn signaling_tag_in_v1_file_is_corrupt() {
+        // Hand-build a v1 image containing a (valid-looking) Signaling
+        // frame: readers must treat it as corruption, not data — the tag
+        // does not exist in v1.
+        let ds = build_small_v2();
+        let v2 = encode_binary(ds, 1);
+        let mut v1 = v2.clone();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        // Strict decode refuses; tolerant decode drops the plane.
+        assert!(decode_binary(&v1, 1).is_err());
+        let (recovered, report) = decode_binary_tolerant(&v1).unwrap();
+        assert!(recovered.signaling().is_none());
+        assert!(report.corrupt_chunks > 0);
+        assert!(report
+            .chunks
+            .iter()
+            .any(|c| c.section == "signaling" && !c.ok));
+    }
+
+    #[test]
+    fn tolerant_load_skips_damaged_signaling_chunk() {
+        let ds = build_small_v2();
+        let mut bytes = encode_binary(ds, 1);
+        let offset = find_section_offset(&bytes, SectionKind::Signaling);
+        bytes[offset + crate::chunk::FRAME_HEADER_LEN + 14] ^= 0xFF;
+        assert!(decode_binary(&bytes, 1).is_err());
+        let (recovered, report) = decode_binary_tolerant(&bytes).unwrap();
+        assert_eq!(report.corrupt_chunks, 1);
+        // User plane intact; this small dataset has a single signaling
+        // chunk, so dropping it loses the whole plane (a bigger file
+        // would keep the surviving blocks, zero-filling the gap).
+        assert_eq!(recovered.minute_counts, ds.minute_counts);
+        assert!(recovered.signaling().is_none());
+    }
+
+    #[test]
+    fn versioned_writer_matches_encode_binary_for_v2() {
+        let ds = build_small_v2();
+        let expected = encode_binary(ds, 1);
+        let path = temp_path("writer_v2.mtdstore");
+        let mut writer = StoreWriter::create_versioned(&path, MAX_FORMAT_VERSION).unwrap();
+        writer.append(SectionKind::Meta, &encode_meta(ds)).unwrap();
+        writer
+            .append(SectionKind::Deciles, &encode_deciles(ds))
+            .unwrap();
+        let cell_refs: Vec<(&CellKey, &CellStats)> = ds.cells.iter().collect();
+        for batch in cell_refs.chunks(CELLS_PER_CHUNK) {
+            writer
+                .append(
+                    SectionKind::Cells,
+                    &encode_cells_chunk(batch, ds.volume_grid.bins(), ds.duration_grid.bins()),
+                )
+                .unwrap();
+        }
+        let n_bs = ds.minute_counts.len();
+        let mut first = 0;
+        while first < n_bs {
+            let rows = MINUTE_ROWS_PER_CHUNK.min(n_bs - first);
+            writer
+                .append(SectionKind::Minutes, &encode_minutes_chunk(ds, first, rows))
+                .unwrap();
+            first += rows;
+        }
+        let plane = ds.signaling().unwrap();
+        let mut first = 0;
+        while first < plane.n_bs() {
+            let rows = MINUTE_ROWS_PER_CHUNK.min(plane.n_bs() - first);
+            writer
+                .append(
+                    SectionKind::Signaling,
+                    &encode_signaling_chunk(plane, first, rows),
+                )
+                .unwrap();
+            first += rows;
+        }
+        writer.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(bytes, expected);
     }
 
     #[test]

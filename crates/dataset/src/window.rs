@@ -1,0 +1,174 @@
+//! Day-window slicing of stored datasets.
+//!
+//! The longitudinal-drift stress scenario re-fits the model registry per
+//! time window; this module produces the per-window datasets by slicing
+//! a stored campaign along the day axis *while streaming*, so a
+//! multi-"year" campaign never has to materialize whole. A window
+//! `[day0, day1)` keeps:
+//!
+//! - cells with `day ∈ [day0, day1)`, re-based to `day - day0`;
+//! - minute (and signaling) row columns `[day0·1440, day1·1440)`;
+//! - deciles and groups unchanged — deciles are a whole-campaign
+//!   property, and keeping them fixed keeps group keys comparable
+//!   across windows (windowed fits then differ only in the data, not
+//!   in the grouping).
+
+use crate::dataset::Dataset;
+use crate::store::{DatasetAssembler, DatasetStream, StoreError, StoreReport, StreamedChunk};
+use mtd_netsim::time::MINUTES_PER_DAY;
+use std::io::Read;
+use std::path::Path;
+
+/// Reads the day window `[day0, day1)` of a stored binary dataset.
+/// Returns the windowed dataset plus the stream's integrity report.
+pub fn read_window(
+    path: &Path,
+    day0: u32,
+    day1: u32,
+) -> Result<(Dataset, StoreReport), StoreError> {
+    let stream = DatasetStream::open(path)?;
+    read_window_from_stream(stream, day0, day1)
+}
+
+/// [`read_window`] over any reader positioned at the start of a binary
+/// store image (header included).
+pub fn read_window_from_reader<R: Read>(
+    reader: R,
+    day0: u32,
+    day1: u32,
+) -> Result<(Dataset, StoreReport), StoreError> {
+    let stream = DatasetStream::from_reader(reader)?;
+    read_window_from_stream(stream, day0, day1)
+}
+
+fn read_window_from_stream<R: Read>(
+    mut stream: DatasetStream<R>,
+    day0: u32,
+    day1: u32,
+) -> Result<(Dataset, StoreReport), StoreError> {
+    let n_days = stream.meta().n_days;
+    if day0 >= day1 || day1 > n_days {
+        return Err(StoreError::Inconsistent(format!(
+            "window [{day0}, {day1}) out of range for a {n_days}-day dataset"
+        )));
+    }
+    let mut meta = stream.meta().clone();
+    meta.n_days = day1 - day0;
+    let mut asm = DatasetAssembler::new(meta, false);
+    let lo = (day0 * MINUTES_PER_DAY) as usize;
+    let hi = (day1 * MINUTES_PER_DAY) as usize;
+    while let Some(chunk) = stream.next_chunk() {
+        let chunk = chunk?;
+        let sliced = match chunk {
+            StreamedChunk::Deciles(d) => StreamedChunk::Deciles(d),
+            StreamedChunk::Cells(batch) => StreamedChunk::Cells(
+                batch
+                    .into_iter()
+                    .filter(|((_, _, day), _)| (day0..day1).contains(day))
+                    .map(|((s, g, day), stats)| ((s, g, day - day0), stats))
+                    .collect(),
+            ),
+            StreamedChunk::Minutes(mut block) => {
+                for row in &mut block.counts {
+                    *row = row[lo..hi].to_vec();
+                }
+                for row in &mut block.volumes {
+                    *row = row[lo..hi].to_vec();
+                }
+                StreamedChunk::Minutes(block)
+            }
+            StreamedChunk::Signaling(mut block) => {
+                for rows in [&mut block.attach, &mut block.handover, &mut block.paging] {
+                    for row in rows.iter_mut() {
+                        *row = row[lo..hi].to_vec();
+                    }
+                }
+                StreamedChunk::Signaling(block)
+            }
+        };
+        asm.apply(sliced)?;
+    }
+    Ok((asm.finish()?, stream.report().clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SliceFilter;
+    use crate::store::encode_binary;
+    use mtd_netsim::geo::Topology;
+    use mtd_netsim::services::ServiceCatalog;
+    use mtd_netsim::{ScenarioConfig, StressConfig};
+    use std::io::Cursor;
+
+    fn build(stress: StressConfig) -> Dataset {
+        let config = ScenarioConfig {
+            n_bs: 5,
+            days: 3,
+            arrival_scale: 0.05,
+            stress,
+            ..ScenarioConfig::small_test()
+        };
+        let topology = Topology::generate(config.n_bs, config.seed);
+        Dataset::build(&config, &topology, &ServiceCatalog::paper())
+    }
+
+    #[test]
+    fn full_window_reproduces_the_dataset_exactly() {
+        let ds = build(StressConfig::default());
+        let bytes = encode_binary(&ds, 1);
+        let (back, report) = read_window_from_reader(Cursor::new(bytes), 0, 3).unwrap();
+        assert!(report.is_clean(), "{}", report.to_json());
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn window_slices_days_minutes_and_signaling() {
+        let ds = build(StressConfig {
+            control_plane: true,
+            ..StressConfig::default()
+        });
+        let bytes = encode_binary(&ds, 1);
+        let (win, _) = read_window_from_reader(Cursor::new(bytes), 1, 3).unwrap();
+        assert_eq!(win.n_days(), 2);
+        // Cells: exactly the day-1..3 cells, re-based.
+        for ((_, _, day), _) in win.cells.iter().map(|(k, v)| (*k, v)) {
+            assert!(day < 2);
+        }
+        let expected: Vec<_> = ds
+            .cells
+            .iter()
+            .filter(|((_, _, d), _)| (1..3).contains(d))
+            .map(|((s, g, d), c)| ((*s, *g, d - 1), c.clone()))
+            .collect();
+        let got: Vec<_> = win.cells.iter().map(|(k, c)| (*k, c.clone())).collect();
+        assert_eq!(got, expected);
+        // Minute rows are the column slice.
+        for bs in 0..ds.n_bs() {
+            assert_eq!(win.minute_counts[bs], ds.minute_counts[bs][1440..3 * 1440]);
+            assert_eq!(
+                win.bs_minute_volumes(bs),
+                &ds.bs_minute_volumes(bs)[1440..3 * 1440]
+            );
+        }
+        // Signaling slices the same way.
+        let (full, sliced) = (ds.signaling().unwrap(), win.signaling().unwrap());
+        for bs in 0..ds.n_bs() {
+            assert_eq!(sliced.attach[bs], full.attach[bs][1440..3 * 1440]);
+            assert_eq!(sliced.paging[bs], full.paging[bs][1440..3 * 1440]);
+        }
+        // Estimators still work on the slice.
+        let f = SliceFilter::all();
+        assert!(win.sessions(0, &f) <= ds.sessions(0, &f));
+    }
+
+    #[test]
+    fn out_of_range_windows_are_rejected() {
+        let ds = build(StressConfig::default());
+        let bytes = encode_binary(&ds, 1);
+        for (a, b) in [(0, 0), (2, 1), (0, 4), (3, 3)] {
+            let res = read_window_from_reader(Cursor::new(bytes.clone()), a, b);
+            assert!(res.is_err(), "window [{a},{b}) accepted");
+        }
+    }
+}

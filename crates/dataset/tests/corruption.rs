@@ -120,6 +120,72 @@ fn payload_flips_are_detected_across_the_whole_file() {
     }
 }
 
+/// A v2 image: the same scenario with the control-plane plane enabled,
+/// so the file carries Signaling frames after the Minutes frames.
+fn clean_image_v2() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let config = ScenarioConfig {
+            n_bs: 3,
+            days: 1,
+            arrival_scale: 0.02,
+            stress: mtd_netsim::StressConfig {
+                control_plane: true,
+                ..mtd_netsim::StressConfig::default()
+            },
+            ..ScenarioConfig::small_test()
+        };
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let ds = Dataset::build(&config, &topology, &ServiceCatalog::paper());
+        let bytes = encode_binary(&ds, 1);
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            2,
+            "signaling dataset must encode as format v2"
+        );
+        bytes
+    })
+}
+
+#[test]
+fn v2_clean_image_verifies_clean() {
+    let report = verify_bytes(clean_image_v2());
+    assert!(report.is_clean(), "{}", report.to_json());
+    assert!(report.chunks.iter().any(|c| c.section == "signaling"));
+}
+
+#[test]
+fn v2_header_frame_header_and_payload_flips_are_detected() {
+    // The full battery, re-run over a v2 image: the new Signaling frames
+    // must be exactly as tamper-evident as every v1 section.
+    let bytes = clean_image_v2();
+    let (header_offsets, footer_span) = frame_header_offsets(bytes);
+    for pos in 0..HEADER_LEN {
+        for mask in [0x01, 0x80, 0xFF] {
+            assert_flip_detected(bytes, pos, mask);
+        }
+    }
+    for pos in header_offsets {
+        assert_flip_detected(bytes, pos, 0x01);
+        assert_flip_detected(bytes, pos, 0xFF);
+    }
+    for pos in footer_span {
+        for bit in 0..8 {
+            assert_flip_detected(bytes, pos, 1 << bit);
+        }
+    }
+    // Dense payload stride (covers the Signaling payload bytes too).
+    let step = 7;
+    for start in [0usize, 3] {
+        let mut pos = start;
+        while pos < bytes.len() {
+            assert_flip_detected(bytes, pos, 0xFF);
+            assert_flip_detected(bytes, pos, 0x10);
+            pos += step;
+        }
+    }
+}
+
 #[test]
 fn truncations_never_pass_and_never_panic() {
     let bytes = clean_image();

@@ -256,6 +256,11 @@ pub fn roster() -> &'static [&'static str] {
         "store.write.short=0.3,store.write.rename=0.3,store.read.truncate=0.3",
         "json.parse.corrupt=0.5,store.read.truncate=0.5",
         "all=0.25",
+        // Stress-scenario plan: a mid-probability store storm whose
+        // surviving rolls land in the pipeline's later writes — the
+        // stress-stage v2 export with its Signaling frames — so the
+        // chaos contract is exercised on the new chunk kind too.
+        "store.write.bitflip=0.35,store.read.bitflip=0.35,store.read.truncate=0.2",
     ]
 }
 

@@ -31,6 +31,104 @@ pub struct ScenarioConfig {
     /// Probability that the gateway probe splits a flow due to an
     /// "unorthodox termination" / idle-timeout artifact (§3.2).
     pub timeout_split_prob: f64,
+    /// Stress-regime knobs (heavy-tail bursts, longitudinal drift,
+    /// control-plane coupling). The default is quiescent: the engine
+    /// draws the exact same RNG sequence as a pre-stress build.
+    #[serde(default)]
+    pub stress: StressConfig,
+}
+
+/// Stress-regime overlay for a scenario (ROADMAP item 4): traffic that
+/// deliberately departs from the fitted log-normal/Pareto model family.
+///
+/// Every knob's neutral value leaves the engine untouched — the burst
+/// path consumes extra RNG draws only when `burst_prob > 0`, and drift
+/// is a pure deterministic transform — so adding this struct is
+/// invisible to every existing golden digest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct StressConfig {
+    /// Probability that a session's volume is redrawn from the
+    /// Fréchet-tailed burst law instead of the log-normal mixture.
+    pub burst_prob: f64,
+    /// Fréchet tail index α of burst volumes (smaller = heavier tail;
+    /// α ≤ 1 has no finite mean).
+    pub burst_tail_index: f64,
+    /// Extremal dependence of the session's peak rate on its burst
+    /// volume, in `[0, 1]`: 0 decouples the rate (duration stretches
+    /// with volume), 1 keeps the duration fixed so the rate absorbs the
+    /// whole burst.
+    pub burst_coupling: f64,
+    /// Additive drift of every service's log₁₀-volume location per
+    /// drift window (decades per window).
+    pub drift_mu_per_window: f64,
+    /// Multiplicative widening of the log₁₀-volume spread per drift
+    /// window (fractional, e.g. 0.1 = +10% σ per window).
+    pub drift_sigma_per_window: f64,
+    /// Drift window length in days (multiples of 7 keep weekday slices
+    /// aligned across windows).
+    pub drift_window_days: u32,
+    /// Collect the control-plane signaling load (attach / handover /
+    /// paging counts per BS-minute) as a second dataset plane.
+    pub control_plane: bool,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            burst_prob: 0.0,
+            burst_tail_index: 1.5,
+            burst_coupling: 0.5,
+            drift_mu_per_window: 0.0,
+            drift_sigma_per_window: 0.0,
+            drift_window_days: 7,
+            control_plane: false,
+        }
+    }
+}
+
+impl StressConfig {
+    /// Whether the heavy-tail burst regime is active (and therefore
+    /// whether the engine draws burst RNG values).
+    #[must_use]
+    pub fn bursts_enabled(&self) -> bool {
+        self.burst_prob > 0.0
+    }
+
+    /// Whether longitudinal drift is active.
+    #[must_use]
+    pub fn drift_enabled(&self) -> bool {
+        self.drift_mu_per_window != 0.0 || self.drift_sigma_per_window != 0.0
+    }
+
+    /// Whether any stress mechanism is active.
+    #[must_use]
+    pub fn any_enabled(&self) -> bool {
+        self.bursts_enabled() || self.drift_enabled() || self.control_plane
+    }
+
+    /// Validates the stress overlay.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.burst_prob) {
+            return Err("stress.burst_prob must be in [0, 1]".into());
+        }
+        if self.bursts_enabled() && !(self.burst_tail_index > 0.0) {
+            return Err("stress.burst_tail_index must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.burst_coupling) {
+            return Err("stress.burst_coupling must be in [0, 1]".into());
+        }
+        if !self.drift_mu_per_window.is_finite() {
+            return Err("stress.drift_mu_per_window must be finite".into());
+        }
+        if !(self.drift_sigma_per_window >= 0.0) || !self.drift_sigma_per_window.is_finite() {
+            return Err("stress.drift_sigma_per_window must be >= 0".into());
+        }
+        if self.drift_window_days == 0 {
+            return Err("stress.drift_window_days must be > 0".into());
+        }
+        Ok(())
+    }
 }
 
 impl Default for ScenarioConfig {
@@ -45,6 +143,7 @@ impl Default for ScenarioConfig {
             mean_trip_s: 110.0,
             classifier_error_rate: 0.01,
             timeout_split_prob: 0.01,
+            stress: StressConfig::default(),
         }
     }
 }
@@ -104,6 +203,7 @@ impl ScenarioConfig {
         if !(0.0..=1.0).contains(&self.timeout_split_prob) {
             return Err("timeout_split_prob must be in [0, 1]".into());
         }
+        self.stress.validate()?;
         Ok(())
     }
 }
@@ -150,6 +250,53 @@ mod tests {
         for c in bad {
             assert!(c.validate().is_err());
         }
+    }
+
+    #[test]
+    fn stress_validation_catches_bad_fields() {
+        let bad = [
+            StressConfig {
+                burst_prob: 1.5,
+                ..StressConfig::default()
+            },
+            StressConfig {
+                burst_prob: 0.2,
+                burst_tail_index: 0.0,
+                ..StressConfig::default()
+            },
+            StressConfig {
+                burst_coupling: -0.1,
+                ..StressConfig::default()
+            },
+            StressConfig {
+                drift_sigma_per_window: -0.5,
+                ..StressConfig::default()
+            },
+            StressConfig {
+                drift_window_days: 0,
+                ..StressConfig::default()
+            },
+            StressConfig {
+                drift_mu_per_window: f64::NAN,
+                ..StressConfig::default()
+            },
+        ];
+        for s in bad {
+            let c = ScenarioConfig {
+                stress: s,
+                ..ScenarioConfig::default()
+            };
+            assert!(c.validate().is_err(), "{s:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn stress_default_is_quiescent() {
+        let s = StressConfig::default();
+        assert!(!s.bursts_enabled());
+        assert!(!s.drift_enabled());
+        assert!(!s.any_enabled());
+        assert!(s.validate().is_ok());
     }
 
     #[test]

@@ -317,6 +317,16 @@ impl<'a> Engine<'a> {
         let profile = self.catalog.service(service);
         let volume_mb = profile.sample_volume(rng);
         let duration_s = profile.duration_for_volume(volume_mb, rng);
+        // Stress-regime overlay (no-op and zero RNG draws when quiescent,
+        // preserving the pre-stress RNG sequence byte for byte).
+        let (volume_mb, duration_s) = crate::scenarios::stress_session(
+            &self.config.stress,
+            profile,
+            day,
+            volume_mb,
+            duration_s,
+            rng,
+        );
         let start = SimTime::new(day, f64::from(minute) * 60.0 + rng.gen::<f64>() * 60.0);
         let ue = UeId(id.0);
         let five_tuple = FiveTuple::generate(
@@ -341,14 +351,24 @@ impl<'a> Engine<'a> {
 
         sink.on_session(&spec, plan);
 
-        // Signaling: one attach per visited BS, one final detach.
+        // Signaling choreography: the network pages the UE at its first
+        // BS, the attach opens the radio context there, every subsequent
+        // plan segment is a handover, and a final detach closes the
+        // context. (RAN-probe timelines treat handover ≡ attach and
+        // ignore paging, so the attachment reconstruction is unchanged.)
         let mut t = start;
-        for (seg_bs, dwell) in plan {
-            sink.on_signaling(&SignalingEvent {
-                ue,
-                time: t,
-                kind: SignalingKind::Attach(*seg_bs),
-            });
+        for (i, (seg_bs, dwell)) in plan.iter().enumerate() {
+            let kind = if i == 0 {
+                sink.on_signaling(&SignalingEvent {
+                    ue,
+                    time: t,
+                    kind: SignalingKind::Paging(*seg_bs),
+                });
+                SignalingKind::Attach(*seg_bs)
+            } else {
+                SignalingKind::Handover(*seg_bs)
+            };
+            sink.on_signaling(&SignalingEvent { ue, time: t, kind });
             t = t.plus_seconds(*dwell);
         }
         sink.on_signaling(&SignalingEvent {

@@ -36,11 +36,12 @@ pub mod ids;
 pub mod mobility;
 pub mod packets;
 pub mod probes;
+pub mod scenarios;
 pub mod services;
 pub mod session;
 pub mod time;
 
-pub use config::ScenarioConfig;
+pub use config::{ScenarioConfig, StressConfig};
 pub use engine::{Engine, EngineSink};
 pub use ids::{BsId, Rat, ServiceId, SessionId, UeId};
 pub use services::{ServiceCatalog, ServiceClass, ServiceProfile};

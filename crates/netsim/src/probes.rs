@@ -31,8 +31,16 @@ pub struct SignalingEvent {
 /// Kind of signaling event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SignalingKind {
-    /// UE attached to (or handed over into) a BS.
+    /// UE attached to a BS (initial radio-context setup).
     Attach(BsId),
+    /// UE was handed over into a BS mid-session. For attachment
+    /// timelines this is equivalent to [`SignalingKind::Attach`]; the
+    /// distinction only matters to the control-plane load accounting.
+    Handover(BsId),
+    /// Network paged the UE at a BS before session setup. Carries no
+    /// attachment information (the subsequent attach does), but loads
+    /// the control plane.
+    Paging(BsId),
     /// UE released its radio context.
     Detach,
 }
@@ -73,7 +81,7 @@ impl RanProbe {
         self.events_seen += 1;
         let t = ev.time.absolute_seconds();
         match ev.kind {
-            SignalingKind::Attach(bs) => {
+            SignalingKind::Attach(bs) | SignalingKind::Handover(bs) => {
                 if let Some((prev_bs, start)) = self.open.insert(ev.ue, (bs, t)) {
                     self.timelines
                         .entry(ev.ue)
@@ -81,6 +89,8 @@ impl RanProbe {
                         .push((prev_bs, start, t));
                 }
             }
+            // Paging precedes the attach and carries no attachment info.
+            SignalingKind::Paging(_) => {}
             SignalingKind::Detach => {
                 if let Some((bs, start)) = self.open.remove(&ev.ue) {
                     self.timelines
@@ -275,6 +285,41 @@ mod tests {
         assert_eq!(tl[0], (BsId(1), 100.0, 160.0));
         assert_eq!(tl[1], (BsId(2), 160.0, 220.0));
         assert_eq!(ran.events_seen(), 3);
+    }
+
+    #[test]
+    fn handover_and_paging_build_the_same_timeline_as_attach() {
+        let feed = |kinds: [SignalingKind; 3]| {
+            let mut ran = RanProbe::new();
+            for (t, k) in [100.0, 160.0, 220.0].into_iter().zip(kinds) {
+                ran.observe(&SignalingEvent {
+                    ue: UeId(5),
+                    time: SimTime::new(0, t),
+                    kind: k,
+                });
+            }
+            ran.timeline(UeId(5)).unwrap().to_vec()
+        };
+        let attach_only = feed([
+            SignalingKind::Attach(BsId(1)),
+            SignalingKind::Attach(BsId(2)),
+            SignalingKind::Detach,
+        ]);
+        let with_handover = feed([
+            SignalingKind::Attach(BsId(1)),
+            SignalingKind::Handover(BsId(2)),
+            SignalingKind::Detach,
+        ]);
+        assert_eq!(attach_only, with_handover);
+        // Paging carries no attachment information at all.
+        let mut ran = RanProbe::new();
+        ran.observe(&SignalingEvent {
+            ue: UeId(5),
+            time: SimTime::new(0, 90.0),
+            kind: SignalingKind::Paging(BsId(1)),
+        });
+        assert_eq!(ran.events_seen(), 1);
+        assert!(ran.timeline(UeId(5)).is_none());
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Control-plane coupling: the signaling load implied by the data plane.
+//!
+//! Meng et al. model the mobile core's control-plane load (attach,
+//! handover, paging rates) as a function of the user-plane session
+//! process; the two planes are coupled because every data session drags
+//! a deterministic signaling choreography behind it. The engine already
+//! emits that choreography per session — paging + attach at the first
+//! BS, one handover per mobility segment, a final detach — so this
+//! scenario simply turns on collection of the per-BS-minute
+//! attach/handover/paging counts as a second dataset plane
+//! (`stress.control_plane`), stored as the version-gated `Signaling`
+//! section of the MTDSTORE format.
+//!
+//! The preset raises `p_mobile` and trip lengths so handover load is a
+//! first-class signal rather than a trace amount.
+
+use crate::config::{ScenarioConfig, StressConfig};
+
+/// The pinned `control-plane` battery preset: a small two-day campaign
+/// with elevated mobility (30% moving UEs, long trips) so the handover
+/// plane carries real structure, and signaling collection enabled.
+#[must_use]
+pub fn preset() -> ScenarioConfig {
+    ScenarioConfig {
+        n_bs: 8,
+        days: 2,
+        seed: 0xC7A1,
+        arrival_scale: 0.05,
+        p_mobile: 0.3,
+        mean_trip_s: 220.0,
+        stress: StressConfig {
+            control_plane: true,
+            ..StressConfig::default()
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineSink};
+    use crate::geo::Topology;
+    use crate::probes::{SignalingEvent, SignalingKind};
+    use crate::services::ServiceCatalog;
+
+    #[derive(Default)]
+    struct Counter {
+        paging: u64,
+        attach: u64,
+        handover: u64,
+        detach: u64,
+        sessions: u64,
+    }
+
+    impl EngineSink for Counter {
+        fn on_session(
+            &mut self,
+            _spec: &crate::session::SessionSpec,
+            _plan: &[(crate::ids::BsId, f64)],
+        ) {
+            self.sessions += 1;
+        }
+        fn on_signaling(&mut self, ev: &SignalingEvent) {
+            match ev.kind {
+                SignalingKind::Paging(_) => self.paging += 1,
+                SignalingKind::Attach(_) => self.attach += 1,
+                SignalingKind::Handover(_) => self.handover += 1,
+                SignalingKind::Detach => self.detach += 1,
+            }
+        }
+    }
+
+    #[test]
+    fn signaling_choreography_counts_match_sessions() {
+        let config = preset();
+        let topology = Topology::generate(config.n_bs, config.seed);
+        let catalog = ServiceCatalog::paper();
+        let mut sink = Counter::default();
+        Engine::new(&config, &topology, &catalog).run(&mut sink);
+        // One paging + one attach + one detach per session, exactly.
+        assert_eq!(sink.paging, sink.sessions);
+        assert_eq!(sink.attach, sink.sessions);
+        assert_eq!(sink.detach, sink.sessions);
+        // Elevated mobility: handovers are a first-class signal.
+        assert!(
+            sink.handover > sink.sessions / 20,
+            "handovers {} sessions {}",
+            sink.handover,
+            sink.sessions
+        );
+    }
+
+    #[test]
+    fn preset_is_valid() {
+        assert!(preset().validate().is_ok());
+        assert!(preset().stress.control_plane);
+    }
+}

@@ -1,0 +1,114 @@
+//! Longitudinal drift: per-service volume μ/σ drifting over windows.
+//!
+//! Alasmar & Clegg's 18-year study finds that per-flow volumes stay
+//! log-normal at any instant while the log-normal's parameters drift
+//! over years. This regime reproduces that failure mode at simulation
+//! scale: within a drift window the traffic is exactly the base
+//! log-normal mixture, but each successive window shifts every
+//! service's log₁₀-volume location by `drift_mu_per_window` decades and
+//! widens its spread by `drift_sigma_per_window`. A whole-horizon fit
+//! smears the windows together; windowed re-fitting
+//! (`fit_registry_windowed`) recovers each window's law.
+//!
+//! The transform is deterministic (zero RNG draws): it rescales the
+//! already-drawn log-volume around the service's mixture center, so it
+//! preserves thread/shard byte determinism for free.
+
+use crate::config::{ScenarioConfig, StressConfig};
+
+/// Measurable-volume clamp shared with the base sampler (1 kB .. 10 GB).
+const VOLUME_CLAMP: (f64, f64) = (1e-3, 1e4);
+
+/// Applies the window-`w` drift transform to a drawn volume:
+/// `log₁₀ v ↦ c + (log₁₀ v − c)·(1 + σ_w·w) + μ_w·w` where `c` is the
+/// service's mixture-mean log₁₀ volume, `w = day / window_days`.
+#[must_use]
+pub fn drifted_volume(stress: &StressConfig, day: u32, center_log10: f64, volume_mb: f64) -> f64 {
+    let w = f64::from(day / stress.drift_window_days.max(1));
+    let lv = volume_mb.log10();
+    let widened = center_log10 + (lv - center_log10) * (1.0 + stress.drift_sigma_per_window * w);
+    10f64
+        .powf(widened + stress.drift_mu_per_window * w)
+        .clamp(VOLUME_CLAMP.0, VOLUME_CLAMP.1)
+}
+
+/// The pinned `drift` battery preset: a four-"year" campaign (4 weekly
+/// windows) whose per-service μ grows 0.25 decades and σ widens 15% per
+/// window — enough that a whole-horizon fit visibly smears the mixture
+/// while a 7-day windowed re-fit recovers each window's law.
+#[must_use]
+pub fn preset() -> ScenarioConfig {
+    ScenarioConfig {
+        n_bs: 8,
+        days: 28,
+        seed: 0xD21F7,
+        arrival_scale: 0.03,
+        stress: StressConfig {
+            drift_mu_per_window: 0.25,
+            drift_sigma_per_window: 0.15,
+            drift_window_days: 7,
+            ..StressConfig::default()
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stress() -> StressConfig {
+        StressConfig {
+            drift_mu_per_window: 0.3,
+            drift_sigma_per_window: 0.2,
+            drift_window_days: 7,
+            ..StressConfig::default()
+        }
+    }
+
+    #[test]
+    fn window_zero_is_identity() {
+        let s = stress();
+        for v in [1e-3, 0.5, 2.0, 1e3] {
+            let out = drifted_volume(&s, 6, 0.3, v); // days 0..6 = window 0
+            assert!((out - v).abs() / v < 1e-12, "{v} -> {out}");
+        }
+    }
+
+    #[test]
+    fn mu_drift_shifts_by_decades_per_window() {
+        let s = StressConfig {
+            drift_sigma_per_window: 0.0,
+            ..stress()
+        };
+        // Window 2 (days 14..20): +0.6 decades at every volume.
+        let out = drifted_volume(&s, 14, 0.0, 1.0);
+        assert!((out.log10() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_drift_widens_around_the_center() {
+        let s = StressConfig {
+            drift_mu_per_window: 0.0,
+            ..stress()
+        };
+        let center = 0.5;
+        // Window 1: deviations from the center scale by 1.2.
+        let hi = drifted_volume(&s, 7, center, 10f64.powf(center + 1.0));
+        let lo = drifted_volume(&s, 7, center, 10f64.powf(center - 1.0));
+        assert!((hi.log10() - (center + 1.2)).abs() < 1e-12);
+        assert!((lo.log10() - (center - 1.2)).abs() < 1e-12);
+        // The center itself is a fixed point.
+        let mid = drifted_volume(&s, 7, center, 10f64.powf(center));
+        assert!((mid.log10() - center).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preset_is_valid_and_week_aligned() {
+        let p = preset();
+        assert!(p.validate().is_ok());
+        assert!(p.stress.drift_enabled());
+        assert_eq!(p.stress.drift_window_days % 7, 0);
+        assert_eq!(p.days % p.stress.drift_window_days, 0);
+    }
+}

@@ -116,6 +116,14 @@ impl ServiceProfile {
         (base * 10f64.powf(jitter)).clamp(1.0, 14_400.0)
     }
 
+    /// Weighted mean of the mixture's log₁₀-volume locations (decades) —
+    /// the deterministic center the stress scenarios anchor their
+    /// transforms on (see [`crate::scenarios`]).
+    #[must_use]
+    pub fn mean_log10_volume(&self) -> f64 {
+        self.volume.iter().map(|c| c.weight * c.mu).sum()
+    }
+
     /// Transport protocol draw for a new session of this service.
     pub fn sample_proto<R: Rng + ?Sized>(&self, rng: &mut R) -> Proto {
         if rng.gen::<f64>() < self.udp_fraction {

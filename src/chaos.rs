@@ -60,6 +60,26 @@ pub fn scenario() -> ScenarioConfig {
     }
 }
 
+/// The stress-scenario twin: every stress family armed at once (bursts,
+/// drift and control-plane together), so the chaos harness also drives
+/// the extra RNG draws, the window-indexed shifts and the v2 store path
+/// with its Signaling frames under fault injection.
+#[must_use]
+pub fn stress_scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        stress: mtd_netsim::StressConfig {
+            burst_prob: 0.1,
+            burst_tail_index: 1.3,
+            burst_coupling: 0.5,
+            drift_mu_per_window: 0.2,
+            drift_sigma_per_window: 0.1,
+            drift_window_days: 1,
+            control_plane: true,
+        },
+        ..scenario()
+    }
+}
+
 /// Canonical digest of every pipeline stage from one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageDigests {
@@ -79,6 +99,10 @@ pub struct StageDigests {
     pub json_roundtrip: u64,
     /// Registry re-fitted from the re-imported dataset.
     pub refit: u64,
+    /// Stress-scenario dataset (all families armed) after a v2 binary
+    /// export → re-import round-trip, digested via its canonical
+    /// re-encoding so the Signaling plane is covered byte-for-byte.
+    pub stress: u64,
 }
 
 impl StageDigests {
@@ -94,6 +118,7 @@ impl StageDigests {
             ("reimport", self.reimport, other.reimport),
             ("json_roundtrip", self.json_roundtrip, other.json_roundtrip),
             ("refit", self.refit, other.refit),
+            ("stress", self.stress, other.stress),
         ];
         pairs
             .iter()
@@ -230,6 +255,28 @@ fn run_pipeline_inner(threads: usize, dir: &Path) -> RunOutcome {
     };
     let d_refit = digest_registry(&refit);
 
+    // Stress-scenario stage: the all-families-armed twin through the
+    // v2 binary store (Signaling frames included) and back.
+    let stress_config = stress_scenario();
+    let stressed = Dataset::build(&stress_config, &topology, &catalog);
+    let stress_path = stress_path(dir);
+    if let Err(e) = store::save_binary_with_threads(&stressed, &stress_path, threads) {
+        return RunOutcome::Detected {
+            stage: "stress-export",
+            error: e.to_string(),
+        };
+    }
+    let stress_back = match store::load_binary_with_threads(&stress_path, threads) {
+        Ok(ds) => ds,
+        Err(e) => {
+            return RunOutcome::Detected {
+                stage: "stress-import",
+                error: e.to_string(),
+            }
+        }
+    };
+    let d_stress = digest_bytes(&store::encode_binary(&stress_back, threads));
+
     RunOutcome::Clean(StageDigests {
         dataset: d_dataset,
         engine: d_engine,
@@ -239,6 +286,7 @@ fn run_pipeline_inner(threads: usize, dir: &Path) -> RunOutcome {
         reimport: d_reimport,
         json_roundtrip: d_json,
         refit: d_refit,
+        stress: d_stress,
     })
 }
 
@@ -248,6 +296,10 @@ fn binary_path(dir: &Path) -> PathBuf {
 
 fn json_path(dir: &Path) -> PathBuf {
     dir.join("chaos-dataset.json")
+}
+
+fn stress_path(dir: &Path) -> PathBuf {
+    dir.join("chaos-stress.mtd")
 }
 
 /// Verdict for one fault plan.
@@ -347,6 +399,7 @@ fn classify(outcome: &RunOutcome, golden: &StageDigests, dir: &Path) -> Verdict 
             let torn = match *stage {
                 "export" => binary_path(dir).exists().then(|| binary_path(dir)),
                 "json-export" => json_path(dir).exists().then(|| json_path(dir)),
+                "stress-export" => stress_path(dir).exists().then(|| stress_path(dir)),
                 _ => None,
             };
             if let Some(path) = torn {
@@ -419,7 +472,8 @@ impl SelftestReport {
         out.push_str(&format!(
             "  \"golden\": {{\"dataset\": \"{:016x}\", \"engine\": \"{:016x}\", \
              \"registry\": \"{:016x}\", \"sessions\": \"{:016x}\", \"export\": \"{:016x}\", \
-             \"reimport\": \"{:016x}\", \"json_roundtrip\": \"{:016x}\", \"refit\": \"{:016x}\"}},\n",
+             \"reimport\": \"{:016x}\", \"json_roundtrip\": \"{:016x}\", \"refit\": \"{:016x}\", \
+             \"stress\": \"{:016x}\"}},\n",
             self.golden.dataset,
             self.golden.engine,
             self.golden.registry,
@@ -428,6 +482,7 @@ impl SelftestReport {
             self.golden.reimport,
             self.golden.json_roundtrip,
             self.golden.refit,
+            self.golden.stress,
         ));
         out.push_str("  \"runs\": [\n");
         for (i, run) in self.runs.iter().enumerate() {
@@ -586,6 +641,7 @@ mod tests {
             reimport: 6,
             json_roundtrip: 7,
             refit: 8,
+            stress: 9,
         };
         let mut b = a;
         assert!(a.diff(&b).is_empty());
@@ -608,6 +664,7 @@ mod tests {
                 reimport: 6,
                 json_roundtrip: 7,
                 refit: 8,
+                stress: 9,
             },
             runs: vec![PlanRun {
                 spec: "store=0.5".to_string(),

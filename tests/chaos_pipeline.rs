@@ -33,7 +33,7 @@ fn roster_plans_uphold_the_chaos_contract_and_report_deterministically() {
         fault::compiled_in(),
         "chaos tests must build with mtd-fault/fault-inject (root dev-dependency)"
     );
-    // One full roster cycle would be 16 plans; 8 keeps the test fast and
+    // One full roster cycle would be 17 plans; 8 keeps the test fast and
     // still covers pass-through, every write fault, both read faults and
     // the JSON fuzzer. CI's `mtd-traffic selftest --plans 32` covers the
     // roster twice.

@@ -216,3 +216,25 @@ fn registry_roundtrips_through_json() {
     let back = ModelRegistry::from_json(&json).expect("parse");
     assert_eq!(back, registry);
 }
+
+#[test]
+fn stress_scenario_battery_holds_end_to_end() {
+    // The pinned heavy-tail bursts preset through the whole stack:
+    // build the stressed campaign and its quiescent twin, fit both,
+    // and check every degradation statistic against its pinned band.
+    // The battery must also be byte-deterministic run-to-run — the
+    // property CI's `validate --scenario` twice-plus-cmp step relies on.
+    use mobile_traffic_dists::models::validation::stress::run_scenario;
+    let report = run_scenario("bursts").expect("battery runs");
+    assert!(
+        report.passed(),
+        "bursts degradation left its pinned bands: {:#?}",
+        report.failures().collect::<Vec<_>>()
+    );
+    let again = run_scenario("bursts").expect("battery reruns");
+    assert_eq!(
+        report.to_json(),
+        again.to_json(),
+        "report not deterministic"
+    );
+}
